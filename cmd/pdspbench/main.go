@@ -1,0 +1,457 @@
+// Command pdspbench is the PDSP-Bench command-line interface: it lists
+// the benchmark suite (Table 2), the parameter domain (Table 3) and the
+// hardware catalogue (Table 4), runs individual workloads on either the
+// real engine or the cluster simulator, regenerates every evaluation
+// figure of the paper (Exp-1/2/3), builds ML training corpora, and
+// serves the web API (the WUI substitute).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pdspbench/internal/apps"
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/controller"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/ml"
+	"pdspbench/internal/mlmanager"
+	"pdspbench/internal/server"
+	"pdspbench/internal/simengine"
+	"pdspbench/internal/storage"
+	"pdspbench/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "params":
+		err = cmdParams()
+	case "clusters":
+		err = cmdClusters()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "exec":
+		err = cmdExec(os.Args[2:])
+	case "exp1":
+		err = cmdExp(1, os.Args[2:])
+	case "exp2":
+		err = cmdExp(2, os.Args[2:])
+	case "exp3":
+		err = cmdExp3(os.Args[2:])
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
+	case "ablation":
+		err = cmdAblation(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "sut":
+		err = cmdSUT(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pdspbench: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Println(`pdspbench — benchmarking system for parallel and distributed stream processing
+
+commands:
+  list                       application suite (paper Table 2)
+  params                     workload parameter domain (paper Table 3)
+  clusters                   hardware catalogue (paper Table 4)
+  run      [flags]           simulate one workload on a modelled cluster
+  exec     [flags]           execute one application on the real engine
+  exp1     --set S           regenerate Figure 3 (S = synthetic | realworld)
+  exp2     --set S           regenerate Figure 4 (S = synthetic | realworld)
+  exp3     --part P          regenerate Figure 5 (P = models) or 6 (P = strategies)
+  corpus   [flags]           build and store an ML training corpus
+  ablation --part P          ablations (P = partitioning | autoscaler)
+  bench    --spec F          run a declarative benchmark campaign (JSON spec)
+  sut      [flags]           compare SUT profiles on identical workloads
+  dot      [flags]           print a query plan in Graphviz DOT
+  serve    [flags]           serve the HTTP API (WUI substitute)
+
+run 'pdspbench <command> -h' for command flags`)
+}
+
+func cmdList() error {
+	fmt.Printf("%-6s %-20s %-24s %-4s %s\n", "code", "name", "area", "UDO", "description")
+	for _, a := range apps.Registry {
+		di := ""
+		if a.DataIntensive {
+			di = "yes"
+		}
+		fmt.Printf("%-6s %-20s %-24s %-4s %s\n", a.Code, a.Name, a.Area, di, a.Description)
+	}
+	fmt.Printf("\nsynthetic query structures (%d):\n", len(workload.Structures))
+	for _, s := range workload.Structures {
+		fmt.Printf("  %s\n", s)
+	}
+	return nil
+}
+
+func cmdParams() error {
+	fmt.Println("workload parameter domain (paper Table 3):")
+	fmt.Println("  parallelism degrees:   1 –", core.MaxDegree, " categories:", core.AllCategories)
+	fmt.Println("  event rates (ev/s):   ", workload.EventRates)
+	fmt.Println("  window duration (ms): ", workload.WindowDurationsMs)
+	fmt.Println("  window length (tuple):", workload.WindowLengthsTuples)
+	fmt.Println("  slide ratios:         ", workload.SlideRatios)
+	fmt.Println("  tuple widths:          1 – 15 × {string, double, int}")
+	fmt.Println("  window types/policies: tumbling, sliding × count, time")
+	fmt.Println("  aggregate functions:   min, max, avg, mean, sum")
+	fmt.Println("  partitioning:          forward, rebalance, hashing")
+	fmt.Println("  distributions:        ", workload.Distributions)
+	fmt.Println("  parallelism strategies:", strings.Join(workload.StrategyNames, ", "))
+	return nil
+}
+
+func cmdClusters() error {
+	fmt.Printf("%-12s %-6s %-7s %-10s %-34s %-6s %-8s %s\n",
+		"node", "cores", "RAM_GB", "storage_GB", "processor", "GHz", "net_Gbps", "rel_speed")
+	for _, name := range []string{"m510", "c6525_25g", "c6320"} {
+		nt := cluster.Catalogue[name]
+		fmt.Printf("%-12s %-6d %-7d %-10d %-34s %-6.1f %-8.0f %.2f\n",
+			nt.Name, nt.Cores, nt.RAMGB, nt.StorageGB, nt.Processor, nt.ClockGHz, nt.NetGbps, nt.Speed())
+	}
+	return nil
+}
+
+func clusterByName(c *controller.Controller, name string) (*cluster.Cluster, error) {
+	switch name {
+	case "m510", "":
+		return c.Homogeneous(), nil
+	case "c6525_25g":
+		return c.HeteroEpyc(), nil
+	case "c6320":
+		return c.HeteroHaswell(), nil
+	case "mixed":
+		return c.Mixed(), nil
+	default:
+		return nil, fmt.Errorf("unknown cluster %q (m510, c6525_25g, c6320, mixed)", name)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	app := fs.String("app", "", "application code (e.g. SG); mutually exclusive with --structure")
+	structure := fs.String("structure", "", "synthetic structure (e.g. 3-way-join)")
+	rate := fs.Float64("rate", 500_000, "source event rate (events/s)")
+	par := fs.Int("parallelism", 8, "uniform parallelism degree")
+	clusterName := fs.String("cluster", "m510", "cluster: m510, c6525_25g, c6320, mixed")
+	fast := fs.Bool("fast", false, "reduced simulation fidelity")
+	fs.Parse(args)
+
+	c := controller.New()
+	if *fast {
+		c = controller.Fast()
+	}
+	c.EventRate = *rate
+	cl, err := clusterByName(c, *clusterName)
+	if err != nil {
+		return err
+	}
+	var plan *core.PQP
+	switch {
+	case *app != "":
+		a, err := apps.ByCode(*app)
+		if err != nil {
+			return err
+		}
+		plan = a.Build(*rate)
+		plan.SetUniformParallelism(*par)
+	case *structure != "":
+		s, err := workload.ParseStructure(*structure)
+		if err != nil {
+			return err
+		}
+		plan, err = c.SyntheticPlan(s, *par)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of --app or --structure is required")
+	}
+	fmt.Println(plan)
+	rec, err := c.Measure(plan, cl)
+	if err != nil {
+		return err
+	}
+	fmt.Print(metrics.Table([]metrics.RunRecord{*rec}))
+	// Decompose the mean latency so the user sees where time is spent.
+	pl, err := cluster.Place(plan, cl, c.Placement)
+	if err != nil {
+		return err
+	}
+	res, err := simengine.Simulate(plan, pl, c.Cfg)
+	if err != nil {
+		return err
+	}
+	b := res.Breakdown
+	fmt.Printf("mean latency breakdown: queue=%.1fms service=%.1fms network=%.1fms window=%.1fms other=%.1fms\n",
+		b.QueueWait*1000, b.Service*1000, b.Network*1000, b.Window*1000, b.Other*1000)
+	return nil
+}
+
+func cmdExec(args []string) error {
+	fs := flag.NewFlagSet("exec", flag.ExitOnError)
+	app := fs.String("app", "WC", "application code")
+	tuples := fs.Int("tuples", 10_000, "tuples per source")
+	par := fs.Int("parallelism", 2, "uniform parallelism degree")
+	seed := fs.Int64("seed", 42, "generator seed")
+	fs.Parse(args)
+
+	a, err := apps.ByCode(*app)
+	if err != nil {
+		return err
+	}
+	rep, err := controller.ExecuteReal(a, *tuples, *par, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on the real engine: in=%d out=%d elapsed=%s\n",
+		a.Code, rep.TuplesIn, rep.TuplesOut, rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  latency p50=%.3fms p95=%.3fms  throughput=%.0f tuples/s  late=%d\n",
+		rep.LatencyP50*1000, rep.LatencyP95*1000, rep.Throughput, rep.LateDrops)
+	return nil
+}
+
+func cmdExp(n int, args []string) error {
+	fs := flag.NewFlagSet(fmt.Sprintf("exp%d", n), flag.ExitOnError)
+	set := fs.String("set", "synthetic", "workload set: synthetic | realworld")
+	fast := fs.Bool("fast", true, "reduced simulation fidelity")
+	fs.Parse(args)
+
+	c := controller.New()
+	if *fast {
+		c = controller.Fast()
+	}
+	var fig *metrics.Figure
+	var err error
+	switch {
+	case n == 1 && *set == "synthetic":
+		fig, err = c.Exp1Synthetic(nil, nil)
+	case n == 1 && *set == "realworld":
+		fig, err = c.Exp1RealWorld(nil, nil)
+	case n == 2 && *set == "synthetic":
+		fig, err = c.Exp2Synthetic(nil, nil)
+	case n == 2 && *set == "realworld":
+		fig, err = c.Exp2RealWorld(nil)
+	default:
+		return fmt.Errorf("unknown set %q", *set)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(fig.Render())
+	return nil
+}
+
+func cmdExp3(args []string) error {
+	fs := flag.NewFlagSet("exp3", flag.ExitOnError)
+	part := fs.String("part", "models", "models (Figure 5) | strategies (Figure 6)")
+	queries := fs.Int("queries", 500, "corpus size for --part models")
+	fs.Parse(args)
+
+	c := controller.Fast()
+	opts := ml.TrainOptions{MaxEpochs: 200, Patience: 15, LearningRate: 3e-3}
+	switch *part {
+	case "models":
+		corpus, err := c.BuildCorpus("random", workload.Structures, *queries, c.Homogeneous(), c.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("corpus: %d labeled queries in %s\n\n", corpus.Dataset.Len(), corpus.BuildTime.Round(time.Second))
+		fig, evs, err := c.Exp3Models(corpus.Dataset, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(mlmanager.FormatEvaluations(evs))
+		fmt.Println()
+		fmt.Print(fig.Render())
+	case "strategies":
+		curves, err := c.Exp3Strategies(nil, 0, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(curves.Fig6a.Render())
+		fmt.Println()
+		fmt.Print(curves.Fig6b.Render())
+	default:
+		return fmt.Errorf("unknown part %q", *part)
+	}
+	return nil
+}
+
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	strategy := fs.String("strategy", "rule-based", "parallelism enumeration strategy")
+	n := fs.Int("n", 100, "number of labeled queries")
+	out := fs.String("out", "pdspbench-data", "store directory")
+	seed := fs.Int64("seed", 1, "enumeration seed")
+	fs.Parse(args)
+
+	c := controller.Fast()
+	corpus, err := c.BuildCorpus(*strategy, nil, *n, c.Homogeneous(), *seed)
+	if err != nil {
+		return err
+	}
+	st, err := storage.Open(*out)
+	if err != nil {
+		return err
+	}
+	for _, e := range corpus.Dataset.Examples {
+		if err := st.Append("corpus", e); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("stored %d labeled queries (strategy=%s) in %s (%s)\n",
+		corpus.Dataset.Len(), *strategy, *out, corpus.BuildTime.Round(time.Millisecond))
+	return nil
+}
+
+func cmdAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	part := fs.String("part", "partitioning", "partitioning | autoscaler")
+	fs.Parse(args)
+
+	c := controller.Fast()
+	switch *part {
+	case "partitioning":
+		fig, err := c.ExpPartitioning(8)
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig.Render())
+	case "autoscaler":
+		fig, err := c.ExpAutoscaler(workload.StructTwoWayJoin)
+		if err != nil {
+			return err
+		}
+		fmt.Print(fig.Render())
+	default:
+		return fmt.Errorf("unknown ablation part %q", *part)
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	specPath := fs.String("spec", "", "path to a JSON campaign spec")
+	out := fs.String("out", "", "optional store directory for run records")
+	fast := fs.Bool("fast", true, "reduced simulation fidelity")
+	fs.Parse(args)
+	if *specPath == "" {
+		return fmt.Errorf("--spec is required (see examples/campaign.json)")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := controller.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	c := controller.New()
+	if *fast {
+		c = controller.Fast()
+	}
+	if *out != "" {
+		st, err := storage.Open(*out)
+		if err != nil {
+			return err
+		}
+		c.Store = st
+	}
+	records, err := c.RunSpec(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign %q: %d measurements\n", spec.Name, len(records))
+	fmt.Print(metrics.Table(records))
+	return nil
+}
+
+func cmdSUT(args []string) error {
+	fs := flag.NewFlagSet("sut", flag.ExitOnError)
+	par := fs.Int("parallelism", 64, "uniform parallelism degree")
+	fs.Parse(args)
+	c := controller.Fast()
+	fig, err := c.ExpSUTComparison(nil, *par)
+	if err != nil {
+		return err
+	}
+	fmt.Print(fig.Render())
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	app := fs.String("app", "", "application code")
+	structure := fs.String("structure", "", "synthetic structure")
+	par := fs.Int("parallelism", 4, "uniform parallelism degree")
+	fs.Parse(args)
+
+	c := controller.Fast()
+	switch {
+	case *app != "":
+		a, err := apps.ByCode(*app)
+		if err != nil {
+			return err
+		}
+		plan := a.Build(c.EventRate)
+		plan.SetUniformParallelism(*par)
+		fmt.Print(plan.DOT())
+	case *structure != "":
+		s, err := workload.ParseStructure(*structure)
+		if err != nil {
+			return err
+		}
+		plan, err := c.SyntheticPlan(s, *par)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan.DOT())
+	default:
+		return fmt.Errorf("one of --app or --structure is required")
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	data := fs.String("data", "pdspbench-data", "store directory")
+	fs.Parse(args)
+
+	st, err := storage.Open(*data)
+	if err != nil {
+		return err
+	}
+	srv := server.New(st)
+	fmt.Printf("serving PDSP-Bench API on http://%s (store: %s)\n", *addr, *data)
+	return srv.ListenAndServe(context.Background(), *addr)
+}

@@ -1,0 +1,79 @@
+// Ad analytics end to end: runs the paper's Figure 2 (right) application
+// — impression and click streams filtered, joined per ad over a sliding
+// window, and aggregated to campaign CTRs by a stateful UDO — on the
+// real engine, printing live CTR results, and then demonstrates the
+// application's parallelism paradox (observation O2/O3) on the cluster
+// simulator.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"pdspbench/internal/apps"
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/engine"
+	"pdspbench/internal/simengine"
+	"pdspbench/internal/tuple"
+)
+
+func main() {
+	app, err := apps.ByCode("AD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s — %s\n%s\n\n", app.Code, app.Name, app.Description)
+
+	// Real execution with a tap printing a few campaign CTRs.
+	plan := app.Build(100_000)
+	plan.SetUniformParallelism(2)
+	var mu sync.Mutex
+	printed := 0
+	rt, err := engine.New(plan, engine.Options{
+		Sources: app.Sources(7, 20_000),
+		UDOs:    app.UDOs(),
+		SinkTap: func(op string, t *tuple.Tuple) {
+			mu.Lock()
+			defer mu.Unlock()
+			if printed < 8 {
+				fmt.Printf("  campaign %2d: CTR %.3f\n", t.At(0).I, t.At(1).D)
+				printed++
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := rt.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreal engine: %d impressions+clicks in, %d CTR updates out, p50=%.2fms\n",
+		rep.TuplesIn, rep.TuplesOut, rep.LatencyP50*1000)
+
+	// The parallelism paradox: AD's CTR UDO must coordinate state across
+	// every instance, so beyond a threshold more parallelism hurts.
+	fmt.Println("\nparallelism sweep on simulated 5×m510 at 500k events/s:")
+	cl := cluster.NewHomogeneous("m510", cluster.M510, 5)
+	cfg := simengine.Defaults()
+	cfg.Duration = 12
+	cfg.SourceBatches = 96
+	for _, cat := range core.AllCategories {
+		variant := app.Build(500_000)
+		variant.SetUniformParallelism(cat.Degree())
+		pl, err := cluster.Place(variant, cl, cluster.PlaceRoundRobin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := simengine.Simulate(variant, pl, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-3s (degree %3d): p50=%9.1fms\n", cat, cat.Degree(), res.LatencyP50*1000)
+	}
+	fmt.Println("\nnote the U-shape: latency falls with parallelism, then the state-")
+	fmt.Println("coordination overhead dominates past degree 128 (paper O2/O3).")
+}

@@ -1,0 +1,67 @@
+// Learned cost models: builds a labeled workload corpus with the
+// benchmark (domain-randomized queries executed on the cluster
+// simulator), trains all four cost-model architectures through the ML
+// Manager under identical conditions, and predicts the latency of a
+// brand-new query — the paper's Exp-3 workflow in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdspbench/internal/controller"
+	"pdspbench/internal/ml"
+	"pdspbench/internal/ml/feature"
+	"pdspbench/internal/ml/gnn"
+	"pdspbench/internal/mlmanager"
+	"pdspbench/internal/workload"
+)
+
+func main() {
+	c := controller.Fast()
+	c.Cfg.Duration = 6
+	c.Cfg.SourceBatches = 48
+
+	// 1. Generate and label a corpus: 240 random queries over all nine
+	//    synthetic structures, degrees assigned by the random strategy,
+	//    each executed on a simulated 5×m510 cluster.
+	fmt.Println("building labeled corpus (240 queries)...")
+	corpus, err := c.BuildCorpus("random", workload.Structures, 240, c.Homogeneous(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected in %s\n\n", corpus.BuildTime.Round(1e7))
+
+	// 2. Fair comparison: same corpus, same split, same early stopping.
+	opts := ml.TrainOptions{MaxEpochs: 120, Patience: 12, LearningRate: 3e-3}
+	mgr := mlmanager.New(opts)
+	evs, err := mgr.Compare(mlmanager.DefaultModels(), corpus.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(mlmanager.FormatEvaluations(evs))
+
+	// 3. Train a fresh GNN on everything and predict an unseen plan.
+	train, val, _ := corpus.Dataset.Split(0.85, 0.15, 3)
+	model := gnn.New()
+	if _, err := model.Train(train, val, opts); err != nil {
+		log.Fatal(err)
+	}
+	cl := c.Homogeneous()
+	plan, err := c.SyntheticPlan(workload.StructThreeJoin, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := model.Predict(ml.Example{Graph: feature.EncodeGraph(plan, cl)})
+	rec, err := c.Measure(plan, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := pred / rec.LatencyP50
+	if q < 1 {
+		q = 1 / q
+	}
+	fmt.Printf("\nnew query %s\n", plan)
+	fmt.Printf("GNN predicted p50 %.1fms, simulator measured %.1fms (q-error %.2f)\n",
+		pred*1000, rec.LatencyP50*1000, q)
+}

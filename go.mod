@@ -1,0 +1,3 @@
+module pdspbench
+
+go 1.22

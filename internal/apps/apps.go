@@ -1,0 +1,165 @@
+// Package apps ships the PDSP-Bench application suite: the 14 real-world
+// streaming applications of the paper's Table 2, spanning text analytics,
+// IoT sensing, finance, advertising, e-commerce and transportation. Each
+// application bundles
+//
+//   - a parallel query plan (PQP) combining standard stream operators
+//     with user-defined operators (UDOs),
+//   - a trace-mimicking data generator standing in for the original
+//     sources (DEBS grand-challenge datasets, ad click logs, stock
+//     feeds, …) that are replayed through Kafka in the paper, and
+//   - executable UDO logic for the real engine, with cost coefficients
+//     calibrated for the cluster simulator.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/engine"
+	"pdspbench/internal/stats"
+	"pdspbench/internal/tuple"
+)
+
+// App is one benchmark application.
+type App struct {
+	Code        string // figure label, e.g. "WC"
+	Name        string
+	Area        string
+	Description string
+	// DataIntensive marks applications whose UDOs dominate CPU — the ones
+	// the paper observes benefiting most from parallelism (SA, SG, SD…).
+	DataIntensive bool
+
+	// Build constructs the PQP at the given source event rate (events/s).
+	Build func(eventRate float64) *core.PQP
+	// Sources returns generator factories for every source operator,
+	// emitting at most maxTuples per source instance (≤0 = unbounded).
+	Sources func(seed int64, maxTuples int) map[string]engine.SourceFactory
+	// UDOs returns the operator implementations the plan references.
+	UDOs func() map[string]engine.UDOFactory
+}
+
+// Registry lists all applications in Table 2 order.
+var Registry = []*App{
+	WordCount, MachineOutlier, LinearRoad, TrendingTopics, SentimentAnalysis,
+	TPCH, BargainIndex, ClickAnalytics, LogProcessing, SmartGrid,
+	SpikeDetection, TrafficMonitoring, FraudDetection, AdAnalytics,
+}
+
+// ByCode resolves an application by its figure label ("SG").
+func ByCode(code string) (*App, error) {
+	for _, a := range Registry {
+		if a.Code == code {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", code)
+}
+
+// Codes returns all application codes in registry order.
+func Codes() []string {
+	out := make([]string, len(Registry))
+	for i, a := range Registry {
+		out[i] = a.Code
+	}
+	return out
+}
+
+// --- generator plumbing -------------------------------------------------
+
+// rowFunc produces the values of the i-th tuple of a source instance.
+type rowFunc func(rng *rand.Rand, i int) []tuple.Value
+
+// sourceFactory builds an engine.SourceFactory emitting Poisson-spaced
+// logical event times at the given rate. Each instance derives its own
+// seed so parallel sources do not duplicate data.
+func sourceFactory(seed int64, maxTuples int, rate float64, row rowFunc) engine.SourceFactory {
+	if rate <= 0 {
+		rate = 1000
+	}
+	return func(idx int) engine.SourceGenerator {
+		rng := rand.New(rand.NewSource(seed + int64(idx)*104729))
+		var now float64 = 1 // ns; non-zero so the engine keeps event times
+		i := 0
+		return genFunc(func() (*tuple.Tuple, bool) {
+			if maxTuples > 0 && i >= maxTuples {
+				return nil, false
+			}
+			now += stats.Exponential(rng, rate) * 1e9
+			t := &tuple.Tuple{Values: row(rng, i), EventTime: int64(now)}
+			i++
+			return t, true
+		})
+	}
+}
+
+// genFunc adapts a closure to engine.SourceGenerator.
+type genFunc func() (*tuple.Tuple, bool)
+
+func (g genFunc) Next() (*tuple.Tuple, bool) { return g() }
+
+// --- shared UDO helpers ---------------------------------------------------
+
+// topK tracks counts and returns the k most frequent keys.
+type topK struct {
+	counts map[string]int64
+	k      int
+}
+
+func newTopK(k int) *topK { return &topK{counts: make(map[string]int64), k: k} }
+
+func (t *topK) add(key string) { t.counts[key]++ }
+
+type rankedKey struct {
+	Key   string
+	Count int64
+}
+
+func (t *topK) ranking() []rankedKey {
+	out := make([]rankedKey, 0, len(t.counts))
+	for k, c := range t.counts {
+		out = append(out, rankedKey{k, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > t.k {
+		out = out[:t.k]
+	}
+	return out
+}
+
+// slidingMedian keeps the last n values and reports their median.
+type slidingMedian struct {
+	vals []float64
+	cap  int
+}
+
+func newSlidingMedian(cap int) *slidingMedian { return &slidingMedian{cap: cap} }
+
+func (m *slidingMedian) add(v float64) {
+	m.vals = append(m.vals, v)
+	if len(m.vals) > m.cap {
+		m.vals = m.vals[1:]
+	}
+}
+
+func (m *slidingMedian) median() float64 {
+	if len(m.vals) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(m.vals))
+	copy(tmp, m.vals)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}

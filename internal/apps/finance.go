@@ -1,0 +1,258 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/engine"
+	"pdspbench/internal/tuple"
+)
+
+// --- FD: Fraud Detection ------------------------------------------------------
+
+var fdSchema = tuple.NewSchema(
+	tuple.Field{Name: "account", Type: tuple.TypeInt},
+	tuple.Field{Name: "amount", Type: tuple.TypeDouble},
+	tuple.Field{Name: "merchant", Type: tuple.TypeInt},
+)
+
+// FraudDetection [DSPBench] scores each card transaction with a
+// per-account Markov transition model over merchant categories and flags
+// improbable transitions.
+var FraudDetection = &App{
+	Code: "FD", Name: "Fraud Detection", Area: "Finance",
+	Description: "Scores transactions with a per-account Markov model; flags improbable merchant transitions.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("FD", "fraud-detection")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "transactions", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: fdSchema, EventRate: rate}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "score", Kind: core.OpUDO, Name: "markov-score", Parallelism: 1,
+			Partition: core.PartitionHash,
+			UDO:       &core.UDOSpec{Name: "fd/markov", CostFactor: 9, StateFactor: 0.3, Selectivity: 1},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "flag", Kind: core.OpFilter, Name: "suspicious", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 2, Fn: core.FilterLess, Literal: tuple.Double(0.05), Selectivity: 0.05},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "score")
+		p.Connect("score", "flag")
+		p.Connect("flag", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				acct := rng.Intn(150)
+				// Accounts habitually shop in a home cluster of merchants;
+				// rare out-of-pattern hops look fraudulent.
+				merchant := (acct*3 + rng.Intn(4)) % 64
+				if rng.Float64() < 0.04 {
+					merchant = rng.Intn(64)
+				}
+				return []tuple.Value{
+					tuple.Int(int64(acct)),
+					tuple.Double(5 + 200*rng.ExpFloat64()),
+					tuple.Int(int64(merchant)),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"fd/markov": func(int) engine.UDO {
+				return &markovScorer{last: make(map[int64]int64), trans: make(map[int64]map[int64]int64)}
+			},
+		}
+	},
+}
+
+// markovScorer learns per-account merchant transition counts online and
+// replaces the merchant field with the transition probability.
+type markovScorer struct {
+	last  map[int64]int64
+	trans map[int64]map[int64]int64
+}
+
+func (m *markovScorer) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	acct, merch := t.At(0).I, t.At(2).I
+	prob := 0.5 // uninformed prior before history accumulates
+	if prev, ok := m.last[acct]; ok {
+		key := acct<<8 | prev
+		row := m.trans[key]
+		if row == nil {
+			row = make(map[int64]int64)
+			m.trans[key] = row
+		}
+		var total int64
+		for _, c := range row {
+			total += c
+		}
+		if total >= 3 {
+			prob = float64(row[merch]) / float64(total)
+		}
+		row[merch]++
+	}
+	m.last[acct] = merch
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{t.At(0), t.At(1), tuple.Double(prob)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (m *markovScorer) Flush(func(*tuple.Tuple)) {}
+
+// --- BI: Bargain Index ----------------------------------------------------------
+
+var biSchema = tuple.NewSchema(
+	tuple.Field{Name: "symbol", Type: tuple.TypeInt},
+	tuple.Field{Name: "price", Type: tuple.TypeDouble},
+	tuple.Field{Name: "volume", Type: tuple.TypeDouble},
+)
+
+// BargainIndex [IBM InfoSphere Streams example] computes the VWAP per
+// symbol and emits a bargain index whenever the ask price undercuts it.
+var BargainIndex = &App{
+	Code: "BI", Name: "Bargain Index", Area: "Finance",
+	Description: "Computes per-symbol VWAP and flags quotes priced below it (bargains).",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("BI", "bargain-index")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "quotes", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: biSchema, EventRate: rate}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "vwap", Kind: core.OpUDO, Name: "vwap", Parallelism: 1,
+			Partition: core.PartitionHash,
+			UDO:       &core.UDOSpec{Name: "bi/vwap", CostFactor: 6, StateFactor: 0.2, Selectivity: 0.3},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "top", Kind: core.OpAggregate, Name: "max-index", Parallelism: 1,
+			Partition: core.PartitionHash,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: 1000},
+				Fn:     core.AggMax, Field: 1, KeyField: 0,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "vwap")
+		p.Connect("vwap", "top")
+		p.Connect("top", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				sym := rng.Intn(100)
+				base := 50 + float64(sym)
+				return []tuple.Value{
+					tuple.Int(int64(sym)),
+					tuple.Double(base * (1 + 0.02*rng.NormFloat64())),
+					tuple.Double(100 + 900*rng.Float64()),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"bi/vwap": func(int) engine.UDO { return &vwapIndex{pv: make(map[int64]float64), vol: make(map[int64]float64)} },
+		}
+	},
+}
+
+// vwapIndex maintains per-symbol VWAP and emits (symbol, bargainIndex)
+// when price < VWAP; index = (vwap − price)/vwap × volume.
+type vwapIndex struct {
+	pv  map[int64]float64
+	vol map[int64]float64
+}
+
+func (b *vwapIndex) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	sym, price, vol := t.At(0).I, t.At(1).D, t.At(2).D
+	b.pv[sym] += price * vol
+	b.vol[sym] += vol
+	vwap := b.pv[sym] / b.vol[sym]
+	if price < vwap {
+		index := (vwap - price) / vwap * vol
+		emit(&tuple.Tuple{
+			Values:    []tuple.Value{t.At(0), tuple.Double(index), tuple.Double(vwap)},
+			EventTime: t.EventTime, Ingest: t.Ingest,
+		})
+	}
+}
+
+func (b *vwapIndex) Flush(func(*tuple.Tuple)) {}
+
+// --- TPCH: streaming TPC-H ----------------------------------------------------
+
+var tpchSchema = tuple.NewSchema(
+	tuple.Field{Name: "orderkey", Type: tuple.TypeInt},
+	tuple.Field{Name: "price", Type: tuple.TypeDouble},
+	tuple.Field{Name: "discount", Type: tuple.TypeDouble},
+	tuple.Field{Name: "quantity", Type: tuple.TypeInt},
+	tuple.Field{Name: "shipmode", Type: tuple.TypeInt},
+)
+
+// TPCH streams lineitem-like rows through the revenue query shape of
+// TPC-H Q6: filter on discount and quantity, then windowed revenue
+// aggregation — all standard operators (the paper's TPCH row in Table 2).
+var TPCH = &App{
+	Code: "TPCH", Name: "TPC-H", Area: "E-commerce",
+	Description: "Streaming TPC-H Q6: discount/quantity filters and windowed revenue sums per ship mode.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("TPCH", "tpch")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "lineitems", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: tpchSchema, EventRate: rate}, OutWidth: 5})
+		p.Add(&core.Operator{ID: "fdisc", Kind: core.OpFilter, Name: "discount-band", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 2, Fn: core.FilterGreaterEq, Literal: tuple.Double(0.05), Selectivity: 0.5},
+			OutWidth:  5})
+		p.Add(&core.Operator{ID: "fqty", Kind: core.OpFilter, Name: "quantity", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 3, Fn: core.FilterLess, Literal: tuple.Int(24), Selectivity: 0.48},
+			OutWidth:  5})
+		p.Add(&core.Operator{ID: "revenue", Kind: core.OpUDO, Name: "revenue", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			UDO:       &core.UDOSpec{Name: "tpch/revenue", CostFactor: 2, Selectivity: 1},
+			OutWidth:  2})
+		p.Add(&core.Operator{ID: "sum", Kind: core.OpAggregate, Name: "revenue-sum", Parallelism: 1,
+			Partition: core.PartitionHash,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: 1000},
+				Fn:     core.AggSum, Field: 1, KeyField: 0,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "fdisc")
+		p.Connect("fdisc", "fqty")
+		p.Connect("fqty", "revenue")
+		p.Connect("revenue", "sum")
+		p.Connect("sum", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				return []tuple.Value{
+					tuple.Int(int64(i)),
+					tuple.Double(100 + 900*rng.Float64()),
+					tuple.Double(math.Round(rng.Float64()*10) / 100), // 0.00 … 0.10
+					tuple.Int(int64(1 + rng.Intn(50))),
+					tuple.Int(int64(rng.Intn(7))),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"tpch/revenue": func(int) engine.UDO { return revenueMapper{} },
+		}
+	},
+}
+
+// revenueMapper projects (shipmode, price×discount) — Q6's revenue term.
+type revenueMapper struct{}
+
+func (revenueMapper) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{t.At(4), tuple.Double(t.At(1).D * t.At(2).D)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (revenueMapper) Flush(func(*tuple.Tuple)) {}

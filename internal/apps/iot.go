@@ -1,0 +1,395 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/engine"
+	"pdspbench/internal/tuple"
+)
+
+// --- MO: Machine Outlier ----------------------------------------------------
+
+var moSchema = tuple.NewSchema(
+	tuple.Field{Name: "machine", Type: tuple.TypeInt},
+	tuple.Field{Name: "cpu", Type: tuple.TypeDouble},
+	tuple.Field{Name: "mem", Type: tuple.TypeDouble},
+)
+
+// MachineOutlier [stream-outlier] flags machines whose CPU usage deviates
+// from the fleet median — a median/MAD outlier UDO over a sliding sample.
+var MachineOutlier = &App{
+	Code: "MO", Name: "Machine Outlier", Area: "Data-center monitoring",
+	Description: "Detects anomalous machines by median/MAD deviation of CPU usage.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("MO", "machine-outlier")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "metrics", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: moSchema, EventRate: rate}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "detect", Kind: core.OpUDO, Name: "outlier", Parallelism: 1,
+			Partition: core.PartitionHash,
+			UDO:       &core.UDOSpec{Name: "mo/detect", CostFactor: 8, StateFactor: 0.3, Selectivity: 1},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "alerts", Kind: core.OpFilter, Name: "alerts", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 2, Fn: core.FilterGreater, Literal: tuple.Double(3), Selectivity: 0.05},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "detect")
+		p.Connect("detect", "alerts")
+		p.Connect("alerts", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				cpu := 0.4 + 0.1*rng.NormFloat64()
+				if rng.Float64() < 0.02 { // rare genuine outliers
+					cpu = 0.95 + 0.05*rng.Float64()
+				}
+				return []tuple.Value{
+					tuple.Int(int64(rng.Intn(200))),
+					tuple.Double(clamp01(cpu)),
+					tuple.Double(clamp01(0.5 + 0.1*rng.NormFloat64())),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"mo/detect": func(int) engine.UDO { return &outlierDetector{med: newSlidingMedian(128)} },
+		}
+	},
+}
+
+// outlierDetector replaces (machine, cpu, mem) with (machine, cpu, score)
+// where score is the MAD-normalized deviation from the sliding median.
+type outlierDetector struct {
+	med *slidingMedian
+}
+
+func (d *outlierDetector) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	v := t.At(1).D
+	m := d.med.median()
+	d.med.add(v)
+	score := 0.0
+	if len(d.med.vals) >= 8 {
+		// MAD estimate from the same window.
+		mad := 0.0
+		for _, x := range d.med.vals {
+			mad += math.Abs(x - m)
+		}
+		mad /= float64(len(d.med.vals))
+		if mad > 1e-9 {
+			score = math.Abs(v-m) / mad
+		}
+	}
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{t.At(0), tuple.Double(v), tuple.Double(score)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (d *outlierDetector) Flush(func(*tuple.Tuple)) {}
+
+// --- SG: Smart Grid ----------------------------------------------------------
+
+var sgSchema = tuple.NewSchema(
+	tuple.Field{Name: "house", Type: tuple.TypeInt},
+	tuple.Field{Name: "plug", Type: tuple.TypeInt},
+	tuple.Field{Name: "load", Type: tuple.TypeDouble},
+)
+
+// SmartGrid mirrors the DEBS 2014 Grand Challenge: per-house load
+// aggregation over sliding windows followed by a global-median outlier
+// UDO. Its windowed per-plug state makes it data-intensive — the paper's
+// O1/O4 shows SG improving dramatically only at parallelism ≥ 64.
+var SmartGrid = &App{
+	Code: "SG", Name: "Smart Grid", Area: "Energy / IoT",
+	Description:   "DEBS'14 smart-plug load monitoring: sliding per-house averages and global outlier houses.",
+	DataIntensive: true,
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("SG", "smart-grid")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "plugs", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: sgSchema, EventRate: rate}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "enrich", Kind: core.OpUDO, Name: "per-plug-stats", Parallelism: 1,
+			Partition: core.PartitionHash,
+			UDO:       &core.UDOSpec{Name: "sg/plugstats", CostFactor: 14, StateFactor: 0.2, Selectivity: 1},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "houseavg", Kind: core.OpAggregate, Name: "house-average", Parallelism: 1,
+			Partition: core.PartitionHash,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 2000, SlideRatio: 0.5},
+				Fn:     core.AggAvg, Field: 2, KeyField: 0,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "outlier", Kind: core.OpUDO, Name: "median-outlier", Parallelism: 1,
+			Partition: core.PartitionHash,
+			UDO:       &core.UDOSpec{Name: "sg/outlier", CostFactor: 6, StateFactor: 0.3, Selectivity: 0.2},
+			OutWidth:  2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "enrich")
+		p.Connect("enrich", "houseavg")
+		p.Connect("houseavg", "outlier")
+		p.Connect("outlier", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				house := rng.Intn(40)
+				base := 100 + 50*math.Sin(float64(i)/500) // diurnal-ish cycle
+				load := base + 30*rng.Float64() + float64(house)
+				if house%13 == 0 { // a few heavy-consumption households
+					load *= 2.5
+				}
+				return []tuple.Value{
+					tuple.Int(int64(house)),
+					tuple.Int(int64(rng.Intn(8))),
+					tuple.Double(load),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"sg/plugstats": func(int) engine.UDO { return &plugStats{ema: make(map[int64]float64)} },
+			"sg/outlier":   func(int) engine.UDO { return &loadOutlier{med: newSlidingMedian(64)} },
+		}
+	},
+}
+
+// plugStats smooths each plug's load with an EMA, the DEBS'14 per-plug
+// prediction step.
+type plugStats struct {
+	ema map[int64]float64
+}
+
+func (s *plugStats) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	key := t.At(0).I*16 + t.At(1).I
+	load := t.At(2).D
+	prev, ok := s.ema[key]
+	if !ok {
+		prev = load
+	}
+	sm := 0.8*prev + 0.2*load
+	s.ema[key] = sm
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{t.At(0), t.At(1), tuple.Double(sm)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (s *plugStats) Flush(func(*tuple.Tuple)) {}
+
+// loadOutlier emits houses whose windowed average exceeds twice the
+// global sliding median.
+type loadOutlier struct {
+	med *slidingMedian
+}
+
+func (o *loadOutlier) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	avg := t.At(1).D
+	m := o.med.median()
+	o.med.add(avg)
+	if len(o.med.vals) >= 8 && avg > 1.2*m {
+		emit(t)
+	}
+}
+
+func (o *loadOutlier) Flush(func(*tuple.Tuple)) {}
+
+// --- SD: Spike Detection -------------------------------------------------------
+
+var sdSchema = tuple.NewSchema(
+	tuple.Field{Name: "sensor", Type: tuple.TypeInt},
+	tuple.Field{Name: "value", Type: tuple.TypeDouble},
+)
+
+// SpikeDetection [RIoTBench] flags sensor readings exceeding a moving
+// average by a threshold. Per-sensor state over high-rate streams makes
+// it data-intensive (paper: SD gains strongly from parallelism ≥ 64).
+var SpikeDetection = &App{
+	Code: "SD", Name: "Spike Detection", Area: "IoT sensing",
+	Description:   "Flags sensor values above 1.03× their moving average.",
+	DataIntensive: true,
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("SD", "spike-detection")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "sensors", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: sdSchema, EventRate: rate}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "spike", Kind: core.OpUDO, Name: "moving-average", Parallelism: 1,
+			Partition: core.PartitionHash,
+			UDO:       &core.UDOSpec{Name: "sd/spike", CostFactor: 13, StateFactor: 0.1, Selectivity: 0.1},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "spike")
+		p.Connect("spike", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				v := 20 + 2*rng.NormFloat64()
+				if rng.Float64() < 0.03 {
+					v *= 1.3 // genuine spike
+				}
+				return []tuple.Value{
+					tuple.Int(int64(rng.Intn(500))),
+					tuple.Double(v),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"sd/spike": func(int) engine.UDO {
+				return &spikeDetector{avg: make(map[int64]*window16)}
+			},
+		}
+	},
+}
+
+// window16 is a 16-slot moving average.
+type window16 struct {
+	vals [16]float64
+	n    int
+	next int
+	sum  float64
+}
+
+func (w *window16) add(v float64) {
+	if w.n < len(w.vals) {
+		w.n++
+	} else {
+		w.sum -= w.vals[w.next]
+	}
+	w.vals[w.next] = v
+	w.sum += v
+	w.next = (w.next + 1) % len(w.vals)
+}
+
+func (w *window16) mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// spikeDetector emits (sensor, value, avg) when value > 1.03 × moving avg.
+type spikeDetector struct {
+	avg map[int64]*window16
+}
+
+func (d *spikeDetector) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	id := t.At(0).I
+	v := t.At(1).D
+	w, ok := d.avg[id]
+	if !ok {
+		w = &window16{}
+		d.avg[id] = w
+	}
+	m := w.mean()
+	w.add(v)
+	if w.n >= 4 && v > 1.03*m {
+		emit(&tuple.Tuple{
+			Values:    []tuple.Value{t.At(0), tuple.Double(v), tuple.Double(m)},
+			EventTime: t.EventTime, Ingest: t.Ingest,
+		})
+	}
+}
+
+func (d *spikeDetector) Flush(func(*tuple.Tuple)) {}
+
+// --- TM: Traffic Monitoring -----------------------------------------------------
+
+var tmSchema = tuple.NewSchema(
+	tuple.Field{Name: "vehicle", Type: tuple.TypeInt},
+	tuple.Field{Name: "lat", Type: tuple.TypeDouble},
+	tuple.Field{Name: "lon", Type: tuple.TypeDouble},
+	tuple.Field{Name: "speed", Type: tuple.TypeDouble},
+)
+
+// TrafficMonitoring [GeoTools-based in DSPBench] map-matches GPS fixes to
+// a road grid and aggregates per-road average speeds. Map matching is
+// the expensive step (geometric candidate search), so the UDO carries a
+// high cost factor.
+var TrafficMonitoring = &App{
+	Code: "TM", Name: "Traffic Monitoring", Area: "Transportation",
+	Description:   "Map-matches GPS fixes to roads and tracks per-road average speed.",
+	DataIntensive: true,
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("TM", "traffic-monitoring")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "gps", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: tmSchema, EventRate: rate}, OutWidth: 4})
+		p.Add(&core.Operator{ID: "match", Kind: core.OpUDO, Name: "map-match", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			UDO:       &core.UDOSpec{Name: "tm/match", CostFactor: 20, Selectivity: 1},
+			OutWidth:  2})
+		p.Add(&core.Operator{ID: "speed", Kind: core.OpAggregate, Name: "road-speed", Parallelism: 1,
+			Partition: core.PartitionHash,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 3000, SlideRatio: 0.5},
+				Fn:     core.AggAvg, Field: 1, KeyField: 0,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "match")
+		p.Connect("match", "speed")
+		p.Connect("speed", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				return []tuple.Value{
+					tuple.Int(int64(rng.Intn(2000))),
+					tuple.Double(48 + rng.Float64()), // ~1° city bounding box
+					tuple.Double(8.5 + rng.Float64()),
+					tuple.Double(20 + 60*rng.Float64()),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"tm/match": func(int) engine.UDO { return mapMatcher{} },
+		}
+	},
+}
+
+// mapMatcher snaps a GPS fix to the nearest cell of a synthetic road
+// grid by scanning candidate cells — intentionally O(candidates) per
+// tuple like real map matching against a road index.
+type mapMatcher struct{}
+
+func (mapMatcher) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	lat, lon := t.At(1).D, t.At(2).D
+	// 3×3 candidate cells around the fix; pick the nearest cell centre.
+	cellLat, cellLon := math.Floor(lat*100), math.Floor(lon*100)
+	bestRoad, bestDist := int64(0), math.Inf(1)
+	for dy := -1.0; dy <= 1; dy++ {
+		for dx := -1.0; dx <= 1; dx++ {
+			cy, cx := cellLat+dy, cellLon+dx
+			centLat, centLon := (cy+0.5)/100, (cx+0.5)/100
+			d := (lat-centLat)*(lat-centLat) + (lon-centLon)*(lon-centLon)
+			if d < bestDist {
+				bestDist = d
+				bestRoad = int64(cy)*36000 + int64(cx)
+			}
+		}
+	}
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{tuple.Int(bestRoad), t.At(3)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (mapMatcher) Flush(func(*tuple.Tuple)) {}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

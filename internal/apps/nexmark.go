@@ -1,0 +1,269 @@
+package apps
+
+// Extension applications: the paper notes PDSP-Bench "can be easily
+// extended by integrating new jobs from other benchmarks like YSB [18]
+// and Nexmark [57]". This file integrates both: the Yahoo Streaming
+// Benchmark ad-event pipeline and three representative Nexmark auction
+// queries (Q1 currency conversion, Q3 seller join, Q5 hot items). They
+// are registered separately from the core Table 2 suite via Extensions.
+
+import (
+	"math/rand"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/engine"
+	"pdspbench/internal/tuple"
+)
+
+// Extensions lists the add-on applications from other benchmark suites.
+var Extensions = []*App{YSB, NexmarkQ1, NexmarkQ3, NexmarkQ5}
+
+// ExtensionByCode resolves an extension application.
+func ExtensionByCode(code string) (*App, bool) {
+	for _, a := range Extensions {
+		if a.Code == code {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// --- YSB: Yahoo Streaming Benchmark ------------------------------------------
+
+var ysbSchema = tuple.NewSchema(
+	tuple.Field{Name: "ad", Type: tuple.TypeInt},
+	tuple.Field{Name: "campaign", Type: tuple.TypeInt},
+	tuple.Field{Name: "event_type", Type: tuple.TypeInt}, // 0=view 1=click 2=purchase
+)
+
+// YSB reproduces the Yahoo Streaming Benchmark pipeline: filter to view
+// events, project to (campaign), and count per campaign over 10-second
+// tumbling event-time windows.
+var YSB = &App{
+	Code: "YSB", Name: "Yahoo Streaming Benchmark", Area: "Advertising",
+	Description: "YSB pipeline: filter views, project to campaign, windowed campaign counts.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("YSB", "ysb")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "ad-events", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: ysbSchema, EventRate: rate}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "views", Kind: core.OpFilter, Name: "views-only", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 2, Fn: core.FilterEq, Literal: tuple.Int(0), Selectivity: 0.33},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "project", Kind: core.OpMap, Name: "project", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			UDO:       &core.UDOSpec{Name: "ysb/project", CostFactor: 1, Selectivity: 1},
+			OutWidth:  2})
+		p.Add(&core.Operator{ID: "count", Kind: core.OpAggregate, Name: "campaign-count", Parallelism: 1,
+			Partition: core.PartitionHash, CostScale: 0.3,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: 10_000},
+				Fn:     core.AggCount, Field: 1, KeyField: 0,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "views")
+		p.Connect("views", "project")
+		p.Connect("project", "count")
+		p.Connect("count", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				campaign := int64(rng.Intn(100))
+				return []tuple.Value{
+					tuple.Int(campaign*10 + int64(rng.Intn(10))),
+					tuple.Int(campaign),
+					tuple.Int(int64(rng.Intn(3))),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"ysb/project": func(int) engine.UDO { return ysbProjector{} },
+		}
+	},
+}
+
+// ysbProjector keeps (campaign, 1) as YSB's projection step.
+type ysbProjector struct{}
+
+func (ysbProjector) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{t.At(1), tuple.Int(1)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (ysbProjector) Flush(func(*tuple.Tuple)) {}
+
+// --- Nexmark -------------------------------------------------------------------
+
+var nexmarkBidSchema = tuple.NewSchema(
+	tuple.Field{Name: "auction", Type: tuple.TypeInt},
+	tuple.Field{Name: "bidder", Type: tuple.TypeInt},
+	tuple.Field{Name: "price_usd", Type: tuple.TypeDouble},
+)
+
+var nexmarkAuctionSchema = tuple.NewSchema(
+	tuple.Field{Name: "auction", Type: tuple.TypeInt},
+	tuple.Field{Name: "seller", Type: tuple.TypeInt},
+	tuple.Field{Name: "category", Type: tuple.TypeInt},
+)
+
+func nexmarkBidRow(rng *rand.Rand, i int) []tuple.Value {
+	return []tuple.Value{
+		tuple.Int(int64(rng.Intn(500))),
+		tuple.Int(int64(rng.Intn(2000))),
+		tuple.Double(1 + 100*rng.ExpFloat64()),
+	}
+}
+
+// NexmarkQ1 is the currency-conversion query: every bid price converted
+// from USD to EUR by a stateless map.
+var NexmarkQ1 = &App{
+	Code: "NXQ1", Name: "Nexmark Q1 (currency)", Area: "Auctions",
+	Description: "Converts every bid price from USD to EUR (stateless map).",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("NXQ1", "nexmark-q1")
+		p.Add(&core.Operator{ID: "bids", Kind: core.OpSource, Name: "bids", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: nexmarkBidSchema, EventRate: rate}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "convert", Kind: core.OpMap, Name: "usd-to-eur", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			UDO:       &core.UDOSpec{Name: "nexmark/convert", CostFactor: 1, Selectivity: 1},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("bids", "convert")
+		p.Connect("convert", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"bids": sourceFactory(seed, max, 1000, nexmarkBidRow),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"nexmark/convert": func(int) engine.UDO { return currencyConverter{} },
+		}
+	},
+}
+
+// currencyConverter applies Nexmark's fixed USD→EUR rate of 0.908.
+type currencyConverter struct{}
+
+func (currencyConverter) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{t.At(0), t.At(1), tuple.Double(t.At(2).D * 0.908)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (currencyConverter) Flush(func(*tuple.Tuple)) {}
+
+// NexmarkQ3 joins new auctions with bids per auction over a sliding
+// window (the local-item-suggestion query reduced to its join shape).
+var NexmarkQ3 = &App{
+	Code: "NXQ3", Name: "Nexmark Q3 (auction join)", Area: "Auctions",
+	Description: "Joins the auction stream with the bid stream per auction over a sliding window.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("NXQ3", "nexmark-q3")
+		p.Add(&core.Operator{ID: "auctions", Kind: core.OpSource, Name: "auctions", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: nexmarkAuctionSchema, EventRate: rate / 10}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "bids", Kind: core.OpSource, Name: "bids", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: nexmarkBidSchema, EventRate: rate}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "cat", Kind: core.OpFilter, Name: "category-10", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 2, Fn: core.FilterLess, Literal: tuple.Int(10), Selectivity: 0.5},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "join", Kind: core.OpJoin, Name: "auction-bid-join", Parallelism: 1,
+			Partition: core.PartitionHash,
+			Join: &core.JoinSpec{
+				Window:    core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 2000, SlideRatio: 0.5},
+				LeftField: 0, RightField: 0,
+			}, OutWidth: 6})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("auctions", "cat")
+		p.Connect("cat", "join")
+		p.Connect("bids", "join")
+		p.Connect("join", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"auctions": sourceFactory(seed, max/10+1, 100, func(rng *rand.Rand, i int) []tuple.Value {
+				return []tuple.Value{
+					tuple.Int(int64(rng.Intn(500))),
+					tuple.Int(int64(rng.Intn(300))),
+					tuple.Int(int64(rng.Intn(20))),
+				}
+			}),
+			"bids": sourceFactory(seed+1, max, 1000, nexmarkBidRow),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{}
+	},
+}
+
+// NexmarkQ5 finds hot items: the auction with the most bids in a sliding
+// window (count per auction, then a running-max UDO).
+var NexmarkQ5 = &App{
+	Code: "NXQ5", Name: "Nexmark Q5 (hot items)", Area: "Auctions",
+	Description: "Counts bids per auction over sliding windows and reports the hottest auction.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("NXQ5", "nexmark-q5")
+		p.Add(&core.Operator{ID: "bids", Kind: core.OpSource, Name: "bids", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: nexmarkBidSchema, EventRate: rate}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "count", Kind: core.OpAggregate, Name: "bids-per-auction", Parallelism: 1,
+			Partition: core.PartitionHash, CostScale: 0.3,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 2000, SlideRatio: 0.5},
+				Fn:     core.AggCount, Field: 2, KeyField: 0,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "hottest", Kind: core.OpUDO, Name: "hottest", Parallelism: 1,
+			Partition: core.PartitionHash,
+			UDO:       &core.UDOSpec{Name: "nexmark/hottest", CostFactor: 2, StateFactor: 0.2, Selectivity: 0.05},
+			OutWidth:  2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("bids", "count")
+		p.Connect("count", "hottest")
+		p.Connect("hottest", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"bids": sourceFactory(seed, max, 1000, nexmarkBidRow),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"nexmark/hottest": func(int) engine.UDO { return &hottestTracker{} },
+		}
+	},
+}
+
+// hottestTracker emits a new (auction, count) leader whenever the
+// windowed bid count beats the current maximum; the max decays so new
+// leaders can emerge after quiet periods.
+type hottestTracker struct {
+	bestAuction int64
+	bestCount   float64
+	seen        int
+}
+
+func (h *hottestTracker) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	count := t.At(1).D
+	h.seen++
+	if h.seen%64 == 0 {
+		h.bestCount *= 0.9 // decay
+	}
+	if count > h.bestCount {
+		h.bestCount = count
+		h.bestAuction = t.At(0).I
+		emit(t.Clone())
+	}
+}
+
+func (h *hottestTracker) Flush(func(*tuple.Tuple)) {}

@@ -1,0 +1,109 @@
+package apps
+
+import (
+	"testing"
+)
+
+func TestExtensionsRegistered(t *testing.T) {
+	if len(Extensions) != 4 {
+		t.Fatalf("Extensions = %d, want 4 (YSB + 3 Nexmark queries)", len(Extensions))
+	}
+	for _, code := range []string{"YSB", "NXQ1", "NXQ3", "NXQ5"} {
+		if _, ok := ExtensionByCode(code); !ok {
+			t.Errorf("extension %s missing", code)
+		}
+	}
+	if _, ok := ExtensionByCode("NXQ8"); ok {
+		t.Error("unknown extension resolved")
+	}
+}
+
+func TestExtensionPlansValidate(t *testing.T) {
+	for _, a := range Extensions {
+		plan := a.Build(100_000)
+		if err := plan.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Code, err)
+		}
+		udos := a.UDOs()
+		for _, op := range plan.Operators {
+			if op.UDO != nil {
+				if _, ok := udos[op.UDO.Name]; !ok {
+					t.Errorf("%s: UDO %q unimplemented", a.Code, op.UDO.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestExtensionsRunEndToEnd(t *testing.T) {
+	for _, a := range Extensions {
+		a := a
+		t.Run(a.Code, func(t *testing.T) {
+			t.Parallel()
+			out := runApp(t, a, 4000, 1)
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", a.Code)
+			}
+		})
+	}
+}
+
+func TestYSBCountsOnlyViews(t *testing.T) {
+	// YSB filters to view events (~1/3 of the stream); windowed campaign
+	// counts must total ≈ views, well below the full stream.
+	out := runApp(t, YSB, 6000, 1)
+	var total float64
+	for _, o := range out {
+		total += o.At(1).D
+	}
+	if total < 1000 || total > 3000 {
+		t.Errorf("counted %v events from 6000 with a 1/3 view filter", total)
+	}
+}
+
+func TestNexmarkQ1ConvertsCurrency(t *testing.T) {
+	out := runApp(t, NexmarkQ1, 1000, 1)
+	if len(out) != 1000 {
+		t.Fatalf("Q1 is 1:1 but emitted %d of 1000", len(out))
+	}
+	for _, o := range out {
+		if eur := o.At(2).D; eur <= 0 {
+			t.Errorf("converted price %v", eur)
+		}
+	}
+}
+
+func TestNexmarkQ3JoinsMatchingAuctions(t *testing.T) {
+	out := runApp(t, NexmarkQ3, 5000, 1)
+	if len(out) == 0 {
+		t.Fatal("Q3 join produced no matches")
+	}
+	for _, o := range out {
+		if !o.At(0).Equal(o.At(3)) {
+			t.Errorf("joined rows disagree on auction: %v vs %v", o.At(0), o.At(3))
+		}
+	}
+}
+
+func TestNexmarkQ5EmitsMonotoneLeaders(t *testing.T) {
+	out := runApp(t, NexmarkQ5, 8000, 1)
+	if len(out) == 0 {
+		t.Fatal("Q5 emitted no hot items")
+	}
+	if len(out) > 200 {
+		t.Errorf("Q5 emitted %d leaders; the tracker fires far too often", len(out))
+	}
+}
+
+func TestExtensionsRunWithParallelism(t *testing.T) {
+	for _, a := range Extensions {
+		a := a
+		t.Run(a.Code, func(t *testing.T) {
+			t.Parallel()
+			out := runApp(t, a, 3000, 4)
+			if len(out) == 0 {
+				t.Fatalf("%s with parallelism 4 produced no output", a.Code)
+			}
+		})
+	}
+}

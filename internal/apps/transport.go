@@ -1,0 +1,95 @@
+package apps
+
+import (
+	"math/rand"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/engine"
+	"pdspbench/internal/tuple"
+)
+
+// --- LR: Linear Road -----------------------------------------------------------
+
+var lrSchema = tuple.NewSchema(
+	tuple.Field{Name: "vehicle", Type: tuple.TypeInt},
+	tuple.Field{Name: "speed", Type: tuple.TypeDouble},
+	tuple.Field{Name: "segment", Type: tuple.TypeInt},
+	tuple.Field{Name: "lane", Type: tuple.TypeInt},
+)
+
+// LinearRoad [Arasu et al., VLDB'04] is the classic variable-tolling
+// benchmark: per-segment average speeds over sliding windows drive toll
+// notifications. Its operators are standard, which is why the paper
+// groups LR with the consistently-performing applications (O1).
+var LinearRoad = &App{
+	Code: "LR", Name: "Linear Road", Area: "Transportation",
+	Description: "Variable tolling: sliding per-segment speed averages drive toll notifications.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("LR", "linear-road")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "positions", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: lrSchema, EventRate: rate}, OutWidth: 4})
+		p.Add(&core.Operator{ID: "moving", Kind: core.OpFilter, Name: "moving-vehicles", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 1, Fn: core.FilterGreater, Literal: tuple.Double(0), Selectivity: 0.95},
+			OutWidth:  4})
+		p.Add(&core.Operator{ID: "segspeed", Kind: core.OpAggregate, Name: "segment-speed", Parallelism: 1,
+			Partition: core.PartitionHash,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 3000, SlideRatio: 0.3},
+				Fn:     core.AggAvg, Field: 1, KeyField: 2,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "toll", Kind: core.OpUDO, Name: "toll", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			UDO:       &core.UDOSpec{Name: "lr/toll", CostFactor: 2, Selectivity: 0.6},
+			OutWidth:  2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "moving")
+		p.Connect("moving", "segspeed")
+		p.Connect("segspeed", "toll")
+		p.Connect("toll", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				seg := rng.Intn(100)
+				speed := 55 + 25*rng.NormFloat64()
+				if seg%17 == 0 { // congested segments
+					speed = 15 + 10*rng.Float64()
+				}
+				if speed < 0 {
+					speed = 0
+				}
+				return []tuple.Value{
+					tuple.Int(int64(rng.Intn(5000))),
+					tuple.Double(speed),
+					tuple.Int(int64(seg)),
+					tuple.Int(int64(rng.Intn(4))),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"lr/toll": func(int) engine.UDO { return tollCalculator{} },
+		}
+	},
+}
+
+// tollCalculator emits (segment, toll) for congested segments: LRB's
+// toll formula charges quadratically below the 40 mph threshold.
+type tollCalculator struct{}
+
+func (tollCalculator) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	avgSpeed := t.At(1).D
+	if avgSpeed >= 40 {
+		return // free-flowing: no toll
+	}
+	deficit := 40 - avgSpeed
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{t.At(0), tuple.Double(2 * deficit * deficit / 100)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (tollCalculator) Flush(func(*tuple.Tuple)) {}

@@ -1,0 +1,280 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/engine"
+	"pdspbench/internal/tuple"
+)
+
+// --- CA: Click Analytics -----------------------------------------------------
+
+var caSchema = tuple.NewSchema(
+	tuple.Field{Name: "user", Type: tuple.TypeInt},
+	tuple.Field{Name: "url", Type: tuple.TypeString},
+	tuple.Field{Name: "dwell_ms", Type: tuple.TypeInt},
+)
+
+// ClickAnalytics [click-topology] sessionizes click streams per user and
+// counts page popularity over windows.
+var ClickAnalytics = &App{
+	Code: "CA", Name: "Click Analytics", Area: "Web analytics",
+	Description:   "Sessionizes user clicks and counts per-page visits over sliding windows.",
+	DataIntensive: true,
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("CA", "click-analytics")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "clicks", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: caSchema, EventRate: rate}, OutWidth: 3})
+		p.Add(&core.Operator{ID: "session", Kind: core.OpUDO, Name: "sessionizer", Parallelism: 1,
+			Partition: core.PartitionHash,
+			UDO:       &core.UDOSpec{Name: "ca/session", CostFactor: 10, StateFactor: 0.4, Selectivity: 1},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "visits", Kind: core.OpAggregate, Name: "page-visits", Parallelism: 1,
+			Partition: core.PartitionHash,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyCount, LengthTups: 500, SlideRatio: 0.5},
+				Fn:     core.AggCount, Field: 2, KeyField: 1,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "session")
+		p.Connect("session", "visits")
+		p.Connect("visits", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				return []tuple.Value{
+					tuple.Int(int64(rng.Intn(1000))),
+					tuple.String(fmt.Sprintf("/page/%d", int(rng.ExpFloat64()*8)%50)),
+					tuple.Int(int64(100 + rng.Intn(30000))),
+				}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"ca/session": func(int) engine.UDO {
+				return &sessionizer{last: make(map[int64]int64), id: make(map[int64]int64)}
+			},
+		}
+	},
+}
+
+// sessionizer assigns a session ID per user: a gap over 30 minutes of
+// event time opens a new session. Output: (session, url, dwell).
+type sessionizer struct {
+	last map[int64]int64 // user → last event time
+	id   map[int64]int64 // user → session counter
+}
+
+const sessionGapNs = int64(30) * 60 * 1e9
+
+func (s *sessionizer) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	user := t.At(0).I
+	if last, ok := s.last[user]; !ok || t.EventTime-last > sessionGapNs {
+		s.id[user]++
+	}
+	s.last[user] = t.EventTime
+	session := user*1_000_000 + s.id[user]
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{tuple.Int(session), t.At(1), t.At(2)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (s *sessionizer) Flush(func(*tuple.Tuple)) {}
+
+// --- LP: Log Processing --------------------------------------------------------
+
+var lpSchema = tuple.NewSchema(tuple.Field{Name: "line", Type: tuple.TypeString})
+
+// LogProcessing [DSPBench] parses web-server log lines and counts status
+// codes over tumbling windows, alerting on error bursts.
+var LogProcessing = &App{
+	Code: "LP", Name: "Log Processing", Area: "Operations",
+	Description: "Parses access-log lines, counts status codes per window, filters error bursts.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("LP", "log-processing")
+		p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Name: "logs", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: lpSchema, EventRate: rate}, OutWidth: 1})
+		p.Add(&core.Operator{ID: "parse", Kind: core.OpMap, Name: "parser", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			UDO:       &core.UDOSpec{Name: "lp/parse", CostFactor: 3, Selectivity: 1},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "errors", Kind: core.OpFilter, Name: "errors", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 1, Fn: core.FilterGreaterEq, Literal: tuple.Int(400), Selectivity: 0.12},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "counts", Kind: core.OpAggregate, Name: "status-count", Parallelism: 1,
+			Partition: core.PartitionHash,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyCount, LengthTups: 100},
+				Fn:     core.AggCount, Field: 2, KeyField: 1,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("src", "parse")
+		p.Connect("parse", "errors")
+		p.Connect("errors", "counts")
+		p.Connect("counts", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		statuses := []int{200, 200, 200, 200, 200, 301, 304, 404, 500, 503}
+		return map[string]engine.SourceFactory{
+			"src": sourceFactory(seed, max, 1000, func(rng *rand.Rand, i int) []tuple.Value {
+				return []tuple.Value{tuple.String(fmt.Sprintf(
+					"host%03d %d %d /res/%d",
+					rng.Intn(100), statuses[rng.Intn(len(statuses))], 200+rng.Intn(40000), rng.Intn(300),
+				))}
+			}),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"lp/parse": func(int) engine.UDO { return logParser{} },
+		}
+	},
+}
+
+// logParser extracts (host, status, bytes) from "host status bytes url".
+type logParser struct{}
+
+func (logParser) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	parts := strings.Fields(t.At(0).S)
+	if len(parts) < 3 {
+		return // malformed line: drop, as real log pipelines do
+	}
+	var status, bytes int64
+	fmt.Sscanf(parts[1], "%d", &status)
+	fmt.Sscanf(parts[2], "%d", &bytes)
+	emit(&tuple.Tuple{
+		Values:    []tuple.Value{tuple.String(parts[0]), tuple.Int(status), tuple.Int(bytes)},
+		EventTime: t.EventTime, Ingest: t.Ingest,
+	})
+}
+
+func (logParser) Flush(func(*tuple.Tuple)) {}
+
+// --- AD: Ad Analytics ------------------------------------------------------------
+
+var adSchema = tuple.NewSchema(
+	tuple.Field{Name: "campaign", Type: tuple.TypeInt},
+	tuple.Field{Name: "ad", Type: tuple.TypeInt},
+	tuple.Field{Name: "cost", Type: tuple.TypeDouble},
+)
+
+// AdAnalytics follows the paper's Figure 2 (right): impression and click
+// streams are filtered, joined on the ad within a sliding window, then a
+// custom CTR aggregation runs per campaign. Its "custom aggregation and
+// joining logic on a sliding window" is exactly the UDO the paper blames
+// for AD's non-linear scaling and its plateau beyond parallelism 128
+// (O3, O5): the CTR state must be coordinated across every instance,
+// so its StateFactor is the highest in the suite.
+var AdAnalytics = &App{
+	Code: "AD", Name: "Ad Analytics", Area: "Advertising",
+	Description: "Joins impressions with clicks per ad over sliding windows and computes campaign CTR.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("AD", "ad-analytics")
+		for _, id := range []string{"views", "clicks"} {
+			p.Add(&core.Operator{ID: id, Kind: core.OpSource, Name: id, Parallelism: 1,
+				Source: &core.SourceSpec{Schema: adSchema, EventRate: rate}, OutWidth: 3})
+		}
+		p.Add(&core.Operator{ID: "fviews", Kind: core.OpFilter, Name: "valid-views", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 2, Fn: core.FilterGreater, Literal: tuple.Double(0.01), Selectivity: 0.9},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "fclicks", Kind: core.OpFilter, Name: "valid-clicks", Parallelism: 1,
+			Partition: core.PartitionRebalance,
+			Filter:    &core.FilterSpec{Field: 2, Fn: core.FilterGreater, Literal: tuple.Double(0.01), Selectivity: 0.9},
+			OutWidth:  3})
+		p.Add(&core.Operator{ID: "join", Kind: core.OpJoin, Name: "view-click-join", Parallelism: 1,
+			Partition: core.PartitionHash,
+			Join: &core.JoinSpec{
+				Window:    core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 2000, SlideRatio: 0.5},
+				LeftField: 1, RightField: 1,
+			}, OutWidth: 6})
+		p.Add(&core.Operator{ID: "ctr", Kind: core.OpUDO, Name: "campaign-ctr", Parallelism: 1,
+			Partition: core.PartitionHash,
+			UDO:       &core.UDOSpec{Name: "ad/ctr", CostFactor: 8, StateFactor: 2.0, Selectivity: 0.05},
+			OutWidth:  2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("views", "fviews")
+		p.Connect("clicks", "fclicks")
+		p.Connect("fviews", "join")
+		p.Connect("fclicks", "join")
+		p.Connect("join", "ctr")
+		p.Connect("ctr", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		row := func(rng *rand.Rand, i int) []tuple.Value {
+			campaign := int64(rng.Intn(20))
+			return []tuple.Value{
+				tuple.Int(campaign),
+				tuple.Int(campaign*100 + int64(rng.Intn(10))),
+				tuple.Double(0.02 + rng.Float64()),
+			}
+		}
+		return map[string]engine.SourceFactory{
+			"views":  sourceFactory(seed, max, 1000, row),
+			"clicks": sourceFactory(seed+1, max, 1000, row),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{
+			"ad/ctr": func(int) engine.UDO {
+				return &ctrAggregator{views: make(map[int64]int64), clicks: make(map[int64]int64), every: 64}
+			},
+		}
+	},
+}
+
+// ctrAggregator consumes joined (view, click) pairs and periodically
+// emits per-campaign click-through rates.
+type ctrAggregator struct {
+	views  map[int64]int64
+	clicks map[int64]int64
+	seen   int
+	every  int
+	maxET  int64
+	maxIn  int64
+}
+
+func (c *ctrAggregator) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	campaign := t.At(0).I
+	c.views[campaign]++
+	c.clicks[campaign]++ // joined tuples carry one view and one click
+	if t.EventTime > c.maxET {
+		c.maxET = t.EventTime
+	}
+	if t.Ingest > c.maxIn {
+		c.maxIn = t.Ingest
+	}
+	c.seen++
+	if c.seen%c.every == 0 {
+		c.emitCTR(emit)
+	}
+}
+
+func (c *ctrAggregator) emitCTR(emit func(*tuple.Tuple)) {
+	for campaign, v := range c.views {
+		if v == 0 {
+			continue
+		}
+		ctr := float64(c.clicks[campaign]) / float64(v)
+		emit(&tuple.Tuple{
+			Values:    []tuple.Value{tuple.Int(campaign), tuple.Double(ctr)},
+			EventTime: c.maxET, Ingest: c.maxIn,
+		})
+	}
+}
+
+func (c *ctrAggregator) Flush(emit func(*tuple.Tuple)) {
+	if c.seen%c.every != 0 {
+		c.emitCTR(emit)
+	}
+}

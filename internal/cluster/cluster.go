@@ -1,0 +1,307 @@
+// Package cluster models the distributed hardware PDSP-Bench deploys
+// onto. The paper runs on the CloudLab testbed (Table 4) with one
+// homogeneous cluster (m510) and two clusters used to form heterogeneous
+// deployments (c6525_25g, c6320). Since CloudLab is not reachable from
+// this reproduction, the same catalogue is modelled: node types carry the
+// published core counts, clock speeds and NIC bandwidths, and a placement
+// component maps parallel operator instances onto nodes exactly the way
+// the paper's controller does through Kubernetes/Yarn.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"pdspbench/internal/core"
+)
+
+// NodeType describes one CloudLab hardware flavour (one row of Table 4).
+type NodeType struct {
+	Name      string  `json:"name"`
+	Cores     int     `json:"cores"`
+	RAMGB     int     `json:"ram_gb"`
+	StorageGB int     `json:"storage_gb"`
+	Processor string  `json:"processor"`
+	ClockGHz  float64 `json:"clock_ghz"`
+	NetGbps   float64 `json:"net_gbps"`
+	// IPCFactor is the per-clock efficiency of the microarchitecture
+	// relative to the Xeon-D baseline; it lets the simulator distinguish
+	// a 2.2 GHz EPYC Rome core from a 2.0 GHz Haswell core the way real
+	// heterogeneous executions do.
+	IPCFactor float64 `json:"ipc_factor"`
+}
+
+// Speed is the effective per-core processing speed relative to the m510
+// baseline (= 1.0).
+func (nt NodeType) Speed() float64 {
+	const baseGHz, baseIPC = 2.0, 1.0
+	return (nt.ClockGHz / baseGHz) * (nt.IPCFactor / baseIPC)
+}
+
+// The CloudLab node types from Table 4 of the paper.
+var (
+	M510 = NodeType{
+		Name: "m510", Cores: 8, RAMGB: 64, StorageGB: 256,
+		Processor: "Intel Xeon D-1548", ClockGHz: 2.0, NetGbps: 10, IPCFactor: 1.0,
+	}
+	C6525_25G = NodeType{
+		Name: "c6525_25g", Cores: 16, RAMGB: 128, StorageGB: 480,
+		Processor: "AMD EPYC 7302P", ClockGHz: 2.2, NetGbps: 25, IPCFactor: 1.35,
+	}
+	C6320 = NodeType{
+		Name: "c6320", Cores: 28, RAMGB: 256, StorageGB: 1024,
+		Processor: "Intel Xeon E5-2683 v3 (Haswell)", ClockGHz: 2.0, NetGbps: 10, IPCFactor: 1.1,
+	}
+)
+
+// Catalogue lists all known node types by name.
+var Catalogue = map[string]NodeType{
+	M510.Name:      M510,
+	C6525_25G.Name: C6525_25G,
+	C6320.Name:     C6320,
+}
+
+// NodeTypeByName looks a node type up in the catalogue.
+func NodeTypeByName(name string) (NodeType, error) {
+	nt, ok := Catalogue[name]
+	if !ok {
+		return NodeType{}, fmt.Errorf("cluster: unknown node type %q", name)
+	}
+	return nt, nil
+}
+
+// Node is one provisioned machine.
+type Node struct {
+	ID   int      `json:"id"`
+	Type NodeType `json:"type"`
+}
+
+// Cluster is a set of provisioned nodes onto which a PQP is deployed.
+type Cluster struct {
+	Name  string `json:"name"`
+	Nodes []Node `json:"nodes"`
+}
+
+// NewHomogeneous provisions n nodes of a single type — the paper's m510
+// configuration.
+func NewHomogeneous(name string, nt NodeType, n int) *Cluster {
+	c := &Cluster{Name: name}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, Node{ID: i, Type: nt})
+	}
+	return c
+}
+
+// NewHeterogeneous provisions nodes cycling over the given types — the
+// paper's heterogeneous deployments mix c6525_25g and c6320 (and m510)
+// flavours within one cluster.
+func NewHeterogeneous(name string, types []NodeType, n int) *Cluster {
+	c := &Cluster{Name: name}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, Node{ID: i, Type: types[i%len(types)]})
+	}
+	return c
+}
+
+// TotalCores sums cores over all nodes — the capacity bound the
+// rule-based parallelism strategy respects.
+func (c *Cluster) TotalCores() int {
+	var n int
+	for _, node := range c.Nodes {
+		n += node.Type.Cores
+	}
+	return n
+}
+
+// IsHeterogeneous reports whether the cluster mixes node types.
+func (c *Cluster) IsHeterogeneous() bool {
+	if len(c.Nodes) == 0 {
+		return false
+	}
+	first := c.Nodes[0].Type.Name
+	for _, n := range c.Nodes[1:] {
+		if n.Type.Name != first {
+			return true
+		}
+	}
+	return false
+}
+
+// MinNodeSpeed and MaxNodeSpeed return the slowest/fastest per-core
+// speeds in the cluster; their ratio quantifies heterogeneity.
+func (c *Cluster) MinNodeSpeed() float64 {
+	if len(c.Nodes) == 0 {
+		return 0
+	}
+	m := c.Nodes[0].Type.Speed()
+	for _, n := range c.Nodes[1:] {
+		if s := n.Type.Speed(); s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// MaxNodeSpeed returns the fastest per-core speed in the cluster.
+func (c *Cluster) MaxNodeSpeed() float64 {
+	var m float64
+	for _, n := range c.Nodes {
+		if s := n.Type.Speed(); s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// String summarises the cluster.
+func (c *Cluster) String() string {
+	counts := map[string]int{}
+	for _, n := range c.Nodes {
+		counts[n.Type.Name]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("cluster %q:", c.Name)
+	for _, n := range names {
+		s += fmt.Sprintf(" %d×%s", counts[n], n)
+	}
+	return s
+}
+
+// Instance identifies one physical instance of a logical operator.
+type Instance struct {
+	OpID  string `json:"op_id"`
+	Index int    `json:"index"` // 0 … parallelism-1
+}
+
+// Placement maps every operator instance of a PQP to a node.
+type Placement struct {
+	Cluster *Cluster
+	// NodeOf[opID][instanceIndex] = node index in Cluster.Nodes.
+	NodeOf map[string][]int
+}
+
+// NodeFor returns the node hosting the given instance.
+func (p *Placement) NodeFor(opID string, idx int) Node {
+	return p.Cluster.Nodes[p.NodeOf[opID][idx]]
+}
+
+// SameNode reports whether two instances share a machine (their link is
+// then local and free of network cost).
+func (p *Placement) SameNode(aOp string, aIdx int, bOp string, bIdx int) bool {
+	return p.NodeOf[aOp][aIdx] == p.NodeOf[bOp][bIdx]
+}
+
+// InstancesPerNode counts placed instances per node, used to model CPU
+// oversubscription when parallelism exceeds available cores.
+func (p *Placement) InstancesPerNode() []int {
+	counts := make([]int, len(p.Cluster.Nodes))
+	for _, nodes := range p.NodeOf {
+		for _, n := range nodes {
+			counts[n]++
+		}
+	}
+	return counts
+}
+
+// Strategy chooses nodes for instances.
+type Strategy int
+
+const (
+	// PlaceRoundRobin cycles instances across nodes, the default Flink
+	// slot-sharing-off behaviour the paper benchmarks under.
+	PlaceRoundRobin Strategy = iota
+	// PlaceLeastLoaded assigns each instance to the node with the most
+	// free cores (weighted by node speed), approximating a resource
+	// manager that respects machine capacity.
+	PlaceLeastLoaded
+	// PlaceOperatorAffine packs all instances of one operator on as few
+	// nodes as possible, minimising intra-operator network traffic at the
+	// price of hot spots.
+	PlaceOperatorAffine
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceLeastLoaded:
+		return "least-loaded"
+	case PlaceOperatorAffine:
+		return "operator-affine"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Place computes a placement of the plan onto the cluster. The operator
+// order is the plan's topological order so placements are deterministic
+// for a given (plan, cluster, strategy) triple.
+func Place(plan *core.PQP, c *Cluster, s Strategy) (*Placement, error) {
+	if len(c.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: cannot place on empty cluster %q", c.Name)
+	}
+	order, err := plan.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	p := &Placement{Cluster: c, NodeOf: make(map[string][]int, len(order))}
+	switch s {
+	case PlaceRoundRobin:
+		next := 0
+		for _, id := range order {
+			op := plan.Op(id)
+			nodes := make([]int, op.Parallelism)
+			for i := range nodes {
+				nodes[i] = next % len(c.Nodes)
+				next++
+			}
+			p.NodeOf[id] = nodes
+		}
+	case PlaceLeastLoaded:
+		load := make([]float64, len(c.Nodes)) // instances ÷ weighted capacity
+		for _, id := range order {
+			op := plan.Op(id)
+			nodes := make([]int, op.Parallelism)
+			for i := range nodes {
+				best, bestLoad := 0, load[0]/capacity(c.Nodes[0])
+				for n := 1; n < len(c.Nodes); n++ {
+					if l := load[n] / capacity(c.Nodes[n]); l < bestLoad {
+						best, bestLoad = n, l
+					}
+				}
+				nodes[i] = best
+				load[best]++
+			}
+			p.NodeOf[id] = nodes
+		}
+	case PlaceOperatorAffine:
+		node := 0
+		for _, id := range order {
+			op := plan.Op(id)
+			nodes := make([]int, op.Parallelism)
+			free := c.Nodes[node].Type.Cores
+			for i := range nodes {
+				if free == 0 {
+					node = (node + 1) % len(c.Nodes)
+					free = c.Nodes[node].Type.Cores
+				}
+				nodes[i] = node
+				free--
+			}
+			p.NodeOf[id] = nodes
+			node = (node + 1) % len(c.Nodes)
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement strategy %d", s)
+	}
+	return p, nil
+}
+
+func capacity(n Node) float64 {
+	return float64(n.Type.Cores) * n.Type.Speed()
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"testing"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+)
+
+func testPlan(par int) *core.PQP {
+	p := core.NewPQP("t", "linear")
+	schema := tuple.NewSchema(tuple.Field{Name: "v", Type: tuple.TypeDouble})
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: schema, EventRate: 1000}})
+	p.Add(&core.Operator{ID: "f", Kind: core.OpFilter, Parallelism: par,
+		Filter: &core.FilterSpec{Field: 0, Fn: core.FilterGreater, Literal: tuple.Double(0), Selectivity: 0.5}})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	p.Connect("src", "f")
+	p.Connect("f", "sink")
+	return p
+}
+
+func TestCatalogueMatchesTable4(t *testing.T) {
+	cases := []struct {
+		name    string
+		cores   int
+		ramGB   int
+		ghz     float64
+		netGbps float64
+	}{
+		{"m510", 8, 64, 2.0, 10},
+		{"c6525_25g", 16, 128, 2.2, 25},
+		{"c6320", 28, 256, 2.0, 10},
+	}
+	for _, c := range cases {
+		nt, err := NodeTypeByName(c.name)
+		if err != nil {
+			t.Fatalf("NodeTypeByName(%s): %v", c.name, err)
+		}
+		if nt.Cores != c.cores || nt.RAMGB != c.ramGB || nt.ClockGHz != c.ghz || nt.NetGbps != c.netGbps {
+			t.Errorf("%s = %+v, want cores=%d ram=%d ghz=%v net=%v",
+				c.name, nt, c.cores, c.ramGB, c.ghz, c.netGbps)
+		}
+	}
+	if _, err := NodeTypeByName("p4"); err == nil {
+		t.Error("unknown node type accepted")
+	}
+}
+
+func TestNodeSpeedOrdering(t *testing.T) {
+	// EPYC (2.2GHz, higher IPC) must be fastest per core; m510 baseline 1.0.
+	if M510.Speed() != 1.0 {
+		t.Errorf("m510 speed = %v, want 1.0 baseline", M510.Speed())
+	}
+	if !(C6525_25G.Speed() > C6320.Speed() && C6320.Speed() > M510.Speed()) {
+		t.Errorf("speed order wrong: epyc=%v haswell=%v xeon-d=%v",
+			C6525_25G.Speed(), C6320.Speed(), M510.Speed())
+	}
+}
+
+func TestHomogeneousCluster(t *testing.T) {
+	c := NewHomogeneous("ho", M510, 5)
+	if len(c.Nodes) != 5 {
+		t.Fatalf("nodes = %d, want 5", len(c.Nodes))
+	}
+	if c.IsHeterogeneous() {
+		t.Error("homogeneous cluster reported heterogeneous")
+	}
+	if got := c.TotalCores(); got != 40 {
+		t.Errorf("TotalCores = %d, want 40", got)
+	}
+	if c.MinNodeSpeed() != c.MaxNodeSpeed() {
+		t.Error("homogeneous cluster has speed spread")
+	}
+}
+
+func TestHeterogeneousCluster(t *testing.T) {
+	c := NewHeterogeneous("he", []NodeType{C6525_25G, C6320}, 4)
+	if !c.IsHeterogeneous() {
+		t.Error("mixed cluster reported homogeneous")
+	}
+	if got := c.TotalCores(); got != 2*16+2*28 {
+		t.Errorf("TotalCores = %d, want %d", got, 2*16+2*28)
+	}
+	if !(c.MaxNodeSpeed() > c.MinNodeSpeed()) {
+		t.Error("heterogeneous cluster has no speed spread")
+	}
+}
+
+func TestPlaceRoundRobinSpreads(t *testing.T) {
+	c := NewHomogeneous("ho", M510, 5)
+	pl, err := Place(testPlan(10), c, PlaceRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := pl.InstancesPerNode()
+	// 12 instances over 5 nodes: max-min spread ≤ 1.
+	min, max := counts[0], counts[0]
+	for _, n := range counts[1:] {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("round-robin imbalanced: %v", counts)
+	}
+}
+
+func TestPlaceLeastLoadedPrefersBigNodes(t *testing.T) {
+	c := NewHeterogeneous("he", []NodeType{M510, C6320}, 2) // 8 vs 28 cores
+	pl, err := Place(testPlan(17), c, PlaceLeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := pl.InstancesPerNode()
+	// The c6320 node (index 1) has ~3.8× the weighted capacity; it must
+	// receive strictly more instances.
+	if counts[1] <= counts[0] {
+		t.Errorf("least-loaded ignored capacity: m510=%d c6320=%d", counts[0], counts[1])
+	}
+}
+
+func TestPlaceOperatorAffineColocates(t *testing.T) {
+	c := NewHomogeneous("ho", M510, 5)
+	pl, err := Place(testPlan(4), c, PlaceOperatorAffine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 4 filter instances fit in one m510's 8 cores → one node.
+	nodes := map[int]bool{}
+	for _, n := range pl.NodeOf["f"] {
+		nodes[n] = true
+	}
+	if len(nodes) != 1 {
+		t.Errorf("operator-affine split filter across %d nodes", len(nodes))
+	}
+}
+
+func TestPlacementAccessors(t *testing.T) {
+	c := NewHomogeneous("ho", M510, 3)
+	pl, err := Place(testPlan(3), c, PlaceRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.NodeFor("f", 0); got.Type.Name != "m510" {
+		t.Errorf("NodeFor returned %+v", got)
+	}
+	// Round-robin: src→0, f→1,2,0, sink→1. f#2 and src#0 share node 0.
+	if !pl.SameNode("src", 0, "f", 2) {
+		t.Error("expected src#0 and f#2 to share node 0 under round-robin")
+	}
+	if pl.SameNode("src", 0, "f", 0) {
+		t.Error("src#0 and f#0 should be on different nodes")
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(testPlan(2), &Cluster{Name: "empty"}, PlaceRoundRobin); err == nil {
+		t.Error("placement on empty cluster should fail")
+	}
+	c := NewHomogeneous("ho", M510, 2)
+	if _, err := Place(testPlan(2), c, Strategy(99)); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+	bad := core.NewPQP("cycle", "x")
+	bad.Add(&core.Operator{ID: "a", Kind: core.OpMap, Parallelism: 1})
+	bad.Add(&core.Operator{ID: "b", Kind: core.OpMap, Parallelism: 1})
+	bad.Connect("a", "b")
+	bad.Connect("b", "a")
+	if _, err := Place(bad, c, PlaceRoundRobin); err == nil {
+		t.Error("placement of cyclic plan should fail")
+	}
+}
+
+func TestPlacementDeterminism(t *testing.T) {
+	c := NewHeterogeneous("he", []NodeType{M510, C6320, C6525_25G}, 6)
+	p1, _ := Place(testPlan(13), c, PlaceLeastLoaded)
+	p2, _ := Place(testPlan(13), c, PlaceLeastLoaded)
+	for op, nodes := range p1.NodeOf {
+		for i, n := range nodes {
+			if p2.NodeOf[op][i] != n {
+				t.Fatalf("placement not deterministic at %s#%d", op, i)
+			}
+		}
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	c := NewHeterogeneous("he", []NodeType{C6525_25G, C6320}, 4)
+	s := c.String()
+	if s != `cluster "he": 2×c6320 2×c6525_25g` {
+		t.Errorf("String() = %q", s)
+	}
+}

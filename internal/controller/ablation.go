@@ -1,0 +1,114 @@
+package controller
+
+import (
+	"fmt"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/scaling"
+	"pdspbench/internal/workload"
+)
+
+// ExpPartitioning is an ablation over the data-partitioning strategies
+// of Table 3 (forward, rebalance, hashing) under uniform (poisson) and
+// skewed (zipf) key distributions — the dimension the paper's related
+// work critique says existing benchmarks "neglect" ("critical elements
+// such as ... data partitioning strategies"). Hash partitioning under
+// skew concentrates load on the hot partition's instance; rebalance
+// spreads it evenly but cannot feed keyed state.
+func (c *Controller) ExpPartitioning(degree int) (*metrics.Figure, error) {
+	if degree <= 0 {
+		degree = 8
+	}
+	cl := c.Homogeneous()
+	fig := &metrics.Figure{
+		ID:     "ablation-partitioning",
+		Title:  "Partitioning strategies under uniform and skewed keys",
+		XLabel: "partitioning",
+		YLabel: "median latency (ms)",
+	}
+	for _, dist := range []string{"poisson", "zipf"} {
+		series := metrics.Series{Label: dist}
+		for _, part := range []core.PartitionStrategy{core.PartitionForward, core.PartitionRebalance, core.PartitionHash} {
+			p := c.baseParams()
+			p.Partition = part
+			p.Distribution = dist
+			plan, err := workload.Build(workload.StructTwoFilter, p)
+			if err != nil {
+				return nil, err
+			}
+			plan.SetUniformParallelism(degree)
+			rec, err := c.Measure(plan, cl)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, metrics.Point{X: part.String(), Y: rec.LatencyP50 * 1000})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// ExpAutoscaler compares three ways of choosing parallelism for one
+// workload: the static rule-based enumeration (Section 3.1), the
+// DS2-style reactive autoscaler (internal/scaling), and fixed category
+// degrees — an ablation of the design choice behind the rule-based
+// strategy. It returns one series with the measured latency of each and
+// the total instances deployed.
+func (c *Controller) ExpAutoscaler(s workload.Structure) (*metrics.Figure, error) {
+	cl := c.Homogeneous()
+	base, err := workload.Build(s, c.baseParams())
+	if err != nil {
+		return nil, err
+	}
+	fig := &metrics.Figure{
+		ID:     "ablation-autoscaler",
+		Title:  fmt.Sprintf("Parallelism selection for %s: static rules vs reactive scaling vs fixed", s),
+		XLabel: "method",
+		YLabel: "value",
+	}
+	latency := metrics.Series{Label: "median latency (ms)"}
+	instances := metrics.Series{Label: "instances deployed"}
+
+	measure := func(label string, plan *core.PQP) error {
+		rec, err := c.Measure(plan, cl)
+		if err != nil {
+			return err
+		}
+		latency.Points = append(latency.Points, metrics.Point{X: label, Y: rec.LatencyP50 * 1000})
+		instances.Points = append(instances.Points, metrics.Point{X: label, Y: float64(plan.TotalInstances())})
+		return nil
+	}
+
+	// Static rule-based enumeration.
+	enum := workload.NewEnumerator(c.Seed)
+	ruleStrat, err := workload.StrategyByName("rule-based", enum.Rand())
+	if err != nil {
+		return nil, err
+	}
+	if err := measure("rule-based", ruleStrat.Enumerate(base, cl, 1)[0]); err != nil {
+		return nil, err
+	}
+
+	// Reactive DS2-style autoscaling.
+	scaler := scaling.New(cl)
+	scaler.Cfg = c.Cfg
+	scaled, err := scaler.Scale(base)
+	if err != nil {
+		return nil, err
+	}
+	if err := measure("autoscaled", scaled.Plan); err != nil {
+		return nil, err
+	}
+
+	// Fixed categories (the Exp-1 sweep's extremes).
+	for _, cat := range []core.ParallelismCategory{core.CatXS, core.CatM, core.CatXXL} {
+		fixed := base.Clone()
+		fixed.SetUniformParallelism(cat.Degree())
+		if err := measure("fixed-"+cat.String(), fixed); err != nil {
+			return nil, err
+		}
+	}
+	fig.Series = append(fig.Series, latency, instances)
+	return fig, nil
+}

@@ -1,0 +1,63 @@
+package controller
+
+import (
+	"testing"
+
+	"pdspbench/internal/workload"
+)
+
+func TestExpPartitioningSkewHurtsHash(t *testing.T) {
+	c := tiny()
+	fig, err := c.ExpPartitioning(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want poisson and zipf", len(fig.Series))
+	}
+	pois := fig.SeriesByLabel("poisson")
+	zipf := fig.SeriesByLabel("zipf")
+	for _, part := range []string{"forward", "rebalance", "hashing"} {
+		if _, ok := pois.Get(part); !ok {
+			t.Errorf("missing %s point", part)
+		}
+	}
+	// Under skew, hash partitioning's hot instance must cost at least as
+	// much as under uniform keys.
+	hashU, _ := pois.Get("hashing")
+	hashZ, _ := zipf.Get("hashing")
+	if hashZ < hashU*0.95 {
+		t.Errorf("zipf hashing latency %.1f below uniform %.1f; skew should not help", hashZ, hashU)
+	}
+}
+
+func TestExpAutoscalerComparesMethods(t *testing.T) {
+	c := tiny()
+	fig, err := c.ExpAutoscaler(workload.StructTwoWayJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := fig.SeriesByLabel("median latency (ms)")
+	inst := fig.SeriesByLabel("instances deployed")
+	if lat == nil || inst == nil {
+		t.Fatal("missing series")
+	}
+	for _, method := range []string{"rule-based", "autoscaled", "fixed-XS", "fixed-M", "fixed-XXL"} {
+		if _, ok := lat.Get(method); !ok {
+			t.Errorf("latency missing for %s", method)
+		}
+	}
+	// Both informed methods must beat the under-provisioned XS baseline.
+	xs, _ := lat.Get("fixed-XS")
+	rule, _ := lat.Get("rule-based")
+	auto, _ := lat.Get("autoscaled")
+	if rule >= xs || auto >= xs {
+		t.Errorf("informed sizing (rule=%.1f auto=%.1f) not better than fixed-XS %.1f", rule, auto, xs)
+	}
+	// And they must deploy far fewer instances than the XXL sweep point.
+	xxlInst, _ := inst.Get("fixed-XXL")
+	autoInst, _ := inst.Get("autoscaled")
+	if autoInst >= xxlInst/2 {
+		t.Errorf("autoscaler deploys %v instances vs fixed-XXL %v; should be far leaner", autoInst, xxlInst)
+	}
+}

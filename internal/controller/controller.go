@@ -1,0 +1,163 @@
+// Package controller orchestrates PDSP-Bench experiments: it provisions
+// (modelled) clusters, deploys generated workloads through the cluster
+// simulator, collects run records into the store, and produces the data
+// behind every figure of the paper's evaluation (Section 4). It is the
+// Go counterpart of the paper's Django controller.
+package controller
+
+import (
+	"fmt"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/simengine"
+	"pdspbench/internal/storage"
+	"pdspbench/internal/tuple"
+	"pdspbench/internal/workload"
+)
+
+// Controller runs experiments.
+type Controller struct {
+	// Cfg is the simulator configuration (fidelity and cost constants).
+	Cfg simengine.Config
+	// Runs is the repetition count per measurement; the paper uses 3.
+	Runs int
+	// Nodes is the cluster size; the paper deploys clusters of 5 nodes.
+	Nodes int
+	// EventRate pins the source rate for Exp-1/2; the paper presents
+	// results at its highest sustained event rate, where parallelism and
+	// hardware effects are visible (low rates leave every operator
+	// underutilized and flatten all curves).
+	EventRate float64
+	// Seed drives workload enumeration.
+	Seed int64
+	// Store, when set, receives every RunRecord (the MongoDB role).
+	Store *storage.Store
+	// Placement selects the instance-placement strategy.
+	Placement cluster.Strategy
+}
+
+// New returns a controller with the paper's experiment defaults.
+func New() *Controller {
+	return &Controller{
+		Cfg:       simengine.Defaults(),
+		Runs:      3,
+		Nodes:     5,
+		EventRate: 500_000,
+		Seed:      1,
+		Placement: cluster.PlaceRoundRobin,
+	}
+}
+
+// Fast returns a controller with reduced simulation fidelity for quick
+// interactive runs and unit tests; figure shapes are preserved.
+func Fast() *Controller {
+	c := New()
+	c.Runs = 1
+	c.Cfg.Duration = 12
+	c.Cfg.SourceBatches = 96
+	return c
+}
+
+// Homogeneous provisions the paper's homogeneous cluster (m510).
+func (c *Controller) Homogeneous() *cluster.Cluster {
+	return cluster.NewHomogeneous("m510", cluster.M510, c.Nodes)
+}
+
+// HeteroEpyc and HeteroHaswell provision the two CloudLab flavours the
+// paper labels heterogeneous (Table 4), and Mixed interleaves them into
+// one genuinely mixed deployment.
+func (c *Controller) HeteroEpyc() *cluster.Cluster {
+	return cluster.NewHomogeneous("c6525_25g", cluster.C6525_25G, c.Nodes)
+}
+
+// HeteroHaswell provisions the c6320 cluster.
+func (c *Controller) HeteroHaswell() *cluster.Cluster {
+	return cluster.NewHomogeneous("c6320", cluster.C6320, c.Nodes)
+}
+
+// Mixed provisions an interleaved c6525_25g/c6320 cluster.
+func (c *Controller) Mixed() *cluster.Cluster {
+	return cluster.NewHeterogeneous("mixed", []cluster.NodeType{cluster.C6525_25G, cluster.C6320}, c.Nodes)
+}
+
+// Measure places and simulates one plan, returning the paper's statistic
+// (mean over Runs of each run's median latency) as a RunRecord.
+func (c *Controller) Measure(plan *core.PQP, cl *cluster.Cluster) (*metrics.RunRecord, error) {
+	pl, err := cluster.Place(plan, cl, c.Placement)
+	if err != nil {
+		return nil, err
+	}
+	med, results, err := simengine.MedianOfRuns(plan, pl, c.Cfg, c.Runs)
+	if err != nil {
+		return nil, err
+	}
+	var rate float64
+	for _, s := range plan.Sources() {
+		rate += s.Source.EventRate
+	}
+	rec := &metrics.RunRecord{
+		ID:         fmt.Sprintf("%s/%s/p%d", plan.Name, cl.Name, plan.MaxParallelism()),
+		Workload:   plan.Structure,
+		Cluster:    cl.Name,
+		Category:   core.CategoryForDegree(plan.MaxParallelism()).String(),
+		MaxDegree:  plan.MaxParallelism(),
+		EventRate:  rate,
+		LatencyP50: med,
+		Runs:       c.Runs,
+	}
+	// Aggregate the companion metrics over runs.
+	for _, r := range results {
+		rec.LatencyP95 += r.LatencyP95 / float64(len(results))
+		rec.LatencyMean += r.LatencyMean / float64(len(results))
+		rec.Throughput += r.Throughput / float64(len(results))
+		rec.Saturated = rec.Saturated || r.Saturated
+	}
+	if c.Store != nil {
+		if err := c.Store.Append("runs", rec); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// simulateOnce runs a single simulation, returning its median latency —
+// corpus labeling uses one run per query to bound collection cost.
+func simulateOnce(plan *core.PQP, pl *cluster.Placement, cfg simengine.Config) (float64, *simengine.Result, error) {
+	res, err := simengine.Simulate(plan, pl, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.LatencyP50, res, nil
+}
+
+// baseParams is the fixed synthetic-query configuration used by the
+// figure experiments (Exp-1/2 vary structure, parallelism and hardware
+// while pinning data parameters, as the paper does).
+func (c *Controller) baseParams() workload.Params {
+	return workload.Params{
+		EventRate:  c.EventRate,
+		TupleWidth: 5,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeInt, tuple.TypeDouble, tuple.TypeDouble, tuple.TypeString},
+		Window: core.WindowSpec{
+			Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 1000, SlideRatio: 0.5,
+		},
+		AggFn:        core.AggSum,
+		FilterFn:     core.FilterLess,
+		Selectivity:  0.5,
+		Partition:    core.PartitionRebalance,
+		Distribution: "poisson",
+	}
+}
+
+// SyntheticPlan builds one synthetic structure at the controller's event
+// rate with the given uniform parallelism degree.
+func (c *Controller) SyntheticPlan(s workload.Structure, degree int) (*core.PQP, error) {
+	plan, err := workload.Build(s, c.baseParams())
+	if err != nil {
+		return nil, err
+	}
+	plan.SetUniformParallelism(degree)
+	return plan, nil
+}

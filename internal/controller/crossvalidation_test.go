@@ -1,0 +1,79 @@
+package controller
+
+// Cross-backend consistency: the real engine (internal/engine) and the
+// cluster simulator (internal/simengine) are two execution backends for
+// the same PQP model. They measure different regimes (wall-clock laptop
+// scale vs modelled cluster scale), but they must agree on orderings —
+// which application does more work per tuple, which plan is heavier —
+// or the simulator's cost calibration is fiction.
+
+import (
+	"testing"
+
+	"pdspbench/internal/apps"
+)
+
+// perTupleCost runs an app on the real engine unthrottled and returns
+// wall-clock seconds per input tuple — a direct measure of per-tuple
+// CPU work.
+func perTupleCost(t *testing.T, code string, tuples int) float64 {
+	t.Helper()
+	app, err := apps.ByCode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ExecuteReal(app, tuples, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TuplesIn == 0 {
+		t.Fatalf("%s consumed nothing", code)
+	}
+	return rep.Elapsed.Seconds() / float64(rep.TuplesIn)
+}
+
+func TestRealEngineAndSimulatorAgreeOnAppOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	// Real engine: per-tuple work of the data-intensive SA vs the light
+	// TPCH pipeline.
+	saReal := perTupleCost(t, "SA", 20_000)
+	tpchReal := perTupleCost(t, "TPCH", 20_000)
+	if saReal <= tpchReal {
+		t.Skipf("real-engine costs inverted on this machine (SA %.2g vs TPCH %.2g); machine noise", saReal, tpchReal)
+	}
+
+	// Simulator: under identical load and parallelism, the app with more
+	// per-tuple work must show the higher latency.
+	c := tiny()
+	sa := measureApp(t, c, "SA", 2)
+	tpch := measureApp(t, c, "TPCH", 2)
+	if sa <= tpch {
+		t.Errorf("simulator inverts the real engine's ordering: SA %.3fs vs TPCH %.3fs", sa, tpch)
+	}
+}
+
+func TestRealEngineParallelismSpeedsUpHeavyApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	// The real engine must show the same qualitative effect the
+	// simulator produces for Fig 3: a data-intensive app finishes a fixed
+	// workload faster with more parallel instances.
+	app, err := apps.ByCode("SA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := ExecuteReal(app, 30_000, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, err := ExecuteReal(app, 30_000, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep4.Elapsed >= rep1.Elapsed {
+		t.Errorf("parallelism 4 (%v) not faster than 1 (%v) for a CPU-heavy app", rep4.Elapsed, rep1.Elapsed)
+	}
+}

@@ -1,0 +1,80 @@
+package controller
+
+import (
+	"pdspbench/internal/apps"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/workload"
+)
+
+// Exp1Synthetic regenerates Figure 3 (top): median end-to-end latency of
+// the nine synthetic query structures across parallelism categories
+// XS…XXL on the homogeneous m510 cluster. One series per category, one
+// column per structure (the paper's grouping).
+func (c *Controller) Exp1Synthetic(categories []core.ParallelismCategory, structures []workload.Structure) (*metrics.Figure, error) {
+	if len(categories) == 0 {
+		categories = core.AllCategories
+	}
+	if len(structures) == 0 {
+		structures = workload.Structures
+	}
+	cl := c.Homogeneous()
+	fig := &metrics.Figure{
+		ID:     "fig3-top",
+		Title:  "Impact of PQP complexity: synthetic structures on homogeneous m510",
+		XLabel: "structure",
+		YLabel: "median latency (ms)",
+	}
+	for _, cat := range categories {
+		series := metrics.Series{Label: cat.String()}
+		for _, st := range structures {
+			plan, err := c.SyntheticPlan(st, cat.Degree())
+			if err != nil {
+				return nil, err
+			}
+			rec, err := c.Measure(plan, cl)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, metrics.Point{X: string(st), Y: rec.LatencyP50 * 1000})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Exp1RealWorld regenerates Figure 3 (bottom): the same sweep over the
+// real-world application suite.
+func (c *Controller) Exp1RealWorld(categories []core.ParallelismCategory, codes []string) (*metrics.Figure, error) {
+	if len(categories) == 0 {
+		categories = core.AllCategories
+	}
+	if len(codes) == 0 {
+		codes = apps.Codes()
+	}
+	cl := c.Homogeneous()
+	fig := &metrics.Figure{
+		ID:     "fig3-bottom",
+		Title:  "Impact of PQP complexity: real-world applications on homogeneous m510",
+		XLabel: "application",
+		YLabel: "median latency (ms)",
+	}
+	for _, cat := range categories {
+		series := metrics.Series{Label: cat.String()}
+		for _, code := range codes {
+			app, err := apps.ByCode(code)
+			if err != nil {
+				return nil, err
+			}
+			plan := app.Build(c.EventRate)
+			plan.SetUniformParallelism(cat.Degree())
+			rec, err := c.Measure(plan, cl)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, metrics.Point{X: code, Y: rec.LatencyP50 * 1000})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}

@@ -1,0 +1,94 @@
+package controller
+
+import (
+	"pdspbench/internal/apps"
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/workload"
+)
+
+// exp2Clusters returns the three hardware configurations of Table 4 in
+// the paper's presentation order, plus the genuinely mixed deployment.
+func (c *Controller) exp2Clusters() []*cluster.Cluster {
+	return []*cluster.Cluster{c.Homogeneous(), c.HeteroEpyc(), c.HeteroHaswell(), c.Mixed()}
+}
+
+// Exp2RealWorld regenerates Figure 4 (top): mean end-to-end latency of
+// the real-world applications on each cluster, with the parallelism
+// degree matched to the cluster's per-node core count (the paper: "PQP
+// with parallelism degree category as per # cores on hardware of each
+// cluster" — m510→8, c6525_25g→16, c6320→28).
+func (c *Controller) Exp2RealWorld(codes []string) (*metrics.Figure, error) {
+	if len(codes) == 0 {
+		codes = apps.Codes()
+	}
+	fig := &metrics.Figure{
+		ID:     "fig4-top",
+		Title:  "Homogeneous vs heterogeneous hardware: real-world applications",
+		XLabel: "application",
+		YLabel: "mean latency (ms)",
+	}
+	for _, cl := range c.exp2Clusters() {
+		degree := cl.Nodes[0].Type.Cores
+		for _, n := range cl.Nodes[1:] {
+			if n.Type.Cores < degree {
+				degree = n.Type.Cores
+			}
+		}
+		series := metrics.Series{Label: cl.Name}
+		for _, code := range codes {
+			app, err := apps.ByCode(code)
+			if err != nil {
+				return nil, err
+			}
+			plan := app.Build(c.EventRate)
+			plan.SetUniformParallelism(degree)
+			rec, err := c.Measure(plan, cl)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, metrics.Point{X: code, Y: rec.LatencyMean * 1000})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Exp2Synthetic regenerates Figure 4 (bottom): mean latency over the
+// synthetic structure suite per parallelism category, one series per
+// cluster type.
+func (c *Controller) Exp2Synthetic(categories []core.ParallelismCategory, structures []workload.Structure) (*metrics.Figure, error) {
+	if len(categories) == 0 {
+		categories = core.AllCategories
+	}
+	if len(structures) == 0 {
+		structures = workload.Structures
+	}
+	fig := &metrics.Figure{
+		ID:     "fig4-bottom",
+		Title:  "Homogeneous vs heterogeneous hardware: synthetic structures",
+		XLabel: "parallelism category",
+		YLabel: "mean latency (ms)",
+	}
+	for _, cl := range c.exp2Clusters() {
+		series := metrics.Series{Label: cl.Name}
+		for _, cat := range categories {
+			var sum float64
+			for _, st := range structures {
+				plan, err := c.SyntheticPlan(st, cat.Degree())
+				if err != nil {
+					return nil, err
+				}
+				rec, err := c.Measure(plan, cl)
+				if err != nil {
+					return nil, err
+				}
+				sum += rec.LatencyP50 * 1000
+			}
+			series.Points = append(series.Points, metrics.Point{X: cat.String(), Y: sum / float64(len(structures))})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}

@@ -1,0 +1,27 @@
+package controller
+
+import (
+	"context"
+
+	"pdspbench/internal/apps"
+	"pdspbench/internal/engine"
+)
+
+// ExecuteReal runs an application end to end on the real in-process
+// engine (the SUT role) with bounded sources — the functional
+// counterpart of the simulator-based Measure, used by the CLI's exec
+// command and the examples.
+func ExecuteReal(a *apps.App, tuplesPerSource, parallelism int, seed int64) (*engine.Report, error) {
+	plan := a.Build(100_000)
+	if parallelism > 1 {
+		plan.SetUniformParallelism(parallelism)
+	}
+	rt, err := engine.New(plan, engine.Options{
+		Sources: a.Sources(seed, tuplesPerSource),
+		UDOs:    a.UDOs(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rt.Run(context.Background())
+}

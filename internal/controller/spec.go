@@ -1,0 +1,248 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pdspbench/internal/apps"
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/simengine"
+	"pdspbench/internal/tuple"
+	"pdspbench/internal/workload"
+)
+
+// Spec is a declarative benchmark campaign — the file-based counterpart
+// of the inputs the paper's web UI collects (applications, parallelism
+// enumeration, cluster setup, SUT selection) before the controller
+// orchestrates the runs.
+type Spec struct {
+	Name string `json:"name"`
+	// SUT selects a simulator cost profile: flink (default), storm,
+	// microbatch.
+	SUT string `json:"sut,omitempty"`
+	// Cluster is m510 (default), c6525_25g, c6320 or mixed; Nodes
+	// defaults to 5.
+	Cluster string `json:"cluster,omitempty"`
+	Nodes   int    `json:"nodes,omitempty"`
+	// EventRate defaults to the controller's (500k events/s).
+	EventRate float64 `json:"event_rate,omitempty"`
+	// Runs is the repetition count per measurement (default 1).
+	Runs      int            `json:"runs,omitempty"`
+	Workloads []WorkloadSpec `json:"workloads"`
+}
+
+// WorkloadSpec is one workload entry: an application or a synthetic
+// structure, swept over explicit degrees, categories, or a parallelism
+// enumeration strategy.
+type WorkloadSpec struct {
+	App       string `json:"app,omitempty"`
+	Structure string `json:"structure,omitempty"`
+	// Exactly one sweep source: Degrees, Categories, or Strategy+Variants.
+	Degrees    []int    `json:"degrees,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+	Strategy   string   `json:"strategy,omitempty"`
+	Variants   int      `json:"variants,omitempty"`
+}
+
+// ParseSpec decodes and validates a campaign.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("controller: decode spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the campaign is runnable before any simulation starts.
+func (s *Spec) Validate() error {
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("controller: spec %q has no workloads", s.Name)
+	}
+	if s.SUT != "" {
+		if _, ok := simengine.ProfileByName(s.SUT); !ok {
+			return fmt.Errorf("controller: spec %q: unknown SUT %q", s.Name, s.SUT)
+		}
+	}
+	switch s.Cluster {
+	case "", "m510", "c6525_25g", "c6320", "mixed":
+	default:
+		return fmt.Errorf("controller: spec %q: unknown cluster %q", s.Name, s.Cluster)
+	}
+	for i, w := range s.Workloads {
+		if (w.App == "") == (w.Structure == "") {
+			return fmt.Errorf("controller: workload %d: exactly one of app or structure required", i)
+		}
+		if w.App != "" {
+			if _, err := apps.ByCode(w.App); err != nil {
+				if _, ok := apps.ExtensionByCode(w.App); !ok {
+					return fmt.Errorf("controller: workload %d: %w", i, err)
+				}
+			}
+		}
+		if w.Structure != "" {
+			if _, err := workload.ParseStructure(w.Structure); err != nil {
+				return fmt.Errorf("controller: workload %d: %w", i, err)
+			}
+		}
+		sweeps := 0
+		if len(w.Degrees) > 0 {
+			sweeps++
+		}
+		if len(w.Categories) > 0 {
+			sweeps++
+		}
+		if w.Strategy != "" {
+			sweeps++
+		}
+		if sweeps != 1 {
+			return fmt.Errorf("controller: workload %d: exactly one of degrees, categories or strategy required", i)
+		}
+		for _, c := range w.Categories {
+			if _, err := core.ParseCategory(c); err != nil {
+				return fmt.Errorf("controller: workload %d: %w", i, err)
+			}
+		}
+		if w.Strategy != "" {
+			found := false
+			for _, n := range workload.StrategyNames {
+				if n == w.Strategy {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("controller: workload %d: unknown strategy %q", i, w.Strategy)
+			}
+			if w.Variants <= 0 {
+				return fmt.Errorf("controller: workload %d: strategy sweep needs variants > 0", i)
+			}
+		}
+	}
+	return nil
+}
+
+// buildBase constructs the workload's plan at the campaign's event rate.
+func (s *Spec) buildBase(w WorkloadSpec, rate float64) (*core.PQP, error) {
+	if w.App != "" {
+		if a, err := apps.ByCode(w.App); err == nil {
+			return a.Build(rate), nil
+		}
+		if a, ok := apps.ExtensionByCode(w.App); ok {
+			return a.Build(rate), nil
+		}
+		return nil, fmt.Errorf("controller: unknown app %q", w.App)
+	}
+	st, err := workload.ParseStructure(w.Structure)
+	if err != nil {
+		return nil, err
+	}
+	p := workload.Params{
+		EventRate:  rate,
+		TupleWidth: 5,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeInt, tuple.TypeDouble, tuple.TypeDouble, tuple.TypeString},
+		Window:     core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 1000, SlideRatio: 0.5},
+		AggFn:      core.AggSum, FilterFn: core.FilterLess, Selectivity: 0.5,
+		Partition: core.PartitionRebalance, Distribution: "poisson",
+	}
+	return workload.Build(st, p)
+}
+
+// RunSpec executes the campaign and returns one record per measurement.
+func (c *Controller) RunSpec(spec *Spec) ([]metrics.RunRecord, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	run := *c
+	if spec.SUT != "" {
+		prof, _ := simengine.ProfileByName(spec.SUT)
+		cfg := prof.Config
+		cfg.Duration = c.Cfg.Duration
+		cfg.SourceBatches = c.Cfg.SourceBatches
+		cfg.WarmupFraction = c.Cfg.WarmupFraction
+		cfg.Seed = c.Cfg.Seed
+		run.Cfg = cfg
+	}
+	if spec.Nodes > 0 {
+		run.Nodes = spec.Nodes
+	}
+	if spec.EventRate > 0 {
+		run.EventRate = spec.EventRate
+	}
+	if spec.Runs > 0 {
+		run.Runs = spec.Runs
+	}
+	cl, err := clusterForSpec(&run, spec.Cluster)
+	if err != nil {
+		return nil, err
+	}
+
+	var records []metrics.RunRecord
+	for _, w := range spec.Workloads {
+		variants, err := run.expandWorkload(w, cl)
+		if err != nil {
+			return nil, err
+		}
+		for _, plan := range variants {
+			rec, err := run.Measure(plan, cl)
+			if err != nil {
+				return nil, err
+			}
+			records = append(records, *rec)
+		}
+	}
+	return records, nil
+}
+
+// expandWorkload materializes one workload entry's sweep into plans.
+func (c *Controller) expandWorkload(w WorkloadSpec, cl *cluster.Cluster) ([]*core.PQP, error) {
+	base, err := (&Spec{}).buildBase(w, c.EventRate)
+	if err != nil {
+		return nil, err
+	}
+	var out []*core.PQP
+	switch {
+	case len(w.Degrees) > 0:
+		for _, d := range w.Degrees {
+			v := base.Clone()
+			v.SetUniformParallelism(d)
+			out = append(out, v)
+		}
+	case len(w.Categories) > 0:
+		for _, cs := range w.Categories {
+			cat, err := core.ParseCategory(cs)
+			if err != nil {
+				return nil, err
+			}
+			v := base.Clone()
+			v.SetUniformParallelism(cat.Degree())
+			out = append(out, v)
+		}
+	default:
+		enum := workload.NewEnumerator(c.Seed)
+		strat, err := workload.StrategyByName(w.Strategy, enum.Rand())
+		if err != nil {
+			return nil, err
+		}
+		out = strat.Enumerate(base, cl, w.Variants)
+	}
+	return out, nil
+}
+
+func clusterForSpec(c *Controller, name string) (*cluster.Cluster, error) {
+	switch name {
+	case "", "m510":
+		return c.Homogeneous(), nil
+	case "c6525_25g":
+		return c.HeteroEpyc(), nil
+	case "c6320":
+		return c.HeteroHaswell(), nil
+	case "mixed":
+		return c.Mixed(), nil
+	default:
+		return nil, fmt.Errorf("controller: unknown cluster %q", name)
+	}
+}

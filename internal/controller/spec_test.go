@@ -1,0 +1,120 @@
+package controller
+
+import (
+	"fmt"
+	"testing"
+)
+
+const exampleSpec = `{
+  "name": "smoke",
+  "sut": "flink",
+  "cluster": "m510",
+  "nodes": 5,
+  "event_rate": 50000,
+  "runs": 1,
+  "workloads": [
+    {"structure": "linear", "categories": ["XS", "M"]},
+    {"app": "SD", "degrees": [4]},
+    {"structure": "2-way-join", "strategy": "rule-based", "variants": 2}
+  ]
+}`
+
+func TestParseSpecAcceptsValidCampaign(t *testing.T) {
+	spec, err := ParseSpec([]byte(exampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "smoke" || len(spec.Workloads) != 3 {
+		t.Errorf("parsed %+v", spec)
+	}
+}
+
+func TestParseSpecRejectsInvalidCampaigns(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"garbage", `{not json`},
+		{"no workloads", `{"name":"x","workloads":[]}`},
+		{"unknown sut", `{"name":"x","sut":"heron","workloads":[{"structure":"linear","degrees":[1]}]}`},
+		{"unknown cluster", `{"name":"x","cluster":"moon","workloads":[{"structure":"linear","degrees":[1]}]}`},
+		{"both app and structure", `{"name":"x","workloads":[{"app":"SD","structure":"linear","degrees":[1]}]}`},
+		{"neither app nor structure", `{"name":"x","workloads":[{"degrees":[1]}]}`},
+		{"unknown app", `{"name":"x","workloads":[{"app":"ZZ","degrees":[1]}]}`},
+		{"unknown structure", `{"name":"x","workloads":[{"structure":"9-way-join","degrees":[1]}]}`},
+		{"no sweep", `{"name":"x","workloads":[{"structure":"linear"}]}`},
+		{"two sweeps", `{"name":"x","workloads":[{"structure":"linear","degrees":[1],"categories":["XS"]}]}`},
+		{"bad category", `{"name":"x","workloads":[{"structure":"linear","categories":["XXXL"]}]}`},
+		{"unknown strategy", `{"name":"x","workloads":[{"structure":"linear","strategy":"oracle","variants":1}]}`},
+		{"strategy without variants", `{"name":"x","workloads":[{"structure":"linear","strategy":"random"}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec([]byte(c.body)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestRunSpecProducesOneRecordPerMeasurement(t *testing.T) {
+	spec, err := ParseSpec([]byte(exampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tiny()
+	records, err := c.RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// linear×2 categories + SD×1 degree + join×2 variants = 5.
+	if len(records) != 5 {
+		t.Fatalf("records = %d, want 5", len(records))
+	}
+	for _, r := range records {
+		if r.LatencyP50 <= 0 {
+			t.Errorf("record %s has latency %v", r.ID, r.LatencyP50)
+		}
+		if r.Cluster != "m510" {
+			t.Errorf("record on cluster %q", r.Cluster)
+		}
+		// EventRate totals over sources: 50k per source.
+		if r.EventRate < 50_000 || int(r.EventRate)%50_000 != 0 {
+			t.Errorf("record rate %v, want a multiple of the spec's per-source 50000", r.EventRate)
+		}
+	}
+}
+
+func TestRunSpecAppliesSUTProfile(t *testing.T) {
+	// The same workload under the storm profile (150µs per message) must
+	// not produce byte-identical latency to the flink profile.
+	base := `{"name":"x","sut":"%s","event_rate":200000,"workloads":[{"structure":"3-way-join","degrees":[8]}]}`
+	run := func(sut string) float64 {
+		spec, err := ParseSpec([]byte(fmt.Sprintf(base, sut)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := tiny()
+		recs, err := c.RunSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs[0].LatencyP50
+	}
+	if run("flink") == run("storm") {
+		t.Error("SUT profile had no effect on the measurement")
+	}
+}
+
+func TestRunSpecWithExtensionApp(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"name":"x","event_rate":50000,"workloads":[{"app":"NXQ5","degrees":[2]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tiny()
+	recs, err := c.RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].LatencyP50 <= 0 {
+		t.Errorf("extension app records: %+v", recs)
+	}
+}

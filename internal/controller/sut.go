@@ -1,0 +1,57 @@
+package controller
+
+import (
+	"fmt"
+
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/simengine"
+	"pdspbench/internal/workload"
+)
+
+// ExpSUTComparison benchmarks the same workloads on every registered SUT
+// profile — the paper's claim that the System Under Test "can be
+// exchanged by any SPS" exercised end to end. One series per SUT, one
+// column per synthetic structure, at the given uniform parallelism.
+func (c *Controller) ExpSUTComparison(structures []workload.Structure, degree int) (*metrics.Figure, error) {
+	if len(structures) == 0 {
+		structures = []workload.Structure{
+			workload.StructLinear, workload.StructTwoWayJoin, workload.StructThreeJoin,
+		}
+	}
+	if degree <= 0 {
+		degree = 8
+	}
+	cl := c.Homogeneous()
+	fig := &metrics.Figure{
+		ID:     "sut-comparison",
+		Title:  fmt.Sprintf("SUT profiles on identical workloads (degree %d)", degree),
+		XLabel: "structure",
+		YLabel: "median latency (ms)",
+	}
+	for _, prof := range simengine.Profiles() {
+		series := metrics.Series{Label: prof.Name}
+		for _, s := range structures {
+			plan, err := c.SyntheticPlan(s, degree)
+			if err != nil {
+				return nil, err
+			}
+			sut := *c
+			cfg := prof.Config
+			// Keep the controller's fidelity settings; take the profile's
+			// cost calibration.
+			cfg.Duration = c.Cfg.Duration
+			cfg.SourceBatches = c.Cfg.SourceBatches
+			cfg.WarmupFraction = c.Cfg.WarmupFraction
+			cfg.Seed = c.Cfg.Seed
+			sut.Cfg = cfg
+			sut.Store = nil // comparison sweeps should not pollute the run store
+			rec, err := sut.Measure(plan, cl)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, metrics.Point{X: string(s), Y: rec.LatencyP50 * 1000})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}

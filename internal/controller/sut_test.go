@@ -1,0 +1,82 @@
+package controller
+
+import (
+	"testing"
+
+	"pdspbench/internal/simengine"
+	"pdspbench/internal/storage"
+	"pdspbench/internal/workload"
+)
+
+func TestProfilesRegistered(t *testing.T) {
+	profs := simengine.Profiles()
+	if len(profs) != 3 {
+		t.Fatalf("profiles = %d, want flink/storm/microbatch", len(profs))
+	}
+	for _, p := range profs {
+		if p.Config.TupleCost <= 0 || p.Config.MsgCost <= 0 {
+			t.Errorf("%s: incomplete calibration %+v", p.Name, p.Config)
+		}
+	}
+	if _, ok := simengine.ProfileByName("flink"); !ok {
+		t.Error("flink profile missing")
+	}
+	if _, ok := simengine.ProfileByName("heron"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestExpSUTComparisonShapes(t *testing.T) {
+	c := tiny()
+	fig, err := c.ExpSUTComparison(nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want one per SUT", len(fig.Series))
+	}
+	flink := fig.SeriesByLabel("flink")
+	storm := fig.SeriesByLabel("storm")
+	if flink == nil || storm == nil {
+		t.Fatal("missing SUT series")
+	}
+	// Every SUT must measure every structure with positive latency.
+	for _, s := range fig.Series {
+		if len(s.Points) != 3 {
+			t.Errorf("%s measured %d structures", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("%s/%s latency %v", s.Label, p.X, p.Y)
+			}
+		}
+	}
+	// At high parallelism the acker-based profile pays more for the
+	// message-heavy join than the pipelined profile.
+	fj, _ := flink.Get(string(workload.StructThreeJoin))
+	sj, _ := storm.Get(string(workload.StructThreeJoin))
+	if sj <= fj {
+		t.Errorf("storm-profile 3-way join (%.1f ms) not above flink profile (%.1f ms)", sj, fj)
+	}
+}
+
+func TestExpSUTComparisonDoesNotPolluteStore(t *testing.T) {
+	c := tiny()
+	// Even with a store configured, SUT sweeps must not write records.
+	dir := t.TempDir()
+	st, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Store = st
+	if _, err := c.ExpSUTComparison([]workload.Structure{workload.StructLinear}, 4); err != nil {
+		t.Fatal(err)
+	}
+	n, err := st.Count("runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("SUT sweep stored %d runs", n)
+	}
+}

@@ -1,0 +1,115 @@
+package controller
+
+import (
+	"fmt"
+
+	"pdspbench/internal/apps"
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/simengine"
+	"pdspbench/internal/workload"
+)
+
+// MaxSustainableRate finds the highest source event rate (events/s) a
+// workload sustains on a cluster without saturating — the paper notes
+// PDSP-Bench "can be used to measure other performance metrics depending
+// upon SUT benchmarking requirements", and sustainable throughput is the
+// classic second metric of streaming benchmarks (Karimov et al., ICDE'18).
+//
+// build must return the plan for a given source rate (parallelism
+// already applied). The search runs a bounded binary search over
+// [loRate, hiRate] and reports the largest rate whose run stays
+// unsaturated and whose delivered throughput keeps up with the offered
+// load.
+func (c *Controller) MaxSustainableRate(build func(rate float64) (*core.PQP, error), cl *cluster.Cluster, loRate, hiRate float64) (float64, error) {
+	if loRate <= 0 || hiRate <= loRate {
+		return 0, fmt.Errorf("controller: invalid rate range [%g, %g]", loRate, hiRate)
+	}
+	sustains := func(rate float64) (bool, error) {
+		plan, err := build(rate)
+		if err != nil {
+			return false, err
+		}
+		pl, err := cluster.Place(plan, cl, c.Placement)
+		if err != nil {
+			return false, err
+		}
+		sim, err := simengine.Simulate(plan, pl, c.Cfg)
+		if err != nil {
+			return false, err
+		}
+		return !sim.Saturated, nil
+	}
+	okLo, err := sustains(loRate)
+	if err != nil {
+		return 0, err
+	}
+	if !okLo {
+		return 0, fmt.Errorf("controller: workload saturates even at %g events/s", loRate)
+	}
+	lo, hi := loRate, hiRate
+	if okHi, err := sustains(hiRate); err != nil {
+		return 0, err
+	} else if okHi {
+		return hiRate, nil
+	}
+	// Binary search with a 5% resolution.
+	for hi/lo > 1.05 {
+		mid := (lo + hi) / 2
+		ok, err := sustains(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// ExpThroughput regenerates a sustainable-throughput series: the maximum
+// unsaturated event rate per parallelism category for one workload.
+func (c *Controller) ExpThroughput(appCode string, s workload.Structure, categories []core.ParallelismCategory) (*metrics.Figure, error) {
+	if len(categories) == 0 {
+		categories = []core.ParallelismCategory{core.CatXS, core.CatS, core.CatM, core.CatL}
+	}
+	cl := c.Homogeneous()
+	fig := &metrics.Figure{
+		ID:     "throughput",
+		Title:  "Maximum sustainable event rate per parallelism category",
+		XLabel: "parallelism category",
+		YLabel: "events/s",
+	}
+	series := metrics.Series{Label: "sustainable rate"}
+	for _, cat := range categories {
+		build := func(rate float64) (*core.PQP, error) {
+			if appCode != "" {
+				a, err := apps.ByCode(appCode)
+				if err != nil {
+					return nil, err
+				}
+				plan := a.Build(rate)
+				plan.SetUniformParallelism(cat.Degree())
+				return plan, nil
+			}
+			p := c.baseParams()
+			p.EventRate = rate
+			plan, err := workload.Build(s, p)
+			if err != nil {
+				return nil, err
+			}
+			plan.SetUniformParallelism(cat.Degree())
+			return plan, nil
+		}
+		rate, err := c.MaxSustainableRate(build, cl, 1_000, 4_000_000)
+		if err != nil {
+			return nil, err
+		}
+		series.Points = append(series.Points, metrics.Point{X: cat.String(), Y: rate})
+	}
+	fig.Series = append(fig.Series, series)
+	return fig, nil
+}

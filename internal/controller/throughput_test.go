@@ -1,0 +1,78 @@
+package controller
+
+import (
+	"testing"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/workload"
+)
+
+func TestMaxSustainableRateIncreasesWithParallelism(t *testing.T) {
+	c := tiny()
+	cl := c.Homogeneous()
+	build := func(degree int) func(rate float64) (*core.PQP, error) {
+		return func(rate float64) (*core.PQP, error) {
+			p := c.baseParams()
+			p.EventRate = rate
+			plan, err := workload.Build(workload.StructTwoWayJoin, p)
+			if err != nil {
+				return nil, err
+			}
+			plan.SetUniformParallelism(degree)
+			return plan, nil
+		}
+	}
+	r1, err := c.MaxSustainableRate(build(1), cl, 1_000, 4_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := c.MaxSustainableRate(build(8), cl, 1_000, 4_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8 <= r1 {
+		t.Errorf("sustainable rate did not grow with parallelism: p1=%.0f p8=%.0f", r1, r8)
+	}
+	if r1 < 1_000 || r8 > 4_000_000 {
+		t.Errorf("rates outside search range: %v, %v", r1, r8)
+	}
+}
+
+func TestMaxSustainableRateErrors(t *testing.T) {
+	c := tiny()
+	cl := c.Homogeneous()
+	build := func(rate float64) (*core.PQP, error) {
+		p := c.baseParams()
+		p.EventRate = rate
+		plan, err := workload.Build(workload.StructLinear, p)
+		if err != nil {
+			return nil, err
+		}
+		plan.SetUniformParallelism(1)
+		return plan, nil
+	}
+	if _, err := c.MaxSustainableRate(build, cl, 0, 100); err == nil {
+		t.Error("invalid range accepted")
+	}
+	if _, err := c.MaxSustainableRate(build, cl, 100, 50); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestExpThroughputSeries(t *testing.T) {
+	c := tiny()
+	cats := []core.ParallelismCategory{core.CatXS, core.CatM}
+	fig, err := c.ExpThroughput("", workload.StructLinear, cats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.SeriesByLabel("sustainable rate")
+	if s == nil || len(s.Points) != 2 {
+		t.Fatalf("series = %v", fig.Series)
+	}
+	xs, _ := s.Get("XS")
+	m, _ := s.Get("M")
+	if m < xs {
+		t.Errorf("throughput at M (%.0f) below XS (%.0f)", m, xs)
+	}
+}

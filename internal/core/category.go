@@ -1,0 +1,96 @@
+package core
+
+import "fmt"
+
+// ParallelismCategory buckets parallelism degrees the way the paper's
+// figures do (XS … XXL, with degrees ranging 1–256 and the parallelism
+// paradox appearing beyond 128).
+type ParallelismCategory int
+
+const (
+	CatXS  ParallelismCategory = iota // degree 1
+	CatS                              // degree 2
+	CatM                              // degree 8
+	CatL                              // degree 32
+	CatXL                             // degree 128
+	CatXXL                            // degree 256
+)
+
+// AllCategories lists the categories in increasing order of parallelism.
+var AllCategories = []ParallelismCategory{CatXS, CatS, CatM, CatL, CatXL, CatXXL}
+
+// Degree returns the representative parallelism degree of the category.
+func (c ParallelismCategory) Degree() int {
+	switch c {
+	case CatXS:
+		return 1
+	case CatS:
+		return 2
+	case CatM:
+		return 8
+	case CatL:
+		return 32
+	case CatXL:
+		return 128
+	case CatXXL:
+		return 256
+	default:
+		return 1
+	}
+}
+
+// String names the category as in the paper's figures.
+func (c ParallelismCategory) String() string {
+	switch c {
+	case CatXS:
+		return "XS"
+	case CatS:
+		return "S"
+	case CatM:
+		return "M"
+	case CatL:
+		return "L"
+	case CatXL:
+		return "XL"
+	case CatXXL:
+		return "XXL"
+	default:
+		return fmt.Sprintf("Cat(%d)", int(c))
+	}
+}
+
+// CategoryForDegree returns the category whose representative degree is
+// nearest to d (ties resolve downward), used when reporting measured
+// plans back into figure buckets.
+func CategoryForDegree(d int) ParallelismCategory {
+	best := CatXS
+	bestDist := -1
+	for _, c := range AllCategories {
+		dist := d - c.Degree()
+		if dist < 0 {
+			dist = -dist
+		}
+		if bestDist < 0 || dist < bestDist {
+			best, bestDist = c, dist
+		}
+	}
+	return best
+}
+
+// ParseCategory converts a figure label (case-sensitive, e.g. "XL") into
+// a category.
+func ParseCategory(s string) (ParallelismCategory, error) {
+	for _, c := range AllCategories {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown parallelism category %q", s)
+}
+
+// MinParallelism and MaxParallelism bound the enumerator's degree range
+// (Table 3: 1–256).
+const (
+	MinDegree = 1
+	MaxDegree = 256
+)

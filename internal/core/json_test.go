@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestJSONRoundTripPreservesPlan(t *testing.T) {
+	orig := joinPlan()
+	data, err := orig.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != orig.String() {
+		t.Errorf("round trip changed plan:\n  %s\n  %s", orig, got)
+	}
+	if got.Name != orig.Name || got.Structure != orig.Structure {
+		t.Errorf("metadata lost: %q/%q", got.Name, got.Structure)
+	}
+	// Specs must survive in full.
+	j := got.Op("join")
+	if j.Join == nil || j.Join.Window.LengthMs != 1000 || j.Join.Window.SlideRatio != 0.5 {
+		t.Errorf("join spec lost: %+v", j.Join)
+	}
+	f := got.Op("f1")
+	if f.Filter == nil || f.Filter.Selectivity != 0.5 || !f.Filter.Literal.Equal(orig.Op("f1").Filter.Literal) {
+		t.Errorf("filter spec lost: %+v", f.Filter)
+	}
+	src := got.Op("src1")
+	if src.Source == nil || src.Source.EventRate != 1000 || src.Source.Schema.Width() != 2 {
+		t.Errorf("source spec lost: %+v", src.Source)
+	}
+	// The restored plan must be executable machinery: index rebuilt,
+	// rates computable.
+	if got.InputRates()["join"] <= 0 {
+		t.Error("restored plan cannot propagate rates")
+	}
+}
+
+func TestFromJSONRejectsGarbageAndInvalidPlans(t *testing.T) {
+	if _, err := FromJSON([]byte("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Structurally valid JSON but semantically invalid plan (no source).
+	if _, err := FromJSON([]byte(`{"name":"x","structure":"y","operators":[{"id":"sink","kind":7,"parallelism":1}],"edges":[]}`)); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}

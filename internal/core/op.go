@@ -1,0 +1,302 @@
+// Package core defines the parallel query plan (PQP) model at the heart
+// of PDSP-Bench: logical dataflow graphs whose operators carry explicit
+// parallelism degrees, window configurations, and data-partitioning
+// strategies. Both execution backends (the real in-process engine and the
+// distributed-cluster simulator) and the learned cost models consume this
+// one representation.
+package core
+
+import (
+	"fmt"
+
+	"pdspbench/internal/tuple"
+)
+
+// OpKind enumerates the operator vocabulary of the benchmark: the
+// standard stream-processing operators the paper's synthetic queries use,
+// plus user-defined operators (UDOs) for the real-world applications.
+type OpKind int
+
+const (
+	OpSource OpKind = iota
+	OpFilter
+	OpMap
+	OpFlatMap
+	OpAggregate // windowed aggregation
+	OpJoin      // windowed equi-join
+	OpUDO       // user-defined operator with custom logic
+	OpSink
+)
+
+var opKindNames = map[OpKind]string{
+	OpSource:    "source",
+	OpFilter:    "filter",
+	OpMap:       "map",
+	OpFlatMap:   "flatMap",
+	OpAggregate: "aggregate",
+	OpJoin:      "join",
+	OpUDO:       "udo",
+	OpSink:      "sink",
+}
+
+// String returns the lowercase operator name used in specs and figures.
+func (k OpKind) String() string {
+	if n, ok := opKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// NumOpKinds is the size of the operator vocabulary; the ML feature
+// encoders one-hot over this range.
+const NumOpKinds = int(OpSink) + 1
+
+// PartitionStrategy is how tuples are routed from an upstream operator's
+// instances to a downstream operator's instances (Table 3: forward,
+// rebalance, hashing).
+type PartitionStrategy int
+
+const (
+	// PartitionForward sends tuples to the co-indexed downstream instance
+	// (only valid when parallelism degrees are compatible); it avoids a
+	// network shuffle.
+	PartitionForward PartitionStrategy = iota
+	// PartitionRebalance distributes tuples round-robin across all
+	// downstream instances.
+	PartitionRebalance
+	// PartitionHash routes by key hash so that all tuples of a key reach
+	// the same instance (required upstream of keyed windows and joins).
+	PartitionHash
+)
+
+// String names the strategy as in the paper's Table 3.
+func (p PartitionStrategy) String() string {
+	switch p {
+	case PartitionForward:
+		return "forward"
+	case PartitionRebalance:
+		return "rebalance"
+	case PartitionHash:
+		return "hashing"
+	default:
+		return fmt.Sprintf("PartitionStrategy(%d)", int(p))
+	}
+}
+
+// FilterFn enumerates filter comparison functions (Table 3 lists
+// comparison functions over string, integer and double literals).
+type FilterFn int
+
+const (
+	FilterLess FilterFn = iota
+	FilterLessEq
+	FilterGreater
+	FilterGreaterEq
+	FilterEq
+	FilterNotEq
+	FilterStartsWith // string-typed fields only
+	FilterContains   // string-typed fields only
+)
+
+// String renders the comparison symbol.
+func (f FilterFn) String() string {
+	switch f {
+	case FilterLess:
+		return "<"
+	case FilterLessEq:
+		return "<="
+	case FilterGreater:
+		return ">"
+	case FilterGreaterEq:
+		return ">="
+	case FilterEq:
+		return "=="
+	case FilterNotEq:
+		return "!="
+	case FilterStartsWith:
+		return "startsWith"
+	case FilterContains:
+		return "contains"
+	default:
+		return fmt.Sprintf("FilterFn(%d)", int(f))
+	}
+}
+
+// NumericFilterFns are the comparison functions valid on every data type.
+var NumericFilterFns = []FilterFn{FilterLess, FilterLessEq, FilterGreater, FilterGreaterEq, FilterEq, FilterNotEq}
+
+// Eval applies the comparison of field value v against literal lit.
+func (f FilterFn) Eval(v, lit tuple.Value) bool {
+	switch f {
+	case FilterLess:
+		return v.Compare(lit) < 0
+	case FilterLessEq:
+		return v.Compare(lit) <= 0
+	case FilterGreater:
+		return v.Compare(lit) > 0
+	case FilterGreaterEq:
+		return v.Compare(lit) >= 0
+	case FilterEq:
+		return v.Equal(lit)
+	case FilterNotEq:
+		return !v.Equal(lit)
+	case FilterStartsWith:
+		return v.Kind == tuple.TypeString && lit.Kind == tuple.TypeString &&
+			len(v.S) >= len(lit.S) && v.S[:len(lit.S)] == lit.S
+	case FilterContains:
+		return v.Kind == tuple.TypeString && lit.Kind == tuple.TypeString && contains(v.S, lit.S)
+	default:
+		return false
+	}
+}
+
+func contains(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// AggFn enumerates window aggregation functions (Table 3: min, max, avg,
+// mean, sum). The paper lists avg and mean separately — avg is the
+// windowed running average over the aggregation field while mean is the
+// per-key mean — and we keep both for fidelity, plus count which several
+// real-world applications (word count, trending topics) need.
+type AggFn int
+
+const (
+	AggMin AggFn = iota
+	AggMax
+	AggAvg
+	AggMean
+	AggSum
+	AggCount
+)
+
+// String names the aggregate function.
+func (a AggFn) String() string {
+	switch a {
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	case AggMean:
+		return "mean"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	default:
+		return fmt.Sprintf("AggFn(%d)", int(a))
+	}
+}
+
+// AllAggFns is the enumerator's domain for window aggregation functions.
+var AllAggFns = []AggFn{AggMin, AggMax, AggAvg, AggMean, AggSum}
+
+// WindowType distinguishes sliding from tumbling windows (Table 3).
+type WindowType int
+
+const (
+	WindowTumbling WindowType = iota
+	WindowSliding
+)
+
+// String names the window type.
+func (w WindowType) String() string {
+	if w == WindowTumbling {
+		return "tumbling"
+	}
+	return "sliding"
+}
+
+// WindowPolicy distinguishes count-based from time-based windows.
+type WindowPolicy int
+
+const (
+	PolicyCount WindowPolicy = iota
+	PolicyTime
+)
+
+// String names the window policy.
+func (w WindowPolicy) String() string {
+	if w == PolicyCount {
+		return "count"
+	}
+	return "time"
+}
+
+// WindowSpec configures a window: its type (tumbling/sliding), policy
+// (count/time), size, and — for sliding windows — the slide expressed as
+// a ratio of the window length, mirroring Table 3's 0.3–0.7 range.
+type WindowSpec struct {
+	Type       WindowType   `json:"type"`
+	Policy     WindowPolicy `json:"policy"`
+	LengthMs   int64        `json:"length_ms"`     // time policy: window duration
+	LengthTups int          `json:"length_tuples"` // count policy: window size in tuples
+	SlideRatio float64      `json:"slide_ratio"`   // sliding only: slide = ratio × length
+}
+
+// Slide returns the effective slide of the window in its policy's unit
+// (ms or tuples). Tumbling windows slide by their full length.
+func (w WindowSpec) Slide() float64 {
+	length := float64(w.LengthTups)
+	if w.Policy == PolicyTime {
+		length = float64(w.LengthMs)
+	}
+	if w.Type == WindowTumbling {
+		return length
+	}
+	r := w.SlideRatio
+	if r <= 0 || r > 1 {
+		r = 0.5
+	}
+	s := r * length
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Length returns the window length in its policy's unit.
+func (w WindowSpec) Length() float64 {
+	if w.Policy == PolicyTime {
+		return float64(w.LengthMs)
+	}
+	return float64(w.LengthTups)
+}
+
+// Validate checks the spec is internally consistent.
+func (w WindowSpec) Validate() error {
+	switch w.Policy {
+	case PolicyTime:
+		if w.LengthMs <= 0 {
+			return fmt.Errorf("core: time window needs LengthMs > 0, got %d", w.LengthMs)
+		}
+	case PolicyCount:
+		if w.LengthTups <= 0 {
+			return fmt.Errorf("core: count window needs LengthTups > 0, got %d", w.LengthTups)
+		}
+	default:
+		return fmt.Errorf("core: unknown window policy %d", w.Policy)
+	}
+	if w.Type == WindowSliding && (w.SlideRatio <= 0 || w.SlideRatio > 1) {
+		return fmt.Errorf("core: sliding window needs SlideRatio in (0,1], got %g", w.SlideRatio)
+	}
+	return nil
+}
+
+// String renders the window for figure labels.
+func (w WindowSpec) String() string {
+	if w.Policy == PolicyTime {
+		return fmt.Sprintf("%s/%s(%dms,slide=%.1f)", w.Type, w.Policy, w.LengthMs, w.SlideRatio)
+	}
+	return fmt.Sprintf("%s/%s(%d tuples,slide=%.1f)", w.Type, w.Policy, w.LengthTups, w.SlideRatio)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdspbench/internal/tuple"
+)
+
+// TestFilterEvalIsTotal: Eval must never panic, whatever value/literal
+// kind combination arrives (schema drift must degrade, not crash).
+func TestFilterEvalIsTotal(t *testing.T) {
+	mk := func(kind uint8, i int64, d float64, s string) tuple.Value {
+		switch kind % 3 {
+		case 0:
+			return tuple.Int(i)
+		case 1:
+			return tuple.Double(d)
+		default:
+			return tuple.String(s)
+		}
+	}
+	f := func(fnRaw uint8, k1, k2 uint8, i1, i2 int64, d1, d2 float64, s1, s2 string) bool {
+		fn := FilterFn(int(fnRaw) % 8)
+		_ = fn.Eval(mk(k1, i1, d1, s1), mk(k2, i2, d2, s2))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlideWithinLength: every valid window spec slides by at least one
+// unit and at most its full length.
+func TestSlideWithinLength(t *testing.T) {
+	f := func(sliding bool, timePolicy bool, lenRaw uint16, ratioRaw uint8) bool {
+		w := WindowSpec{}
+		if sliding {
+			w.Type = WindowSliding
+			w.SlideRatio = 0.3 + float64(ratioRaw%5)*0.1 // Table 3 ratios
+		}
+		if timePolicy {
+			w.Policy = PolicyTime
+			w.LengthMs = int64(lenRaw%3000) + 1
+		} else {
+			w.Policy = PolicyCount
+			w.LengthTups = int(lenRaw%1000) + 1
+		}
+		s := w.Slide()
+		return s >= 1 && s <= w.Length() || w.Length() < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCategoryForDegreeIsNearest: the chosen category's degree is never
+// farther from d than any other category's degree.
+func TestCategoryForDegreeIsNearest(t *testing.T) {
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	f := func(raw uint16) bool {
+		d := int(raw%300) + 1
+		got := CategoryForDegree(d)
+		for _, c := range AllCategories {
+			if abs(c.Degree()-d) < abs(got.Degree()-d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomChainPlan builds a random valid linear chain for clone/topo
+// properties.
+func randomChainPlan(rng *rand.Rand) *PQP {
+	p := NewPQP("prop", "chain")
+	schema := tuple.NewSchema(tuple.Field{Name: "v", Type: tuple.TypeDouble})
+	p.Add(&Operator{ID: "src", Kind: OpSource, Parallelism: 1 + rng.Intn(4),
+		Source: &SourceSpec{Schema: schema, EventRate: float64(1 + rng.Intn(100000))}})
+	prev := "src"
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		id := string(rune('a' + i))
+		p.Add(&Operator{ID: id, Kind: OpFilter, Parallelism: 1 + rng.Intn(64),
+			Partition: PartitionStrategy(rng.Intn(3)),
+			Filter:    &FilterSpec{Field: 0, Fn: FilterLess, Literal: tuple.Double(rng.Float64()), Selectivity: 0.1 + 0.8*rng.Float64()},
+		})
+		p.Connect(prev, id)
+		prev = id
+	}
+	p.Add(&Operator{ID: "sink", Kind: OpSink, Parallelism: 1})
+	p.Connect(prev, "sink")
+	return p
+}
+
+// TestCloneIndependenceProperty: for random plans, a clone renders
+// identically, and mutating every clone degree leaves the original
+// untouched.
+func TestCloneIndependenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		p := randomChainPlan(rng)
+		q := p.Clone()
+		if p.String() != q.String() {
+			t.Fatalf("clone differs: %s vs %s", p, q)
+		}
+		for _, op := range q.Operators {
+			op.Parallelism += 100
+		}
+		for _, op := range p.Operators {
+			if op.Parallelism > 100 {
+				t.Fatal("clone aliases parallelism")
+			}
+		}
+	}
+}
+
+// TestTopoOrderTotalProperty: random valid chains always produce a
+// complete topological order consistent with every edge.
+func TestTopoOrderTotalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		p := randomChainPlan(rng)
+		order, err := p.TopoOrder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := map[string]int{}
+		for i, id := range order {
+			pos[id] = i
+		}
+		if len(order) != len(p.Operators) {
+			t.Fatal("order incomplete")
+		}
+		for _, e := range p.Edges {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("edge %s→%s violated", e.From, e.To)
+			}
+		}
+	}
+}
+
+// TestInputRatesNonNegativeAndThinning: rates are non-negative and a
+// filter chain's rates never grow downstream.
+func TestInputRatesNonNegativeAndThinning(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		p := randomChainPlan(rng)
+		rates := p.InputRates()
+		order, _ := p.TopoOrder()
+		prev := -1.0
+		for _, id := range order {
+			r := rates[id]
+			if r < 0 {
+				t.Fatalf("negative rate for %s", id)
+			}
+			if p.Op(id).Kind == OpFilter {
+				if prev >= 0 && r > prev+1e-9 {
+					t.Fatalf("rate grew along filter chain: %v → %v", prev, r)
+				}
+				prev = r
+			}
+		}
+	}
+}

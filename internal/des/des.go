@@ -1,0 +1,147 @@
+// Package des is a minimal discrete-event simulation kernel: a simulated
+// clock plus a priority queue of timestamped events. The cluster
+// simulator (internal/simengine) uses it to execute parallel query plans
+// at event rates (up to the paper's 4M events/s) and parallelism degrees
+// (up to 256) that cannot be driven in real time on a single machine.
+package des
+
+import (
+	"container/heap"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-break for simultaneous events
+	fn   func()
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the clock and the event queue.
+type Simulator struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	steps uint64
+}
+
+// New returns a simulator at time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() Time { return s.now }
+
+// Steps returns how many events have been executed.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// Handle lets a scheduled event be cancelled.
+type Handle struct{ e *event }
+
+// Cancel prevents the event from firing; calling it after the event ran
+// is a no-op.
+func (h Handle) Cancel() {
+	if h.e != nil {
+		h.e.dead = true
+	}
+}
+
+// At schedules fn at the given absolute time; scheduling in the past
+// (before Now) fires at Now, preserving causality rather than panicking,
+// because simulation models routinely compute "finished already" service
+// times of zero.
+func (s *Simulator) At(t Time, fn func()) Handle {
+	if t < s.now {
+		t = s.now
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return Handle{e}
+}
+
+// After schedules fn delay seconds from now.
+func (s *Simulator) After(delay Time, fn func()) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Step executes the next event; it reports false when the queue is empty.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock passes the horizon or the
+// queue drains; events scheduled exactly at the horizon still run.
+func (s *Simulator) RunUntil(horizon Time) {
+	for s.queue.Len() > 0 {
+		// Peek.
+		next := s.queue[0]
+		if next.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run executes all events to quiescence (use with models that stop
+// generating new work, otherwise it will not return). The clock is left
+// at the time of the last executed event.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// Pending returns the number of live events still queued.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Errorf("events out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Errorf("fired %d events, want 5", len(fired))
+	}
+	if s.Now() != 5 {
+		t.Errorf("clock = %v, want 5", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1.0, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var at float64
+	s.After(2, func() {
+		s.After(3, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 5 {
+		t.Errorf("nested After fired at %v, want 5", at)
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	s := New()
+	var when float64 = -1
+	s.At(10, func() {
+		s.At(3, func() { when = s.Now() }) // in the past
+	})
+	s.Run()
+	if when != 10 {
+		t.Errorf("past event fired at %v, want clamped to 10", when)
+	}
+	s2 := New()
+	fired := false
+	s2.After(-5, func() { fired = true })
+	s2.Run()
+	if !fired || s2.Now() != 0 {
+		t.Error("negative delay should fire immediately at now")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Errorf("fired %d events by horizon 3, want 3", len(fired))
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want horizon 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	s.RunUntil(10)
+	if len(fired) != 5 {
+		t.Errorf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.At(1, func() { fired = true })
+	h.Cancel()
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if s.Steps() != 0 {
+		t.Errorf("Steps = %d, want 0", s.Steps())
+	}
+	// Cancel after run is a no-op.
+	h2 := s.At(2, func() {})
+	s.Run()
+	h2.Cancel()
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	s.At(1, func() {})
+	if !s.Step() {
+		t.Error("Step with queued event returned false")
+	}
+	if s.Step() {
+		t.Error("Step after draining returned true")
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.After(0.5, tick)
+		}
+	}
+	s.After(0.5, tick)
+	s.Run()
+	if count != 100 {
+		t.Errorf("chained ticks = %d, want 100", count)
+	}
+	if s.Now() != 50 {
+		t.Errorf("clock = %v, want 50", s.Now())
+	}
+	if s.Steps() != 100 {
+		t.Errorf("Steps = %d, want 100", s.Steps())
+	}
+}
+
+func TestRandomizedOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := New()
+	var times []float64
+	for i := 0; i < 1000; i++ {
+		at := rng.Float64() * 100
+		s.At(at, func() { times = append(times, s.Now()) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(times) {
+		t.Error("execution times not monotone under random insertion")
+	}
+	if len(times) != 1000 {
+		t.Errorf("executed %d, want 1000", len(times))
+	}
+}

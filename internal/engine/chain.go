@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+)
+
+// Operator chaining (Options.ChainOperators) fuses runs of operators
+// connected by forward partitioning with equal parallelism into single
+// instances, exactly as Apache Flink chains tasks: fused operators
+// exchange tuples by function call instead of a channel hop, removing
+// per-tuple queueing and goroutine switches on the fused links.
+//
+// An operator B is chained onto A when
+//   - A's only consumer is B and B's only producer is A,
+//   - B uses forward partitioning,
+//   - A and B have the same parallelism, and
+//   - neither end is a source (sources keep their generator loop).
+//
+// Joins can never be chained onto (two producers); sinks can terminate a
+// chain.
+
+// chainedOp is one fused operator with its per-instance state.
+type chainedOp struct {
+	op   *core.Operator
+	agg  *aggregator
+	join *joiner
+	udo  UDO
+	nIn  uint64
+	nOut uint64
+}
+
+// buildChains partitions the plan's operators into chains (each a slice
+// of operators executed by one instance set, head first). Without
+// chaining every operator is its own chain.
+func buildChains(plan *core.PQP, enabled bool) ([][]string, error) {
+	order, err := plan.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if !enabled {
+		chains := make([][]string, 0, len(order))
+		for _, id := range order {
+			chains = append(chains, []string{id})
+		}
+		return chains, nil
+	}
+	canChain := func(aID, bID string) bool {
+		a, b := plan.Op(aID), plan.Op(bID)
+		if a.Kind == core.OpSource || b.Kind == core.OpSource {
+			return false
+		}
+		if b.Partition != core.PartitionForward {
+			return false
+		}
+		if a.Parallelism != b.Parallelism {
+			return false
+		}
+		if len(plan.Downstream(aID)) != 1 || len(plan.Upstream(bID)) != 1 {
+			return false
+		}
+		return true
+	}
+	assigned := make(map[string]bool, len(order))
+	var chains [][]string
+	for _, id := range order {
+		if assigned[id] {
+			continue
+		}
+		chain := []string{id}
+		assigned[id] = true
+		for {
+			last := chain[len(chain)-1]
+			downs := plan.Downstream(last)
+			if len(downs) != 1 || assigned[downs[0]] || !canChain(last, downs[0]) {
+				break
+			}
+			chain = append(chain, downs[0])
+			assigned[downs[0]] = true
+		}
+		chains = append(chains, chain)
+	}
+	return chains, nil
+}
+
+// initState allocates the operator state of one chained op.
+func (c *chainedOp) initState(oi *opInstance) {
+	switch c.op.Kind {
+	case core.OpAggregate:
+		c.agg = newAggregator(c.op.Agg)
+	case core.OpJoin:
+		c.join = newJoiner(c.op.Join)
+	case core.OpUDO, core.OpMap, core.OpFlatMap:
+		if c.op.UDO != nil {
+			c.udo = oi.rt.opts.UDOs[c.op.UDO.Name](oi.idx)
+		}
+	}
+}
+
+// applyAt runs operator semantics at chain position i, feeding emissions
+// into position i+1 (or the instance's output routes after the tail).
+func (oi *opInstance) applyAt(ctx context.Context, i int, t *tuple.Tuple, side int) {
+	if i >= len(oi.chain) {
+		oi.emit(ctx, t)
+		return
+	}
+	c := oi.chain[i]
+	c.nIn++
+	emit := func(out *tuple.Tuple) {
+		c.nOut++
+		oi.applyAt(ctx, i+1, out, 0)
+	}
+	switch c.op.Kind {
+	case core.OpSink:
+		oi.rt.recordDelivery(c.op.ID, t)
+	case core.OpFilter:
+		f := c.op.Filter
+		field := f.Field
+		if field >= t.Width() {
+			field = 0
+		}
+		if f.Fn.Eval(t.At(field), f.Literal) {
+			emit(t)
+		}
+	case core.OpAggregate:
+		c.agg.add(t, emit, oi.rt)
+	case core.OpJoin:
+		c.join.add(t, side, emit)
+	case core.OpUDO, core.OpMap, core.OpFlatMap:
+		if c.udo != nil {
+			oi.safeProcess(c, t, emit)
+			return
+		}
+		emit(t)
+	default:
+		emit(t)
+	}
+}
+
+// safeProcess isolates user-defined operator failures: a panicking UDO
+// drops the offending tuple and is counted, instead of tearing down the
+// whole dataflow — the engine-level counterpart of a task restart, which
+// lets the benchmark inject failures and keep measuring.
+func (oi *opInstance) safeProcess(c *chainedOp, t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	defer func() {
+		if r := recover(); r != nil {
+			oi.rt.recordUDOPanic(c.op.ID, r)
+		}
+	}()
+	c.udo.Process(t, emit)
+}
+
+// flushChain drains every fused operator in order at end-of-stream, with
+// each operator's flush output flowing through the remainder of the
+// chain.
+func (oi *opInstance) flushChain(ctx context.Context) {
+	for i, c := range oi.chain {
+		i := i
+		emit := func(out *tuple.Tuple) {
+			c.nOut++
+			oi.applyAt(ctx, i+1, out, 0)
+		}
+		switch {
+		case c.agg != nil:
+			c.agg.flush(emit)
+		case c.join != nil:
+			// Windowed joins emit eagerly; nothing retained.
+		case c.udo != nil:
+			c.udo.Flush(emit)
+		}
+	}
+}

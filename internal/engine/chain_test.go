@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/stream"
+	"pdspbench/internal/tuple"
+)
+
+// chainablePlan: src → filter → map(identity) → agg → sink where filter,
+// map and agg share parallelism and forward partitioning — the filter→map
+// link is fusable; the agg needs hash partitioning so it starts a new
+// chain.
+func chainablePlan(par int) *core.PQP {
+	p := core.NewPQP("chain-test", "linear")
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1000}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "f", Kind: core.OpFilter, Parallelism: par, Partition: core.PartitionRebalance,
+		Filter:   &core.FilterSpec{Field: 1, Fn: core.FilterGreater, Literal: tuple.Double(0.2), Selectivity: 0.8},
+		OutWidth: 2})
+	p.Add(&core.Operator{ID: "m", Kind: core.OpMap, Parallelism: par, Partition: core.PartitionForward, OutWidth: 2})
+	p.Add(&core.Operator{ID: "agg", Kind: core.OpAggregate, Parallelism: par, Partition: core.PartitionHash,
+		Agg: &core.AggregateSpec{
+			Window: core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyCount, LengthTups: 5},
+			Fn:     core.AggSum, Field: 1, KeyField: 0,
+		}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+	p.Connect("src", "f")
+	p.Connect("f", "m")
+	p.Connect("m", "agg")
+	p.Connect("agg", "sink")
+	return p
+}
+
+func TestBuildChainsFusesForwardLinks(t *testing.T) {
+	plan := chainablePlan(4)
+	chains, err := buildChains(plan, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected chains: [src], [f m], [agg], [sink].
+	byHead := map[string][]string{}
+	for _, c := range chains {
+		byHead[c[0]] = c
+	}
+	if got := byHead["f"]; len(got) != 2 || got[1] != "m" {
+		t.Errorf("filter chain = %v, want [f m]", got)
+	}
+	if len(chains) != 4 {
+		t.Errorf("chains = %v, want 4 chains", chains)
+	}
+}
+
+func TestBuildChainsDisabledKeepsSingletons(t *testing.T) {
+	plan := chainablePlan(4)
+	chains, err := buildChains(plan, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != len(plan.Operators) {
+		t.Errorf("chains = %d, want one per operator", len(chains))
+	}
+}
+
+func TestBuildChainsRespectsBoundaries(t *testing.T) {
+	plan := chainablePlan(4)
+	// Different parallelism breaks the chain.
+	plan.Op("m").Parallelism = 2
+	chains, _ := buildChains(plan, true)
+	for _, c := range chains {
+		if len(c) != 1 {
+			t.Errorf("chained across parallelism mismatch: %v", c)
+		}
+	}
+	// Hash partitioning breaks the chain even with equal parallelism.
+	plan2 := chainablePlan(4)
+	plan2.Op("m").Partition = core.PartitionHash
+	chains2, _ := buildChains(plan2, true)
+	for _, c := range chains2 {
+		if len(c) != 1 {
+			t.Errorf("chained across hash boundary: %v", c)
+		}
+	}
+}
+
+// runChained executes the chainable plan with/without fusion and returns
+// sink outputs plus the report.
+func runChained(t *testing.T, par int, chainOn bool, n int) ([]*tuple.Tuple, *Report) {
+	t.Helper()
+	var in []*tuple.Tuple
+	for i := 0; i < n; i++ {
+		in = append(in, kv(int64(i), int64(i%4), float64(i%10)/10))
+	}
+	sink := &collectSink{}
+	rt, err := New(chainablePlan(par), Options{
+		Sources: map[string]SourceFactory{"src": func(idx int) SourceGenerator {
+			return stream.NewFromTuples(in...)
+		}},
+		SinkTap:        sink.tap,
+		ChainOperators: chainOn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sink.tuples(), rep
+}
+
+func TestChainingPreservesSemantics(t *testing.T) {
+	// Fused and unfused executions must produce identical window results.
+	outOff, repOff := runChained(t, 3, false, 400)
+	outOn, repOn := runChained(t, 3, true, 400)
+	if len(outOn) != len(outOff) {
+		t.Fatalf("chaining changed output count: %d vs %d", len(outOn), len(outOff))
+	}
+	// Window membership depends on cross-instance arrival interleaving
+	// (legal nondeterminism shared by both modes), but every tuple lands
+	// in exactly one tumbling count window of its key — so the per-key
+	// total over all firings is merge-invariant and must match exactly up
+	// to floating-point association.
+	perKeyTotal := func(ts []*tuple.Tuple) map[string]string {
+		sums := map[string]float64{}
+		for _, tp := range ts {
+			sums[tp.At(0).String()] += tp.At(1).D
+		}
+		out := map[string]string{}
+		for k, v := range sums {
+			out[k] = fmt.Sprintf("%.6f", v)
+		}
+		return out
+	}
+	a, b := perKeyTotal(outOff), perKeyTotal(outOn)
+	if len(a) != len(b) {
+		t.Fatalf("chaining changed key set: %v vs %v", a, b)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("chaining changed key %s total: %s vs %s", k, a[k], b[k])
+		}
+	}
+	// Per-operator counters survive fusion: the fused map still reports
+	// its tuples.
+	if repOn.PerOperator["m"].In == 0 {
+		t.Error("fused operator lost its counters")
+	}
+	if repOn.PerOperator["m"].In != repOff.PerOperator["m"].In {
+		t.Errorf("fused map consumed %d, unfused %d", repOn.PerOperator["m"].In, repOff.PerOperator["m"].In)
+	}
+}
+
+func TestChainingWorksAcrossWholeAppSuite(t *testing.T) {
+	// Smoke: a longer pipeline with consecutive forward links.
+	p := core.NewPQP("deep-chain", "linear")
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1000}, OutWidth: 2})
+	prev := "src"
+	for _, id := range []string{"a", "b", "c", "d"} {
+		part := core.PartitionForward
+		if id == "a" {
+			part = core.PartitionRebalance
+		}
+		p.Add(&core.Operator{ID: id, Kind: core.OpFilter, Parallelism: 2, Partition: part,
+			Filter:   &core.FilterSpec{Field: 1, Fn: core.FilterGreaterEq, Literal: tuple.Double(0), Selectivity: 1},
+			OutWidth: 2})
+		p.Connect(prev, id)
+		prev = id
+	}
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 2, Partition: core.PartitionForward})
+	p.Connect(prev, "sink")
+
+	chains, err := buildChains(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a→b→c→d→sink all fuse into one chain.
+	var longest int
+	for _, c := range chains {
+		if len(c) > longest {
+			longest = len(c)
+		}
+	}
+	if longest != 5 {
+		t.Errorf("longest chain = %d, want 5 (a b c d sink): %v", longest, chains)
+	}
+
+	var in []*tuple.Tuple
+	for i := 0; i < 100; i++ {
+		in = append(in, kv(int64(i), int64(i), 0.5))
+	}
+	sink := &collectSink{}
+	rt, err := New(p, Options{
+		Sources: map[string]SourceFactory{"src": func(int) SourceGenerator {
+			return stream.NewFromTuples(in...)
+		}},
+		SinkTap:        sink.tap,
+		ChainOperators: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.tuples()); got != 100 {
+		t.Errorf("delivered %d of 100 through the fused chain", got)
+	}
+}
+
+func TestChainingNeverFusesJoinInputs(t *testing.T) {
+	plan := joinTestPlan(core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 100, SlideRatio: 0.5}, 2)
+	chains, err := buildChains(plan, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chains {
+		for i, id := range c {
+			if plan.Op(id).Kind == core.OpJoin && i != 0 {
+				t.Errorf("join fused mid-chain: %v", c)
+			}
+		}
+	}
+	// And the join plan still runs correctly with chaining on.
+	left := []*tuple.Tuple{kv(10, 1, 1.0)}
+	right := []*tuple.Tuple{kv(30, 1, 10.0)}
+	sink := &collectSink{}
+	rt, err := New(plan, Options{
+		Sources: map[string]SourceFactory{
+			"left":  func(int) SourceGenerator { return stream.NewFromTuples(left...) },
+			"right": func(int) SourceGenerator { return stream.NewFromTuples(right...) },
+		},
+		SinkTap:        sink.tap,
+		ChainOperators: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.tuples()) != 1 {
+		t.Errorf("join under chaining emitted %d, want 1", len(sink.tuples()))
+	}
+}
+
+// faultyUDO panics on every third tuple — failure injection for the
+// engine's isolation guarantee.
+type faultyUDO struct{ n int }
+
+func (f *faultyUDO) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	f.n++
+	if f.n%3 == 0 {
+		panic("injected UDO failure")
+	}
+	emit(t)
+}
+
+func (f *faultyUDO) Flush(func(*tuple.Tuple)) {}
+
+func TestUDOPanicIsolation(t *testing.T) {
+	p := core.NewPQP("fault-test", "custom")
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1000}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "u", Kind: core.OpUDO, Parallelism: 1, Partition: core.PartitionRebalance,
+		UDO: &core.UDOSpec{Name: "faulty", CostFactor: 1, Selectivity: 1}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	p.Connect("src", "u")
+	p.Connect("u", "sink")
+
+	var in []*tuple.Tuple
+	for i := 0; i < 99; i++ {
+		in = append(in, kv(int64(i+1), int64(i), 1))
+	}
+	sink := &collectSink{}
+	rt, err := New(p, Options{
+		Sources: map[string]SourceFactory{"src": func(int) SourceGenerator { return stream.NewFromTuples(in...) }},
+		UDOs:    map[string]UDOFactory{"faulty": func(int) UDO { return &faultyUDO{} }},
+		SinkTap: sink.tap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UDOPanics != 33 {
+		t.Errorf("UDOPanics = %d, want 33 (every third of 99)", rep.UDOPanics)
+	}
+	if got := len(sink.tuples()); got != 66 {
+		t.Errorf("delivered %d, want the 66 surviving tuples", got)
+	}
+	if rep.TuplesIn != 99 {
+		t.Errorf("TuplesIn = %d", rep.TuplesIn)
+	}
+}

@@ -1,0 +1,284 @@
+// Package engine is the real in-process execution backend of PDSP-Bench
+// — the System Under Test role that Apache Flink plays in the paper. It
+// turns a core.PQP into a running dataflow of parallel operator
+// instances (one goroutine each) connected by bounded channels, with the
+// paper's data-partitioning strategies (forward, rebalance, hashing),
+// event-time tumbling/sliding windows under count and time policies,
+// windowed equi-joins, and user-defined operators.
+//
+// Backpressure is intrinsic: channels are bounded, so a slow operator
+// stalls its producers exactly as a real stream processor's bounded
+// network buffers do.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/stats"
+	"pdspbench/internal/tuple"
+)
+
+// SourceGenerator produces the tuples of one source instance. Next
+// returns false at end of stream. Generators own their randomness so
+// runs are reproducible from seeds.
+type SourceGenerator interface {
+	Next() (*tuple.Tuple, bool)
+}
+
+// SourceFactory builds the generator for source instance idx.
+type SourceFactory func(idx int) SourceGenerator
+
+// UDO is user-defined operator logic hosted by the engine. One UDO value
+// serves one instance, so implementations may keep per-instance state
+// without locking.
+type UDO interface {
+	// Process consumes one tuple and emits zero or more outputs.
+	Process(t *tuple.Tuple, emit func(*tuple.Tuple))
+	// Flush is called once at end-of-stream to drain retained state.
+	Flush(emit func(*tuple.Tuple))
+}
+
+// UDOFactory builds the UDO for operator instance idx.
+type UDOFactory func(idx int) UDO
+
+// Options configure a Runtime.
+type Options struct {
+	// Sources maps source operator IDs to generator factories. Every
+	// source in the plan must have one.
+	Sources map[string]SourceFactory
+	// UDOs maps UDO names (core.UDOSpec.Name) to factories.
+	UDOs map[string]UDOFactory
+	// ChannelCapacity bounds operator input channels (default 256).
+	ChannelCapacity int
+	// Throttle makes sources pace emission to the plan's event rate in
+	// real time; unthrottled runs replay as fast as possible (the mode
+	// functional tests use).
+	Throttle bool
+	// ChainOperators fuses forward-partitioned, equal-parallelism
+	// operator runs into single instances (Flink task chaining),
+	// replacing channel hops with function calls on the fused links.
+	ChainOperators bool
+	// SinkTap, when set, receives every tuple delivered to a sink (after
+	// metrics are recorded). Used by examples to print results.
+	SinkTap func(op string, t *tuple.Tuple)
+}
+
+// Report is what a run measures — the same metrics the paper collects.
+type Report struct {
+	// Latency percentiles in seconds over sink deliveries.
+	LatencyP50, LatencyP95, LatencyMean float64
+	// Throughput in tuples/s at the sinks over the wall-clock run.
+	Throughput float64
+	TuplesIn   uint64
+	TuplesOut  uint64
+	LateDrops  uint64
+	// UDOPanics counts tuples dropped because a user-defined operator
+	// panicked; the engine isolates such failures per tuple.
+	UDOPanics uint64
+	Elapsed   time.Duration
+	// PerOperator records tuples consumed and emitted by every logical
+	// operator, summed over its instances — the per-operator counters the
+	// paper's metric collection exposes alongside end-to-end latency.
+	PerOperator map[string]OperatorStats
+}
+
+// OperatorStats are one operator's aggregate counters.
+type OperatorStats struct {
+	In  uint64
+	Out uint64
+}
+
+// Runtime is a deployed dataflow.
+type Runtime struct {
+	plan *core.PQP
+	opts Options
+
+	insts  map[string][]*opInstance
+	report reportState
+}
+
+type reportState struct {
+	mu        sync.Mutex
+	latencies *stats.Sample
+	tuplesIn  uint64
+	tuplesOut uint64
+	lateDrops uint64
+	udoPanics uint64
+	lastPanic string
+}
+
+// New validates the plan and wires the runtime (goroutines start in Run).
+func New(plan *core.PQP, opts Options) (*Runtime, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if opts.ChannelCapacity <= 0 {
+		opts.ChannelCapacity = 256
+	}
+	for _, src := range plan.Sources() {
+		if _, ok := opts.Sources[src.ID]; !ok {
+			return nil, fmt.Errorf("engine: no source generator for %q", src.ID)
+		}
+	}
+	for _, op := range plan.Operators {
+		if op.Kind == core.OpUDO {
+			if op.UDO == nil {
+				return nil, fmt.Errorf("engine: UDO operator %q has no spec", op.ID)
+			}
+			if _, ok := opts.UDOs[op.UDO.Name]; !ok {
+				return nil, fmt.Errorf("engine: no UDO implementation registered for %q", op.UDO.Name)
+			}
+		}
+	}
+	r := &Runtime{
+		plan:  plan,
+		opts:  opts,
+		insts: make(map[string][]*opInstance),
+	}
+	r.report.latencies = stats.NewSample(4096)
+	if err := r.build(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// build creates instances (one set per operator chain) and routing
+// tables between chain boundaries.
+func (r *Runtime) build() error {
+	chains, err := buildChains(r.plan, r.opts.ChainOperators)
+	if err != nil {
+		return err
+	}
+	// Create instances per chain, keyed by the chain head's operator ID.
+	tails := make(map[string]string, len(chains)) // head → tail op ID
+	for _, chain := range chains {
+		head := r.plan.Op(chain[0])
+		ops := make([]*core.Operator, len(chain))
+		for i, id := range chain {
+			ops[i] = r.plan.Op(id)
+		}
+		insts := make([]*opInstance, head.Parallelism)
+		for i := range insts {
+			insts[i] = newOpInstance(r, ops, i)
+		}
+		r.insts[head.ID] = insts
+		tails[head.ID] = chain[len(chain)-1]
+	}
+	// Wire chain tails to downstream chain heads. Every external consumer
+	// of a chain tail is itself a chain head: a fused operator's single
+	// producer is its chain predecessor, so edges leaving a chain can
+	// only land on heads. Join sides follow the plan's edge order.
+	for headID, insts := range r.insts {
+		tailID := tails[headID]
+		tailOp := r.plan.Op(tailID)
+		for _, downID := range r.plan.Downstream(tailID) {
+			down := r.plan.Op(downID)
+			targets, ok := r.insts[downID]
+			if !ok {
+				return fmt.Errorf("engine: internal error: edge %s→%s lands inside a chain", tailID, downID)
+			}
+			side := 0
+			if down.Kind == core.OpJoin {
+				for i, u := range r.plan.Upstream(downID) {
+					if u == tailID {
+						side = i % 2
+					}
+				}
+			}
+			for _, inst := range insts {
+				inst.routes = append(inst.routes, newRouter(down, targets, side, inst.idx))
+			}
+			for _, dinst := range targets {
+				dinst.expectEOS[side] += tailOp.Parallelism
+			}
+		}
+	}
+	return nil
+}
+
+// Run starts every instance, drives the sources to completion (or ctx
+// cancellation) and returns the measured report.
+func (r *Runtime) Run(ctx context.Context) (*Report, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, insts := range r.insts {
+		for _, inst := range insts {
+			wg.Add(1)
+			go func(inst *opInstance) {
+				defer wg.Done()
+				inst.run(ctx)
+			}(inst)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r.report.mu.Lock()
+	defer r.report.mu.Unlock()
+	rep := &Report{
+		PerOperator: make(map[string]OperatorStats, len(r.insts)),
+		LatencyP50:  r.report.latencies.Quantile(0.5),
+		LatencyP95:  r.report.latencies.Quantile(0.95),
+		LatencyMean: r.report.latencies.Mean(),
+		TuplesIn:    r.report.tuplesIn,
+		TuplesOut:   r.report.tuplesOut,
+		LateDrops:   r.report.lateDrops,
+		UDOPanics:   r.report.udoPanics,
+		Elapsed:     elapsed,
+	}
+	for _, insts := range r.insts {
+		for _, inst := range insts {
+			for _, c := range inst.chain {
+				s := rep.PerOperator[c.op.ID]
+				s.In += c.nIn
+				s.Out += c.nOut
+				rep.PerOperator[c.op.ID] = s
+			}
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.TuplesOut) / secs
+	}
+	if ctx.Err() != nil && ctx.Err() != context.Canceled {
+		return rep, ctx.Err()
+	}
+	return rep, nil
+}
+
+// recordDelivery is called by sink instances.
+func (r *Runtime) recordDelivery(op string, t *tuple.Tuple) {
+	now := time.Now().UnixNano()
+	r.report.mu.Lock()
+	r.report.tuplesOut++
+	if t.Ingest > 0 {
+		r.report.latencies.Add(float64(now-t.Ingest) / 1e9)
+	}
+	r.report.mu.Unlock()
+	if r.opts.SinkTap != nil {
+		r.opts.SinkTap(op, t)
+	}
+}
+
+func (r *Runtime) recordIngest(n uint64) {
+	r.report.mu.Lock()
+	r.report.tuplesIn += n
+	r.report.mu.Unlock()
+}
+
+// recordUDOPanic counts an isolated user-operator failure.
+func (r *Runtime) recordUDOPanic(op string, v any) {
+	r.report.mu.Lock()
+	r.report.udoPanics++
+	r.report.lastPanic = fmt.Sprintf("%s: %v", op, v)
+	r.report.mu.Unlock()
+}
+
+func (r *Runtime) recordLateDrop() {
+	r.report.mu.Lock()
+	r.report.lateDrops++
+	r.report.mu.Unlock()
+}

@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+)
+
+type msgKind int
+
+const (
+	msgData msgKind = iota
+	msgEOS
+)
+
+type message struct {
+	kind msgKind
+	t    *tuple.Tuple
+	side int
+}
+
+// router delivers an upstream instance's output to the instances of one
+// downstream chain under its head operator's partition strategy.
+type router struct {
+	targets  []*opInstance
+	strategy core.PartitionStrategy
+	side     int
+	keyField int
+	rr       int
+}
+
+// newRouter resolves the hash key field for the downstream operator: the
+// join field of the matching side for joins, the window key for keyed
+// aggregations, field 0 otherwise.
+func newRouter(down *core.Operator, targets []*opInstance, side, fromIdx int) *router {
+	key := 0
+	switch down.Kind {
+	case core.OpJoin:
+		if down.Join != nil {
+			if side == 0 {
+				key = down.Join.LeftField
+			} else {
+				key = down.Join.RightField
+			}
+		}
+	case core.OpAggregate:
+		if down.Agg != nil && down.Agg.KeyField >= 0 {
+			key = down.Agg.KeyField
+		}
+	}
+	return &router{
+		targets:  targets,
+		strategy: down.Partition,
+		side:     side,
+		keyField: key,
+		rr:       fromIdx, // stagger round-robin start across producers
+	}
+}
+
+// send routes one tuple; it returns false if the context ended.
+func (rt *router) send(ctx context.Context, fromIdx int, t *tuple.Tuple) bool {
+	var dst *opInstance
+	switch rt.strategy {
+	case core.PartitionForward:
+		dst = rt.targets[fromIdx%len(rt.targets)]
+	case core.PartitionHash:
+		f := rt.keyField
+		if f >= t.Width() {
+			f = 0
+		}
+		dst = rt.targets[t.At(f).Hash()%uint64(len(rt.targets))]
+	default: // rebalance
+		dst = rt.targets[rt.rr%len(rt.targets)]
+		rt.rr++
+	}
+	select {
+	case dst.in <- message{kind: msgData, t: t, side: rt.side}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// eos notifies every downstream instance that this producer finished.
+func (rt *router) eos(ctx context.Context) bool {
+	for _, dst := range rt.targets {
+		select {
+		case dst.in <- message{kind: msgEOS, side: rt.side}:
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// opInstance executes one parallel instance of an operator chain (a
+// single operator unless Options.ChainOperators fused several).
+type opInstance struct {
+	rt    *Runtime
+	chain []*chainedOp
+	idx   int
+
+	in        chan message
+	routes    []*router
+	expectEOS [2]int
+	gotEOS    [2]int
+	seq       uint64
+}
+
+// head is the chain's first operator — the one whose partition strategy
+// and parallelism govern the instance.
+func (oi *opInstance) head() *core.Operator { return oi.chain[0].op }
+
+func newOpInstance(r *Runtime, ops []*core.Operator, idx int) *opInstance {
+	oi := &opInstance{
+		rt:  r,
+		idx: idx,
+		in:  make(chan message, r.opts.ChannelCapacity),
+	}
+	for _, op := range ops {
+		oi.chain = append(oi.chain, &chainedOp{op: op})
+	}
+	return oi
+}
+
+// emit forwards a chain-tail output along all outgoing routes.
+func (oi *opInstance) emit(ctx context.Context, t *tuple.Tuple) {
+	for i, rt := range oi.routes {
+		out := t
+		if i > 0 {
+			out = t.Clone() // fan-out must not share mutable tuples
+		}
+		if !rt.send(ctx, oi.idx, out) {
+			return
+		}
+	}
+}
+
+// run is the instance goroutine body.
+func (oi *opInstance) run(ctx context.Context) {
+	if oi.head().Kind == core.OpSource {
+		oi.runSource(ctx)
+		return
+	}
+	for _, c := range oi.chain {
+		c.initState(oi)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case msg := <-oi.in:
+			if msg.kind == msgEOS {
+				oi.gotEOS[msg.side]++
+				if oi.allEOS() {
+					oi.flushChain(ctx)
+					for _, rt := range oi.routes {
+						rt.eos(ctx)
+					}
+					return
+				}
+				continue
+			}
+			oi.applyAt(ctx, 0, msg.t, msg.side)
+		}
+	}
+}
+
+// allEOS reports whether every expected upstream instance finished.
+func (oi *opInstance) allEOS() bool {
+	for side := 0; side < 2; side++ {
+		if oi.gotEOS[side] < oi.expectEOS[side] {
+			return false
+		}
+	}
+	return true
+}
+
+// runSource drives the instance's generator. Sources are never fused, so
+// the chain is exactly [source].
+func (oi *opInstance) runSource(ctx context.Context) {
+	src := oi.head()
+	gen := oi.rt.opts.Sources[src.ID](oi.idx)
+	rate := src.Source.EventRate / float64(src.Parallelism)
+	var emitted uint64
+	throttleStart := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		t, ok := gen.Next()
+		if !ok {
+			break
+		}
+		now := time.Now().UnixNano()
+		t.Ingest = now
+		if t.EventTime == 0 {
+			t.EventTime = now
+		}
+		t.Seq = oi.seq
+		oi.seq++
+		oi.rt.recordIngest(1)
+		oi.chain[0].nOut++
+		oi.emit(ctx, t)
+		emitted++
+		if oi.rt.opts.Throttle && rate > 0 && emitted%64 == 0 {
+			// Pace to the configured event rate in wall-clock time.
+			want := time.Duration(float64(emitted) / rate * float64(time.Second))
+			if ahead := want - time.Since(throttleStart); ahead > 0 {
+				select {
+				case <-time.After(ahead):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}
+	for _, rt := range oi.routes {
+		rt.eos(ctx)
+	}
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+)
+
+// joinEntry is one buffered tuple on one side of a windowed join.
+type joinEntry struct {
+	t  *tuple.Tuple
+	et int64
+}
+
+// joiner is a symmetric windowed equi-join: each arriving tuple probes
+// the opposite side's buffer for key matches within the window, emits
+// the concatenated results immediately, then joins the buffer of its own
+// side. Time-policy windows bound matches by event-time distance;
+// count-policy windows bound each side's buffer to the window length in
+// tuples (the streaming interpretation of a count window join).
+type joiner struct {
+	spec  *core.JoinSpec
+	buf   [2]map[uint64][]joinEntry
+	fifo  [2][]*joinEntry
+	lenNs int64
+	cap   int
+	wm    int64
+	adds  int
+}
+
+func newJoiner(spec *core.JoinSpec) *joiner {
+	j := &joiner{spec: spec}
+	j.buf[0] = make(map[uint64][]joinEntry)
+	j.buf[1] = make(map[uint64][]joinEntry)
+	if spec.Window.Policy == core.PolicyTime {
+		j.lenNs = spec.Window.LengthMs * int64(1e6)
+	} else {
+		j.cap = spec.Window.LengthTups
+	}
+	return j
+}
+
+// keyOf extracts the join key of a tuple arriving on the given side.
+func (j *joiner) keyOf(t *tuple.Tuple, side int) tuple.Value {
+	f := j.spec.LeftField
+	if side == 1 {
+		f = j.spec.RightField
+	}
+	if f < 0 || f >= t.Width() {
+		f = 0
+	}
+	return t.At(f)
+}
+
+// add processes one arrival: probe, emit matches, insert, evict.
+func (j *joiner) add(t *tuple.Tuple, side int, emit func(*tuple.Tuple)) {
+	if side != 0 {
+		side = 1
+	}
+	key := j.keyOf(t, side)
+	h := key.Hash()
+	other := 1 - side
+	if t.EventTime > j.wm {
+		j.wm = t.EventTime
+	}
+	// Probe the opposite buffer.
+	for _, e := range j.buf[other][h] {
+		if !j.keyOf(e.t, other).Equal(key) {
+			continue
+		}
+		if j.lenNs > 0 {
+			d := t.EventTime - e.et
+			if d < 0 {
+				d = -d
+			}
+			if d > j.lenNs {
+				continue
+			}
+		}
+		emit(j.joined(t, e.t, side))
+	}
+	// Insert into this side's buffer.
+	entry := joinEntry{t: t, et: t.EventTime}
+	j.buf[side][h] = append(j.buf[side][h], entry)
+	if j.cap > 0 {
+		j.fifo[side] = append(j.fifo[side], &entry)
+		j.evictCount(side)
+	} else if j.adds++; j.adds%64 == 0 {
+		// Expired entries cannot produce matches (the probe re-checks the
+		// time bound), so a periodic sweep amortizes eviction cost.
+		j.evictTime(side)
+		j.evictTime(other)
+	}
+}
+
+// joined concatenates values left-then-right regardless of arrival side.
+func (j *joiner) joined(arrived, buffered *tuple.Tuple, arrivedSide int) *tuple.Tuple {
+	l, r := arrived, buffered
+	if arrivedSide == 1 {
+		l, r = buffered, arrived
+	}
+	vals := make([]tuple.Value, 0, l.Width()+r.Width())
+	vals = append(vals, l.Values...)
+	vals = append(vals, r.Values...)
+	out := &tuple.Tuple{Values: vals}
+	out.EventTime = maxI64(l.EventTime, r.EventTime)
+	out.Ingest = maxI64(l.Ingest, r.Ingest)
+	return out
+}
+
+// evictTime drops entries older than the window from one side.
+func (j *joiner) evictTime(side int) {
+	horizon := j.wm - j.lenNs
+	for h, entries := range j.buf[side] {
+		keep := entries[:0]
+		for _, e := range entries {
+			if e.et >= horizon {
+				keep = append(keep, e)
+			}
+		}
+		if len(keep) == 0 {
+			delete(j.buf[side], h)
+		} else {
+			j.buf[side][h] = keep
+		}
+	}
+}
+
+// evictCount bounds one side's buffer to the count window length.
+func (j *joiner) evictCount(side int) {
+	for len(j.fifo[side]) > j.cap {
+		old := j.fifo[side][0]
+		j.fifo[side] = j.fifo[side][1:]
+		h := j.keyOf(old.t, side).Hash()
+		entries := j.buf[side][h]
+		for i := range entries {
+			if entries[i].t == old.t {
+				j.buf[side][h] = append(entries[:i], entries[i+1:]...)
+				break
+			}
+		}
+		if len(j.buf[side][h]) == 0 {
+			delete(j.buf[side], h)
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+)
+
+// aggState incrementally folds one group's values.
+type aggState struct {
+	key       tuple.Value
+	keyed     bool
+	count     int64
+	sum       float64
+	min, max  float64
+	maxEvent  int64
+	maxIngest int64
+}
+
+func newAggState(key tuple.Value, keyed bool) *aggState {
+	return &aggState{key: key, keyed: keyed, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (a *aggState) add(v float64, t *tuple.Tuple) {
+	a.count++
+	a.sum += v
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+	if t.EventTime > a.maxEvent {
+		a.maxEvent = t.EventTime
+	}
+	if t.Ingest > a.maxIngest {
+		a.maxIngest = t.Ingest
+	}
+}
+
+// value evaluates the aggregate function over the folded state.
+func (a *aggState) value(fn core.AggFn) float64 {
+	switch fn {
+	case core.AggMin:
+		return a.min
+	case core.AggMax:
+		return a.max
+	case core.AggSum:
+		return a.sum
+	case core.AggCount:
+		return float64(a.count)
+	default: // avg and mean
+		if a.count == 0 {
+			return 0
+		}
+		return a.sum / float64(a.count)
+	}
+}
+
+// result materializes the output tuple: (key, value) for keyed windows,
+// (value) for global ones.
+func (a *aggState) result(fn core.AggFn) *tuple.Tuple {
+	v := tuple.Double(a.value(fn))
+	t := &tuple.Tuple{EventTime: a.maxEvent, Ingest: a.maxIngest}
+	if a.keyed {
+		t.Values = []tuple.Value{a.key, v}
+	} else {
+		t.Values = []tuple.Value{v}
+	}
+	return t
+}
+
+// pane is one time-policy window instance.
+type pane struct {
+	start  int64
+	keys   map[uint64]*aggState
+	global *aggState
+}
+
+// aggregator implements windowed aggregation for one operator instance:
+// event-time tumbling/sliding panes under the time policy, per-key
+// tumbling counters and sliding rings under the count policy.
+type aggregator struct {
+	spec *core.AggregateSpec
+
+	// Time policy.
+	panes          map[int64]*pane
+	watermark      int64
+	lenNs, slideNs int64
+
+	// Count policy.
+	counters  map[uint64]*aggState // tumbling: accumulate then reset
+	rings     map[uint64]*ring     // sliding: last N values
+	slideTup  int
+	sinceEmit map[uint64]int
+}
+
+// ring buffers the most recent window of values for sliding count
+// windows, which must re-aggregate over retained values.
+type ring struct {
+	key     tuple.Value
+	keyed   bool
+	vals    []float64
+	events  []int64
+	ingests []int64
+	cap     int
+}
+
+func (r *ring) push(v float64, t *tuple.Tuple) {
+	r.vals = append(r.vals, v)
+	r.events = append(r.events, t.EventTime)
+	r.ingests = append(r.ingests, t.Ingest)
+	if len(r.vals) > r.cap {
+		r.vals = r.vals[1:]
+		r.events = r.events[1:]
+		r.ingests = r.ingests[1:]
+	}
+}
+
+func (r *ring) state() *aggState {
+	st := newAggState(r.key, r.keyed)
+	for i, v := range r.vals {
+		st.add(v, &tuple.Tuple{EventTime: r.events[i], Ingest: r.ingests[i]})
+	}
+	return st
+}
+
+func newAggregator(spec *core.AggregateSpec) *aggregator {
+	a := &aggregator{spec: spec}
+	if spec.Window.Policy == core.PolicyTime {
+		a.panes = make(map[int64]*pane)
+		a.lenNs = spec.Window.LengthMs * int64(1e6)
+		a.slideNs = int64(spec.Window.Slide() * 1e6)
+		if a.slideNs <= 0 {
+			a.slideNs = a.lenNs
+		}
+	} else {
+		a.counters = make(map[uint64]*aggState)
+		a.rings = make(map[uint64]*ring)
+		a.sinceEmit = make(map[uint64]int)
+		a.slideTup = int(spec.Window.Slide())
+		if a.slideTup <= 0 {
+			a.slideTup = spec.Window.LengthTups
+		}
+	}
+	return a
+}
+
+// groupOf extracts the grouping key; global windows group under one key.
+func (a *aggregator) groupOf(t *tuple.Tuple) (uint64, tuple.Value, bool) {
+	if a.spec.KeyField >= 0 && a.spec.KeyField < t.Width() {
+		k := t.At(a.spec.KeyField)
+		return k.Hash(), k, true
+	}
+	return 0, tuple.Value{}, false
+}
+
+func (a *aggregator) fieldValue(t *tuple.Tuple) float64 {
+	f := a.spec.Field
+	if f < 0 || f >= t.Width() {
+		f = 0
+	}
+	return t.At(f).AsFloat()
+}
+
+// add folds one tuple into the window state, emitting any completed
+// windows. rt records late drops; it may be nil in unit tests.
+func (a *aggregator) add(t *tuple.Tuple, emit func(*tuple.Tuple), rt *Runtime) {
+	if a.spec.Window.Policy == core.PolicyTime {
+		a.addTime(t, emit, rt)
+		return
+	}
+	a.addCount(t, emit)
+}
+
+func (a *aggregator) addTime(t *tuple.Tuple, emit func(*tuple.Tuple), rt *Runtime) {
+	et := t.EventTime
+	v := a.fieldValue(t)
+	h, key, keyed := a.groupOf(t)
+	// Assign to every pane whose [start, start+len) covers et.
+	first := alignDown(et, a.slideNs)
+	assigned := false
+	for start := first; start > et-a.lenNs; start -= a.slideNs {
+		if start+a.lenNs <= a.watermark {
+			// Pane already fired: late data.
+			if rt != nil && !assigned {
+				rt.recordLateDrop()
+			}
+			break
+		}
+		p, ok := a.panes[start]
+		if !ok {
+			p = &pane{start: start, keys: make(map[uint64]*aggState)}
+			a.panes[start] = p
+		}
+		var st *aggState
+		if keyed {
+			st, ok = p.keys[h]
+			if !ok {
+				st = newAggState(key, true)
+				p.keys[h] = st
+			}
+		} else {
+			if p.global == nil {
+				p.global = newAggState(tuple.Value{}, false)
+			}
+			st = p.global
+		}
+		st.add(v, t)
+		assigned = true
+		if start < 0 {
+			break
+		}
+	}
+	// Advance the watermark and fire completed panes.
+	if et > a.watermark {
+		a.watermark = et
+		a.firePanes(emit, a.watermark)
+	}
+}
+
+// firePanes emits and evicts every pane that closed at or before wm, in
+// deterministic start order.
+func (a *aggregator) firePanes(emit func(*tuple.Tuple), wm int64) {
+	var due []int64
+	for start := range a.panes {
+		if start+a.lenNs <= wm {
+			due = append(due, start)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, start := range due {
+		a.emitPane(a.panes[start], emit)
+		delete(a.panes, start)
+	}
+}
+
+func (a *aggregator) emitPane(p *pane, emit func(*tuple.Tuple)) {
+	if p.global != nil {
+		emit(p.global.result(a.spec.Fn))
+		return
+	}
+	// Deterministic key order for reproducible outputs.
+	hs := make([]uint64, 0, len(p.keys))
+	for h := range p.keys {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	for _, h := range hs {
+		emit(p.keys[h].result(a.spec.Fn))
+	}
+}
+
+func (a *aggregator) addCount(t *tuple.Tuple, emit func(*tuple.Tuple)) {
+	v := a.fieldValue(t)
+	h, key, keyed := a.groupOf(t)
+	if a.spec.Window.Type == core.WindowTumbling {
+		st, ok := a.counters[h]
+		if !ok {
+			st = newAggState(key, keyed)
+			a.counters[h] = st
+		}
+		st.add(v, t)
+		if st.count >= int64(a.spec.Window.LengthTups) {
+			emit(st.result(a.spec.Fn))
+			delete(a.counters, h)
+		}
+		return
+	}
+	// Sliding count window: ring of the last LengthTups values, emitting
+	// every slideTup arrivals once the ring first fills.
+	r, ok := a.rings[h]
+	if !ok {
+		r = &ring{key: key, keyed: keyed, cap: a.spec.Window.LengthTups}
+		a.rings[h] = r
+	}
+	r.push(v, t)
+	a.sinceEmit[h]++
+	if len(r.vals) >= r.cap && a.sinceEmit[h] >= a.slideTup {
+		emit(r.state().result(a.spec.Fn))
+		a.sinceEmit[h] = 0
+	}
+}
+
+// flush emits all retained partial windows at end-of-stream.
+func (a *aggregator) flush(emit func(*tuple.Tuple)) {
+	if a.panes != nil {
+		a.firePanes(emit, math.MaxInt64)
+	}
+	if a.counters != nil {
+		hs := make([]uint64, 0, len(a.counters))
+		for h := range a.counters {
+			hs = append(hs, h)
+		}
+		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+		for _, h := range hs {
+			if a.counters[h].count > 0 {
+				emit(a.counters[h].result(a.spec.Fn))
+			}
+		}
+	}
+	if a.rings != nil {
+		hs := make([]uint64, 0, len(a.rings))
+		for h := range a.rings {
+			hs = append(hs, h)
+		}
+		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+		for _, h := range hs {
+			if r := a.rings[h]; len(r.vals) > 0 && len(r.vals) < r.cap {
+				// Full rings already emitted on their slide; emit only
+				// never-fired partial windows.
+				emit(r.state().result(a.spec.Fn))
+			}
+		}
+	}
+}
+
+// alignDown floors t to a multiple of step, correct for negative t too.
+func alignDown(t, step int64) int64 {
+	if step <= 0 {
+		return t
+	}
+	q := t / step
+	if t < 0 && t%step != 0 {
+		q--
+	}
+	return q * step
+}

@@ -1,0 +1,130 @@
+// Package metrics defines the result records PDSP-Bench collects and the
+// figure/table rendering used to report them — the role of the paper's
+// metric collection plus the textual half of its WUI visualisations.
+// Every experiment produces a Figure whose series mirror the lines/bars
+// of the corresponding paper figure.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one x/y pair of a series; X is a category label (parallelism
+// category, application code, …).
+type Point struct {
+	X string  `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Series is one line/bar group of a figure.
+type Series struct {
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
+}
+
+// Get returns the Y value at label x, and whether it exists.
+func (s *Series) Get(x string) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is the data behind one paper figure.
+type Figure struct {
+	ID     string   `json:"id"` // e.g. "fig3-top"
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
+}
+
+// Series returns the series with the given label, or nil.
+func (f *Figure) SeriesByLabel(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Render prints the figure as an aligned text table: rows are series,
+// columns are the union of X labels in first-appearance order.
+func (f *Figure) Render() string {
+	var xs []string
+	seen := map[string]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-22s", f.XLabel+`\`+f.YLabel)
+	for _, x := range xs {
+		fmt.Fprintf(&b, " %12s", x)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-22s", s.Label)
+		for _, x := range xs {
+			if y, ok := s.Get(x); ok {
+				fmt.Fprintf(&b, " %12.2f", y)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunRecord is one benchmarked query execution — the unit stored in the
+// run database (the paper's MongoDB) and consumed as an ML training row.
+type RunRecord struct {
+	ID          string  `json:"id"`
+	Workload    string  `json:"workload"` // structure name or app code
+	Cluster     string  `json:"cluster"`
+	Category    string  `json:"category"` // parallelism category
+	MaxDegree   int     `json:"max_degree"`
+	EventRate   float64 `json:"event_rate"`
+	LatencyP50  float64 `json:"latency_p50"`
+	LatencyP95  float64 `json:"latency_p95"`
+	LatencyMean float64 `json:"latency_mean"`
+	Throughput  float64 `json:"throughput"`
+	Saturated   bool    `json:"saturated"`
+	Runs        int     `json:"runs"`
+}
+
+// Table renders records as an aligned table sorted by workload then
+// category, the layout the CLI reports.
+func Table(records []RunRecord) string {
+	sorted := append([]RunRecord(nil), records...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Workload != sorted[j].Workload {
+			return sorted[i].Workload < sorted[j].Workload
+		}
+		return sorted[i].MaxDegree < sorted[j].MaxDegree
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-12s %-5s %10s %12s %12s %12s %5s\n",
+		"workload", "cluster", "cat", "rate", "p50(ms)", "p95(ms)", "tput(ev/s)", "sat")
+	for _, r := range sorted {
+		sat := ""
+		if r.Saturated {
+			sat = "SAT"
+		}
+		fmt.Fprintf(&b, "%-20s %-12s %-5s %10.0f %12.2f %12.2f %12.0f %5s\n",
+			r.Workload, r.Cluster, r.Category, r.EventRate,
+			r.LatencyP50*1000, r.LatencyP95*1000, r.Throughput, sat)
+	}
+	return b.String()
+}

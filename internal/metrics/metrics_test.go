@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		ID: "fig-test", Title: "test", XLabel: "structure", YLabel: "latency",
+		Series: []Series{
+			{Label: "XS", Points: []Point{{X: "linear", Y: 10}, {X: "join", Y: 20}}},
+			{Label: "M", Points: []Point{{X: "linear", Y: 5}}},
+		},
+	}
+}
+
+func TestSeriesGet(t *testing.T) {
+	f := sampleFigure()
+	if y, ok := f.Series[0].Get("join"); !ok || y != 20 {
+		t.Errorf("Get(join) = %v, %v", y, ok)
+	}
+	if _, ok := f.Series[0].Get("missing"); ok {
+		t.Error("Get returned value for missing label")
+	}
+}
+
+func TestSeriesByLabel(t *testing.T) {
+	f := sampleFigure()
+	if s := f.SeriesByLabel("M"); s == nil || len(s.Points) != 1 {
+		t.Errorf("SeriesByLabel(M) = %v", s)
+	}
+	if f.SeriesByLabel("XXL") != nil {
+		t.Error("SeriesByLabel returned non-existent series")
+	}
+}
+
+func TestRenderAlignsColumnsAndMarksGaps(t *testing.T) {
+	out := sampleFigure().Render()
+	if !strings.Contains(out, "fig-test") {
+		t.Error("render missing figure ID")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 2 series rows + title line.
+	if len(lines) != 4 {
+		t.Fatalf("render has %d lines: %q", len(lines), out)
+	}
+	// The M series has no "join" point; its row must show a dash.
+	if !strings.Contains(lines[3], "-") {
+		t.Errorf("missing point not marked: %q", lines[3])
+	}
+	if !strings.Contains(lines[1], "linear") || !strings.Contains(lines[1], "join") {
+		t.Errorf("header missing x labels: %q", lines[1])
+	}
+}
+
+func TestTableSortsAndFormats(t *testing.T) {
+	records := []RunRecord{
+		{Workload: "b", Cluster: "m510", Category: "M", MaxDegree: 8, EventRate: 1000, LatencyP50: 0.5, Throughput: 100},
+		{Workload: "a", Cluster: "m510", Category: "XS", MaxDegree: 1, EventRate: 1000, LatencyP50: 0.25, Throughput: 50, Saturated: true},
+		{Workload: "a", Cluster: "m510", Category: "L", MaxDegree: 32, EventRate: 1000, LatencyP50: 0.1, Throughput: 200},
+	}
+	out := Table(records)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	// Sorted by workload then degree: a/1, a/32, b/8.
+	if !strings.Contains(lines[1], "XS") || !strings.Contains(lines[2], "L") || !strings.Contains(lines[3], "M") {
+		t.Errorf("table order wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "SAT") {
+		t.Error("saturated run not marked")
+	}
+	if strings.Contains(lines[2], "SAT") {
+		t.Error("non-saturated run marked SAT")
+	}
+	// Latency is rendered in milliseconds.
+	if !strings.Contains(lines[1], "250.00") {
+		t.Errorf("p50 not converted to ms:\n%s", out)
+	}
+}

@@ -1,0 +1,157 @@
+// Package feature encodes parallel query plans for the learned cost
+// models. Two encodings are produced from the same plan, mirroring the
+// paper's Exp-3 setup:
+//
+//   - a flat fixed-width vector (per-operator features aggregated by
+//     mean and max plus query-level features) for linear regression,
+//     MLP and random forest — these architectures cannot consume
+//     structure, which is precisely the handicap the paper observes;
+//   - a graph encoding (per-node feature vectors plus the DAG edges) for
+//     the GNN, which "encodes PQP as a DAG ... treating different
+//     operators within PQP as nodes, and the relationships between them
+//     as edges".
+package feature
+
+import (
+	"math"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+)
+
+// NodeDim is the per-operator feature dimension.
+const NodeDim = core.NumOpKinds + 11
+
+// nodeFeatures encodes one operator. Continuous features are log-scaled
+// where they span orders of magnitude.
+func nodeFeatures(plan *core.PQP, op *core.Operator, cl *cluster.Cluster, rates map[string]float64) []float64 {
+	f := make([]float64, NodeDim)
+	f[int(op.Kind)] = 1 // one-hot operator kind
+	i := core.NumOpKinds
+	f[i+0] = math.Log2(float64(op.Parallelism) + 1)
+	f[i+1] = op.Selectivity()
+	f[i+2] = math.Log2(op.CostFactor() + 1)
+	f[i+3] = math.Log10(rates[op.ID] + 1) // propagated input rate
+	f[i+4] = float64(op.OutWidth) / 15    // tuple width, Table 3 scale
+	if w := op.WindowSpecOf(); w != nil {
+		f[i+5] = math.Log10(w.Length() + 1)
+		if w.Type == core.WindowSliding {
+			f[i+6] = w.SlideRatio
+		} else {
+			f[i+6] = 1 // tumbling slides by its full length
+		}
+		if w.Policy == core.PolicyTime {
+			f[i+7] = 1
+		}
+	}
+	if op.UDO != nil {
+		f[i+8] = op.UDO.StateFactor
+	}
+	// Hardware context: the paper's heterogeneous placements make the
+	// hosting cluster's speed range part of the cost surface.
+	if cl != nil && len(cl.Nodes) > 0 {
+		f[i+9] = (cl.MinNodeSpeed() + cl.MaxNodeSpeed()) / 2
+		f[i+10] = math.Log2(float64(cl.TotalCores()) + 1)
+	}
+	return f
+}
+
+// Graph is the GNN input: node feature rows and incoming-edge adjacency.
+type Graph struct {
+	Nodes [][]float64
+	// In[i] lists node indexes with an edge into node i (dataflow
+	// upstream neighbours).
+	In [][]int
+	// Order holds node indexes in topological order, sources first.
+	Order []int
+}
+
+// EncodeGraph builds the DAG encoding of a plan deployed on a cluster.
+func EncodeGraph(plan *core.PQP, cl *cluster.Cluster) *Graph {
+	rates := plan.InputRates()
+	idx := make(map[string]int, len(plan.Operators))
+	g := &Graph{}
+	for i, op := range plan.Operators {
+		idx[op.ID] = i
+		g.Nodes = append(g.Nodes, nodeFeatures(plan, op, cl, rates))
+	}
+	g.In = make([][]int, len(plan.Operators))
+	for _, e := range plan.Edges {
+		g.In[idx[e.To]] = append(g.In[idx[e.To]], idx[e.From])
+	}
+	if order, err := plan.TopoOrder(); err == nil {
+		for _, id := range order {
+			g.Order = append(g.Order, idx[id])
+		}
+	} else {
+		for i := range plan.Operators {
+			g.Order = append(g.Order, i)
+		}
+	}
+	return g
+}
+
+// FlatDim is the flat-encoding dimension: mean and max of node features
+// plus query-level scalars.
+const FlatDim = 2*NodeDim + 7
+
+// EncodeFlat aggregates per-operator features into a fixed-width vector.
+func EncodeFlat(plan *core.PQP, cl *cluster.Cluster) []float64 {
+	g := EncodeGraph(plan, cl)
+	out := make([]float64, 0, FlatDim)
+	out = append(out, meanRows(g.Nodes, NodeDim)...)
+	out = append(out, maxRows(g.Nodes, NodeDim)...)
+
+	var totalPar, maxPar, rate float64
+	for _, op := range plan.Operators {
+		totalPar += float64(op.Parallelism)
+		if float64(op.Parallelism) > maxPar {
+			maxPar = float64(op.Parallelism)
+		}
+		if op.Kind == core.OpSource {
+			rate += op.Source.EventRate
+		}
+	}
+	out = append(out,
+		float64(len(plan.Operators))/16,
+		float64(plan.CountKind(core.OpJoin)),
+		float64(plan.CountKind(core.OpFilter)),
+		float64(plan.CountKind(core.OpUDO)),
+		math.Log2(totalPar+1),
+		math.Log2(maxPar+1),
+		math.Log10(rate+1),
+	)
+	return out
+}
+
+func meanRows(rows [][]float64, dim int) []float64 {
+	out := make([]float64, dim)
+	if len(rows) == 0 {
+		return out
+	}
+	for _, r := range rows {
+		for i, v := range r {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(rows))
+	}
+	return out
+}
+
+func maxRows(rows [][]float64, dim int) []float64 {
+	out := make([]float64, dim)
+	if len(rows) == 0 {
+		return out
+	}
+	copy(out, rows[0])
+	for _, r := range rows[1:] {
+		for i, v := range r {
+			if v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}

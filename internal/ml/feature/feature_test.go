@@ -1,0 +1,129 @@
+package feature
+
+import (
+	"testing"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+	"pdspbench/internal/workload"
+)
+
+func testPlan(t *testing.T, s workload.Structure, degree int) *core.PQP {
+	t.Helper()
+	p := workload.Params{
+		EventRate:  100_000,
+		TupleWidth: 4,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeDouble, tuple.TypeDouble, tuple.TypeString},
+		Window:     core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 1000, SlideRatio: 0.5},
+		AggFn:      core.AggSum, FilterFn: core.FilterLess, Selectivity: 0.5,
+		Partition: core.PartitionRebalance, Distribution: "poisson",
+	}
+	plan, err := workload.Build(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.SetUniformParallelism(degree)
+	return plan
+}
+
+func TestEncodeGraphShape(t *testing.T) {
+	plan := testPlan(t, workload.StructTwoWayJoin, 4)
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	g := EncodeGraph(plan, cl)
+	if len(g.Nodes) != len(plan.Operators) {
+		t.Fatalf("nodes = %d, want %d", len(g.Nodes), len(plan.Operators))
+	}
+	for i, n := range g.Nodes {
+		if len(n) != NodeDim {
+			t.Fatalf("node %d has dim %d, want %d", i, len(n), NodeDim)
+		}
+	}
+	// Edge count must match the plan.
+	var edges int
+	for _, in := range g.In {
+		edges += len(in)
+	}
+	if edges != len(plan.Edges) {
+		t.Errorf("graph has %d edges, plan %d", edges, len(plan.Edges))
+	}
+	if len(g.Order) != len(g.Nodes) {
+		t.Errorf("topological order covers %d of %d nodes", len(g.Order), len(g.Nodes))
+	}
+}
+
+func TestOneHotKindSet(t *testing.T) {
+	plan := testPlan(t, workload.StructLinear, 2)
+	g := EncodeGraph(plan, nil)
+	for i, op := range plan.Operators {
+		for k := 0; k < core.NumOpKinds; k++ {
+			want := 0.0
+			if k == int(op.Kind) {
+				want = 1
+			}
+			if g.Nodes[i][k] != want {
+				t.Errorf("node %s one-hot[%d] = %v, want %v", op.ID, k, g.Nodes[i][k], want)
+			}
+		}
+	}
+}
+
+func TestParallelismChangesFeatures(t *testing.T) {
+	a := EncodeFlat(testPlan(t, workload.StructThreeJoin, 2), nil)
+	b := EncodeFlat(testPlan(t, workload.StructThreeJoin, 64), nil)
+	if len(a) != FlatDim || len(b) != FlatDim {
+		t.Fatalf("flat dims %d/%d, want %d", len(a), len(b), FlatDim)
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("parallelism 2 and 64 encode identically; cost models cannot learn parallelism effects")
+	}
+}
+
+func TestClusterChangesFeatures(t *testing.T) {
+	plan := testPlan(t, workload.StructLinear, 4)
+	ho := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	he := cluster.NewHeterogeneous("he", []cluster.NodeType{cluster.C6525_25G, cluster.C6320}, 5)
+	a, b := EncodeFlat(plan, ho), EncodeFlat(plan, he)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different clusters encode identically; hardware diversity invisible to models")
+	}
+}
+
+func TestStructuresDifferInQueryLevelFeatures(t *testing.T) {
+	lin := EncodeFlat(testPlan(t, workload.StructLinear, 4), nil)
+	join := EncodeFlat(testPlan(t, workload.StructFourJoin, 4), nil)
+	// Join count feature (FlatDim-6) must differ.
+	if lin[FlatDim-6] == join[FlatDim-6] {
+		t.Errorf("join-count feature identical: %v vs %v", lin[FlatDim-6], join[FlatDim-6])
+	}
+}
+
+func TestGraphOrderIsTopological(t *testing.T) {
+	plan := testPlan(t, workload.StructThreeJoin, 2)
+	g := EncodeGraph(plan, nil)
+	pos := make(map[int]int, len(g.Order))
+	for p, n := range g.Order {
+		pos[n] = p
+	}
+	for to, ins := range g.In {
+		for _, from := range ins {
+			if pos[from] >= pos[to] {
+				t.Fatalf("order violates edge %d→%d", from, to)
+			}
+		}
+	}
+}

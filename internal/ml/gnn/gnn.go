@@ -1,0 +1,334 @@
+// Package gnn implements the graph-neural-network cost model of the
+// paper's Exp-3 [after ZeroTune/COSTREAM]: the PQP is encoded as a DAG
+// whose nodes are operators and whose edges are dataflow relationships;
+// GraphSAGE-style message-passing layers (mean aggregation over upstream
+// neighbours) produce node embeddings that are read out with
+// jumping-knowledge pooling: every layer's embeddings (not just the
+// last) are pooled by mean, max and sum, so deep plans whose dataflow
+// paths exceed the receptive field still contribute bottleneck (max)
+// and total-work (sum) signals, and an MLP head regresses log latency. The graph representation lets
+// it "capture and utilize the intricate dependencies within the query
+// structures", the property the paper credits for the GNN's consistently
+// lowest q-error (O8).
+package gnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"pdspbench/internal/ml"
+	"pdspbench/internal/ml/feature"
+	"pdspbench/internal/ml/mlmath"
+)
+
+// sumPoolScale damps the sum pool (≈1/typical plan size).
+const sumPoolScale = 0.125
+
+// Model is the message-passing cost model.
+type Model struct {
+	// Hidden is the embedding width; zero selects 32.
+	Hidden int
+	// Layers is the number of message-passing rounds; zero selects 2.
+	Layers int
+
+	emb   *mlmath.Dense
+	self  []*mlmath.Dense
+	nb    []*mlmath.Dense
+	head1 *mlmath.Dense
+	head2 *mlmath.Dense
+}
+
+// New returns an untrained model with default architecture.
+func New() *Model { return &Model{} }
+
+// Name implements ml.Model.
+func (m *Model) Name() string { return "GNN" }
+
+func (m *Model) init(rng *rand.Rand) {
+	h := m.Hidden
+	if h <= 0 {
+		h = 32
+		m.Hidden = h
+	}
+	if m.Layers <= 0 {
+		m.Layers = 2
+	}
+	m.emb = mlmath.NewDense(feature.NodeDim, h, rng)
+	m.self = nil
+	m.nb = nil
+	for l := 0; l < m.Layers; l++ {
+		m.self = append(m.self, mlmath.NewDense(h, h, rng))
+		m.nb = append(m.nb, mlmath.NewDense(h, h, rng))
+	}
+	m.head1 = mlmath.NewDense(3*h*(m.Layers+1), 32, rng)
+	m.head2 = mlmath.NewDense(32, 1, rng)
+}
+
+// trace stores a forward pass for backpropagation.
+type trace struct {
+	g *feature.Graph
+	// pre0/h[0] are the embedding pre-activations/activations; h has
+	// Layers+1 entries of per-node vectors.
+	pre0 [][]float64
+	h    [][][]float64
+	msg  [][][]float64 // msg[l][i] = mean of h[l][In(i)]
+	z    [][][]float64 // pre-activations of layer l+1
+	pool []float64     // per-layer mean ‖ max ‖ sum, concatenated
+	amax [][]int       // per-layer argmax node per dim for max-pool backprop
+	hid1 []float64     // head hidden pre-activation
+	out  float64
+}
+
+// forward runs the network on one graph.
+func (m *Model) forward(g *feature.Graph) *trace {
+	n := len(g.Nodes)
+	t := &trace{g: g}
+	t.pre0 = make([][]float64, n)
+	h0 := make([][]float64, n)
+	for i, x := range g.Nodes {
+		t.pre0[i] = m.emb.Forward(x)
+		h0[i] = mlmath.ReLU(t.pre0[i])
+	}
+	t.h = append(t.h, h0)
+	for l := 0; l < m.Layers; l++ {
+		prev := t.h[l]
+		msgs := make([][]float64, n)
+		zs := make([][]float64, n)
+		next := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			var rows [][]float64
+			for _, j := range g.In[i] {
+				rows = append(rows, prev[j])
+			}
+			msgs[i] = mlmath.Mean(rows, m.Hidden)
+			z := m.self[l].Forward(prev[i])
+			mlmath.Add(z, m.nb[l].Forward(msgs[i]))
+			zs[i] = z
+			next[i] = mlmath.ReLU(z)
+		}
+		t.msg = append(t.msg, msgs)
+		t.z = append(t.z, zs)
+		t.h = append(t.h, next)
+	}
+	t.amax = make([][]int, m.Layers+1)
+	for l := 0; l <= m.Layers; l++ {
+		layer := t.h[l]
+		mean := mlmath.Mean(layer, m.Hidden)
+		max := mlmath.MaxElem(layer, m.Hidden)
+		// The sum pool carries total-work signal; scale it so deep plans
+		// do not blow up the head's input magnitude and destabilize Adam.
+		sum := mlmath.Vec(m.Hidden)
+		for _, row := range layer {
+			mlmath.Add(sum, row)
+		}
+		mlmath.Scale(sum, sumPoolScale)
+		t.amax[l] = make([]int, m.Hidden)
+		for d := 0; d < m.Hidden; d++ {
+			best := 0
+			for i := 1; i < n; i++ {
+				if layer[i][d] > layer[best][d] {
+					best = i
+				}
+			}
+			t.amax[l][d] = best
+		}
+		t.pool = append(t.pool, mean...)
+		t.pool = append(t.pool, max...)
+		t.pool = append(t.pool, sum...)
+	}
+	t.hid1 = m.head1.Forward(t.pool)
+	t.out = m.head2.Forward(mlmath.ReLU(t.hid1))[0]
+	return t
+}
+
+// backprop accumulates gradients for one example.
+func (m *Model) backprop(e ml.Example) {
+	t := m.forward(e.Graph)
+	n := len(t.g.Nodes)
+	dout := []float64{2 * (t.out - e.LogLabel())}
+	dhid1Act := m.head2.Backward(mlmath.ReLU(t.hid1), dout)
+	dhid1 := mlmath.ReLUGrad(t.hid1, dhid1Act)
+	dpool := m.head1.Backward(t.pool, dhid1)
+
+	// poolGrad distributes layer l's slice of the pooled gradient onto
+	// that layer's node embeddings.
+	poolGrad := func(l int, dh [][]float64) {
+		off := 3 * m.Hidden * l
+		for d := 0; d < m.Hidden; d++ {
+			gMean := dpool[off+d] / float64(n)
+			gSum := dpool[off+2*m.Hidden+d] * sumPoolScale
+			for i := 0; i < n; i++ {
+				dh[i][d] += gMean + gSum
+			}
+			dh[t.amax[l][d]][d] += dpool[off+m.Hidden+d]
+		}
+	}
+	dh := make([][]float64, n)
+	for i := range dh {
+		dh[i] = mlmath.Vec(m.Hidden)
+	}
+	poolGrad(m.Layers, dh)
+
+	// Reverse through message-passing layers, folding in each layer's
+	// jumping-knowledge pool gradient as we reach it.
+	for l := m.Layers - 1; l >= 0; l-- {
+		prev := t.h[l]
+		dPrev := make([][]float64, n)
+		for i := range dPrev {
+			dPrev[i] = mlmath.Vec(m.Hidden)
+		}
+		for i := 0; i < n; i++ {
+			dz := mlmath.ReLUGrad(t.z[l][i], dh[i])
+			mlmath.Add(dPrev[i], m.self[l].Backward(prev[i], dz))
+			dm := m.nb[l].Backward(t.msg[l][i], dz)
+			if k := len(t.g.In[i]); k > 0 {
+				mlmath.Scale(dm, 1/float64(k))
+				for _, j := range t.g.In[i] {
+					mlmath.Add(dPrev[j], dm)
+				}
+			}
+		}
+		poolGrad(l, dPrev)
+		dh = dPrev
+	}
+	for i := 0; i < n; i++ {
+		dp := mlmath.ReLUGrad(t.pre0[i], dh[i])
+		m.emb.Backward(t.g.Nodes[i], dp)
+	}
+}
+
+func (m *Model) layers() []*mlmath.Dense {
+	out := []*mlmath.Dense{m.emb}
+	out = append(out, m.self...)
+	out = append(out, m.nb...)
+	out = append(out, m.head1, m.head2)
+	return out
+}
+
+// Train implements ml.Model.
+func (m *Model) Train(train, val *ml.Dataset, opts ml.TrainOptions) (*ml.TrainStats, error) {
+	if err := ml.CheckDataset(train, false, true); err != nil {
+		return nil, err
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("gnn: empty training set")
+	}
+	opts = opts.Defaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m.init(rng)
+
+	best := math.Inf(1)
+	bestW := m.snapshot()
+	sinceBest := 0
+	stats := &ml.TrainStats{Stopped: "max-epochs"}
+	idx := make([]int, train.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 1; epoch <= opts.MaxEpochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for b := 0; b < len(idx); b += opts.BatchSize {
+			end := b + opts.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, i := range idx[b:end] {
+				m.backprop(train.Examples[i])
+			}
+			for _, l := range m.layers() {
+				l.Step(opts.LearningRate, end-b)
+			}
+		}
+		stats.Epochs = epoch
+		loss := ml.ValLoss(m, val)
+		if loss < best-1e-6 {
+			best = loss
+			bestW = m.snapshot()
+			sinceBest = 0
+		} else if sinceBest++; sinceBest >= opts.Patience {
+			stats.Stopped = "early"
+			break
+		}
+	}
+	m.restore(bestW)
+	stats.TrainTime = time.Since(start)
+	stats.FinalValLoss = best
+	return stats, nil
+}
+
+// Predict implements ml.Model.
+func (m *Model) Predict(e ml.Example) float64 {
+	if m.emb == nil {
+		return 1
+	}
+	return math.Exp(m.forward(e.Graph).out)
+}
+
+func (m *Model) snapshot() [][]float64 {
+	var out [][]float64
+	for _, l := range m.layers() {
+		flat := make([]float64, 0, l.ParamCount())
+		for _, row := range l.W {
+			flat = append(flat, row...)
+		}
+		flat = append(flat, l.B...)
+		out = append(out, flat)
+	}
+	return out
+}
+
+func (m *Model) restore(snap [][]float64) {
+	for li, l := range m.layers() {
+		flat := snap[li]
+		k := 0
+		for _, row := range l.W {
+			copy(row, flat[k:k+len(row)])
+			k += len(row)
+		}
+		copy(l.B, flat[k:])
+	}
+}
+
+// gnnExport is the persisted form.
+type gnnExport struct {
+	Hidden int         `json:"hidden"`
+	Layers int         `json:"layers"`
+	Blocks [][]float64 `json:"blocks"` // snapshot order: emb, self..., nb..., head1, head2
+}
+
+// MarshalModel implements ml.Persistable.
+func (m *Model) MarshalModel() ([]byte, error) {
+	if m.emb == nil {
+		return nil, fmt.Errorf("gnn: model not trained")
+	}
+	return json.Marshal(gnnExport{Hidden: m.Hidden, Layers: m.Layers, Blocks: m.snapshot()})
+}
+
+// UnmarshalModel implements ml.Persistable.
+func (m *Model) UnmarshalModel(data []byte) error {
+	var e gnnExport
+	if err := json.Unmarshal(data, &e); err != nil {
+		return err
+	}
+	if e.Hidden <= 0 || e.Layers <= 0 {
+		return fmt.Errorf("gnn: malformed export (hidden=%d layers=%d)", e.Hidden, e.Layers)
+	}
+	m.Hidden = e.Hidden
+	m.Layers = e.Layers
+	m.init(rand.New(rand.NewSource(1)))
+	layers := m.layers()
+	if len(e.Blocks) != len(layers) {
+		return fmt.Errorf("gnn: export has %d blocks, want %d", len(e.Blocks), len(layers))
+	}
+	for i, l := range layers {
+		if len(e.Blocks[i]) != l.ParamCount() {
+			return fmt.Errorf("gnn: block %d has %d params, want %d", i, len(e.Blocks[i]), l.ParamCount())
+		}
+	}
+	m.restore(e.Blocks)
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package linreg implements the linear-regression cost model of the
+// paper's Exp-3 [Ganapathi et al., ICDE'09]: ridge regression on the
+// flat PQP encoding, fit in closed form by solving the regularized
+// normal equations. It is the simplest of the four compared
+// architectures — fast to train, but unable to capture the non-linear
+// parallelism effects the paper highlights (O2, O4), which is why its
+// q-error trails the GNN's.
+package linreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"pdspbench/internal/ml"
+)
+
+// Model is a ridge-regularized linear cost model over log latency.
+type Model struct {
+	// Lambda is the ridge coefficient; zero selects 1e-3.
+	Lambda float64
+
+	w []float64 // len = features + 1 (bias last)
+}
+
+// New returns an untrained model.
+func New() *Model { return &Model{} }
+
+// Name implements ml.Model.
+func (m *Model) Name() string { return "LR" }
+
+// Train implements ml.Model: it solves (XᵀX + λI) w = Xᵀy. Early
+// stopping does not apply to a closed-form fit; stats report one epoch.
+func (m *Model) Train(train, val *ml.Dataset, opts ml.TrainOptions) (*ml.TrainStats, error) {
+	if err := ml.CheckDataset(train, true, false); err != nil {
+		return nil, err
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("linreg: empty training set")
+	}
+	start := time.Now()
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	d := len(train.Examples[0].Flat) + 1 // +1 bias
+	// Accumulate XᵀX and Xᵀy.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	row := make([]float64, d)
+	for _, e := range train.Examples {
+		copy(row, e.Flat)
+		row[d-1] = 1
+		y := e.LogLabel()
+		for i := 0; i < d; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			xty[i] += row[i] * y
+			for j := 0; j < d; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		xtx[i][i] += lambda
+	}
+	w, err := solve(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	m.w = w
+	stats := &ml.TrainStats{
+		Epochs:    1,
+		TrainTime: time.Since(start),
+		Stopped:   "closed-form",
+	}
+	stats.FinalValLoss = ml.ValLoss(m, val)
+	return stats, nil
+}
+
+// Predict implements ml.Model.
+func (m *Model) Predict(e ml.Example) float64 {
+	if m.w == nil {
+		return 1
+	}
+	s := m.w[len(m.w)-1]
+	n := len(m.w) - 1
+	if len(e.Flat) < n {
+		n = len(e.Flat)
+	}
+	for i := 0; i < n; i++ {
+		s += m.w[i] * e.Flat[i]
+	}
+	return math.Exp(s)
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// the inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("linreg: singular normal matrix at column %d", col)
+		}
+		m[col], m[p] = m[p], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// linregExport is the persisted form.
+type linregExport struct {
+	Lambda float64   `json:"lambda"`
+	W      []float64 `json:"w"`
+}
+
+// MarshalModel implements ml.Persistable.
+func (m *Model) MarshalModel() ([]byte, error) {
+	if m.w == nil {
+		return nil, fmt.Errorf("linreg: model not trained")
+	}
+	return json.Marshal(linregExport{Lambda: m.Lambda, W: m.w})
+}
+
+// UnmarshalModel implements ml.Persistable.
+func (m *Model) UnmarshalModel(data []byte) error {
+	var e linregExport
+	if err := json.Unmarshal(data, &e); err != nil {
+		return err
+	}
+	if len(e.W) == 0 {
+		return fmt.Errorf("linreg: export has no weights")
+	}
+	m.Lambda = e.Lambda
+	m.w = e.W
+	return nil
+}

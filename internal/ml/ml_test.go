@@ -1,0 +1,98 @@
+package ml_test
+
+import (
+	"math"
+	"testing"
+
+	"pdspbench/internal/ml"
+	"pdspbench/internal/ml/mltest"
+)
+
+func TestSplitProportionsAndDisjointness(t *testing.T) {
+	ds := mltest.Corpus(100, 1, nil)
+	train, val, test := ds.Split(0.7, 0.15, 7)
+	if train.Len() != 70 || val.Len() != 15 || test.Len() != 15 {
+		t.Fatalf("split sizes %d/%d/%d, want 70/15/15", train.Len(), val.Len(), test.Len())
+	}
+	// Same seed → same split.
+	train2, _, _ := ds.Split(0.7, 0.15, 7)
+	for i := range train.Examples {
+		if train.Examples[i].Latency != train2.Examples[i].Latency {
+			t.Fatal("split not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestSubsetClamps(t *testing.T) {
+	ds := mltest.Corpus(10, 2, nil)
+	if got := ds.Subset(5).Len(); got != 5 {
+		t.Errorf("Subset(5) = %d", got)
+	}
+	if got := ds.Subset(99).Len(); got != 10 {
+		t.Errorf("Subset(99) = %d, want clamp to 10", got)
+	}
+}
+
+func TestLogLabelFloorsTinyLatencies(t *testing.T) {
+	e := ml.Example{Latency: 0}
+	if l := e.LogLabel(); math.IsInf(l, 0) || math.IsNaN(l) {
+		t.Errorf("LogLabel(0) = %v, want finite floor", l)
+	}
+}
+
+// constModel predicts a fixed latency.
+type constModel struct{ v float64 }
+
+func (c constModel) Name() string { return "const" }
+func (c constModel) Train(_, _ *ml.Dataset, _ ml.TrainOptions) (*ml.TrainStats, error) {
+	return &ml.TrainStats{}, nil
+}
+func (c constModel) Predict(ml.Example) float64 { return c.v }
+
+func TestQErrorsAgainstConstModel(t *testing.T) {
+	ds := &ml.Dataset{Examples: []ml.Example{
+		{Latency: 2}, {Latency: 8}, {Latency: 4},
+	}}
+	qs := ml.QErrors(constModel{v: 4}, ds)
+	want := []float64{2, 2, 1}
+	for i := range want {
+		if math.Abs(qs[i]-want[i]) > 1e-9 {
+			t.Errorf("QErrors[%d] = %v, want %v", i, qs[i], want[i])
+		}
+	}
+}
+
+func TestValLossZeroForPerfectModel(t *testing.T) {
+	ds := &ml.Dataset{Examples: []ml.Example{{Latency: 3}}}
+	if got := ml.ValLoss(constModel{v: 3}, ds); got > 1e-12 {
+		t.Errorf("ValLoss of perfect model = %v", got)
+	}
+	if got := ml.ValLoss(constModel{v: 3}, &ml.Dataset{}); got != 0 {
+		t.Errorf("ValLoss on empty set = %v", got)
+	}
+}
+
+func TestCheckDataset(t *testing.T) {
+	ds := mltest.Corpus(5, 3, nil)
+	if err := ml.CheckDataset(ds, true, true); err != nil {
+		t.Errorf("complete dataset rejected: %v", err)
+	}
+	broken := &ml.Dataset{Examples: []ml.Example{{Latency: 1}}}
+	if err := ml.CheckDataset(broken, true, false); err == nil {
+		t.Error("missing flat encoding accepted")
+	}
+	if err := ml.CheckDataset(broken, false, true); err == nil {
+		t.Error("missing graph encoding accepted")
+	}
+}
+
+func TestTrainOptionsDefaults(t *testing.T) {
+	o := ml.TrainOptions{}.Defaults()
+	if o.MaxEpochs <= 0 || o.Patience <= 0 || o.LearningRate <= 0 || o.BatchSize <= 0 || o.Seed == 0 {
+		t.Errorf("Defaults left zero fields: %+v", o)
+	}
+	o2 := ml.TrainOptions{MaxEpochs: 3, Patience: 1, LearningRate: 0.1, BatchSize: 4, Seed: 9}.Defaults()
+	if o2.MaxEpochs != 3 || o2.Patience != 1 || o2.LearningRate != 0.1 || o2.BatchSize != 4 || o2.Seed != 9 {
+		t.Errorf("Defaults overwrote explicit values: %+v", o2)
+	}
+}

@@ -1,0 +1,201 @@
+// Package mlp implements the multi-layer-perceptron cost model of the
+// paper's Exp-3: a ReLU network over the flat PQP encoding, trained with
+// Adam on log-latency MSE, with the uniform early-stopping rule the ML
+// Manager applies to every architecture.
+package mlp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"pdspbench/internal/ml"
+	"pdspbench/internal/ml/mlmath"
+)
+
+// Model is a feed-forward ReLU regressor.
+type Model struct {
+	// Hidden lists hidden layer widths; nil selects [64, 32].
+	Hidden []int
+
+	layers []*mlmath.Dense
+}
+
+// New returns an untrained model with default architecture.
+func New() *Model { return &Model{} }
+
+// Name implements ml.Model.
+func (m *Model) Name() string { return "MLP" }
+
+// Train implements ml.Model.
+func (m *Model) Train(train, val *ml.Dataset, opts ml.TrainOptions) (*ml.TrainStats, error) {
+	if err := ml.CheckDataset(train, true, false); err != nil {
+		return nil, err
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("mlp: empty training set")
+	}
+	opts = opts.Defaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	hidden := m.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{64, 32}
+	}
+	in := len(train.Examples[0].Flat)
+	dims := append([]int{in}, hidden...)
+	dims = append(dims, 1)
+	m.layers = nil
+	for i := 0; i+1 < len(dims); i++ {
+		m.layers = append(m.layers, mlmath.NewDense(dims[i], dims[i+1], rng))
+	}
+
+	best := math.Inf(1)
+	bestW := m.snapshot()
+	sinceBest := 0
+	stats := &ml.TrainStats{Stopped: "max-epochs"}
+	idx := make([]int, train.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 1; epoch <= opts.MaxEpochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for b := 0; b < len(idx); b += opts.BatchSize {
+			end := b + opts.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, i := range idx[b:end] {
+				m.backprop(train.Examples[i])
+			}
+			for _, l := range m.layers {
+				l.Step(opts.LearningRate, end-b)
+			}
+		}
+		stats.Epochs = epoch
+		loss := ml.ValLoss(m, val)
+		if loss < best-1e-6 {
+			best = loss
+			bestW = m.snapshot()
+			sinceBest = 0
+		} else if sinceBest++; sinceBest >= opts.Patience {
+			stats.Stopped = "early"
+			break
+		}
+	}
+	m.restore(bestW)
+	stats.TrainTime = time.Since(start)
+	stats.FinalValLoss = best
+	return stats, nil
+}
+
+// forward returns pre-activations and activations per layer.
+func (m *Model) forward(x []float64) (pre, act [][]float64) {
+	act = append(act, x)
+	h := x
+	for i, l := range m.layers {
+		z := l.Forward(h)
+		pre = append(pre, z)
+		if i < len(m.layers)-1 {
+			h = mlmath.ReLU(z)
+		} else {
+			h = z
+		}
+		act = append(act, h)
+	}
+	return pre, act
+}
+
+// backprop accumulates gradients for one example (MSE on log latency).
+func (m *Model) backprop(e ml.Example) {
+	pre, act := m.forward(e.Flat)
+	out := act[len(act)-1][0]
+	grad := []float64{2 * (out - e.LogLabel())}
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		grad = m.layers[i].Backward(act[i], grad)
+		if i > 0 {
+			grad = mlmath.ReLUGrad(pre[i-1], grad)
+		}
+	}
+}
+
+// Predict implements ml.Model.
+func (m *Model) Predict(e ml.Example) float64 {
+	if m.layers == nil {
+		return 1
+	}
+	_, act := m.forward(e.Flat)
+	return math.Exp(act[len(act)-1][0])
+}
+
+// snapshot/restore implement early stopping's best-weights memory.
+func (m *Model) snapshot() [][]float64 {
+	var out [][]float64
+	for _, l := range m.layers {
+		flat := make([]float64, 0, l.ParamCount())
+		for _, row := range l.W {
+			flat = append(flat, row...)
+		}
+		flat = append(flat, l.B...)
+		out = append(out, flat)
+	}
+	return out
+}
+
+func (m *Model) restore(snap [][]float64) {
+	for li, l := range m.layers {
+		flat := snap[li]
+		k := 0
+		for _, row := range l.W {
+			copy(row, flat[k:k+len(row)])
+			k += len(row)
+		}
+		copy(l.B, flat[k:])
+	}
+}
+
+// mlpExport is the persisted form: layer dimensions plus the flattened
+// weight blocks in snapshot order.
+type mlpExport struct {
+	Dims   []int       `json:"dims"` // in, hidden..., 1
+	Blocks [][]float64 `json:"blocks"`
+}
+
+// MarshalModel implements ml.Persistable.
+func (m *Model) MarshalModel() ([]byte, error) {
+	if m.layers == nil {
+		return nil, fmt.Errorf("mlp: model not trained")
+	}
+	e := mlpExport{Blocks: m.snapshot()}
+	e.Dims = append(e.Dims, m.layers[0].In)
+	for _, l := range m.layers {
+		e.Dims = append(e.Dims, l.Out)
+	}
+	return json.Marshal(e)
+}
+
+// UnmarshalModel implements ml.Persistable.
+func (m *Model) UnmarshalModel(data []byte) error {
+	var e mlpExport
+	if err := json.Unmarshal(data, &e); err != nil {
+		return err
+	}
+	if len(e.Dims) < 2 || len(e.Blocks) != len(e.Dims)-1 {
+		return fmt.Errorf("mlp: malformed export (%d dims, %d blocks)", len(e.Dims), len(e.Blocks))
+	}
+	rng := rand.New(rand.NewSource(1))
+	m.layers = nil
+	m.Hidden = e.Dims[1 : len(e.Dims)-1]
+	for i := 0; i+1 < len(e.Dims); i++ {
+		l := mlmath.NewDense(e.Dims[i], e.Dims[i+1], rng)
+		if want := l.ParamCount(); len(e.Blocks[i]) != want {
+			return fmt.Errorf("mlp: block %d has %d params, want %d", i, len(e.Blocks[i]), want)
+		}
+		m.layers = append(m.layers, l)
+	}
+	m.restore(e.Blocks)
+	return nil
+}

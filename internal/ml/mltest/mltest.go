@@ -1,0 +1,74 @@
+// Package mltest provides shared corpus builders for the cost-model
+// tests: labeled datasets over real workload-generator plans with a
+// known synthetic cost surface, so model tests can assert learnability
+// without running the full cluster simulator.
+package mltest
+
+import (
+	"math"
+	"math/rand"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/ml"
+	"pdspbench/internal/ml/feature"
+	"pdspbench/internal/tuple"
+	"pdspbench/internal/workload"
+)
+
+// Plan builds one synthetic-structure plan with uniform parallelism.
+func Plan(s workload.Structure, degree int, rate float64) *core.PQP {
+	p := workload.Params{
+		EventRate:  rate,
+		TupleWidth: 4,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeDouble, tuple.TypeDouble, tuple.TypeString},
+		Window:     core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 1000, SlideRatio: 0.5},
+		AggFn:      core.AggSum, FilterFn: core.FilterLess, Selectivity: 0.5,
+		Partition: core.PartitionRebalance, Distribution: "poisson",
+	}
+	plan, err := workload.Build(s, p)
+	if err != nil {
+		panic(err)
+	}
+	plan.SetUniformParallelism(degree)
+	return plan
+}
+
+// SyntheticLatency is the known cost surface used as label: joins and
+// parallelism interact non-linearly (U-shape in parallelism), echoing
+// the real simulator's behaviour at much lower cost.
+func SyntheticLatency(plan *core.PQP, noise float64, rng *rand.Rand) float64 {
+	joins := float64(plan.CountKind(core.OpJoin))
+	par := float64(plan.MaxParallelism())
+	base := 0.5 + 0.8*joins
+	queue := 2.0 * (1 + joins) / par      // improves with parallelism
+	overhead := 0.004 * par * (1 + joins) // paradox term
+	l := base + queue + overhead
+	if noise > 0 {
+		l *= math.Exp(rng.NormFloat64() * noise)
+	}
+	return l
+}
+
+// Corpus builds n labeled examples over random structures and a
+// log-spaced parallelism grid on a homogeneous m510 cluster.
+func Corpus(n int, seed int64, structures []workload.Structure) *ml.Dataset {
+	if len(structures) == 0 {
+		structures = workload.Structures
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	degrees := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	ds := &ml.Dataset{}
+	for i := 0; i < n; i++ {
+		s := structures[rng.Intn(len(structures))]
+		plan := Plan(s, degrees[rng.Intn(len(degrees))], 100_000)
+		ds.Examples = append(ds.Examples, ml.Example{
+			Flat:      feature.EncodeFlat(plan, cl),
+			Graph:     feature.EncodeGraph(plan, cl),
+			Latency:   SyntheticLatency(plan, 0.05, rng),
+			Structure: plan.Structure,
+		})
+	}
+	return ds
+}

@@ -1,0 +1,52 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Persistable is implemented by models whose trained parameters can be
+// exported and re-imported — the train-once / infer-later workflow: a
+// corpus is expensive to label (every query is a benchmark run), so
+// trained cost models are kept in the run store next to the corpus.
+type Persistable interface {
+	Model
+	// MarshalModel exports the trained parameters.
+	MarshalModel() ([]byte, error)
+	// UnmarshalModel restores parameters exported by MarshalModel on a
+	// model of the same architecture.
+	UnmarshalModel(data []byte) error
+}
+
+// envelope wraps an export with its architecture name so Load can demux.
+type envelope struct {
+	Model  string          `json:"model"`
+	Params json.RawMessage `json:"params"`
+}
+
+// SaveModel wraps a model's export with its architecture tag.
+func SaveModel(m Persistable) ([]byte, error) {
+	params, err := m.MarshalModel()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{Model: m.Name(), Params: params})
+}
+
+// LoadModel restores a SaveModel export into the matching fresh model
+// from the factory map (keyed by architecture name).
+func LoadModel(data []byte, factories map[string]func() Persistable) (Persistable, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("ml: decode model envelope: %w", err)
+	}
+	f, ok := factories[env.Model]
+	if !ok {
+		return nil, fmt.Errorf("ml: no factory for model %q", env.Model)
+	}
+	m := f()
+	if err := m.UnmarshalModel(env.Params); err != nil {
+		return nil, fmt.Errorf("ml: restore %s: %w", env.Model, err)
+	}
+	return m, nil
+}

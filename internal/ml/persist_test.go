@@ -1,0 +1,78 @@
+package ml_test
+
+import (
+	"testing"
+
+	"pdspbench/internal/ml"
+	"pdspbench/internal/ml/gnn"
+	"pdspbench/internal/ml/linreg"
+	"pdspbench/internal/ml/mlp"
+	"pdspbench/internal/ml/mltest"
+	"pdspbench/internal/ml/rf"
+)
+
+func factories() map[string]func() ml.Persistable {
+	return map[string]func() ml.Persistable{
+		"LR":  func() ml.Persistable { return linreg.New() },
+		"MLP": func() ml.Persistable { return mlp.New() },
+		"RF":  func() ml.Persistable { return rf.New() },
+		"GNN": func() ml.Persistable { return gnn.New() },
+	}
+}
+
+func TestSaveLoadRoundTripPreservesPredictions(t *testing.T) {
+	ds := mltest.Corpus(150, 31, nil)
+	train, val, test := ds.Split(0.7, 0.15, 1)
+	opts := ml.TrainOptions{MaxEpochs: 20, Patience: 5, LearningRate: 3e-3}
+	for name, f := range factories() {
+		m := f()
+		if _, err := m.Train(train, val, opts); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := ml.SaveModel(m)
+		if err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		restored, err := ml.LoadModel(data, factories())
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if restored.Name() != m.Name() {
+			t.Errorf("%s: restored as %s", name, restored.Name())
+		}
+		for i, e := range test.Examples {
+			if got, want := restored.Predict(e), m.Predict(e); got != want {
+				t.Fatalf("%s: prediction %d changed after round trip: %v vs %v", name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSaveUntrainedFails(t *testing.T) {
+	for name, f := range factories() {
+		if _, err := ml.SaveModel(f()); err == nil {
+			t.Errorf("%s: saving an untrained model should fail", name)
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := ml.LoadModel([]byte("{not json"), factories()); err == nil {
+		t.Error("garbage envelope accepted")
+	}
+	if _, err := ml.LoadModel([]byte(`{"model":"XGB","params":{}}`), factories()); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	if _, err := ml.LoadModel([]byte(`{"model":"LR","params":{"w":[]}}`), factories()); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := ml.LoadModel([]byte(`{"model":"RF","params":[]}`), factories()); err == nil {
+		t.Error("empty forest accepted")
+	}
+	if _, err := ml.LoadModel([]byte(`{"model":"GNN","params":{"hidden":0,"layers":0,"blocks":[]}}`), factories()); err == nil {
+		t.Error("degenerate GNN export accepted")
+	}
+	if _, err := ml.LoadModel([]byte(`{"model":"MLP","params":{"dims":[4],"blocks":[]}}`), factories()); err == nil {
+		t.Error("malformed MLP export accepted")
+	}
+}

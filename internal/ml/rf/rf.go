@@ -1,0 +1,289 @@
+// Package rf implements the random-forest cost model of the paper's
+// Exp-3 [Chen et al., TPDS'16]: bagged CART regression trees with
+// per-split random feature subsets, over the flat PQP encoding.
+package rf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pdspbench/internal/ml"
+)
+
+// Model is a bagged regression forest predicting log latency.
+type Model struct {
+	// Trees is the ensemble size; zero selects 50.
+	Trees int
+	// MaxDepth bounds tree depth; zero selects 12.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; zero selects 3.
+	MinLeaf int
+
+	forest []*node
+}
+
+// New returns an untrained model with default hyperparameters.
+func New() *Model { return &Model{} }
+
+// Name implements ml.Model.
+func (m *Model) Name() string { return "RF" }
+
+type node struct {
+	feature int
+	thresh  float64
+	left    *node
+	right   *node
+	value   float64 // leaves
+	leaf    bool
+}
+
+// Train implements ml.Model. Trees are grown to completion (no epochs);
+// stats report the ensemble build as one epoch per tree for the training
+// -overhead accounting.
+func (m *Model) Train(train, val *ml.Dataset, opts ml.TrainOptions) (*ml.TrainStats, error) {
+	if err := ml.CheckDataset(train, true, false); err != nil {
+		return nil, err
+	}
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("rf: empty training set")
+	}
+	opts = opts.Defaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	nTrees := m.Trees
+	if nTrees <= 0 {
+		nTrees = 50
+	}
+	maxDepth := m.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	minLeaf := m.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 3
+	}
+
+	n := train.Len()
+	dim := len(train.Examples[0].Flat)
+	mtry := int(math.Ceil(float64(dim) / 3)) // regression default: p/3
+
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i, e := range train.Examples {
+		xs[i] = e.Flat
+		ys[i] = e.LogLabel()
+	}
+
+	m.forest = make([]*node, nTrees)
+	for t := 0; t < nTrees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		m.forest[t] = grow(xs, ys, idx, 0, maxDepth, minLeaf, mtry, rng)
+	}
+	stats := &ml.TrainStats{
+		Epochs:    nTrees,
+		TrainTime: time.Since(start),
+		Stopped:   "ensemble-complete",
+	}
+	stats.FinalValLoss = ml.ValLoss(m, val)
+	return stats, nil
+}
+
+// grow recursively builds a CART regression tree.
+func grow(xs [][]float64, ys []float64, idx []int, depth, maxDepth, minLeaf, mtry int, rng *rand.Rand) *node {
+	mean, sse := meanSSE(ys, idx)
+	if depth >= maxDepth || len(idx) < 2*minLeaf || sse < 1e-12 {
+		return &node{leaf: true, value: mean}
+	}
+	dim := len(xs[0])
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	// Random feature subset per split.
+	feats := rng.Perm(dim)[:mtry]
+	vals := make([]float64, len(idx))
+	for _, f := range feats {
+		for i, id := range idx {
+			vals[i] = xs[id][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Candidate thresholds: quartile cuts keep split search cheap
+		// while covering the value range.
+		for _, q := range []float64{0.25, 0.5, 0.75} {
+			th := sorted[int(q*float64(len(sorted)-1))]
+			gain := splitGain(xs, ys, idx, f, th, sse, minLeaf)
+			if gain > bestGain {
+				bestGain, bestFeat, bestThresh = gain, f, th
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &node{leaf: true, value: mean}
+	}
+	var li, ri []int
+	for _, id := range idx {
+		if xs[id][bestFeat] <= bestThresh {
+			li = append(li, id)
+		} else {
+			ri = append(ri, id)
+		}
+	}
+	if len(li) < minLeaf || len(ri) < minLeaf {
+		return &node{leaf: true, value: mean}
+	}
+	return &node{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    grow(xs, ys, li, depth+1, maxDepth, minLeaf, mtry, rng),
+		right:   grow(xs, ys, ri, depth+1, maxDepth, minLeaf, mtry, rng),
+	}
+}
+
+func meanSSE(ys []float64, idx []int) (mean, sse float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	for _, i := range idx {
+		mean += ys[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := ys[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// splitGain is the SSE reduction of splitting idx at (f, th).
+func splitGain(xs [][]float64, ys []float64, idx []int, f int, th, parentSSE float64, minLeaf int) float64 {
+	var ln, rn int
+	var lsum, rsum float64
+	for _, id := range idx {
+		if xs[id][f] <= th {
+			ln++
+			lsum += ys[id]
+		} else {
+			rn++
+			rsum += ys[id]
+		}
+	}
+	if ln < minLeaf || rn < minLeaf {
+		return 0
+	}
+	lmean, rmean := lsum/float64(ln), rsum/float64(rn)
+	var sse float64
+	for _, id := range idx {
+		var d float64
+		if xs[id][f] <= th {
+			d = ys[id] - lmean
+		} else {
+			d = ys[id] - rmean
+		}
+		sse += d * d
+	}
+	return parentSSE - sse
+}
+
+// Predict implements ml.Model: the exponentiated mean of tree outputs.
+func (m *Model) Predict(e ml.Example) float64 {
+	if len(m.forest) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, t := range m.forest {
+		sum += t.predict(e.Flat)
+	}
+	return math.Exp(sum / float64(len(m.forest)))
+}
+
+func (n *node) predict(x []float64) float64 {
+	for !n.leaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// nodeExport serializes one tree node recursively.
+type nodeExport struct {
+	Leaf    bool        `json:"leaf"`
+	Value   float64     `json:"value,omitempty"`
+	Feature int         `json:"feature,omitempty"`
+	Thresh  float64     `json:"thresh,omitempty"`
+	Left    *nodeExport `json:"left,omitempty"`
+	Right   *nodeExport `json:"right,omitempty"`
+}
+
+func exportNode(n *node) *nodeExport {
+	if n == nil {
+		return nil
+	}
+	if n.leaf {
+		return &nodeExport{Leaf: true, Value: n.value}
+	}
+	return &nodeExport{
+		Feature: n.feature, Thresh: n.thresh,
+		Left: exportNode(n.left), Right: exportNode(n.right),
+	}
+}
+
+func importNode(e *nodeExport) (*node, error) {
+	if e == nil {
+		return nil, fmt.Errorf("rf: missing subtree in export")
+	}
+	if e.Leaf {
+		return &node{leaf: true, value: e.Value}, nil
+	}
+	l, err := importNode(e.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := importNode(e.Right)
+	if err != nil {
+		return nil, err
+	}
+	return &node{feature: e.Feature, thresh: e.Thresh, left: l, right: r}, nil
+}
+
+// MarshalModel implements ml.Persistable.
+func (m *Model) MarshalModel() ([]byte, error) {
+	if len(m.forest) == 0 {
+		return nil, fmt.Errorf("rf: model not trained")
+	}
+	trees := make([]*nodeExport, len(m.forest))
+	for i, t := range m.forest {
+		trees[i] = exportNode(t)
+	}
+	return json.Marshal(trees)
+}
+
+// UnmarshalModel implements ml.Persistable.
+func (m *Model) UnmarshalModel(data []byte) error {
+	var trees []*nodeExport
+	if err := json.Unmarshal(data, &trees); err != nil {
+		return err
+	}
+	if len(trees) == 0 {
+		return fmt.Errorf("rf: export has no trees")
+	}
+	m.forest = make([]*node, len(trees))
+	for i, e := range trees {
+		n, err := importNode(e)
+		if err != nil {
+			return err
+		}
+		m.forest[i] = n
+	}
+	return nil
+}

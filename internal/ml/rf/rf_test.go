@@ -1,0 +1,109 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pdspbench/internal/ml"
+	"pdspbench/internal/ml/mltest"
+	"pdspbench/internal/stats"
+)
+
+func TestFitsStepFunction(t *testing.T) {
+	// A piecewise-constant target is the natural habitat of trees.
+	rng := rand.New(rand.NewSource(2))
+	ds := &ml.Dataset{}
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 1.0
+		if x[0] > 0.5 {
+			y = 10.0
+		}
+		if x[1] > 0.7 {
+			y *= 3
+		}
+		ds.Examples = append(ds.Examples, ml.Example{Flat: x, Latency: y})
+	}
+	train, val, test := ds.Split(0.7, 0.15, 1)
+	m := New()
+	if _, err := m.Train(train, val, ml.TrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	q := stats.NewSampleFrom(ml.QErrors(m, test)).Median()
+	if q > 1.3 {
+		t.Errorf("median q-error %v on a step function", q)
+	}
+}
+
+func TestLearnsWorkloadCorpus(t *testing.T) {
+	ds := mltest.Corpus(400, 9, nil)
+	train, val, test := ds.Split(0.7, 0.15, 1)
+	m := New()
+	st, err := m.Train(train, val, ml.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epochs != 50 {
+		t.Errorf("epochs = %d, want 50 (one per tree)", st.Epochs)
+	}
+	q := stats.NewSampleFrom(ml.QErrors(m, test)).Median()
+	if q > 2.0 {
+		t.Errorf("median q-error %v on workload corpus", q)
+	}
+}
+
+func TestPredictionsInsideLabelRange(t *testing.T) {
+	// Averaged tree leaves cannot extrapolate beyond observed labels.
+	ds := mltest.Corpus(200, 10, nil)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, e := range ds.Examples {
+		if e.Latency < lo {
+			lo = e.Latency
+		}
+		if e.Latency > hi {
+			hi = e.Latency
+		}
+	}
+	train, val, test := ds.Split(0.7, 0.15, 1)
+	m := New()
+	if _, err := m.Train(train, val, ml.TrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range test.Examples {
+		p := m.Predict(e)
+		if p < lo*0.9 || p > hi*1.1 {
+			t.Fatalf("prediction %v outside label range [%v, %v]", p, lo, hi)
+		}
+	}
+}
+
+func TestEmptyTrainingSetFails(t *testing.T) {
+	if _, err := New().Train(&ml.Dataset{}, &ml.Dataset{}, ml.TrainOptions{}); err == nil {
+		t.Error("training on empty set should fail")
+	}
+}
+
+func TestUntrainedPredictIsFinite(t *testing.T) {
+	p := New().Predict(ml.Example{Flat: []float64{1}})
+	if math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 {
+		t.Errorf("untrained Predict = %v", p)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	ds := mltest.Corpus(150, 11, nil)
+	train, val, test := ds.Split(0.7, 0.15, 1)
+	m1, m2 := New(), New()
+	if _, err := m1.Train(train, val, ml.TrainOptions{Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Train(train, val, ml.TrainOptions{Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range test.Examples {
+		if m1.Predict(e) != m2.Predict(e) {
+			t.Fatal("same seed produced different forests")
+		}
+	}
+}

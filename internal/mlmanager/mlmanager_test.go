@@ -1,0 +1,111 @@
+package mlmanager
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pdspbench/internal/ml"
+	"pdspbench/internal/ml/mltest"
+	"pdspbench/internal/workload"
+)
+
+func fastOpts() ml.TrainOptions {
+	return ml.TrainOptions{MaxEpochs: 30, Patience: 5, LearningRate: 3e-3, BatchSize: 16, Seed: 1}
+}
+
+func TestCompareEvaluatesAllFourModels(t *testing.T) {
+	mgr := New(fastOpts())
+	corpus := mltest.Corpus(240, 1, nil)
+	evs, err := mgr.Compare(DefaultModels(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("evaluated %d models, want 4", len(evs))
+	}
+	names := map[string]bool{}
+	for _, e := range evs {
+		names[e.Model] = true
+		if e.MedianQ < 1 {
+			t.Errorf("%s: median q-error %v < 1 is impossible", e.Model, e.MedianQ)
+		}
+		if e.TrainTime <= 0 {
+			t.Errorf("%s: train time not recorded", e.Model)
+		}
+		if e.TestExamples != evs[0].TestExamples {
+			t.Error("models evaluated on different test sets; comparison is unfair")
+		}
+		if len(e.PerStructure) == 0 {
+			t.Errorf("%s: no per-structure q-errors (needed for Figure 5)", e.Model)
+		}
+	}
+	for _, want := range []string{"LR", "MLP", "RF", "GNN"} {
+		if !names[want] {
+			t.Errorf("model %s missing from comparison", want)
+		}
+	}
+}
+
+func TestCompareRejectsTinyCorpus(t *testing.T) {
+	mgr := New(fastOpts())
+	if _, err := mgr.Compare(DefaultModels(), mltest.Corpus(5, 1, nil)); err == nil {
+		t.Error("Compare accepted a 5-example corpus")
+	}
+}
+
+func TestLearningCurveImprovesWithData(t *testing.T) {
+	mgr := New(fastOpts())
+	seen := []workload.Structure{workload.StructLinear, workload.StructTwoWayJoin, workload.StructThreeJoin}
+	corpus := mltest.Corpus(400, 2, seen)
+	seenTest := mltest.Corpus(60, 3, seen)
+	unseenTest := mltest.Corpus(60, 4, []workload.Structure{workload.StructFourFilter, workload.StructFiveJoin})
+	gnnFactory := DefaultModels()[3]
+	points, err := mgr.LearningCurve(gnnFactory, corpus, []int{25, 300}, seenTest, unseenTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(points))
+	}
+	if points[1].SeenMedianQ > points[0].SeenMedianQ*1.2 {
+		t.Errorf("q-error did not improve with 12× data: %v → %v",
+			points[0].SeenMedianQ, points[1].SeenMedianQ)
+	}
+	for _, p := range points {
+		if p.UnseenMedianQ < 1 || p.SeenMedianQ < 1 {
+			t.Errorf("impossible q-error at %d queries: %+v", p.TrainQueries, p)
+		}
+		if p.TrainTime <= 0 {
+			t.Error("curve point missing training time (Figure 6b input)")
+		}
+	}
+}
+
+func TestFormatEvaluationsSortsByAccuracy(t *testing.T) {
+	evs := []*Evaluation{
+		{Model: "BAD", MedianQ: 9, TrainTime: time.Second},
+		{Model: "GOOD", MedianQ: 1.1, TrainTime: time.Second},
+	}
+	s := FormatEvaluations(evs)
+	if strings.Index(s, "GOOD") > strings.Index(s, "BAD") {
+		t.Errorf("most accurate model not listed first:\n%s", s)
+	}
+}
+
+func TestDefaultModelsOrder(t *testing.T) {
+	names := []string{}
+	for _, f := range DefaultModels() {
+		names = append(names, f.Name)
+		m := f.New()
+		if m.Name() != f.Name {
+			t.Errorf("factory %s builds model named %s", f.Name, m.Name())
+		}
+	}
+	want := []string{"LR", "MLP", "RF", "GNN"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("model order %v, want %v (paper's presentation order)", names, want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package scaling implements a DS2-style reactive autoscaler [Kalavri et
+// al., OSDI'18 — the paper's citation 35 behind its rule-based
+// enumeration strategy]: it measures each operator's true utilization by
+// executing the plan on the cluster simulator, computes the parallelism
+// that would bring every operator to a target utilization, and iterates
+// until the degrees converge ("three steps is all you need"). Where the
+// workload generator's rule-based strategy sizes operators from static
+// rate propagation, the autoscaler closes the loop with observed
+// metrics, which also captures effects static analysis misses (shuffle
+// overhead, contention, stragglers on heterogeneous nodes).
+package scaling
+
+import (
+	"fmt"
+	"math"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/simengine"
+)
+
+// Autoscaler converges a plan's parallelism degrees.
+type Autoscaler struct {
+	// Cfg configures the measurement runs.
+	Cfg simengine.Config
+	// Cluster is the deployment target.
+	Cluster *cluster.Cluster
+	// Placement selects the instance placement per iteration.
+	Placement cluster.Strategy
+	// TargetUtilization is the per-instance busy fraction to aim for
+	// (default 0.7, leaving DS2's recommended headroom).
+	TargetUtilization float64
+	// MaxIterations bounds the control loop (default 6).
+	MaxIterations int
+}
+
+// Step is one control-loop iteration's record.
+type Step struct {
+	Degrees     map[string]int     `json:"degrees"`
+	Utilization map[string]float64 `json:"utilization"`
+	LatencyP50  float64            `json:"latency_p50"`
+	Changed     bool               `json:"changed"`
+}
+
+// Result is the converged outcome.
+type Result struct {
+	Plan       *core.PQP
+	Steps      []Step
+	Iterations int
+	Converged  bool
+}
+
+// New returns an autoscaler with defaults.
+func New(cl *cluster.Cluster) *Autoscaler {
+	return &Autoscaler{
+		Cfg:               simengine.Defaults(),
+		Cluster:           cl,
+		Placement:         cluster.PlaceRoundRobin,
+		TargetUtilization: 0.7,
+		MaxIterations:     6,
+	}
+}
+
+// Scale iterates measure → resize until the degrees stop changing or the
+// iteration budget runs out. The input plan is not mutated.
+func (a *Autoscaler) Scale(plan *core.PQP) (*Result, error) {
+	if a.Cluster == nil || len(a.Cluster.Nodes) == 0 {
+		return nil, fmt.Errorf("scaling: no cluster configured")
+	}
+	target := a.TargetUtilization
+	if target <= 0 || target >= 1 {
+		target = 0.7
+	}
+	maxIter := a.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 6
+	}
+	capD := a.Cluster.TotalCores()
+	if capD > core.MaxDegree {
+		capD = core.MaxDegree
+	}
+
+	current := plan.Clone()
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		pl, err := cluster.Place(current, a.Cluster, a.Placement)
+		if err != nil {
+			return nil, err
+		}
+		cfg := a.Cfg
+		cfg.Seed = a.Cfg.Seed + int64(iter)
+		sim, err := simengine.Simulate(current, pl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		step := Step{
+			Degrees:     map[string]int{},
+			Utilization: sim.Utilization,
+			LatencyP50:  sim.LatencyP50,
+		}
+		for _, op := range current.Operators {
+			step.Degrees[op.ID] = op.Parallelism
+		}
+		// DS2's core step: optimal parallelism scales the current degree
+		// by observed-over-target utilization.
+		for _, op := range current.Operators {
+			if op.Kind == core.OpSource || op.Kind == core.OpSink {
+				continue
+			}
+			util := sim.Utilization[op.ID]
+			want := int(math.Ceil(float64(op.Parallelism) * util / target))
+			if want < 1 {
+				want = 1
+			}
+			if want > capD {
+				want = capD
+			}
+			// Damp oscillation: never shrink by more than half per step.
+			if want < op.Parallelism/2 {
+				want = op.Parallelism / 2
+				if want < 1 {
+					want = 1
+				}
+			}
+			if want != op.Parallelism {
+				op.Parallelism = want
+				step.Changed = true
+			}
+		}
+		res.Steps = append(res.Steps, step)
+		res.Iterations = iter + 1
+		if !step.Changed {
+			res.Converged = true
+			break
+		}
+	}
+	res.Plan = current
+	return res, nil
+}
+
+// MaxUtilization returns the busiest processing operator's utilization
+// from a step.
+func (s Step) MaxUtilization() float64 {
+	var m float64
+	for _, u := range s.Utilization {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}

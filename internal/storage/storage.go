@@ -1,0 +1,152 @@
+// Package storage is PDSP-Bench's run database — the role MongoDB plays
+// in the paper's deployment ("we also allow to store the generated
+// workload in a database ... that can be used for training ML models").
+// Collections are append-only JSON-lines files under one directory, so a
+// benchmark corpus survives process restarts and can be re-read for
+// model training without re-running workloads.
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is a directory-backed collection set. It is safe for concurrent
+// use within one process.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// Open creates the directory if needed and returns the store.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// validateCollection keeps names path-safe.
+func validateCollection(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\.") {
+		return fmt.Errorf("storage: invalid collection name %q", name)
+	}
+	return nil
+}
+
+func (s *Store) path(collection string) string {
+	return filepath.Join(s.dir, collection+".jsonl")
+}
+
+// Append serializes v and appends it to the collection.
+func (s *Store) Append(collection string, v any) error {
+	if err := validateCollection(collection); err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("storage: marshal: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(s.path(collection), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("storage: write: %w", err)
+	}
+	return nil
+}
+
+// AppendAll appends a batch atomically with respect to other writers in
+// this process.
+func (s *Store) AppendAll(collection string, vs ...any) error {
+	for _, v := range vs {
+		if err := s.Append(collection, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load decodes every record of the collection into out, which must be a
+// pointer to a slice. A missing collection yields an empty slice.
+func Load[T any](s *Store, collection string) ([]T, error) {
+	if err := validateCollection(collection); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.Open(s.path(collection))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	var out []T
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			return nil, fmt.Errorf("storage: %s line %d: %w", collection, line, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("storage: scan: %w", err)
+	}
+	return out, nil
+}
+
+// Count returns the number of records in the collection.
+func (s *Store) Count(collection string) (int, error) {
+	records, err := Load[json.RawMessage](s, collection)
+	if err != nil {
+		return 0, err
+	}
+	return len(records), nil
+}
+
+// Collections lists existing collection names, sorted by the filesystem.
+func (s *Store) Collections() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".jsonl"); ok && !e.IsDir() {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+// Drop removes a collection; dropping a missing collection is a no-op.
+func (s *Store) Drop(collection string) error {
+	if err := validateCollection(collection); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.path(collection))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

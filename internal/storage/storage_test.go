@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type rec struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+func openTemp(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendAndLoadRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	want := []rec{{1, "a"}, {2, "b"}, {3, "c"}}
+	for _, r := range want {
+		if err := s.Append("runs", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load[rec](s, "runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoadMissingCollectionIsEmpty(t *testing.T) {
+	s := openTemp(t)
+	got, err := Load[rec](s, "nothing")
+	if err != nil || got != nil {
+		t.Errorf("Load(missing) = %v, %v", got, err)
+	}
+}
+
+func TestCountAndCollections(t *testing.T) {
+	s := openTemp(t)
+	s.Append("a", rec{1, "x"})
+	s.Append("a", rec{2, "y"})
+	s.Append("b", rec{3, "z"})
+	if n, _ := s.Count("a"); n != 2 {
+		t.Errorf("Count(a) = %d", n)
+	}
+	cols, err := s.Collections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Errorf("Collections = %v", cols)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	s := openTemp(t)
+	s.Append("a", rec{1, "x"})
+	if err := s.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Count("a"); n != 0 {
+		t.Errorf("records survive Drop: %d", n)
+	}
+	if err := s.Drop("a"); err != nil {
+		t.Errorf("dropping missing collection: %v", err)
+	}
+}
+
+func TestInvalidCollectionNames(t *testing.T) {
+	s := openTemp(t)
+	for _, name := range []string{"", "a/b", `a\b`, "a.b"} {
+		if err := s.Append(name, rec{}); err == nil {
+			t.Errorf("Append accepted collection %q", name)
+		}
+		if _, err := Load[rec](s, name); err == nil {
+			t.Errorf("Load accepted collection %q", name)
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Append("runs", rec{7, "persist"})
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load[rec](s2, "runs")
+	if err != nil || len(got) != 1 || got[0].ID != 7 {
+		t.Errorf("reopened store lost data: %v, %v", got, err)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	s := openTemp(t)
+	var wg sync.WaitGroup
+	const writers, per = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := s.Append("conc", rec{w*per + i, "x"}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, err := Load[rec](s, "conc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != writers*per {
+		t.Errorf("concurrent appends lost records: %d/%d", len(got), writers*per)
+	}
+}
+
+func TestCorruptLineSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Append("runs", rec{1, "ok"})
+	f, _ := os.OpenFile(filepath.Join(dir, "runs.jsonl"), os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString("{corrupt\n")
+	f.Close()
+	if _, err := Load[rec](s, "runs"); err == nil {
+		t.Error("corrupt record loaded without error")
+	}
+}
+
+func TestAppendAll(t *testing.T) {
+	s := openTemp(t)
+	if err := s.AppendAll("batch", rec{1, "a"}, rec{2, "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Count("batch"); n != 2 {
+		t.Errorf("AppendAll stored %d", n)
+	}
+}

@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"pdspbench/internal/tuple"
+)
+
+var testSchema = tuple.NewSchema(
+	tuple.Field{Name: "k", Type: tuple.TypeInt},
+	tuple.Field{Name: "v", Type: tuple.TypeDouble},
+	tuple.Field{Name: "s", Type: tuple.TypeString},
+)
+
+func TestSyntheticRespectsSchemaAndBounds(t *testing.T) {
+	g := NewSynthetic(testSchema, 1, 500, 1000, "poisson")
+	n := 0
+	for {
+		tp, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+		if tp.Width() != 3 {
+			t.Fatalf("width %d", tp.Width())
+		}
+		if k := tp.At(0); k.Kind != tuple.TypeInt || k.I < 0 || k.I >= IntFieldMax {
+			t.Fatalf("int field out of model: %v", k)
+		}
+		if v := tp.At(1); v.Kind != tuple.TypeDouble || v.D < 0 || v.D >= 1 {
+			t.Fatalf("double field out of model: %v", v)
+		}
+		if s := tp.At(2); s.Kind != tuple.TypeString || len(s.S) != 4 || s.S[0] != 'w' {
+			t.Fatalf("string field out of vocabulary: %v", s)
+		}
+	}
+	if n != 500 {
+		t.Errorf("generated %d tuples, want 500", n)
+	}
+}
+
+func TestSyntheticEventTimesMatchRate(t *testing.T) {
+	const rate = 10_000.0
+	g := NewSynthetic(testSchema, 2, 20_000, rate, "poisson")
+	var last int64
+	var count int
+	for {
+		tp, ok := g.Next()
+		if !ok {
+			break
+		}
+		if tp.EventTime <= last {
+			t.Fatal("event times not strictly increasing")
+		}
+		last = tp.EventTime
+		count++
+	}
+	// 20k tuples at 10k/s should span ≈2s of logical time.
+	gotRate := float64(count) / (float64(last) / 1e9)
+	if math.Abs(gotRate-rate) > rate*0.05 {
+		t.Errorf("empirical rate %v, want ≈%v", gotRate, rate)
+	}
+}
+
+func TestSyntheticZipfSkewsKeys(t *testing.T) {
+	g := NewSynthetic(testSchema, 3, 20_000, 1000, "zipf")
+	counts := map[int64]int{}
+	for {
+		tp, ok := g.Next()
+		if !ok {
+			break
+		}
+		counts[tp.At(0).I]++
+	}
+	if counts[0] < 20000/10 {
+		t.Errorf("zipf key 0 appears %d times; expected heavy skew", counts[0])
+	}
+	// Poisson (uniform keys) must not share that skew.
+	g2 := NewSynthetic(testSchema, 3, 20_000, 1000, "poisson")
+	counts2 := map[int64]int{}
+	for {
+		tp, ok := g2.Next()
+		if !ok {
+			break
+		}
+		counts2[tp.At(0).I]++
+	}
+	if counts2[0] > counts[0]/5 {
+		t.Errorf("uniform keys look as skewed as zipf: %d vs %d", counts2[0], counts[0])
+	}
+}
+
+func TestSyntheticDeterministicForSeed(t *testing.T) {
+	a := NewSynthetic(testSchema, 7, 100, 1000, "poisson")
+	b := NewSynthetic(testSchema, 7, 100, 1000, "poisson")
+	for {
+		ta, oka := a.Next()
+		tb, okb := b.Next()
+		if oka != okb {
+			t.Fatal("generators diverged in length")
+		}
+		if !oka {
+			break
+		}
+		if ta.String() != tb.String() {
+			t.Fatalf("same seed produced %v vs %v", ta, tb)
+		}
+	}
+}
+
+func TestSyntheticUnboundedWhenMaxNonPositive(t *testing.T) {
+	g := NewSynthetic(testSchema, 1, 0, 1000, "poisson")
+	for i := 0; i < 5000; i++ {
+		if _, ok := g.Next(); !ok {
+			t.Fatal("unbounded generator ended")
+		}
+	}
+}
+
+func TestWordClamps(t *testing.T) {
+	if Word(-1) != "w000" || Word(VocabularySize+5) != Word(VocabularySize-1) {
+		t.Error("Word does not clamp out-of-range indexes")
+	}
+	if Word(7) != "w007" {
+		t.Errorf("Word(7) = %q", Word(7))
+	}
+}
+
+func TestFromTuplesReplaysInOrder(t *testing.T) {
+	ts := []*tuple.Tuple{
+		tuple.New(1, tuple.Int(1)),
+		tuple.New(2, tuple.Int(2)),
+	}
+	g := NewFromTuples(ts...)
+	for i := 0; i < 2; i++ {
+		tp, ok := g.Next()
+		if !ok || tp.At(0).I != int64(i+1) {
+			t.Fatalf("replay %d: %v %v", i, tp, ok)
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("exhausted generator returned a tuple")
+	}
+}
+
+func TestLimitCaps(t *testing.T) {
+	g := Limit(NewSynthetic(testSchema, 1, 0, 1000, "poisson"), 7)
+	n := 0
+	for {
+		_, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 7 {
+		t.Errorf("Limit(7) yielded %d", n)
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	calls := 0
+	g := Func(func() (*tuple.Tuple, bool) {
+		calls++
+		return tuple.New(int64(calls), tuple.Int(int64(calls))), calls < 3
+	})
+	for {
+		_, ok := g.Next()
+		if !ok {
+			break
+		}
+	}
+	if calls != 3 {
+		t.Errorf("Func called %d times", calls)
+	}
+}

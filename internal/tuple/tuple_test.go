@@ -1,0 +1,232 @@
+package tuple
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want string
+	}{
+		{TypeInt, "int"},
+		{TypeDouble, "double"},
+		{TypeString, "string"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Type
+		wantErr bool
+	}{
+		{"int", TypeInt, false},
+		{"integer", TypeInt, false},
+		{"long", TypeInt, false},
+		{"double", TypeDouble, false},
+		{"float64", TypeDouble, false},
+		{"STRING", TypeString, false},
+		{" str ", TypeString, false},
+		{"varchar", TypeString, false},
+		{"blob", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseType(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseType(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("ParseType(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValueConstructorsAndString(t *testing.T) {
+	if v := Int(42); v.Kind != TypeInt || v.I != 42 || v.String() != "42" {
+		t.Errorf("Int(42) = %+v", v)
+	}
+	if v := Double(2.5); v.Kind != TypeDouble || v.D != 2.5 || v.String() != "2.5" {
+		t.Errorf("Double(2.5) = %+v", v)
+	}
+	if v := String("hi"); v.Kind != TypeString || v.S != "hi" || v.String() != "hi" {
+		t.Errorf("String(hi) = %+v", v)
+	}
+}
+
+func TestValueAsFloat(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+	}{
+		{Int(-7), -7},
+		{Double(3.25), 3.25},
+		{String("abcd"), 4}, // strings convert to their length
+		{String(""), 0},
+	}
+	for _, c := range cases {
+		if got := c.v.AsFloat(); got != c.want {
+			t.Errorf("%v.AsFloat() = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Double(1.5), Double(2.5), -1},
+		{Double(2.5), Double(2.5), 0},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{String("c"), String("b"), 1},
+		// Cross-kind: ordered by kind for totality.
+		{Int(999), Double(0), -1},
+		{String("a"), Int(999), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(5).Equal(Int(5)) {
+		t.Error("Int(5) should equal Int(5)")
+	}
+	if Int(5).Equal(Double(5)) {
+		t.Error("Int(5) should not equal Double(5): kinds differ")
+	}
+	if !String("x").Equal(String("x")) {
+		t.Error("String(x) should equal String(x)")
+	}
+	if Double(1.0).Equal(Double(1.5)) {
+		t.Error("unequal doubles reported equal")
+	}
+}
+
+func TestValueHashEqualValuesHashEqual(t *testing.T) {
+	f := func(x int64) bool { return Int(x).Hash() == Int(x).Hash() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s string) bool { return String(s).Hash() == String(s).Hash() }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueHashKindsDisambiguated(t *testing.T) {
+	// An int and the double with the same numeric value must not collide
+	// systematically: the kind byte participates in the hash.
+	if Int(1).Hash() == Double(math.Float64frombits(uint64(1))).Hash() {
+		t.Error("Int(1) and bit-identical Double hash equal; kind not hashed")
+	}
+}
+
+func TestValueHashDistribution(t *testing.T) {
+	// Sanity: hashing sequential ints modulo 16 should touch most buckets.
+	buckets := make(map[uint64]int)
+	for i := int64(0); i < 1000; i++ {
+		buckets[Int(i).Hash()%16]++
+	}
+	if len(buckets) < 12 {
+		t.Errorf("hash of sequential ints hit only %d/16 buckets", len(buckets))
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(
+		Field{Name: "id", Type: TypeInt},
+		Field{Name: "price", Type: TypeDouble},
+		Field{Name: "sym", Type: TypeString},
+		Field{Name: "qty", Type: TypeInt},
+	)
+	if s.Width() != 4 {
+		t.Fatalf("Width = %d, want 4", s.Width())
+	}
+	if got := s.IndexOf("price"); got != 1 {
+		t.Errorf("IndexOf(price) = %d, want 1", got)
+	}
+	if got := s.IndexOf("missing"); got != -1 {
+		t.Errorf("IndexOf(missing) = %d, want -1", got)
+	}
+	ints := s.FieldsOfType(TypeInt)
+	if len(ints) != 2 || ints[0] != 0 || ints[1] != 3 {
+		t.Errorf("FieldsOfType(int) = %v, want [0 3]", ints)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil", err)
+	}
+	if s.String() != "(id:int, price:double, sym:string, qty:int)" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSchemaValidateRejectsBadFields(t *testing.T) {
+	dup := NewSchema(Field{Name: "a", Type: TypeInt}, Field{Name: "a", Type: TypeDouble})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate field names not rejected")
+	}
+	empty := NewSchema(Field{Name: "", Type: TypeInt})
+	if err := empty.Validate(); err == nil {
+		t.Error("empty field name not rejected")
+	}
+}
+
+func TestTupleCloneIsDeep(t *testing.T) {
+	orig := New(100, Int(1), String("x"))
+	orig.Seq = 7
+	cl := orig.Clone()
+	cl.Values[0] = Int(999)
+	if orig.Values[0].I != 1 {
+		t.Error("mutating clone changed original")
+	}
+	if cl.EventTime != 100 || cl.Seq != 7 {
+		t.Errorf("clone lost metadata: %+v", cl)
+	}
+}
+
+func TestTupleAccessors(t *testing.T) {
+	tp := New(5, Int(1), Double(2), String("three"))
+	if tp.Width() != 3 {
+		t.Errorf("Width = %d, want 3", tp.Width())
+	}
+	if tp.At(2).S != "three" {
+		t.Errorf("At(2) = %v", tp.At(2))
+	}
+	if got := tp.String(); got != "[1 2 three]@5" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTupleCloneKeepsIngest(t *testing.T) {
+	orig := New(100, Int(1))
+	orig.Ingest = 12345
+	if cl := orig.Clone(); cl.Ingest != 12345 {
+		t.Errorf("clone lost Ingest: %d", cl.Ingest)
+	}
+}

@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/stats"
+	"pdspbench/internal/stream"
+	"pdspbench/internal/tuple"
+)
+
+// Table 3's evaluation parameter domain. The enumerator draws uniformly
+// (domain randomization, Section 3.1) from these ranges.
+var (
+	// EventRates in events/second.
+	EventRates = []float64{10, 100, 1_000, 5_000, 10_000, 50_000, 100_000, 200_000, 500_000, 1_000_000, 2_000_000, 4_000_000}
+	// WindowDurationsMs for time-policy windows.
+	WindowDurationsMs = []int64{250, 500, 1000, 1500, 2000, 3000}
+	// WindowLengthsTuples for count-policy windows.
+	WindowLengthsTuples = []int{100, 250, 500, 750, 1000}
+	// SlideRatios for sliding windows.
+	SlideRatios = []float64{0.3, 0.4, 0.5, 0.6, 0.7}
+	// TupleWidths (number of data items per tuple).
+	TupleWidths = rangeInts(1, 15)
+	// Partitions available for data distribution.
+	Partitions = []core.PartitionStrategy{core.PartitionForward, core.PartitionRebalance, core.PartitionHash}
+	// Distributions of the arrival process.
+	Distributions = []string{"poisson", "zipf"}
+)
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// The synthetic field value model lives in internal/stream (the data
+// side of the workload generator); selectivity estimation below inverts
+// exactly that model, which is how the workload generator guarantees
+// "queries with only valid literals ... where 0 < selectivity < 1".
+const (
+	IntFieldMax    = stream.IntFieldMax
+	VocabularySize = stream.VocabularySize
+)
+
+// Params is one enumerated workload configuration for a synthetic
+// structure.
+type Params struct {
+	EventRate    float64                `json:"event_rate"`
+	TupleWidth   int                    `json:"tuple_width"`
+	FieldTypes   []tuple.Type           `json:"field_types"` // len == TupleWidth
+	Window       core.WindowSpec        `json:"window"`
+	AggFn        core.AggFn             `json:"agg_fn"`
+	FilterFn     core.FilterFn          `json:"filter_fn"`
+	Selectivity  float64                `json:"selectivity"` // target filter selectivity in (0,1)
+	Partition    core.PartitionStrategy `json:"partition"`
+	Distribution string                 `json:"distribution"`
+}
+
+// Validate rejects parameter combinations outside the Table 3 domain.
+func (p Params) Validate() error {
+	if p.EventRate <= 0 {
+		return fmt.Errorf("workload: event rate must be positive, got %g", p.EventRate)
+	}
+	if p.TupleWidth < 1 || p.TupleWidth > 15 {
+		return fmt.Errorf("workload: tuple width %d outside [1,15]", p.TupleWidth)
+	}
+	if len(p.FieldTypes) != p.TupleWidth {
+		return fmt.Errorf("workload: %d field types for width %d", len(p.FieldTypes), p.TupleWidth)
+	}
+	if err := p.Window.Validate(); err != nil {
+		return err
+	}
+	if p.Selectivity <= 0 || p.Selectivity >= 1 {
+		return fmt.Errorf("workload: selectivity %g outside (0,1)", p.Selectivity)
+	}
+	return nil
+}
+
+// schema materializes the tuple schema: field 0 is always an int key so
+// hash partitioning and equi-joins are well defined, the remaining
+// fields follow FieldTypes.
+func (p Params) schema() *tuple.Schema {
+	fields := make([]tuple.Field, p.TupleWidth)
+	fields[0] = tuple.Field{Name: "f0", Type: tuple.TypeInt}
+	for i := 1; i < p.TupleWidth; i++ {
+		fields[i] = tuple.Field{Name: fmt.Sprintf("f%d", i), Type: p.FieldTypes[i]}
+	}
+	return tuple.NewSchema(fields...)
+}
+
+// filterSpec derives the filter literal achieving the target selectivity
+// under the synthetic value model (selectivity estimation, Section 3.1).
+func (p Params) filterSpec(schema *tuple.Schema) *core.FilterSpec {
+	// Filter on the first numeric field (field 0 is always int).
+	field := 0
+	for i, f := range schema.Fields {
+		if f.Type == tuple.TypeInt || f.Type == tuple.TypeDouble {
+			field = i
+			break
+		}
+	}
+	lit := LiteralForSelectivity(schema.Fields[field].Type, p.FilterFn, p.Selectivity)
+	return &core.FilterSpec{Field: field, Fn: p.FilterFn, Literal: lit, Selectivity: p.Selectivity}
+}
+
+func (p Params) aggField(schema *tuple.Schema) int {
+	for i, f := range schema.Fields {
+		if f.Type == tuple.TypeDouble {
+			return i
+		}
+	}
+	return 0
+}
+
+func (p Params) keyField(schema *tuple.Schema) int { return 0 }
+
+// LiteralForSelectivity inverts the synthetic value model: it returns
+// the literal for which the given comparison passes the target fraction
+// of uniformly distributed values. Equality comparisons fall back to a
+// representative mid-domain literal (their exact selectivity under the
+// uniform model is 1/domain and is recorded by the caller).
+func LiteralForSelectivity(t tuple.Type, fn core.FilterFn, sel float64) tuple.Value {
+	frac := sel
+	switch fn {
+	case core.FilterLess, core.FilterLessEq:
+		// value < lit passes when lit sits at quantile sel.
+	case core.FilterGreater, core.FilterGreaterEq:
+		frac = 1 - sel
+	case core.FilterEq, core.FilterNotEq, core.FilterStartsWith, core.FilterContains:
+		frac = 0.5
+	}
+	switch t {
+	case tuple.TypeInt:
+		return tuple.Int(int64(frac * IntFieldMax))
+	case tuple.TypeDouble:
+		return tuple.Double(frac)
+	default:
+		// Strings: vocabulary word at the chosen quantile; the vocabulary
+		// is lexicographically ordered (w000…w099) so range comparisons
+		// keep their meaning.
+		return tuple.String(stream.Word(int(frac * VocabularySize)))
+	}
+}
+
+// EstimateSelectivity computes the pass fraction of a filter under the
+// synthetic uniform value model — the estimator the generator uses to
+// reject literal choices that would make data "never pass the generated
+// filter".
+func EstimateSelectivity(t tuple.Type, fn core.FilterFn, lit tuple.Value) float64 {
+	var q float64 // quantile of the literal within the value domain
+	switch t {
+	case tuple.TypeInt:
+		q = float64(lit.I) / IntFieldMax
+	case tuple.TypeDouble:
+		q = lit.D
+	case tuple.TypeString:
+		var idx int
+		if _, err := fmt.Sscanf(lit.S, "w%03d", &idx); err == nil {
+			q = float64(idx) / VocabularySize
+		} else {
+			q = 0.5
+		}
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	switch fn {
+	case core.FilterLess, core.FilterLessEq:
+		return q
+	case core.FilterGreater, core.FilterGreaterEq:
+		return 1 - q
+	case core.FilterEq:
+		if t == tuple.TypeDouble {
+			return 1e-6
+		}
+		return 1.0 / IntFieldMax
+	case core.FilterNotEq:
+		if t == tuple.TypeDouble {
+			return 1 - 1e-6
+		}
+		return 1 - 1.0/IntFieldMax
+	case core.FilterStartsWith, core.FilterContains:
+		return 1.0 / VocabularySize
+	default:
+		return 0.5
+	}
+}
+
+// Enumerator draws random, valid workload parameters from the Table 3
+// domain (domain randomization for ML corpus generation).
+type Enumerator struct {
+	rng *rand.Rand
+	// MaxEventRate caps drawn event rates; corpus generation uses this to
+	// stay within a simulation budget while figure experiments pin rates
+	// explicitly.
+	MaxEventRate float64
+}
+
+// NewEnumerator creates an enumerator with the given seed.
+func NewEnumerator(seed int64) *Enumerator {
+	return &Enumerator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Rand exposes the enumerator's RNG for strategies that need randomness
+// coherent with the enumeration stream.
+func (e *Enumerator) Rand() *rand.Rand { return e.rng }
+
+// RandomParams draws one parameter combination. The filter function is
+// restricted to range comparisons so that the selectivity inversion is
+// exact, matching the paper's use of selectivity estimation to generate
+// only valid literals.
+func (e *Enumerator) RandomParams() Params {
+	width := stats.Choice(e.rng, TupleWidths)
+	types := make([]tuple.Type, width)
+	for i := range types {
+		types[i] = stats.Choice(e.rng, tuple.AllTypes)
+	}
+	rates := EventRates
+	if e.MaxEventRate > 0 {
+		rates = nil
+		for _, r := range EventRates {
+			if r <= e.MaxEventRate {
+				rates = append(rates, r)
+			}
+		}
+		if len(rates) == 0 {
+			rates = EventRates[:1]
+		}
+	}
+	w := core.WindowSpec{}
+	if e.rng.Intn(2) == 0 {
+		w.Type = core.WindowTumbling
+	} else {
+		w.Type = core.WindowSliding
+		w.SlideRatio = stats.Choice(e.rng, SlideRatios)
+	}
+	if e.rng.Intn(2) == 0 {
+		w.Policy = core.PolicyTime
+		w.LengthMs = stats.Choice(e.rng, WindowDurationsMs)
+	} else {
+		w.Policy = core.PolicyCount
+		w.LengthTups = stats.Choice(e.rng, WindowLengthsTuples)
+	}
+	rangeFns := []core.FilterFn{core.FilterLess, core.FilterLessEq, core.FilterGreater, core.FilterGreaterEq}
+	return Params{
+		EventRate:    stats.Choice(e.rng, rates),
+		TupleWidth:   width,
+		FieldTypes:   types,
+		Window:       w,
+		AggFn:        stats.Choice(e.rng, core.AllAggFns),
+		FilterFn:     stats.Choice(e.rng, rangeFns),
+		Selectivity:  0.1 + 0.8*e.rng.Float64(), // strictly inside (0,1)
+		Partition:    stats.Choice(e.rng, []core.PartitionStrategy{core.PartitionRebalance, core.PartitionHash}),
+		Distribution: stats.Choice(e.rng, Distributions),
+	}
+}
+
+// RandomStructure draws one of the nine synthetic structures.
+func (e *Enumerator) RandomStructure() Structure {
+	return stats.Choice(e.rng, Structures)
+}
+
+// RandomPlan draws a structure and parameters and builds the plan.
+func (e *Enumerator) RandomPlan() (*core.PQP, error) {
+	return Build(e.RandomStructure(), e.RandomParams())
+}

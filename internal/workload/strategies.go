@@ -1,0 +1,365 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+)
+
+// Strategy enumerates parallelism degrees for a query structure,
+// producing concrete PQPs (Section 3.1, "Parallelism enumerator"). Each
+// call returns up to count independent plan variants; input plans are
+// never mutated.
+type Strategy interface {
+	Name() string
+	Enumerate(plan *core.PQP, cl *cluster.Cluster, count int) []*core.PQP
+}
+
+// degreeCap bounds enumerated degrees by the physical resources, as the
+// paper does ("usually upto maximum number of cores available").
+func degreeCap(cl *cluster.Cluster) int {
+	cap := cl.TotalCores()
+	if cap > core.MaxDegree {
+		cap = core.MaxDegree
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// processingOps returns the operators whose parallelism the strategies
+// vary (everything except sources and sinks).
+func processingOps(plan *core.PQP) []*core.Operator {
+	var ops []*core.Operator
+	for _, op := range plan.Operators {
+		if op.Kind != core.OpSource && op.Kind != core.OpSink {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// PropagateRates computes the steady-state input rate (tuples/s) of
+// every operator; see core.PQP.InputRates.
+func PropagateRates(plan *core.PQP) map[string]float64 {
+	return plan.InputRates()
+}
+
+// RandomStrategy draws degrees uniformly from [1, cores] — the paper's
+// baseline that "introduc[es] variability for comprehensive performance
+// assessment" but produces many resource-wasteful plans (Section 3.1).
+type RandomStrategy struct {
+	Rng *rand.Rand
+}
+
+// Name implements Strategy.
+func (s *RandomStrategy) Name() string { return "random" }
+
+// Enumerate implements Strategy.
+func (s *RandomStrategy) Enumerate(plan *core.PQP, cl *cluster.Cluster, count int) []*core.PQP {
+	cap := degreeCap(cl)
+	variants := make([]*core.PQP, 0, count)
+	for v := 0; v < count; v++ {
+		q := plan.Clone()
+		for _, op := range processingOps(q) {
+			op.Parallelism = 1 + s.Rng.Intn(cap)
+		}
+		variants = append(variants, q)
+	}
+	return variants
+}
+
+// RuleBasedStrategy sizes each operator from workload characteristics —
+// input rate, selectivity (already folded into the propagated rates),
+// per-tuple cost and available cores — following the DS2-style "three
+// steps" heuristic the paper cites [Kalavri et al., OSDI'18], then
+// explores around the computed degree. This yields "meaningful" plans:
+// upstream operators get at least the parallelism of their downstream
+// consumers, and no operator exceeds the core budget.
+type RuleBasedStrategy struct {
+	Rng *rand.Rand
+	// TupleCost must match the execution backend's per-tuple cost unit;
+	// zero selects the simulator default of 1µs.
+	TupleCost float64
+	// Safety is the headroom factor over the computed minimum degree;
+	// zero selects 1.5.
+	Safety float64
+}
+
+// Name implements Strategy.
+func (s *RuleBasedStrategy) Name() string { return "rule-based" }
+
+// requiredDegree computes the minimum instances keeping utilization < 1.
+func (s *RuleBasedStrategy) requiredDegree(op *core.Operator, rate float64, cl *cluster.Cluster) int {
+	tc := s.TupleCost
+	if tc <= 0 {
+		tc = 1e-6
+	}
+	safety := s.Safety
+	if safety <= 0 {
+		safety = 1.5
+	}
+	meanSpeed := (cl.MinNodeSpeed() + cl.MaxNodeSpeed()) / 2
+	if meanSpeed <= 0 {
+		meanSpeed = 1
+	}
+	coresNeeded := rate * tc * op.CostFactor() / meanSpeed * safety
+	d := int(math.Ceil(coresNeeded))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Enumerate implements Strategy.
+func (s *RuleBasedStrategy) Enumerate(plan *core.PQP, cl *cluster.Cluster, count int) []*core.PQP {
+	capD := degreeCap(cl)
+	rates := PropagateRates(plan)
+	// Exploration multipliers around the computed degree: drawn randomly
+	// when an RNG is available (so even single-variant calls, as corpus
+	// generation makes, explore the near-optimal neighbourhood), cycled
+	// deterministically otherwise.
+	mults := []float64{1, 0.5, 2, 0.75, 1.5}
+	variants := make([]*core.PQP, 0, count)
+	for v := 0; v < count; v++ {
+		q := plan.Clone()
+		m := mults[v%len(mults)]
+		jitter := 1.0
+		if s.Rng != nil {
+			m = mults[s.Rng.Intn(len(mults))]
+			jitter = 0.8 + 0.4*s.Rng.Float64()
+		}
+		// First size every operator from its workload, then enforce the
+		// paper's monotonicity insight — "selecting higher parallelism
+		// degrees for downstream operators is less meaningful" — by
+		// raising upstream operators to at least the degree their
+		// consumers need (never by starving a demanding downstream
+		// operator such as a join below its requirement).
+		order, _ := q.TopoOrder()
+		for _, id := range order {
+			op := q.Op(id)
+			if op.Kind == core.OpSource || op.Kind == core.OpSink {
+				continue
+			}
+			d := int(math.Round(float64(s.requiredDegree(op, rates[id], cl)) * m * jitter))
+			if d < 1 {
+				d = 1
+			}
+			if d > capD {
+				d = capD
+			}
+			op.Parallelism = d
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			op := q.Op(order[i])
+			if op.Kind == core.OpSource || op.Kind == core.OpSink {
+				continue
+			}
+			for _, downID := range q.Downstream(op.ID) {
+				down := q.Op(downID)
+				if down.Kind == core.OpSink {
+					continue
+				}
+				if down.Parallelism > op.Parallelism {
+					op.Parallelism = down.Parallelism
+				}
+			}
+		}
+		variants = append(variants, q)
+	}
+	return variants
+}
+
+// ExhaustiveStrategy tests every combination of the given degrees over
+// the processing operators ("ensuring that each combination is tested").
+// Combinations beyond count are truncated; Degrees defaults to the
+// parallelism-category degrees.
+type ExhaustiveStrategy struct {
+	Degrees []int
+}
+
+// Name implements Strategy.
+func (s *ExhaustiveStrategy) Name() string { return "exhaustive" }
+
+// Enumerate implements Strategy.
+func (s *ExhaustiveStrategy) Enumerate(plan *core.PQP, cl *cluster.Cluster, count int) []*core.PQP {
+	degrees := s.Degrees
+	if len(degrees) == 0 {
+		capD := degreeCap(cl)
+		for _, c := range core.AllCategories {
+			if d := c.Degree(); d <= capD {
+				degrees = append(degrees, d)
+			}
+		}
+		if len(degrees) == 0 {
+			degrees = []int{1}
+		}
+	}
+	ops := processingOps(plan)
+	total := 1
+	for range ops {
+		total *= len(degrees)
+		if total > count {
+			total = count
+			break
+		}
+	}
+	variants := make([]*core.PQP, 0, total)
+	idx := make([]int, len(ops))
+	for v := 0; v < count; v++ {
+		q := plan.Clone()
+		qOps := processingOps(q)
+		for i, op := range qOps {
+			op.Parallelism = degrees[idx[i]]
+		}
+		variants = append(variants, q)
+		// Advance the odometer; stop after the full product.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(degrees) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			break
+		}
+	}
+	return variants
+}
+
+// MinAvgMaxStrategy cycles through minimum, average and maximum degrees,
+// "systematically exploring the effects ... from least to most intensive
+// use of resources".
+type MinAvgMaxStrategy struct{}
+
+// Name implements Strategy.
+func (s *MinAvgMaxStrategy) Name() string { return "min-avg-max" }
+
+// Enumerate implements Strategy.
+func (s *MinAvgMaxStrategy) Enumerate(plan *core.PQP, cl *cluster.Cluster, count int) []*core.PQP {
+	capD := degreeCap(cl)
+	levels := []int{1, (1 + capD) / 2, capD}
+	variants := make([]*core.PQP, 0, count)
+	for v := 0; v < count; v++ {
+		q := plan.Clone()
+		q.SetUniformParallelism(levels[v%len(levels)])
+		variants = append(variants, q)
+	}
+	return variants
+}
+
+// IncreasingStrategy starts at the minimum degree and doubles stepwise to
+// the maximum; within each variant, operators further down the dataflow
+// get no more parallelism than their upstream producers (tuples thin out
+// as they flow down, so downstream needs less).
+type IncreasingStrategy struct{}
+
+// Name implements Strategy.
+func (s *IncreasingStrategy) Name() string { return "increasing" }
+
+// Enumerate implements Strategy.
+func (s *IncreasingStrategy) Enumerate(plan *core.PQP, cl *cluster.Cluster, count int) []*core.PQP {
+	capD := degreeCap(cl)
+	var steps []int
+	for d := 1; d <= capD; d *= 2 {
+		steps = append(steps, d)
+	}
+	if steps[len(steps)-1] != capD {
+		steps = append(steps, capD)
+	}
+	variants := make([]*core.PQP, 0, count)
+	for v := 0; v < count; v++ {
+		base := steps[v%len(steps)]
+		q := plan.Clone()
+		order, _ := q.TopoOrder()
+		depth := map[string]int{}
+		for _, id := range order {
+			d := 0
+			for _, u := range q.Upstream(id) {
+				if depth[u]+1 > d {
+					d = depth[u] + 1
+				}
+			}
+			depth[id] = d
+		}
+		for _, id := range order {
+			op := q.Op(id)
+			if op.Kind == core.OpSource || op.Kind == core.OpSink {
+				continue
+			}
+			// Halve the degree at each level below the first processing
+			// stage, floored at 1.
+			d := base >> (maxI(0, depth[id]-1))
+			if d < 1 {
+				d = 1
+			}
+			op.Parallelism = d
+		}
+		variants = append(variants, q)
+	}
+	return variants
+}
+
+// ParameterBasedStrategy applies user-supplied degrees — the paper's
+// rapid-testing mode. Degrees maps operator IDs to explicit degrees;
+// Uniform applies to any processing operator not listed.
+type ParameterBasedStrategy struct {
+	Degrees map[string]int
+	Uniform int
+}
+
+// Name implements Strategy.
+func (s *ParameterBasedStrategy) Name() string { return "parameter-based" }
+
+// Enumerate implements Strategy.
+func (s *ParameterBasedStrategy) Enumerate(plan *core.PQP, cl *cluster.Cluster, count int) []*core.PQP {
+	variants := make([]*core.PQP, 0, count)
+	for v := 0; v < count; v++ {
+		q := plan.Clone()
+		for _, op := range processingOps(q) {
+			if d, ok := s.Degrees[op.ID]; ok && d > 0 {
+				op.Parallelism = d
+			} else if s.Uniform > 0 {
+				op.Parallelism = s.Uniform
+			}
+		}
+		variants = append(variants, q)
+	}
+	return variants
+}
+
+// StrategyByName constructs a strategy from its paper name.
+func StrategyByName(name string, rng *rand.Rand) (Strategy, error) {
+	switch name {
+	case "random":
+		return &RandomStrategy{Rng: rng}, nil
+	case "rule-based":
+		return &RuleBasedStrategy{Rng: rng}, nil
+	case "exhaustive":
+		return &ExhaustiveStrategy{}, nil
+	case "min-avg-max":
+		return &MinAvgMaxStrategy{}, nil
+	case "increasing":
+		return &IncreasingStrategy{}, nil
+	case "parameter-based":
+		return &ParameterBasedStrategy{}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown parallelism strategy %q", name)
+	}
+}
+
+// StrategyNames lists the six strategies of Section 3.1.
+var StrategyNames = []string{"random", "rule-based", "exhaustive", "min-avg-max", "increasing", "parameter-based"}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

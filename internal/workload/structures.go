@@ -1,0 +1,175 @@
+// Package workload is PDSP-Bench's workload generator: it enumerates
+// data streams and parallel query plans (PQPs) across the paper's three
+// diversity dimensions — query, data and resources (Table 3) — and
+// implements the six parallelism-degree enumeration strategies of
+// Section 3.1 (Random, Rule-based, Exhaustive, MinAvgMax, Increasing,
+// Parameter-based).
+package workload
+
+import (
+	"fmt"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+)
+
+// Structure identifies one of the nine synthetic query structures the
+// benchmark suite ships (Table 2's "Synthetic Queries": simple linear
+// queries with one filter up to complex configurations with multi-way
+// joins and multiple chained filters).
+type Structure string
+
+const (
+	StructLinear      Structure = "linear"
+	StructTwoFilter   Structure = "2-chained-filter"
+	StructThreeFilter Structure = "3-chained-filter"
+	StructFourFilter  Structure = "4-chained-filter"
+	StructTwoWayJoin  Structure = "2-way-join"
+	StructThreeJoin   Structure = "3-way-join"
+	StructFourJoin    Structure = "4-way-join"
+	StructFiveJoin    Structure = "5-way-join"
+	StructSixJoin     Structure = "6-way-join"
+)
+
+// Structures lists all nine synthetic structures in increasing
+// complexity order (the x-axis order of the paper's Figure 3 top).
+var Structures = []Structure{
+	StructLinear, StructTwoFilter, StructThreeFilter, StructFourFilter,
+	StructTwoWayJoin, StructThreeJoin, StructFourJoin, StructFiveJoin, StructSixJoin,
+}
+
+// filterChainLength returns how many chained filters the structure has.
+func (s Structure) filterChainLength() int {
+	switch s {
+	case StructLinear:
+		return 1
+	case StructTwoFilter:
+		return 2
+	case StructThreeFilter:
+		return 3
+	case StructFourFilter:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// JoinWays returns the number of joined streams (0 for non-join shapes).
+func (s Structure) JoinWays() int {
+	switch s {
+	case StructTwoWayJoin:
+		return 2
+	case StructThreeJoin:
+		return 3
+	case StructFourJoin:
+		return 4
+	case StructFiveJoin:
+		return 5
+	case StructSixJoin:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// IsJoin reports whether the structure contains join operators.
+func (s Structure) IsJoin() bool { return s.JoinWays() > 0 }
+
+// ParseStructure resolves a structure name.
+func ParseStructure(name string) (Structure, error) {
+	for _, st := range Structures {
+		if string(st) == name {
+			return st, nil
+		}
+	}
+	return "", fmt.Errorf("workload: unknown synthetic structure %q", name)
+}
+
+// Build constructs the PQP for a synthetic structure from enumerated
+// parameters. The generated plans follow the paper's Figure 2 (left)
+// blueprint: every source feeds a filter; join structures chain
+// (ways−1) windowed joins; filter chains end in a windowed aggregation.
+func Build(s Structure, p Params) (*core.PQP, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	plan := core.NewPQP(fmt.Sprintf("%s/rate=%g", s, p.EventRate), string(s))
+	schema := p.schema()
+	if ways := s.JoinWays(); ways > 0 {
+		buildJoin(plan, s, p, schema, ways)
+	} else {
+		buildChain(plan, s, p, schema)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid plan for %s: %w", s, err)
+	}
+	return plan, nil
+}
+
+// buildChain assembles source → filter×k → window-aggregate → sink.
+func buildChain(plan *core.PQP, s Structure, p Params, schema *tuple.Schema) {
+	plan.Add(&core.Operator{
+		ID: "src", Kind: core.OpSource, Name: "source", Parallelism: 1,
+		Source:   &core.SourceSpec{Schema: schema, EventRate: p.EventRate, Distribution: p.Distribution},
+		OutWidth: schema.Width(),
+	})
+	prev := "src"
+	for i := 0; i < s.filterChainLength(); i++ {
+		id := fmt.Sprintf("filter%d", i+1)
+		plan.Add(&core.Operator{
+			ID: id, Kind: core.OpFilter, Name: id, Parallelism: 1,
+			Partition: p.Partition,
+			Filter:    p.filterSpec(schema),
+			OutWidth:  schema.Width(),
+		})
+		plan.Connect(prev, id)
+		prev = id
+	}
+	plan.Add(&core.Operator{
+		ID: "agg", Kind: core.OpAggregate, Name: "window-" + p.AggFn.String(), Parallelism: 1,
+		Partition: core.PartitionHash,
+		Agg:       &core.AggregateSpec{Window: p.Window, Fn: p.AggFn, Field: p.aggField(schema), KeyField: p.keyField(schema)},
+		OutWidth:  2,
+	})
+	plan.Connect(prev, "agg")
+	plan.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Name: "sink", Parallelism: 1, Partition: core.PartitionRebalance})
+	plan.Connect("agg", "sink")
+}
+
+// buildJoin assembles ways sources with filters and a left-deep chain of
+// (ways−1) windowed equi-joins ending in a sink.
+func buildJoin(plan *core.PQP, s Structure, p Params, schema *tuple.Schema, ways int) {
+	for i := 0; i < ways; i++ {
+		srcID := fmt.Sprintf("src%d", i+1)
+		fID := fmt.Sprintf("filter%d", i+1)
+		plan.Add(&core.Operator{
+			ID: srcID, Kind: core.OpSource, Name: srcID, Parallelism: 1,
+			Source:   &core.SourceSpec{Schema: schema, EventRate: p.EventRate, Distribution: p.Distribution},
+			OutWidth: schema.Width(),
+		})
+		plan.Add(&core.Operator{
+			ID: fID, Kind: core.OpFilter, Name: fID, Parallelism: 1,
+			Partition: p.Partition,
+			Filter:    p.filterSpec(schema),
+			OutWidth:  schema.Width(),
+		})
+		plan.Connect(srcID, fID)
+	}
+	prev := "filter1"
+	width := schema.Width()
+	for j := 0; j < ways-1; j++ {
+		jID := fmt.Sprintf("join%d", j+1)
+		width += schema.Width()
+		plan.Add(&core.Operator{
+			ID: jID, Kind: core.OpJoin, Name: jID, Parallelism: 1,
+			Partition: core.PartitionHash,
+			Join:      &core.JoinSpec{Window: p.Window, LeftField: 0, RightField: 0},
+			OutWidth:  width,
+		})
+		plan.Connect(prev, jID)
+		plan.Connect(fmt.Sprintf("filter%d", j+2), jID)
+		prev = jID
+	}
+	plan.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Name: "sink", Parallelism: 1, Partition: core.PartitionRebalance})
+	plan.Connect(prev, "sink")
+}

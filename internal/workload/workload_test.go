@@ -1,0 +1,425 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/stream"
+	"pdspbench/internal/tuple"
+)
+
+func validParams() Params {
+	return Params{
+		EventRate:  100_000,
+		TupleWidth: 4,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeDouble, tuple.TypeDouble, tuple.TypeString},
+		Window:     core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime, LengthMs: 1000, SlideRatio: 0.5},
+		AggFn:      core.AggSum, FilterFn: core.FilterLess, Selectivity: 0.4,
+		Partition: core.PartitionRebalance, Distribution: "poisson",
+	}
+}
+
+func TestAllNineStructuresBuildValidPlans(t *testing.T) {
+	if len(Structures) != 9 {
+		t.Fatalf("Structures = %d, want 9 (Table 2 synthetic queries)", len(Structures))
+	}
+	for _, s := range Structures {
+		plan, err := Build(s, validParams())
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Errorf("%s: invalid plan: %v", s, err)
+		}
+	}
+}
+
+func TestJoinStructuresHaveExpectedShape(t *testing.T) {
+	cases := []struct {
+		s     Structure
+		joins int
+		srcs  int
+	}{
+		{StructLinear, 0, 1},
+		{StructTwoFilter, 0, 1},
+		{StructFourFilter, 0, 1},
+		{StructTwoWayJoin, 1, 2},
+		{StructThreeJoin, 2, 3},
+		{StructSixJoin, 5, 6},
+	}
+	for _, c := range cases {
+		plan, err := Build(c.s, validParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.CountKind(core.OpJoin); got != c.joins {
+			t.Errorf("%s: %d joins, want %d", c.s, got, c.joins)
+		}
+		if got := len(plan.Sources()); got != c.srcs {
+			t.Errorf("%s: %d sources, want %d", c.s, got, c.srcs)
+		}
+	}
+}
+
+func TestFilterChainLengths(t *testing.T) {
+	cases := map[Structure]int{
+		StructLinear: 1, StructTwoFilter: 2, StructThreeFilter: 3, StructFourFilter: 4,
+	}
+	for s, want := range cases {
+		plan, err := Build(s, validParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := plan.CountKind(core.OpFilter); got != want {
+			t.Errorf("%s: %d filters, want %d", s, got, want)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	s, err := ParseStructure("3-way-join")
+	if err != nil || s != StructThreeJoin {
+		t.Errorf("ParseStructure = %v, %v", s, err)
+	}
+	if _, err := ParseStructure("7-way-join"); err == nil {
+		t.Error("unknown structure accepted")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.EventRate = 0 },
+		func(p *Params) { p.TupleWidth = 0 },
+		func(p *Params) { p.TupleWidth = 16 },
+		func(p *Params) { p.FieldTypes = p.FieldTypes[:2] },
+		func(p *Params) { p.Selectivity = 0 },
+		func(p *Params) { p.Selectivity = 1 },
+		func(p *Params) { p.Window.LengthMs = 0 },
+	}
+	for i, mutate := range bad {
+		p := validParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+	if err := validParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestLiteralForSelectivityInverts(t *testing.T) {
+	// The literal chosen for a target selectivity must estimate back to
+	// (approximately) that selectivity — the generator's guarantee that
+	// "queries with only valid literals are generated where 0<sel<1".
+	for _, typ := range []tuple.Type{tuple.TypeInt, tuple.TypeDouble, tuple.TypeString} {
+		for _, fn := range []core.FilterFn{core.FilterLess, core.FilterGreaterEq} {
+			for _, sel := range []float64{0.1, 0.4, 0.75} {
+				lit := LiteralForSelectivity(typ, fn, sel)
+				got := EstimateSelectivity(typ, fn, lit)
+				tol := 0.02
+				if typ == tuple.TypeInt || typ == tuple.TypeString {
+					tol = 0.03 // quantization of discrete domains
+				}
+				if math.Abs(got-sel) > tol {
+					t.Errorf("%v %v sel=%v: literal %v estimates to %v", typ, fn, sel, lit, got)
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateSelectivityEquality(t *testing.T) {
+	if got := EstimateSelectivity(tuple.TypeInt, core.FilterEq, tuple.Int(500)); got != 1.0/IntFieldMax {
+		t.Errorf("Eq selectivity = %v", got)
+	}
+	if got := EstimateSelectivity(tuple.TypeString, core.FilterContains, tuple.String("w001")); got != 1.0/VocabularySize {
+		t.Errorf("Contains selectivity = %v", got)
+	}
+	ne := EstimateSelectivity(tuple.TypeDouble, core.FilterNotEq, tuple.Double(0.5))
+	if ne < 0.99 {
+		t.Errorf("NotEq selectivity = %v, want ≈1", ne)
+	}
+}
+
+func TestGeneratedFiltersActuallyPassData(t *testing.T) {
+	// End-to-end check of the selectivity machinery: generate data under
+	// the synthetic value model, apply the generated filter, and compare
+	// the empirical pass rate with the target.
+	enum := NewEnumerator(5)
+	for trial := 0; trial < 20; trial++ {
+		p := enum.RandomParams()
+		schema := p.schema()
+		spec := p.filterSpec(schema)
+		gen := stream.NewSynthetic(schema, int64(trial), 4000, 1000, "poisson")
+		var pass, total float64
+		for {
+			tup, ok := gen.Next()
+			if !ok {
+				break
+			}
+			total++
+			if spec.Fn.Eval(tup.At(spec.Field), spec.Literal) {
+				pass++
+			}
+		}
+		got := pass / total
+		if got == 0 || got == 1 {
+			t.Errorf("trial %d: filter %v %v passes %v of data — degenerate", trial, spec.Fn, spec.Literal, got)
+		}
+		if math.Abs(got-spec.Selectivity) > 0.12 {
+			t.Errorf("trial %d: empirical selectivity %v vs target %v", trial, got, spec.Selectivity)
+		}
+	}
+}
+
+func TestRandomParamsStayInTable3Domain(t *testing.T) {
+	enum := NewEnumerator(9)
+	for i := 0; i < 200; i++ {
+		p := enum.RandomParams()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("draw %d invalid: %v", i, err)
+		}
+		if p.Selectivity <= 0 || p.Selectivity >= 1 {
+			t.Fatalf("selectivity %v out of (0,1)", p.Selectivity)
+		}
+		found := false
+		for _, r := range EventRates {
+			if p.EventRate == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("event rate %v not in Table 3 domain", p.EventRate)
+		}
+	}
+}
+
+func TestEnumeratorEventRateCap(t *testing.T) {
+	enum := NewEnumerator(2)
+	enum.MaxEventRate = 100_000
+	for i := 0; i < 100; i++ {
+		if r := enum.RandomParams().EventRate; r > 100_000 {
+			t.Fatalf("rate %v exceeds cap", r)
+		}
+	}
+}
+
+func TestRandomPlanBuildsValid(t *testing.T) {
+	enum := NewEnumerator(4)
+	for i := 0; i < 30; i++ {
+		plan, err := enum.RandomPlan()
+		if err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("draw %d invalid: %v", i, err)
+		}
+	}
+}
+
+// --- parallelism strategies -------------------------------------------------
+
+func strategyCluster() *cluster.Cluster {
+	return cluster.NewHomogeneous("ho", cluster.M510, 5) // 40 cores
+}
+
+func basePlan(t *testing.T) *core.PQP {
+	t.Helper()
+	plan, err := Build(StructTwoWayJoin, validParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestStrategyByNameCoversAllSix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if len(StrategyNames) != 6 {
+		t.Fatalf("StrategyNames = %d, want 6 (Section 3.1)", len(StrategyNames))
+	}
+	for _, name := range StrategyNames {
+		s, err := StrategyByName(name, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("strategy %q reports name %q", name, s.Name())
+		}
+	}
+	if _, err := StrategyByName("oracle", rng); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestEveryStrategyProducesValidVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cl := strategyCluster()
+	for _, name := range StrategyNames {
+		s, _ := StrategyByName(name, rng)
+		variants := s.Enumerate(basePlan(t), cl, 5)
+		if len(variants) == 0 {
+			t.Fatalf("%s produced no variants", name)
+		}
+		for i, v := range variants {
+			if err := v.Validate(); err != nil {
+				t.Errorf("%s variant %d invalid: %v", name, i, err)
+			}
+			for _, op := range v.Operators {
+				if op.Kind == core.OpSource || op.Kind == core.OpSink {
+					continue
+				}
+				if op.Parallelism < 1 || op.Parallelism > cl.TotalCores() {
+					t.Errorf("%s variant %d: degree %d outside [1, %d]", name, i, op.Parallelism, cl.TotalCores())
+				}
+			}
+		}
+	}
+}
+
+func TestStrategiesDoNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	plan := basePlan(t)
+	before := plan.String()
+	for _, name := range StrategyNames {
+		s, _ := StrategyByName(name, rng)
+		s.Enumerate(plan, strategyCluster(), 3)
+	}
+	if plan.String() != before {
+		t.Error("a strategy mutated the input plan")
+	}
+}
+
+func TestRandomStrategyVaries(t *testing.T) {
+	s := &RandomStrategy{Rng: rand.New(rand.NewSource(4))}
+	variants := s.Enumerate(basePlan(t), strategyCluster(), 10)
+	degrees := map[int]bool{}
+	for _, v := range variants {
+		degrees[v.Op("join1").Parallelism] = true
+	}
+	if len(degrees) < 3 {
+		t.Errorf("random strategy produced only %d distinct join degrees in 10 variants", len(degrees))
+	}
+}
+
+func TestRuleBasedRespectsDownstreamMonotonicity(t *testing.T) {
+	// "selecting higher parallelism degrees for downstream operators is
+	// less meaningful": degrees must not increase along the dataflow.
+	s := &RuleBasedStrategy{Rng: rand.New(rand.NewSource(5))}
+	for _, v := range s.Enumerate(basePlan(t), strategyCluster(), 8) {
+		order, _ := v.TopoOrder()
+		prev := 1 << 30
+		for _, id := range order {
+			op := v.Op(id)
+			if op.Kind == core.OpSource || op.Kind == core.OpSink {
+				continue
+			}
+			if op.Parallelism > prev {
+				t.Fatalf("degree increases downstream: %s", v)
+			}
+			prev = op.Parallelism
+		}
+	}
+}
+
+func TestRuleBasedScalesWithEventRate(t *testing.T) {
+	// Higher input rates need more instances: the computed degree of the
+	// first filter must grow with the source rate.
+	s := &RuleBasedStrategy{}
+	cl := strategyCluster()
+	low := validParams()
+	low.EventRate = 1_000
+	high := validParams()
+	high.EventRate = 4_000_000
+	lowPlan, _ := Build(StructLinear, low)
+	highPlan, _ := Build(StructLinear, high)
+	dLow := s.Enumerate(lowPlan, cl, 1)[0].Op("filter1").Parallelism
+	dHigh := s.Enumerate(highPlan, cl, 1)[0].Op("filter1").Parallelism
+	if dHigh <= dLow {
+		t.Errorf("rule-based degree did not scale with rate: %d (1k ev/s) vs %d (4M ev/s)", dLow, dHigh)
+	}
+}
+
+func TestExhaustiveCoversAllCombinations(t *testing.T) {
+	s := &ExhaustiveStrategy{Degrees: []int{1, 2}}
+	plan, _ := Build(StructLinear, validParams()) // 2 processing ops: filter, agg
+	variants := s.Enumerate(plan, strategyCluster(), 100)
+	if len(variants) != 4 {
+		t.Fatalf("exhaustive over 2 ops × 2 degrees = %d variants, want 4", len(variants))
+	}
+	seen := map[[2]int]bool{}
+	for _, v := range variants {
+		seen[[2]int{v.Op("filter1").Parallelism, v.Op("agg").Parallelism}] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("exhaustive produced duplicates: %v", seen)
+	}
+}
+
+func TestExhaustiveTruncatesAtCount(t *testing.T) {
+	s := &ExhaustiveStrategy{Degrees: []int{1, 2, 4, 8}}
+	variants := s.Enumerate(basePlan(t), strategyCluster(), 7)
+	if len(variants) != 7 {
+		t.Errorf("exhaustive returned %d variants, want truncation at 7", len(variants))
+	}
+}
+
+func TestMinAvgMaxCycles(t *testing.T) {
+	s := &MinAvgMaxStrategy{}
+	cl := strategyCluster() // 40 cores
+	variants := s.Enumerate(basePlan(t), cl, 6)
+	wantDegrees := []int{1, (1 + 40) / 2, 40, 1, (1 + 40) / 2, 40}
+	for i, v := range variants {
+		if got := v.Op("join1").Parallelism; got != wantDegrees[i] {
+			t.Errorf("variant %d degree %d, want %d", i, got, wantDegrees[i])
+		}
+	}
+}
+
+func TestIncreasingStepsUp(t *testing.T) {
+	s := &IncreasingStrategy{}
+	variants := s.Enumerate(basePlan(t), strategyCluster(), 4)
+	prev := 0
+	for i, v := range variants {
+		d := v.Op("filter1").Parallelism
+		if d <= prev {
+			t.Errorf("variant %d degree %d not increasing (prev %d)", i, d, prev)
+		}
+		prev = d
+	}
+	// Within one variant, deeper operators get at most the upstream degree.
+	last := variants[len(variants)-1]
+	if last.Op("join1").Parallelism > last.Op("filter1").Parallelism {
+		t.Error("downstream join exceeds upstream filter degree")
+	}
+}
+
+func TestParameterBasedAppliesUserDegrees(t *testing.T) {
+	s := &ParameterBasedStrategy{Degrees: map[string]int{"join1": 12}, Uniform: 3}
+	v := s.Enumerate(basePlan(t), strategyCluster(), 1)[0]
+	if v.Op("join1").Parallelism != 12 {
+		t.Errorf("explicit degree not applied: %d", v.Op("join1").Parallelism)
+	}
+	if v.Op("filter1").Parallelism != 3 {
+		t.Errorf("uniform fallback not applied: %d", v.Op("filter1").Parallelism)
+	}
+}
+
+func TestPropagateRatesThinsDownstream(t *testing.T) {
+	plan, _ := Build(StructTwoFilter, validParams()) // sel 0.4 each
+	rates := PropagateRates(plan)
+	src := plan.Sources()[0]
+	if rates["filter1"] != src.Source.EventRate {
+		t.Errorf("filter1 rate %v, want source rate %v", rates["filter1"], src.Source.EventRate)
+	}
+	want := src.Source.EventRate * 0.4
+	if math.Abs(rates["filter2"]-want) > 1e-6 {
+		t.Errorf("filter2 rate %v, want %v after selectivity", rates["filter2"], want)
+	}
+	if rates["agg"] >= rates["filter2"] {
+		t.Errorf("agg rate %v not thinned below filter2 %v", rates["agg"], rates["filter2"])
+	}
+}
