@@ -1,0 +1,147 @@
+// Command pdsplint is PDSP-Bench's static-analysis gate: a stdlib-only
+// linter enforcing the invariants the benchmark's reproducibility
+// depends on (deterministic simulation, tracked goroutines, lock and
+// error discipline, a closed metric-name registry, layered imports).
+//
+// Usage:
+//
+//	pdsplint [-config pdsplint.json] [-rule name[,name]] [packages]
+//	pdsplint -list
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// code is 0 when clean, 1 when findings were reported, 2 on load or
+// usage errors. Findings print as file:line:col: rule: message.
+// Suppress a finding with a preceding `//lint:ignore <rule> <reason>`
+// comment; the reason is mandatory and stale ignores are findings too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pdspbench/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("pdsplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	configPath := fs.String("config", "", "policy config file (default: pdsplint.json at the module root, if present)")
+	list := fs.Bool("list", false, "list rules and exit")
+	ruleFilter := fs.String("rule", "", "comma-separated rule names to run (default: all)")
+	rootFlag := fs.String("root", "", "tree root to lint (default: the enclosing module root)")
+	moduleFlag := fs.String("module", "", "module path of -root trees that carry no go.mod (e.g. lint fixtures)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			scope := "module-wide"
+			if len(a.DefaultDirs) > 0 {
+				scope = strings.Join(a.DefaultDirs, ", ")
+			}
+			fmt.Fprintf(stdout, "%-26s [%s]\n    %s\n", a.Name, scope, a.Doc)
+		}
+		return 0
+	}
+
+	root := *rootFlag
+	if root == "" {
+		var err error
+		if root, err = findModuleRoot(); err != nil {
+			fmt.Fprintln(stderr, "pdsplint:", err)
+			return 2
+		}
+	} else if abs, err := filepath.Abs(root); err == nil {
+		root = abs
+	}
+	cfg, err := resolveConfig(*configPath, root)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdsplint:", err)
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *ruleFilter != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*ruleFilter, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "pdsplint: unknown rule %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := &lint.Loader{Root: root, ModulePath: *moduleFlag}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "pdsplint:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "pdsplint: no packages matched %s\n", strings.Join(patterns, " "))
+		return 2
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "pdsplint: warning: %s: %v\n", pkg.Path, terr)
+		}
+	}
+
+	runner := &lint.Runner{Analyzers: analyzers, Config: cfg, ReportUnusedIgnores: *ruleFilter == ""}
+	diags := runner.Run(pkgs)
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil {
+			rel = r
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "pdsplint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// resolveConfig loads -config, or the module root's pdsplint.json when
+// present, or returns the built-in policy.
+func resolveConfig(path, root string) (*lint.Config, error) {
+	if path != "" {
+		return lint.LoadConfig(path)
+	}
+	def := filepath.Join(root, "pdsplint.json")
+	if _, err := os.Stat(def); err == nil {
+		return lint.LoadConfig(def)
+	}
+	return nil, nil
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

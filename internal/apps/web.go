@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"pdspbench/internal/core"
@@ -148,9 +149,9 @@ func (logParser) Process(t *tuple.Tuple, emit func(*tuple.Tuple)) {
 	if len(parts) < 3 {
 		return // malformed line: drop, as real log pipelines do
 	}
-	var status, bytes int64
-	fmt.Sscanf(parts[1], "%d", &status)
-	fmt.Sscanf(parts[2], "%d", &bytes)
+	// Malformed numeric fields parse as 0, as real log pipelines tolerate.
+	status, _ := strconv.ParseInt(parts[1], 10, 64)
+	bytes, _ := strconv.ParseInt(parts[2], 10, 64)
 	emit(&tuple.Tuple{
 		Values:    []tuple.Value{tuple.String(parts[0]), tuple.Int(status), tuple.Int(bytes)},
 		EventTime: t.EventTime, Ingest: t.Ingest,

@@ -22,7 +22,7 @@ func (c *Controller) ExpPartitioning(degree int) (*metrics.Figure, error) {
 	}
 	cl := c.Homogeneous()
 	fig := &metrics.Figure{
-		ID:     "ablation-partitioning",
+		ID:     metrics.FigAblationPartitioning,
 		Title:  "Partitioning strategies under uniform and skewed keys",
 		XLabel: "partitioning",
 		YLabel: "median latency (ms)",
@@ -62,7 +62,7 @@ func (c *Controller) ExpAutoscaler(s workload.Structure) (*metrics.Figure, error
 		return nil, err
 	}
 	fig := &metrics.Figure{
-		ID:     "ablation-autoscaler",
+		ID:     metrics.FigAblationAutoscaler,
 		Title:  fmt.Sprintf("Parallelism selection for %s: static rules vs reactive scaling vs fixed", s),
 		XLabel: "method",
 		YLabel: "value",

@@ -20,7 +20,7 @@ func (c *Controller) Exp1Synthetic(categories []core.ParallelismCategory, struct
 	}
 	cl := c.Homogeneous()
 	fig := &metrics.Figure{
-		ID:     "fig3-top",
+		ID:     metrics.FigComplexitySynthetic,
 		Title:  "Impact of PQP complexity: synthetic structures on homogeneous m510",
 		XLabel: "structure",
 		YLabel: "median latency (ms)",
@@ -54,7 +54,7 @@ func (c *Controller) Exp1RealWorld(categories []core.ParallelismCategory, codes 
 	}
 	cl := c.Homogeneous()
 	fig := &metrics.Figure{
-		ID:     "fig3-bottom",
+		ID:     metrics.FigComplexityRealWorld,
 		Title:  "Impact of PQP complexity: real-world applications on homogeneous m510",
 		XLabel: "application",
 		YLabel: "median latency (ms)",

@@ -24,7 +24,7 @@ func (c *Controller) Exp2RealWorld(codes []string) (*metrics.Figure, error) {
 		codes = apps.Codes()
 	}
 	fig := &metrics.Figure{
-		ID:     "fig4-top",
+		ID:     metrics.FigHardwareRealWorld,
 		Title:  "Homogeneous vs heterogeneous hardware: real-world applications",
 		XLabel: "application",
 		YLabel: "mean latency (ms)",
@@ -66,7 +66,7 @@ func (c *Controller) Exp2Synthetic(categories []core.ParallelismCategory, struct
 		structures = workload.Structures
 	}
 	fig := &metrics.Figure{
-		ID:     "fig4-bottom",
+		ID:     metrics.FigHardwareSynthetic,
 		Title:  "Homogeneous vs heterogeneous hardware: synthetic structures",
 		XLabel: "parallelism category",
 		YLabel: "mean latency (ms)",

@@ -114,7 +114,7 @@ func (c *Controller) Exp3Models(corpus *ml.Dataset, opts ml.TrainOptions) (*metr
 		return nil, nil, err
 	}
 	fig := &metrics.Figure{
-		ID:     "fig5",
+		ID:     metrics.FigCostModels,
 		Title:  "Learned cost models: median q-error per synthetic query structure",
 		XLabel: "structure",
 		YLabel: "median q-error",
@@ -179,13 +179,13 @@ func (c *Controller) Exp3Strategies(sizes []int, testN int, opts ml.TrainOptions
 		TotalTime: map[string][]time.Duration{},
 		Sizes:     sizes,
 		Fig6a: &metrics.Figure{
-			ID:     "fig6a",
+			ID:     metrics.FigEnumAccuracy,
 			Title:  "GNN accuracy vs training queries, rule-based vs random enumeration",
 			XLabel: "training queries",
 			YLabel: "median q-error",
 		},
 		Fig6b: &metrics.Figure{
-			ID:     "fig6b",
+			ID:     metrics.FigEnumTime,
 			Title:  "Total time (collection + training) vs training queries",
 			XLabel: "training queries",
 			YLabel: "seconds",

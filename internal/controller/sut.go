@@ -23,7 +23,7 @@ func (c *Controller) ExpSUTComparison(structures []workload.Structure, degree in
 	}
 	cl := c.Homogeneous()
 	fig := &metrics.Figure{
-		ID:     "sut-comparison",
+		ID:     metrics.FigSUTComparison,
 		Title:  fmt.Sprintf("SUT profiles on identical workloads (degree %d)", degree),
 		XLabel: "structure",
 		YLabel: "median latency (ms)",

@@ -78,7 +78,7 @@ func (c *Controller) ExpThroughput(appCode string, s workload.Structure, categor
 	}
 	cl := c.Homogeneous()
 	fig := &metrics.Figure{
-		ID:     "throughput",
+		ID:     metrics.FigThroughput,
 		Title:  "Maximum sustainable event rate per parallelism category",
 		XLabel: "parallelism category",
 		YLabel: "events/s",

@@ -9,6 +9,7 @@ import (
 
 	"pdspbench/internal/core"
 	"pdspbench/internal/stream"
+	"pdspbench/internal/testutil"
 	"pdspbench/internal/tuple"
 )
 
@@ -531,6 +532,7 @@ func TestReportCountsAndLatency(t *testing.T) {
 }
 
 func TestContextCancellationStopsRun(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// An unbounded source with a cancelled context must terminate.
 	p := filterPlan(2, core.PartitionRebalance)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -555,6 +557,7 @@ func TestContextCancellationStopsRun(t *testing.T) {
 }
 
 func TestMultiStageTopology(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// src → filter → agg(count tumbling keyed) → sink exercises chained
 	// stateful routing end to end with parallelism on every stage.
 	p := core.NewPQP("e2e", "linear")

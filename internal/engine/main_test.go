@@ -1,0 +1,15 @@
+package engine
+
+import (
+	"os"
+	"testing"
+
+	"pdspbench/internal/testutil"
+)
+
+// TestMain gates the whole package on goroutine hygiene: every operator
+// instance started by any test must have exited by the end of the run,
+// the dynamic counterpart of the goroutine-hygiene lint rule.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.RunMain(m))
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// defaultBoundaries are the shipped architectural constraints: the HTTP
+// layer talks to the engines only through the controller, mirroring the
+// paper's WUI → Django controller → SUT layering.
+var defaultBoundaries = []Boundary{
+	{From: "internal/server", Forbid: "internal/engine", Via: "internal/controller"},
+	{From: "internal/server", Forbid: "internal/simengine", Via: "internal/controller"},
+}
+
+// APIBoundary enforces layered imports: packages under a constrained
+// directory may not import a forbidden package directly and must go
+// through the sanctioned mediator. Boundaries come from the policy
+// config, defaulting to server → engine via controller.
+func APIBoundary() *Analyzer {
+	return &Analyzer{
+		Name: "api-boundary",
+		Doc: "internal/server must not import internal/engine or internal/simengine directly; " +
+			"all execution goes through internal/controller. Additional boundaries can be " +
+			"declared in the policy config.",
+		Run: runAPIBoundary,
+	}
+}
+
+func runAPIBoundary(p *Pass) {
+	boundaries := defaultBoundaries
+	if p.Config != nil && len(p.Config.Boundaries) > 0 {
+		boundaries = p.Config.Boundaries
+	}
+	module := modulePathOf(p.Pkg)
+	for _, b := range boundaries {
+		if !dirHasPrefix(p.Pkg.Dir, b.From) {
+			continue
+		}
+		for _, f := range p.Pkg.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				rel, ok := moduleRelative(path, module)
+				if !ok || !dirHasPrefix(rel, b.Forbid) {
+					continue
+				}
+				p.Reportf(imp.Pos(), "%s must not import %s directly; go through %s", b.From, b.Forbid, b.Via)
+			}
+		}
+	}
+}
+
+// moduleRelative strips the module prefix from an import path.
+func moduleRelative(path, module string) (string, bool) {
+	if path == module {
+		return ".", true
+	}
+	if len(path) > len(module)+1 && path[:len(module)] == module && path[len(module)] == '/' {
+		return path[len(module)+1:], true
+	}
+	return "", false
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// RulePolicy is the per-rule part of the policy config.
+type RulePolicy struct {
+	// Disabled turns the rule off everywhere.
+	Disabled bool `json:"disabled,omitempty"`
+	// Dirs, when non-empty, replaces the rule's default directory scope:
+	// the rule only runs on packages whose module-relative directory has
+	// one of these slash-separated prefixes. ["."] means everywhere.
+	Dirs []string `json:"dirs,omitempty"`
+	// ExcludeDirs removes directory subtrees from the scope after Dirs
+	// (or the default scope) selected them.
+	ExcludeDirs []string `json:"exclude_dirs,omitempty"`
+}
+
+// Boundary is one architectural import constraint enforced by the
+// api-boundary rule.
+type Boundary struct {
+	// From is the module-relative directory prefix being constrained.
+	From string `json:"from"`
+	// Forbid is the module-relative package directory From must not
+	// import directly.
+	Forbid string `json:"forbid"`
+	// Via names the sanctioned mediator, quoted in the diagnostic.
+	Via string `json:"via"`
+}
+
+// Config is pdsplint's policy: which rules run where. The zero value
+// plus defaults from the analyzers is the shipped policy; a pdsplint.json
+// at the module root (or -config) overrides per directory.
+type Config struct {
+	Rules map[string]*RulePolicy `json:"rules,omitempty"`
+	// Boundaries feed the api-boundary rule; when nil the rule's
+	// defaults apply.
+	Boundaries []Boundary `json:"boundaries,omitempty"`
+}
+
+// LoadConfig reads a JSON policy file. Unknown rule names are rejected
+// so typos fail loudly rather than silently disabling nothing.
+func LoadConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("lint: parse config %s: %w", path, err)
+	}
+	for name := range cfg.Rules {
+		if AnalyzerByName(name) == nil {
+			return nil, fmt.Errorf("lint: config %s names unknown rule %q", path, name)
+		}
+	}
+	return cfg, nil
+}
+
+// Applies reports whether the rule runs on a package in dir (module-
+// relative, slash-separated).
+func (c *Config) Applies(a *Analyzer, dir string) bool {
+	scope := a.DefaultDirs
+	var exclude []string
+	if c != nil {
+		if rp := c.Rules[a.Name]; rp != nil {
+			if rp.Disabled {
+				return false
+			}
+			if len(rp.Dirs) > 0 {
+				scope = rp.Dirs
+			}
+			exclude = rp.ExcludeDirs
+		}
+	}
+	for _, ex := range exclude {
+		if dirHasPrefix(dir, ex) {
+			return false
+		}
+	}
+	if len(scope) == 0 {
+		return true
+	}
+	for _, s := range scope {
+		if s == "." || dirHasPrefix(dir, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// dirHasPrefix reports whether dir equals prefix or is beneath it.
+func dirHasPrefix(dir, prefix string) bool {
+	return dir == prefix || strings.HasPrefix(dir, prefix+"/")
+}

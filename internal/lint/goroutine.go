@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineHygiene enforces two invariants on the dataflow engine's
+// concurrency: every `go` statement must be tracked by a sync.WaitGroup
+// (Add in the launching function, Done in the goroutine body) so no
+// operator instance can outlive its runtime, and close() may only appear
+// on the sending side of a channel — closing from the receiving side is
+// the classic "send on closed channel" panic factory.
+func GoroutineHygiene() *Analyzer {
+	return &Analyzer{
+		Name: "goroutine-hygiene",
+		Doc: "Every go statement in internal/engine must be tracked by a sync.WaitGroup " +
+			"(Add before launch, Done in the body) or an errgroup-style wrapper, and close() " +
+			"may only appear in functions that send on the channel, never ones that receive.",
+		DefaultDirs: []string{"internal/engine"},
+		Run:         runGoroutineHygiene,
+	}
+}
+
+func runGoroutineHygiene(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		walkFunctions(f, func(fn ast.Node, body *ast.BlockStmt) {
+			checkGoStatements(p, body)
+			checkCloses(p, body)
+		})
+	}
+}
+
+// checkGoStatements verifies WaitGroup tracking for go statements whose
+// nearest enclosing function is body's function.
+func checkGoStatements(p *Pass, body *ast.BlockStmt) {
+	var goStmts []*ast.GoStmt
+	inspectShallow(body, func(n ast.Node) bool {
+		if g, isGo := n.(*ast.GoStmt); isGo {
+			goStmts = append(goStmts, g)
+			// Do not descend: the goroutine body's own go statements
+			// belong to that function literal's walkFunctions visit.
+			return false
+		}
+		return true
+	})
+	if len(goStmts) == 0 {
+		return
+	}
+	// The launching function must arrange tracking: a WaitGroup.Add call
+	// anywhere in its body (including inside loops around the launch).
+	hasAdd := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if _, pkgPath, typeName, method, ok := methodCallOn(p, call); ok &&
+				pkgPath == "sync" && typeName == "WaitGroup" && method == "Add" {
+				hasAdd = true
+			}
+		}
+		return true
+	})
+	for _, g := range goStmts {
+		if !hasAdd {
+			p.Reportf(g.Pos(), "go statement is not tracked by a sync.WaitGroup in the same function (no Add call); untracked goroutines leak")
+			continue
+		}
+		if !goroutineSignalsDone(p, g) {
+			p.Reportf(g.Pos(), "goroutine never calls WaitGroup.Done; the launching function's Wait will hang or the goroutine leaks")
+		}
+	}
+}
+
+// goroutineSignalsDone reports whether the launched function is a
+// literal whose body calls (usually defers) WaitGroup.Done.
+func goroutineSignalsDone(p *Pass, g *ast.GoStmt) bool {
+	lit, isLit := g.Call.Fun.(*ast.FuncLit)
+	if !isLit {
+		return false
+	}
+	done := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if _, pkgPath, typeName, method, ok := methodCallOn(p, call); ok &&
+				pkgPath == "sync" && typeName == "WaitGroup" && method == "Done" {
+				done = true
+			}
+		}
+		return true
+	})
+	return done
+}
+
+// checkCloses flags close(ch) inside functions that receive from ch but
+// never send on it.
+func checkCloses(p *Pass, body *ast.BlockStmt) {
+	type chanUse struct {
+		closes   []*ast.CallExpr
+		sends    bool
+		receives bool
+	}
+	uses := map[string]*chanUse{} // keyed by rendered channel expression
+	use := func(expr ast.Expr) *chanUse {
+		key := types.ExprString(expr)
+		if uses[key] == nil {
+			uses[key] = &chanUse{}
+		}
+		return uses[key]
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(p, s, "close") && len(s.Args) == 1 {
+				u := use(s.Args[0])
+				u.closes = append(u.closes, s)
+			}
+		case *ast.SendStmt:
+			use(s.Chan).sends = true
+		case *ast.UnaryExpr:
+			if s.Op.String() == "<-" {
+				use(s.X).receives = true
+			}
+		case *ast.RangeStmt:
+			if t := p.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					use(s.X).receives = true
+				}
+			}
+		}
+		return true
+	})
+	for key, u := range uses {
+		if u.receives && !u.sends {
+			for _, c := range u.closes {
+				p.Reportf(c.Pos(), "close(%s) in a function that receives from it; only the sending side may close a channel", key)
+			}
+		}
+	}
+}

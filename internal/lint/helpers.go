@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncCall reports whether call invokes a package-level function and
+// returns the package path and function name (e.g. "time", "Now").
+func pkgFuncCall(p *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	obj := p.ObjectOf(id)
+	pn, isPkg := obj.(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodCallOn reports whether call is a method call and returns the
+// receiver expression plus the defining package path and named type of
+// the receiver (pointers unwrapped), e.g. ("sync", "WaitGroup").
+func methodCallOn(p *Pass, call *ast.CallExpr) (recv ast.Expr, pkgPath, typeName, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", "", false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return nil, "", "", "", false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, "", "", "", false
+	}
+	obj := named.Obj()
+	path := ""
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path()
+	}
+	return sel.X, path, obj.Name(), sel.Sel.Name, true
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(p *Pass, call *ast.CallExpr, name string) bool {
+	id, isID := call.Fun.(*ast.Ident)
+	if !isID || id.Name != name {
+		return false
+	}
+	_, isBuiltin := p.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// containsLock returns the name of the first sync primitive found when
+// traversing t by value (struct fields, arrays, embedded), or "".
+func containsLock(t types.Type) string {
+	return lockIn(t, map[types.Type]bool{})
+}
+
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return lockIn(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if found := lockIn(tt.Field(i).Type(), seen); found != "" {
+				return found
+			}
+		}
+	case *types.Array:
+		return lockIn(tt.Elem(), seen)
+	}
+	return ""
+}
+
+// inspectShallow walks n without descending into nested function
+// literals, so per-function analyses see only their own statements.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		if _, isLit := child.(*ast.FuncLit); isLit && child != n {
+			return false
+		}
+		return fn(child)
+	})
+}
+
+// walkFunctions visits every function (declaration or literal) in the
+// file exactly once.
+func walkFunctions(f *ast.File, visit func(fn ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(fn, fn.Body)
+		}
+		return true
+	})
+}
+
+// modulePathOf derives the module path from a package's import path and
+// module-relative directory.
+func modulePathOf(pkg *Package) string {
+	if pkg.Dir == "." {
+		return pkg.Path
+	}
+	if n := len(pkg.Path) - len(pkg.Dir) - 1; n > 0 && pkg.Path[n:] == "/"+pkg.Dir {
+		return pkg.Path[:n]
+	}
+	return pkg.Path
+}

@@ -1,0 +1,124 @@
+// Package lint is pdsplint's analysis framework: a stdlib-only
+// (go/ast, go/parser, go/token, go/types) static-analysis harness with
+// composable analyzers, per-directory policy configuration, and
+// //lint:ignore suppression.
+//
+// The rules it ships exist to machine-check the properties PDSP-Bench's
+// reproducibility story depends on: the discrete-event simulation must
+// stay deterministic (virtual clock, injected seeded randomness, no map
+// iteration order leaking into results), the goroutine dataflow engine
+// must stay leak- and race-free, and benchmark plumbing must not drop
+// errors or invent metric names. See DESIGN.md "Static guarantees".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, addressed by position so callers can print
+// file:line:col output and tests can match expectations.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path (module path + relative directory).
+	Path string
+	// Dir is the package directory relative to the module root, using
+	// forward slashes; policy scoping matches against it.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Types is the checked package; Info carries uses/defs/types.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-check problems; analyzers still run
+	// because most rules are syntactic, but the runner reports them.
+	TypeErrors []error
+}
+
+// Pass is the per-(analyzer, package) invocation context.
+type Pass struct {
+	Pkg    *Package
+	Config *Config
+	report func(rule string, pos token.Pos, format string, args ...any)
+	rule   string
+}
+
+// Reportf records a diagnostic at pos for the pass's rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(p.rule, pos, format, args...)
+}
+
+// TypeOf returns the type of e, or nil when type information is absent
+// (analyzers must tolerate nil: fixtures and damaged packages may have
+// holes).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	if o := p.Pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics, policy config and
+	// //lint:ignore directives (kebab-case).
+	Name string
+	// Doc is a one-paragraph description shown by `pdsplint -list`.
+	Doc string
+	// DefaultDirs restricts the rule to packages whose Dir has one of
+	// these slash-separated prefixes; nil means the whole module. The
+	// policy config can override per rule.
+	DefaultDirs []string
+	// Run inspects one package and reports diagnostics.
+	Run func(*Pass)
+}
+
+// Analyzers returns the full rule set in stable order.
+func Analyzers() []*Analyzer {
+	as := []*Analyzer{
+		SimDeterminism(),
+		GoroutineHygiene(),
+		LockDiscipline(),
+		ErrorDiscipline(),
+		MetricLabels(),
+		APIBoundary(),
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// AnalyzerByName returns the named rule, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

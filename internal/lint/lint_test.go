@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureConfig loads the fixture tree's own pdsplint.json when it has
+// one (rules whose default scope does not match the fixture layout ship
+// an override there, which also exercises config loading end-to-end).
+func fixtureConfig(t *testing.T, root string) *Config {
+	t.Helper()
+	path := filepath.Join(root, "pdsplint.json")
+	if _, err := os.Stat(path); err != nil {
+		return nil
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestFixtures runs each analyzer over testdata/src/<rule>/ and checks
+// its diagnostics against the `// want` expectations in both
+// directions: every expectation must be hit, every diagnostic expected.
+func TestFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			root := filepath.Join("testdata", "src", a.Name)
+			if _, err := os.Stat(root); err != nil {
+				t.Fatalf("no fixture tree for rule %s: %v", a.Name, err)
+			}
+			absRoot, err := filepath.Abs(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loader := &Loader{Root: absRoot, ModulePath: "fixture"}
+			pkgs, err := loader.Load("./...")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkgs) == 0 {
+				t.Fatalf("fixture tree %s loaded no packages", root)
+			}
+			for _, pkg := range pkgs {
+				for _, terr := range pkg.TypeErrors {
+					t.Errorf("fixture %s does not type-check: %v", pkg.Path, terr)
+				}
+			}
+			runner := &Runner{Analyzers: []*Analyzer{a}, Config: fixtureConfig(t, absRoot)}
+			diags := runner.Run(pkgs)
+			checkExpectations(t, absRoot, diags)
+		})
+	}
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type expectation struct {
+	re  *regexp.Regexp
+	hit bool
+}
+
+// checkExpectations cross-checks diagnostics against `// want` comments
+// under root.
+func checkExpectations(t *testing.T, root string, diags []Diagnostic) {
+	t.Helper()
+	expects := map[string]*expectation{} // "file:line" → expectation
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want regexp: %w", path, i+1, err)
+			}
+			expects[fmt.Sprintf("%s:%d", path, i+1)] = &expectation{re: re}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		exp := expects[key]
+		if exp == nil {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Rule, d.Message)
+			continue
+		}
+		if !exp.re.MatchString(d.Message) {
+			t.Errorf("diagnostic at %s does not match want %q: got %q", key, exp.re, d.Message)
+			continue
+		}
+		exp.hit = true
+	}
+	for key, exp := range expects {
+		if !exp.hit {
+			t.Errorf("expected diagnostic at %s matching %q; got none", key, exp.re)
+		}
+	}
+}
+
+// parsePkg builds a Package from in-memory sources (no type info), for
+// directive-level tests that need no type checking.
+func parsePkg(t *testing.T, srcs ...string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg := &Package{Path: "inmem", Dir: "inmem", Fset: fset}
+	for i, src := range srcs {
+		f, err := parser.ParseFile(fset, fmt.Sprintf("inmem%d.go", i), src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg
+}
+
+// TestIgnoreDirectives covers the suppression grammar: a rule and a
+// reason are mandatory, unknown rules are rejected, and stale
+// directives are reported when requested.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := parsePkg(t, `package inmem
+
+//lint:ignore
+func a() {}
+
+//lint:ignore error-discipline
+func b() {}
+
+//lint:ignore no-such-rule because reasons
+func c() {}
+
+//lint:ignore error-discipline kept for a documented reason
+func d() {}
+`)
+	runner := &Runner{Analyzers: []*Analyzer{}, ReportUnusedIgnores: true}
+	diags := runner.Run([]*Package{pkg})
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"needs a rule name and a reason",
+		"needs a reason",
+		"unknown rule",
+		"suppresses nothing",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("directive diagnostics missing %q; got:\n%s", want, joined)
+		}
+	}
+	if len(diags) != 4 {
+		t.Errorf("want 4 directive diagnostics, got %d:\n%s", len(diags), joined)
+	}
+}
+
+// TestConfigApplies covers per-directory policy resolution.
+func TestConfigApplies(t *testing.T) {
+	scoped := &Analyzer{Name: "sim-determinism", DefaultDirs: []string{"internal/des"}}
+	global := &Analyzer{Name: "error-discipline"}
+	cases := []struct {
+		name string
+		cfg  *Config
+		a    *Analyzer
+		dir  string
+		want bool
+	}{
+		{"default scope hit", nil, scoped, "internal/des", true},
+		{"default scope subdir", nil, scoped, "internal/des/sub", true},
+		{"default scope miss", nil, scoped, "internal/designer", false},
+		{"global default", nil, global, "anywhere", true},
+		{"disabled", &Config{Rules: map[string]*RulePolicy{"error-discipline": {Disabled: true}}}, global, "x", false},
+		{"dirs override", &Config{Rules: map[string]*RulePolicy{"sim-determinism": {Dirs: []string{"other"}}}}, scoped, "internal/des", false},
+		{"dirs override hit", &Config{Rules: map[string]*RulePolicy{"sim-determinism": {Dirs: []string{"other"}}}}, scoped, "other/sub", true},
+		{"exclude", &Config{Rules: map[string]*RulePolicy{"error-discipline": {ExcludeDirs: []string{"gen"}}}}, global, "gen/out", false},
+		{"dot scope", &Config{Rules: map[string]*RulePolicy{"sim-determinism": {Dirs: []string{"."}}}}, scoped, "anything", true},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.Applies(tc.a, tc.dir); got != tc.want {
+			t.Errorf("%s: Applies(%s, %q) = %v, want %v", tc.name, tc.a.Name, tc.dir, got, tc.want)
+		}
+	}
+}
+
+// TestLoadConfigRejectsUnknownRule ensures policy typos fail loudly.
+func TestLoadConfigRejectsUnknownRule(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pdsplint.json")
+	if err := os.WriteFile(path, []byte(`{"rules":{"no-such-rule":{}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path); err == nil || !strings.Contains(err.Error(), "unknown rule") {
+		t.Fatalf("want unknown-rule error, got %v", err)
+	}
+	good := filepath.Join(t.TempDir(), "ok.json")
+	if err := os.WriteFile(good, []byte(`{"rules":{"error-discipline":{"exclude_dirs":["gen"]}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rules["error-discipline"].ExcludeDirs[0] != "gen" {
+		t.Fatalf("config round-trip lost exclude_dirs: %+v", cfg.Rules["error-discipline"])
+	}
+}
+
+// TestRepoIsClean runs the full rule set over this module, making the
+// tree's lint cleanliness a tier-1 test property: `go test ./...` fails
+// the moment a PR reintroduces a violation.
+func TestRepoIsClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &Loader{Root: root}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg *Config
+	if _, err := os.Stat(filepath.Join(root, "pdsplint.json")); err == nil {
+		cfg, err = LoadConfig(filepath.Join(root, "pdsplint.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	runner := &Runner{Config: cfg, ReportUnusedIgnores: true}
+	for _, d := range runner.Run(pkgs) {
+		t.Errorf("%s", d)
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline catches the two lock-handling mistakes that corrupt
+// measurements silently: copying a sync primitive by value (the copy
+// guards nothing) and taking a Lock with no matching Unlock in the same
+// function (a latent deadlock under contention).
+func LockDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "lock-discipline",
+		Doc: "sync.Mutex/RWMutex/WaitGroup/Once/Cond must not be passed or copied by value, " +
+			"and every Lock()/RLock() must have a matching (usually deferred) Unlock in the " +
+			"same function.",
+		Run: runLockDiscipline,
+	}
+}
+
+func runLockDiscipline(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		checkLockCopies(p, f)
+		walkFunctions(f, func(fn ast.Node, body *ast.BlockStmt) {
+			checkLockPairs(p, body)
+		})
+	}
+}
+
+// checkLockCopies flags by-value parameters/receivers whose type
+// contains a sync primitive, and assignments or call arguments that copy
+// an existing lock-containing value.
+func checkLockCopies(p *Pass, f *ast.File) {
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if lock := containsLock(t); lock != "" {
+				p.Reportf(field.Type.Pos(), "%s passes %s by value; the copy guards nothing — use a pointer", what, lock)
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(s.Recv, "receiver")
+			checkFieldList(s.Type.Params, "parameter")
+		case *ast.FuncLit:
+			checkFieldList(s.Type.Params, "parameter")
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				if copiesLockValue(p, rhs) {
+					p.Reportf(rhs.Pos(), "assignment copies a value containing %s; use a pointer", containsLock(p.TypeOf(rhs)))
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range s.Args {
+				if copiesLockValue(p, arg) {
+					p.Reportf(arg.Pos(), "call passes a value containing %s by value; use a pointer", containsLock(p.TypeOf(arg)))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// copiesLockValue reports whether evaluating expr copies an existing
+// value whose type contains a sync primitive. Creation forms (composite
+// literals, constructor calls) and pointers are fine; reads of existing
+// variables (idents, selectors, derefs, indexing) are copies.
+func copiesLockValue(p *Pass, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		t := p.TypeOf(expr)
+		if t == nil {
+			return false
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return false
+		}
+		if id, isID := e.(*ast.Ident); isID {
+			// A bare type name or nil is not a value copy.
+			if _, isVar := p.ObjectOf(id).(*types.Var); !isVar {
+				return false
+			}
+		}
+		return containsLock(t) != ""
+	}
+	return false
+}
+
+// lockMethods maps a locking method to its required counterpart.
+var lockMethods = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// checkLockPairs requires every mutex Lock/RLock in a function to be
+// followed by its Unlock counterpart (deferred or direct) on the same
+// lock expression within that function.
+func checkLockPairs(p *Pass, body *ast.BlockStmt) {
+	type lockCall struct {
+		call   *ast.CallExpr
+		lockee string
+		method string
+	}
+	var locks []lockCall
+	unlocked := map[string]bool{} // "expr.Unlock" seen
+	record := func(call *ast.CallExpr) {
+		recv, pkgPath, typeName, method, ok := methodCallOn(p, call)
+		if !ok || pkgPath != "sync" || (typeName != "Mutex" && typeName != "RWMutex") {
+			return
+		}
+		lockee := types.ExprString(recv)
+		if _, isLock := lockMethods[method]; isLock {
+			locks = append(locks, lockCall{call: call, lockee: lockee, method: method})
+		}
+		if strings.HasSuffix(method, "Unlock") {
+			unlocked[lockee+"."+method] = true
+		}
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			record(call)
+		}
+		return true
+	})
+	for _, l := range locks {
+		want := lockMethods[l.method]
+		if !unlocked[l.lockee+"."+want] {
+			p.Reportf(l.call.Pos(), "%s.%s() without a matching %s in the same function; defer %s.%s() after locking", l.lockee, l.method, want, l.lockee, want)
+		}
+	}
+}

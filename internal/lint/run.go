@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Runner applies analyzers to loaded packages under a policy.
+type Runner struct {
+	// Analyzers defaults to Analyzers().
+	Analyzers []*Analyzer
+	// Config defaults to the built-in policy (each rule's DefaultDirs).
+	Config *Config
+	// ReportUnusedIgnores adds a diagnostic for every //lint:ignore that
+	// suppressed nothing. Enabled by the CLI (full rule set), disabled by
+	// single-rule fixture runs where most directives are out of scope.
+	ReportUnusedIgnores bool
+}
+
+// Run analyzes the packages and returns findings sorted by position.
+// Suppressed findings are dropped; malformed or stale //lint:ignore
+// directives are themselves findings.
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	analyzers := r.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, r.runPackage(pkg, analyzers)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Rule < diags[j].Rule
+	})
+	return diags
+}
+
+func (r *Runner) runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	report := func(rule string, pos token.Pos, format string, args ...any) {
+		raw = append(raw, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Rule:    rule,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	ignores := collectIgnores(pkg, report)
+	for _, a := range analyzers {
+		if !r.Config.Applies(a, pkg.Dir) {
+			continue
+		}
+		pass := &Pass{Pkg: pkg, Config: r.Config, report: report, rule: a.Name}
+		a.Run(pass)
+	}
+	var kept []Diagnostic
+	for _, d := range raw {
+		if d.Rule != "lint-directive" && ignores.suppressed(d.Rule, d.Pos) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	if r.ReportUnusedIgnores {
+		for _, d := range ignores.unused() {
+			kept = append(kept, Diagnostic{
+				Pos:     pkg.Fset.Position(d.pos),
+				Rule:    "lint-directive",
+				Message: fmt.Sprintf("lint:ignore %s suppresses nothing; remove it", d.rule),
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,9 @@
+// Package controller is the sanctioned mediator; it may import engine.
+package controller
+
+import "fixture/engine"
+
+// Execute routes work to the engine on the server's behalf.
+func Execute() {
+	engine.Run()
+}

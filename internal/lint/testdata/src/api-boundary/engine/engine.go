@@ -1,0 +1,5 @@
+// Package engine stands in for internal/engine.
+package engine
+
+// Run is the forbidden direct entry point.
+func Run() {}

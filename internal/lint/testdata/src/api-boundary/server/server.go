@@ -1,0 +1,13 @@
+// Package server must reach the engine only through the controller.
+package server
+
+import (
+	"fixture/controller"
+	"fixture/engine" // want `must not import engine directly; go through controller`
+)
+
+// Handle serves one request.
+func Handle() {
+	controller.Execute()
+	engine.Run()
+}

@@ -1,0 +1,48 @@
+// Package errcheck exercises the error-discipline rule: silently
+// discarded error results versus the sanctioned discard forms.
+package errcheck
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+)
+
+func discards(path string) {
+	os.Remove(path) // want `error that is silently discarded`
+}
+
+func discardsMethod(f *os.File) {
+	f.Close() // want `error that is silently discarded`
+}
+
+func handles(path string) error {
+	return os.Remove(path)
+}
+
+func explicitDiscard(path string) {
+	// Explicit assignment is visible at review time, so it is allowed.
+	_ = os.Remove(path)
+}
+
+func prints(w io.Writer) {
+	fmt.Fprintf(w, "printing paths may discard\n")
+}
+
+func builds() string {
+	var b strings.Builder
+	b.WriteString("strings.Builder never fails")
+	return b.String()
+}
+
+func hashes(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data) // hash.Hash documents Write never returns an error
+	return h.Sum64()
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // deferred cleanup is conventional; not flagged
+}

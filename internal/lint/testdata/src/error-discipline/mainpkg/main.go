@@ -1,0 +1,9 @@
+// Command mainpkg proves package main is exempt: CLI printing paths may
+// discard errors.
+package main
+
+import "os"
+
+func main() {
+	os.Remove("scratch")
+}

@@ -1,0 +1,61 @@
+// Package spawn exercises the goroutine-hygiene rule: WaitGroup
+// tracking of go statements and close() sidedness.
+package spawn
+
+import "sync"
+
+func untracked() {
+	go func() {}() // want `not tracked by a sync\.WaitGroup`
+}
+
+func tracked(work []func()) {
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func(w func()) {
+			defer wg.Done()
+			w()
+		}(w)
+	}
+	wg.Wait()
+}
+
+func addWithoutDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {}() // want `never calls WaitGroup\.Done`
+	wg.Wait()
+}
+
+func namedBody(wg *sync.WaitGroup, body func()) {
+	wg.Add(1)
+	go body() // want `never calls WaitGroup\.Done`
+}
+
+func closeAfterReceive(ch chan int) int {
+	v := <-ch
+	close(ch) // want `only the sending side may close`
+	return v
+}
+
+func closeAfterSend(ch chan int) {
+	ch <- 1
+	close(ch)
+}
+
+// closeAsOwner neither sends nor receives here; the owner handing out a
+// pre-closed channel is legitimate (e.g. an already-cancelled signal).
+func closeAsOwner() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+func closeAfterRange(ch chan int) int {
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	close(ch) // want `only the sending side may close`
+	return sum
+}

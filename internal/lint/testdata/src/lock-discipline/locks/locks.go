@@ -1,0 +1,65 @@
+// Package locks exercises the lock-discipline rule: by-value lock
+// copies and Lock/Unlock pairing.
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(mu sync.Mutex) { // want `passes sync\.Mutex by value`
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func structByValue(g guarded) int { // want `passes sync\.Mutex by value`
+	return g.n
+}
+
+func wgByValue(wg sync.WaitGroup) { // want `passes sync\.WaitGroup by value`
+	wg.Wait()
+}
+
+func byPointer(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+func copyDeref(g *guarded) int {
+	cp := *g // want `assignment copies a value containing sync\.Mutex`
+	return cp.n
+}
+
+func passesCopy(g *guarded) int {
+	return structByValue(*g) // want `passes a value containing sync\.Mutex by value`
+}
+
+func lockNoUnlock(g *guarded) {
+	g.mu.Lock() // want `without a matching Unlock`
+	g.n++
+}
+
+func lockExplicitUnlock(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func rlockPaired(mu *sync.RWMutex) bool {
+	mu.RLock()
+	defer mu.RUnlock()
+	return true
+}
+
+func rlockUnpaired(mu *sync.RWMutex) {
+	mu.RLock() // want `without a matching RUnlock`
+}
+
+// wrongCounterpart takes a write lock but only ever read-unlocks.
+func wrongCounterpart(mu *sync.RWMutex) {
+	mu.Lock() // want `without a matching Unlock`
+	mu.RUnlock()
+}

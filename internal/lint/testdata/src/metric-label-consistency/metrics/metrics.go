@@ -1,0 +1,18 @@
+// Package metrics is a miniature of internal/metrics: the Figure type
+// plus its exported string-constant registry.
+package metrics
+
+// Registered figure IDs.
+const (
+	FigKnown = "fig-known"
+	FigOther = "fig-other"
+)
+
+// unexported constants are not part of the registry.
+const internalTag = "not-registered"
+
+// Figure mirrors the real metrics.Figure shape.
+type Figure struct {
+	ID    string
+	Title string
+}

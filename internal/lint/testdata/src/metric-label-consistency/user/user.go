@@ -1,0 +1,22 @@
+// Package user builds figures against the miniature metrics registry.
+package user
+
+import "fixture/metrics"
+
+func viaConstant() *metrics.Figure {
+	return &metrics.Figure{ID: metrics.FigKnown, Title: "ok"}
+}
+
+// viaRegisteredLiteral spells a registered name literally; allowed,
+// though constants are preferred.
+func viaRegisteredLiteral() metrics.Figure {
+	return metrics.Figure{ID: "fig-other", Title: "ok"}
+}
+
+func viaUnregisteredLiteral() *metrics.Figure {
+	return &metrics.Figure{ID: "fig-rogue", Title: "bad"} // want `not declared in the metrics registry`
+}
+
+func viaUnexportedValue() *metrics.Figure {
+	return &metrics.Figure{ID: "not-registered", Title: "bad"} // want `not declared in the metrics registry`
+}

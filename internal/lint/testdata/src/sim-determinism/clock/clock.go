@@ -1,0 +1,73 @@
+// Package clock exercises the sim-determinism rule: wall-clock reads,
+// global randomness, and map-order-dependent results.
+package clock
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+func napThenFire(fire func()) {
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep`
+	fire()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+// seeded constructs an explicit generator; the constructor funcs are the
+// sanctioned entry points.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapOrderSorted sorts before returning, so iteration order cannot leak.
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapReduced returns an order-independent aggregate, not the slice.
+func mapReduced(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return len(keys)
+}
+
+// sliceOrder ranges over a slice, which is ordered; no diagnostic.
+func sliceOrder(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

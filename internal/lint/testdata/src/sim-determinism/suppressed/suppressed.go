@@ -1,0 +1,10 @@
+// Package suppressed proves //lint:ignore silences a finding when it
+// carries a rule name and a reason.
+package suppressed
+
+import "time"
+
+func calibrationOnly() int64 {
+	//lint:ignore sim-determinism one-off calibration probe, result never feeds simulated state
+	return time.Now().UnixNano()
+}

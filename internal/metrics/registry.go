@@ -1,0 +1,66 @@
+package metrics
+
+// Figure-ID registry: the single closed namespace of result identifiers
+// produced by the experiment pipelines. Every metrics.Figure must take
+// its ID from here — the metric-label-consistency lint rule rejects
+// literal IDs that are not declared below, so two experiments can never
+// silently fork the result namespace with near-miss spellings.
+const (
+	// FigComplexitySynthetic and FigComplexityRealWorld are the paper's
+	// Figure 3: end-to-end latency vs parallelism category, for synthetic
+	// structures (top) and real-world applications (bottom) on the
+	// homogeneous m510 cluster.
+	FigComplexitySynthetic = "fig3-top"
+	FigComplexityRealWorld = "fig3-bottom"
+
+	// FigHardwareRealWorld and FigHardwareSynthetic are Figure 4:
+	// homogeneous vs heterogeneous hardware, real-world applications
+	// (top) and synthetic structures (bottom).
+	FigHardwareRealWorld = "fig4-top"
+	FigHardwareSynthetic = "fig4-bottom"
+
+	// FigCostModels is Figure 5: learned cost-model q-error per
+	// synthetic query structure.
+	FigCostModels = "fig5"
+
+	// FigEnumAccuracy and FigEnumTime are Figure 6: GNN accuracy (a) and
+	// collection+training time (b) vs number of training queries, per
+	// enumeration strategy.
+	FigEnumAccuracy = "fig6a"
+	FigEnumTime     = "fig6b"
+
+	// FigThroughput is the sustainable-event-rate sweep per parallelism
+	// category.
+	FigThroughput = "throughput"
+
+	// FigSUTComparison compares system-under-test profiles on identical
+	// workloads.
+	FigSUTComparison = "sut-comparison"
+
+	// FigAblationPartitioning and FigAblationAutoscaler are the repo's
+	// ablation studies: partitioning strategies under key skew, and
+	// static rule-based vs reactive parallelism selection.
+	FigAblationPartitioning = "ablation-partitioning"
+	FigAblationAutoscaler   = "ablation-autoscaler"
+)
+
+// KnownFigureIDs lists every registered figure ID in declaration order.
+func KnownFigureIDs() []string {
+	return []string{
+		FigComplexitySynthetic, FigComplexityRealWorld,
+		FigHardwareRealWorld, FigHardwareSynthetic,
+		FigCostModels, FigEnumAccuracy, FigEnumTime,
+		FigThroughput, FigSUTComparison,
+		FigAblationPartitioning, FigAblationAutoscaler,
+	}
+}
+
+// KnownFigureID reports whether id is registered.
+func KnownFigureID(id string) bool {
+	for _, known := range KnownFigureIDs() {
+		if known == id {
+			return true
+		}
+	}
+	return false
+}

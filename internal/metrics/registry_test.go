@@ -1,0 +1,23 @@
+package metrics
+
+import "testing"
+
+func TestKnownFigureIDs(t *testing.T) {
+	ids := KnownFigureIDs()
+	if len(ids) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate figure ID %q", id)
+		}
+		seen[id] = true
+		if !KnownFigureID(id) {
+			t.Errorf("KnownFigureID(%q) = false for a registered ID", id)
+		}
+	}
+	if KnownFigureID("fig-rogue") {
+		t.Error("KnownFigureID accepted an unregistered name")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"pdspbench/internal/apps"
@@ -58,6 +59,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
+		//lint:ignore error-discipline shutdown runs after ctx cancel; there is no caller left to receive the error
 		srv.Shutdown(shutdownCtx)
 	}()
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -69,7 +71,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	// The status line is already committed; an encode failure here means
+	// the client went away, and there is nothing useful left to do.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -140,7 +144,9 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	par := 4
-	fmt.Sscanf(q.Get("parallelism"), "%d", &par)
+	if n, err := strconv.Atoi(q.Get("parallelism")); err == nil {
+		par = n
+	}
 	if par < 1 {
 		par = 1
 	}

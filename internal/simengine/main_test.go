@@ -1,0 +1,14 @@
+package simengine
+
+import (
+	"os"
+	"testing"
+
+	"pdspbench/internal/testutil"
+)
+
+// TestMain gates the whole package on goroutine hygiene: the simulator
+// is single-threaded by design, so no test may leave goroutines behind.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.RunMain(m))
+}

@@ -6,6 +6,7 @@ import (
 
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
+	"pdspbench/internal/testutil"
 	"pdspbench/internal/tuple"
 	"pdspbench/internal/workload"
 )
@@ -43,6 +44,7 @@ func fastCfg() Config {
 }
 
 func TestSimulateBasicSanity(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
 	plan, pl := buildAndPlace(t, workload.StructLinear, params(50_000), 4, cl)
 	res, err := Simulate(plan, pl, fastCfg())

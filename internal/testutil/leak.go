@@ -1,0 +1,141 @@
+// Package testutil holds shared test harness helpers. Its goroutine-leak
+// checker guards the property the goroutine-hygiene lint rule enforces
+// statically: no engine or simulator test may leave operator goroutines
+// running after it returns, because a leaked instance from one benchmark
+// run steals cycles from — and corrupts the measurements of — the next.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// RunMain wraps testing.M.Run with a package-level goroutine-leak gate:
+// after all tests pass, any goroutine started during the run that is
+// still alive fails the package. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { os.Exit(testutil.RunMain(m)) }
+func RunMain(m *testing.M) int {
+	before := goroutineCounts()
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var leaked []string
+	for {
+		leaked = leakedSince(before)
+		if len(leaked) == 0 {
+			return code
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("testutil: tests leaked %d goroutine(s):\n%s\n", len(leaked), strings.Join(leaked, "\n---\n"))
+	return 1
+}
+
+// VerifyNoLeaks snapshots the running goroutines and registers a cleanup
+// that fails the test if new goroutines are still alive at test end.
+// Goroutines take a moment to unwind after channels close, so the check
+// retries briefly before declaring a leak.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := goroutineCounts()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leaked %d goroutine(s):\n%s", len(leaked), strings.Join(leaked, "\n---\n"))
+	})
+}
+
+// leakedSince returns stacks of goroutine signatures that are more
+// numerous now than in the snapshot.
+func leakedSince(before map[string]int) []string {
+	now := goroutineStacks()
+	counts := map[string]int{}
+	var leaked []string
+	for _, g := range now {
+		sig := signature(g)
+		if sig == "" {
+			continue // the checker itself, or runtime housekeeping
+		}
+		counts[sig]++
+		if counts[sig] > before[sig] {
+			leaked = append(leaked, g)
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+func goroutineCounts() map[string]int {
+	counts := map[string]int{}
+	for _, g := range goroutineStacks() {
+		if sig := signature(g); sig != "" {
+			counts[sig]++
+		}
+	}
+	return counts
+}
+
+// goroutineStacks returns one stack dump per live goroutine.
+func goroutineStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return strings.Split(strings.TrimSpace(string(buf[:n])), "\n\n")
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// signature reduces a goroutine dump to a stable identity: its top
+// frame plus its creation site, with goroutine IDs and states stripped.
+// Testing-infrastructure goroutines are excluded ("").
+func signature(stack string) string {
+	lines := strings.Split(stack, "\n")
+	if len(lines) < 2 {
+		return ""
+	}
+	var top, createdBy string
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "/") || strings.HasPrefix(line, "\t") {
+			continue
+		}
+		if strings.HasPrefix(line, "created by ") {
+			createdBy = line
+			continue
+		}
+		if top == "" && !strings.Contains(line, ".go:") {
+			top = line
+		}
+	}
+	for _, infra := range []string{"testing.", "runtime.", "testutil."} {
+		if strings.HasPrefix(top, infra) || strings.Contains(createdBy, " "+infra) || strings.Contains(createdBy, "by "+infra) {
+			return ""
+		}
+	}
+	if top == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s | %s", top, createdBy)
+}

@@ -1,0 +1,48 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVerifyNoLeaksCleanTest(t *testing.T) {
+	VerifyNoLeaks(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// TestLeakDetection drives the checker against a deliberately leaked
+// goroutine using a throwaway recorder so the real test does not fail.
+func TestLeakDetection(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+
+	before := goroutineCounts()
+	go func() {
+		<-block
+	}()
+	var leaked []string
+	for i := 0; i < 100; i++ {
+		if leaked = leakedSince(before); len(leaked) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(leaked) == 0 {
+		t.Fatal("checker failed to notice a blocked goroutine")
+	}
+	if !strings.Contains(strings.Join(leaked, "\n"), "TestLeakDetection") {
+		t.Errorf("leak report does not name the leaking site:\n%s", strings.Join(leaked, "\n"))
+	}
+}
+
+func TestSignatureFiltersInfrastructure(t *testing.T) {
+	stack := "goroutine 7 [running]:\ntesting.tRunner(0x0, 0x0)\n\t/usr/lib/go/src/testing/testing.go:1689 +0x20\ncreated by testing.(*T).Run in goroutine 1\n\t/usr/lib/go/src/testing/testing.go:1742 +0x390"
+	if sig := signature(stack); sig != "" {
+		t.Errorf("testing goroutine should be filtered, got %q", sig)
+	}
+}

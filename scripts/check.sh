@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# check.sh — the pre-PR gate for this repo. Everything here must pass
+# before a change merges:
+#
+#   1. go vet        — the stock correctness screens
+#   2. pdsplint      — this repo's own static guarantees (determinism,
+#                      goroutine/lock/error discipline, metric registry,
+#                      layering); see DESIGN.md "Static guarantees"
+#   3. go test -race -short — every package under the race detector,
+#                      including pdsplint's fixture tests and the
+#                      goroutine-leak gates on engine/simengine. -short
+#                      skips only the single-threaded ML/shape grinds
+#                      (they have no concurrency to race and are ~10x
+#                      slower under the detector); all engine, server,
+#                      and simengine concurrency runs raced.
+#   4. go test       — the full suite, race detector off, so the slow
+#                      shape tests still gate the merge
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== pdsplint ./..."
+go run ./cmd/pdsplint ./...
+
+echo "== go test -race -short ./..."
+go test -race -short ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "check.sh: all gates passed"
