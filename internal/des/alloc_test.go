@@ -1,0 +1,112 @@
+package des
+
+import (
+	"testing"
+
+	"pdspbench/internal/testutil"
+)
+
+// TestScheduleAllocsAmortized gates the kernel's hot cycle: once the
+// heap has grown to its working size, scheduling and executing an event
+// with a prebuilt callback allocates nothing — the ≤1 amortized alloc
+// per event budget is spent entirely on the caller's own closure, if it
+// builds one.
+func TestScheduleAllocsAmortized(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	s := New()
+	fired := 0
+	fn := func() { fired++ }
+	// Warm the heap to working size so append growth is paid up front.
+	for i := 0; i < 1024; i++ {
+		s.After(float64(i), fn)
+	}
+	s.Run()
+	if avg := testing.AllocsPerRun(2000, func() {
+		s.After(1, fn)
+		s.Step()
+	}); avg > 1 {
+		t.Errorf("schedule+step allocates %.2f per event, want ≤ 1 amortized", avg)
+	}
+	if fired == 0 {
+		t.Fatal("events never fired")
+	}
+}
+
+// TestTimerRecurringZeroAlloc: a Timer re-armed from its own callback —
+// the recurring pattern every simulation model uses — must not allocate
+// per firing; the closure is built once in NewTimer.
+func TestTimerRecurringZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	s := New()
+	count := 0
+	var tm *Timer
+	tm = s.NewTimer(func() {
+		count++
+		if count < 64 {
+			tm.Reset(1)
+		}
+	})
+	tm.Reset(1)
+	s.Run() // grow the heap and exercise one full recurrence
+	if count != 64 {
+		t.Fatalf("recurring timer fired %d times, want 64", count)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		tm.Reset(1)
+		s.Step()
+	}); avg > 0 {
+		t.Errorf("timer firing allocates %.2f per event, want 0", avg)
+	}
+}
+
+// TestTimerResetAndStop: Reset from outside supersedes the pending
+// firing, and Stop cancels it entirely.
+func TestTimerResetAndStop(t *testing.T) {
+	s := New()
+	fired := 0
+	tm := s.NewTimer(func() { fired++ })
+	tm.Reset(5)
+	tm.Reset(10) // supersedes the t=5 firing
+	s.Run()
+	if fired != 1 {
+		t.Errorf("superseded timer fired %d times, want 1", fired)
+	}
+	if s.Now() != 10 {
+		t.Errorf("clock = %v, want 10 (the re-armed deadline)", s.Now())
+	}
+
+	tm.Reset(3)
+	tm.Stop()
+	tm.Stop() // idempotent
+	s.Run()
+	if fired != 1 {
+		t.Errorf("stopped timer fired; total %d, want 1", fired)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after Stop, want 0", s.Pending())
+	}
+}
+
+// TestCancelViaHandle: cancelled events do not run and leave Pending
+// consistent even when interleaved with live events.
+func TestCancelViaHandle(t *testing.T) {
+	s := New()
+	var ran []int
+	h1 := s.After(1, func() { ran = append(ran, 1) })
+	s.After(2, func() { ran = append(ran, 2) })
+	h3 := s.After(3, func() { ran = append(ran, 3) })
+	h1.Cancel()
+	h3.Cancel()
+	h3.Cancel() // double cancel must not corrupt the dead count
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(ran) != 1 || ran[0] != 2 {
+		t.Errorf("ran = %v, want [2]", ran)
+	}
+}

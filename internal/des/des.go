@@ -3,16 +3,20 @@
 // simulator (internal/simengine) uses it to execute parallel query plans
 // at event rates (up to the paper's 4M events/s) and parallelism degrees
 // (up to 256) that cannot be driven in real time on a single machine.
+//
+// The queue is an index-based 4-ary min-heap over inline event values:
+// no container/heap interface boxing, no per-event pointer allocation,
+// and pops move at most one value without the nil-out churn a pointer
+// heap needs to stay GC-friendly. Scheduling an event costs zero
+// allocations beyond amortized heap growth; the one allocation a caller
+// typically pays is its own callback closure, and recurring model timers
+// avoid even that by reusing one closure through Timer.
 package des
-
-import (
-	"container/heap"
-)
 
 // Time is simulated time in seconds.
 type Time = float64
 
-// Event is a scheduled callback.
+// event is a scheduled callback, stored by value in the heap.
 type event struct {
 	at   Time
 	seq  uint64 // FIFO tie-break for simultaneous events
@@ -20,32 +24,21 @@ type event struct {
 	dead bool
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before orders events by time, then FIFO by schedule order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Simulator owns the clock and the event queue.
 type Simulator struct {
 	now   Time
-	queue eventQueue
+	heap  []event // 4-ary min-heap, element 0 is the root
 	seq   uint64
 	steps uint64
+	dead  int // cancelled events still in the heap
 }
 
 // New returns a simulator at time zero.
@@ -60,13 +53,27 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Steps() uint64 { return s.steps }
 
 // Handle lets a scheduled event be cancelled.
-type Handle struct{ e *event }
+type Handle struct {
+	s   *Simulator
+	seq uint64
+}
 
 // Cancel prevents the event from firing; calling it after the event ran
-// is a no-op.
+// is a no-op. Cancellation scans the queue (O(n)) — it is a rare
+// operation on cold paths, and keeping events inline in the heap is
+// what makes the hot schedule/pop cycle allocation-free.
 func (h Handle) Cancel() {
-	if h.e != nil {
-		h.e.dead = true
+	if h.s == nil {
+		return
+	}
+	for i := range h.s.heap {
+		if h.s.heap[i].seq == h.seq {
+			if !h.s.heap[i].dead {
+				h.s.heap[i].dead = true
+				h.s.dead++
+			}
+			return
+		}
 	}
 }
 
@@ -78,10 +85,10 @@ func (s *Simulator) At(t Time, fn func()) Handle {
 	if t < s.now {
 		t = s.now
 	}
-	e := &event{at: t, seq: s.seq, fn: fn}
+	h := Handle{s: s, seq: s.seq}
+	s.push(event{at: t, seq: s.seq, fn: fn})
 	s.seq++
-	heap.Push(&s.queue, e)
-	return Handle{e}
+	return h
 }
 
 // After schedules fn delay seconds from now.
@@ -92,11 +99,59 @@ func (s *Simulator) After(delay Time, fn func()) Handle {
 	return s.At(s.now+delay, fn)
 }
 
+// push appends e and sifts it up its 4-ary parent chain.
+func (s *Simulator) push(e event) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.heap[i].before(&s.heap[p]) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event. The vacated tail slot keeps
+// its stale value (bounded retention of one callback per slot until the
+// next push overwrites it) — cheaper than zeroing every pop.
+func (s *Simulator) pop() event {
+	top := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		min := i
+		for c := first; c < last; c++ {
+			if s.heap[c].before(&s.heap[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+	return top
+}
+
 // Step executes the next event; it reports false when the queue is empty.
 func (s *Simulator) Step() bool {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
+	for len(s.heap) > 0 {
+		e := s.pop()
 		if e.dead {
+			s.dead--
 			continue
 		}
 		s.now = e.at
@@ -110,14 +165,14 @@ func (s *Simulator) Step() bool {
 // RunUntil executes events until the clock passes the horizon or the
 // queue drains; events scheduled exactly at the horizon still run.
 func (s *Simulator) RunUntil(horizon Time) {
-	for s.queue.Len() > 0 {
+	for len(s.heap) > 0 {
 		// Peek.
-		next := s.queue[0]
-		if next.dead {
-			heap.Pop(&s.queue)
+		if s.heap[0].dead {
+			s.pop()
+			s.dead--
 			continue
 		}
-		if next.at > horizon {
+		if s.heap[0].at > horizon {
 			break
 		}
 		s.Step()
@@ -137,11 +192,47 @@ func (s *Simulator) Run() {
 
 // Pending returns the number of live events still queued.
 func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.dead {
-			n++
-		}
+	return len(s.heap) - s.dead
+}
+
+// Timer is a reusable scheduled callback — the free list for recurring
+// model events. A plain After allocates one closure per scheduling; a
+// Timer allocates its closure once and every Reset reuses it, so
+// periodic work (source emission, window slides, service completions)
+// schedules with zero per-firing allocations.
+type Timer struct {
+	s       *Simulator
+	fn      func()
+	handle  Handle
+	pending bool
+}
+
+// NewTimer builds a timer around fn; it fires only when Reset arms it.
+func (s *Simulator) NewTimer(fn func()) *Timer {
+	tm := &Timer{s: s}
+	tm.fn = func() {
+		tm.pending = false
+		fn()
 	}
-	return n
+	return tm
+}
+
+// Reset (re)arms the timer to fire delay seconds from now, cancelling a
+// still-pending earlier firing. Calling Reset from inside the timer's
+// own callback is the idiomatic recurring pattern and costs no
+// cancellation scan (the firing already cleared the pending flag).
+func (tm *Timer) Reset(delay Time) {
+	if tm.pending {
+		tm.handle.Cancel()
+	}
+	tm.pending = true
+	tm.handle = tm.s.After(delay, tm.fn)
+}
+
+// Stop cancels a pending firing; it is a no-op on an idle timer.
+func (tm *Timer) Stop() {
+	if tm.pending {
+		tm.handle.Cancel()
+		tm.pending = false
+	}
 }

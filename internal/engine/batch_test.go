@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/stream"
+	"pdspbench/internal/testutil"
+	"pdspbench/internal/tuple"
+)
+
+// runPlanBatched is runPlan with explicit batching options.
+func runPlanBatched(t *testing.T, plan *core.PQP, sources map[string][]*tuple.Tuple, batchSize int) []*tuple.Tuple {
+	t.Helper()
+	sink := &collectSink{}
+	srcFactories := make(map[string]SourceFactory, len(sources))
+	for id, ts := range sources {
+		ts := ts
+		srcFactories[id] = func(idx int) SourceGenerator {
+			if idx == 0 {
+				return stream.NewFromTuples(ts...)
+			}
+			return stream.NewFromTuples()
+		}
+	}
+	rt, err := New(plan, Options{
+		Sources:   srcFactories,
+		SinkTap:   sink.tap,
+		BatchSize: batchSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sink.tuples()
+}
+
+// sortedRendering renders tuples as strings and sorts them — a multiset
+// fingerprint that ignores delivery order.
+func sortedRendering(ts []*tuple.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, tp := range ts {
+		out[i] = tp.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestBatchedMatchesUnbatched: batching is a transport optimization, so
+// a deterministic plan must deliver the same sink tuple multiset with
+// BatchSize 1 (the pre-batching plane), the default, and an odd size
+// that never divides the input evenly. The source fans out to a
+// parallel filter and a keyed windowed aggregation (each hash-keyed
+// aggregation instance sees its keys in source order, so pane firing is
+// interleaving-independent); both branches meet at one sink.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	plan := core.NewPQP("equiv", "diamond")
+	plan.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1000}, OutWidth: 2})
+	plan.Add(&core.Operator{ID: "f", Kind: core.OpFilter, Parallelism: 3, Partition: core.PartitionRebalance,
+		Filter:   &core.FilterSpec{Field: 1, Fn: core.FilterGreater, Literal: tuple.Double(0.25), Selectivity: 0.75},
+		OutWidth: 2})
+	plan.Add(&core.Operator{ID: "agg", Kind: core.OpAggregate, Parallelism: 2, Partition: core.PartitionHash,
+		Agg: &core.AggregateSpec{
+			Window: core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: 10},
+			Fn:     core.AggSum, Field: 1, KeyField: 0,
+		}, OutWidth: 2})
+	plan.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	plan.Connect("src", "f")
+	plan.Connect("src", "agg")
+	plan.Connect("f", "sink")
+	plan.Connect("agg", "sink")
+
+	var input []*tuple.Tuple
+	for i := 0; i < 500; i++ {
+		input = append(input, kv(int64(i), int64(i%7), float64(i%100)/100))
+	}
+
+	var want []string
+	for _, size := range []int{1, 0 /* default 64 */, 7} {
+		got := sortedRendering(runPlanBatched(t, plan, map[string][]*tuple.Tuple{"src": input}, size))
+		if want == nil {
+			want = got
+			if len(want) == 0 {
+				t.Fatal("deterministic plan produced no output")
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("BatchSize %d: %d sink tuples, unbatched produced %d", size, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("BatchSize %d: sink multiset diverges at %d: %q vs %q", size, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchedJoinMatchesUnbatched repeats the equivalence check across a
+// two-source windowed join. The window spans the whole stream so
+// time-based eviction never races the cross-side watermark: every
+// same-key pair fires exactly once — when its later tuple arrives and
+// probes the earlier one — independent of interleaving.
+func TestBatchedJoinMatchesUnbatched(t *testing.T) {
+	plan := core.NewPQP("equiv-join", "2-way-join")
+	for _, id := range []string{"l", "r"} {
+		plan.Add(&core.Operator{ID: id, Kind: core.OpSource, Parallelism: 1,
+			Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1000}, OutWidth: 2})
+	}
+	plan.Add(&core.Operator{ID: "join", Kind: core.OpJoin, Parallelism: 4, Partition: core.PartitionHash,
+		Join: &core.JoinSpec{
+			Window:    core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: 1000},
+			LeftField: 0, RightField: 0,
+		}, OutWidth: 4})
+	plan.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	plan.Connect("l", "join")
+	plan.Connect("r", "join")
+	plan.Connect("join", "sink")
+
+	var left, right []*tuple.Tuple
+	for i := 0; i < 200; i++ {
+		left = append(left, kv(int64(i), int64(i%11), 1))
+		right = append(right, kv(int64(i), int64(i%13), 2))
+	}
+	sources := map[string][]*tuple.Tuple{"l": left, "r": right}
+
+	var want []string
+	for _, size := range []int{1, 0, 5} {
+		got := sortedRendering(runPlanBatched(t, plan, sources, size))
+		if want == nil {
+			want = got
+			if len(want) == 0 {
+				t.Fatal("join plan produced no output")
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("BatchSize %d: %d join outputs, unbatched produced %d", size, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("BatchSize %d: join multiset diverges at %d: %q vs %q", size, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchLingerFlushesPartialBatches: with a huge BatchSize and a
+// throttled trickle source, outputs must still reach the sink within the
+// linger bound rather than waiting for a full batch that never fills.
+func TestBatchLingerFlushesPartialBatches(t *testing.T) {
+	plan := core.NewPQP("linger", "linear")
+	plan.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1000}, OutWidth: 2})
+	plan.Add(&core.Operator{ID: "f", Kind: core.OpFilter, Parallelism: 1, Partition: core.PartitionForward,
+		Filter:   &core.FilterSpec{Field: 1, Fn: core.FilterGreaterEq, Literal: tuple.Double(0), Selectivity: 1},
+		OutWidth: 2})
+	plan.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	plan.Connect("src", "f")
+	plan.Connect("f", "sink")
+
+	sink := &collectSink{}
+	rt, err := New(plan, Options{
+		Sources: map[string]SourceFactory{"src": func(int) SourceGenerator {
+			return stream.NewFromTuples(kv(1, 1, 1), kv(2, 2, 1), kv(3, 3, 1))
+		}},
+		SinkTap:     sink.tap,
+		BatchSize:   1 << 20,
+		BatchLinger: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.tuples()); got != 3 {
+		t.Fatalf("delivered %d tuples, want 3", got)
+	}
+}
+
+// TestFilterPipelineAllocsPerTuple gates steady-state allocation on the
+// batched, pooled data plane: after a warm-up run primes the pools, a
+// 20k-tuple filter pipeline must average under 1 allocation per tuple
+// end to end (the unbatched plane paid several: channel message, hash
+// state, emit closure, fresh tuple per source event).
+func TestFilterPipelineAllocsPerTuple(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	const n = 20_000
+	plan := core.NewPQP("alloc-gate", "linear")
+	plan.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1_000_000}, OutWidth: 2})
+	plan.Add(&core.Operator{ID: "f", Kind: core.OpFilter, Parallelism: 2, Partition: core.PartitionRebalance,
+		Filter:   &core.FilterSpec{Field: 1, Fn: core.FilterGreater, Literal: tuple.Double(0.5), Selectivity: 0.5},
+		OutWidth: 2})
+	plan.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	plan.Connect("src", "f")
+	plan.Connect("f", "sink")
+
+	run := func(seed int64) {
+		rt, err := New(plan, Options{
+			Sources: map[string]SourceFactory{"src": func(int) SourceGenerator {
+				return stream.NewSynthetic(kvSchema, seed, n, 1_000_000, "poisson")
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(1) // warm the tuple and batch pools
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	run(2)
+	runtime.ReadMemStats(&after)
+	perTuple := float64(after.Mallocs-before.Mallocs) / n
+	if perTuple > 1 {
+		t.Errorf("filter pipeline allocates %.2f per tuple steady-state, want < 1", perTuple)
+	}
+}

@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"context"
-
 	"pdspbench/internal/core"
 	"pdspbench/internal/tuple"
 )
@@ -30,6 +28,10 @@ type chainedOp struct {
 	udo  UDO
 	nIn  uint64
 	nOut uint64
+	// emit feeds this operator's output into the next chain position (or
+	// the instance's routes after the tail). It is built once per run in
+	// bindEmit so the per-tuple path allocates no closures.
+	emit func(*tuple.Tuple)
 }
 
 // buildChains partitions the plan's operators into chains (each a slice
@@ -99,22 +101,34 @@ func (c *chainedOp) initState(oi *opInstance) {
 	}
 }
 
+// bindEmit builds the operator's emission closure once per run; the
+// per-tuple path then reuses it instead of allocating a fresh closure
+// for every arrival.
+func (c *chainedOp) bindEmit(oi *opInstance, i int) {
+	c.emit = func(out *tuple.Tuple) {
+		c.nOut++
+		oi.applyAt(i+1, out, 0)
+	}
+}
+
 // applyAt runs operator semantics at chain position i, feeding emissions
 // into position i+1 (or the instance's output routes after the tail).
-func (oi *opInstance) applyAt(ctx context.Context, i int, t *tuple.Tuple, side int) {
+//
+// Ownership: a tuple belongs to whoever holds it last. Operators that
+// consume a tuple without forwarding it (filter drops, aggregate folds,
+// sink deliveries with no tap) release it back to the pool; windowed
+// joins take ownership and release on eviction; UDOs take ownership and
+// may retain or re-emit, so the engine never releases on their behalf.
+func (oi *opInstance) applyAt(i int, t *tuple.Tuple, side int) {
 	if i >= len(oi.chain) {
-		oi.emit(ctx, t)
+		oi.emit(t)
 		return
 	}
 	c := oi.chain[i]
 	c.nIn++
-	emit := func(out *tuple.Tuple) {
-		c.nOut++
-		oi.applyAt(ctx, i+1, out, 0)
-	}
 	switch c.op.Kind {
 	case core.OpSink:
-		oi.rt.recordDelivery(c.op.ID, t)
+		oi.deliver(c.op.ID, t)
 	case core.OpFilter:
 		f := c.op.Filter
 		field := f.Field
@@ -122,20 +136,23 @@ func (oi *opInstance) applyAt(ctx context.Context, i int, t *tuple.Tuple, side i
 			field = 0
 		}
 		if f.Fn.Eval(t.At(field), f.Literal) {
-			emit(t)
+			c.emit(t)
+		} else {
+			t.Release()
 		}
 	case core.OpAggregate:
-		c.agg.add(t, emit, oi.rt)
+		c.agg.add(t, c.emit, oi.rt)
+		t.Release() // the aggregator folds values; it never retains t
 	case core.OpJoin:
-		c.join.add(t, side, emit)
+		c.join.add(t, side, c.emit) // joiner owns t until window eviction
 	case core.OpUDO, core.OpMap, core.OpFlatMap:
 		if c.udo != nil {
-			oi.safeProcess(c, t, emit)
+			oi.safeProcess(c, t, c.emit)
 			return
 		}
-		emit(t)
+		c.emit(t)
 	default:
-		emit(t)
+		c.emit(t)
 	}
 }
 
@@ -155,20 +172,15 @@ func (oi *opInstance) safeProcess(c *chainedOp, t *tuple.Tuple, emit func(*tuple
 // flushChain drains every fused operator in order at end-of-stream, with
 // each operator's flush output flowing through the remainder of the
 // chain.
-func (oi *opInstance) flushChain(ctx context.Context) {
-	for i, c := range oi.chain {
-		i := i
-		emit := func(out *tuple.Tuple) {
-			c.nOut++
-			oi.applyAt(ctx, i+1, out, 0)
-		}
+func (oi *opInstance) flushChain() {
+	for _, c := range oi.chain {
 		switch {
 		case c.agg != nil:
-			c.agg.flush(emit)
+			c.agg.flush(c.emit)
 		case c.join != nil:
-			// Windowed joins emit eagerly; nothing retained.
+			c.join.release() // window buffers go back to the pool
 		case c.udo != nil:
-			c.udo.Flush(emit)
+			c.udo.Flush(c.emit)
 		}
 	}
 }

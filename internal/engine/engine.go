@@ -52,8 +52,20 @@ type Options struct {
 	Sources map[string]SourceFactory
 	// UDOs maps UDO names (core.UDOSpec.Name) to factories.
 	UDOs map[string]UDOFactory
-	// ChannelCapacity bounds operator input channels (default 256).
+	// ChannelCapacity bounds operator input channels (default 256). With
+	// batching the effective tuple buffering per channel is
+	// ChannelCapacity × BatchSize.
 	ChannelCapacity int
+	// BatchSize is how many tuples a router accumulates per downstream
+	// target before a channel send (default 64). 1 disables batching:
+	// every tuple ships in its own message, the pre-batching data plane.
+	BatchSize int
+	// BatchLinger bounds how long a partial batch may wait during a busy
+	// stretch before being force-flushed (default 1ms). Partial batches
+	// also flush whenever an operator's input runs momentarily dry and at
+	// end-of-stream, so the linger boundary only matters under sustained
+	// load with slow-filling batches.
+	BatchLinger time.Duration
 	// Throttle makes sources pace emission to the plan's event rate in
 	// real time; unthrottled runs replay as fast as possible (the mode
 	// functional tests use).
@@ -118,6 +130,12 @@ func New(plan *core.PQP, opts Options) (*Runtime, error) {
 	}
 	if opts.ChannelCapacity <= 0 {
 		opts.ChannelCapacity = 256
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 64
+	}
+	if opts.BatchLinger <= 0 {
+		opts.BatchLinger = time.Millisecond
 	}
 	for _, src := range plan.Sources() {
 		if _, ok := opts.Sources[src.ID]; !ok {
@@ -190,7 +208,7 @@ func (r *Runtime) build() error {
 				}
 			}
 			for _, inst := range insts {
-				inst.routes = append(inst.routes, newRouter(down, targets, side, inst.idx))
+				inst.routes = append(inst.routes, newRouter(down, targets, side, inst.idx, r.opts.BatchSize))
 			}
 			for _, dinst := range targets {
 				dinst.expectEOS[side] += tailOp.Parallelism
@@ -249,20 +267,6 @@ func (r *Runtime) Run(ctx context.Context) (*Report, error) {
 	return rep, nil
 }
 
-// recordDelivery is called by sink instances.
-func (r *Runtime) recordDelivery(op string, t *tuple.Tuple) {
-	now := time.Now().UnixNano()
-	r.report.mu.Lock()
-	r.report.tuplesOut++
-	if t.Ingest > 0 {
-		r.report.latencies.Add(float64(now-t.Ingest) / 1e9)
-	}
-	r.report.mu.Unlock()
-	if r.opts.SinkTap != nil {
-		r.opts.SinkTap(op, t)
-	}
-}
-
 func (r *Runtime) recordIngest(n uint64) {
 	r.report.mu.Lock()
 	r.report.tuplesIn += n
@@ -273,6 +277,7 @@ func (r *Runtime) recordIngest(n uint64) {
 func (r *Runtime) recordUDOPanic(op string, v any) {
 	r.report.mu.Lock()
 	r.report.udoPanics++
+	//lint:ignore hotpath-alloc panic bookkeeping runs once per isolated failure, not per tuple
 	r.report.lastPanic = fmt.Sprintf("%s: %v", op, v)
 	r.report.mu.Unlock()
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"pdspbench/internal/core"
@@ -15,26 +16,60 @@ const (
 	msgEOS
 )
 
+// message is one channel exchange between instances: a micro-batch of
+// tuples (msgData) or an end-of-stream marker (msgEOS). Shipping batches
+// instead of single tuples amortizes the channel send/receive pair — the
+// dominant per-tuple cost of an unbatched data plane — across
+// O(BatchSize) tuples, the same reason Flink ships record batches
+// through its network buffers.
 type message struct {
 	kind msgKind
-	t    *tuple.Tuple
+	b    *[]*tuple.Tuple
 	side int
 }
 
+// batchPool recycles the tuple-pointer slices routers flush downstream.
+// The receiver returns the slice after unpacking it, so steady state
+// allocates no batch buffers at all.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]*tuple.Tuple, 0, 64)
+		return &b
+	},
+}
+
+func getBatch() *[]*tuple.Tuple { return batchPool.Get().(*[]*tuple.Tuple) }
+
+func putBatch(b *[]*tuple.Tuple) {
+	// Drop the tuple pointers so a pooled buffer does not retain tuples
+	// that were released back to their own pool.
+	for i := range *b {
+		(*b)[i] = nil
+	}
+	*b = (*b)[:0]
+	batchPool.Put(b)
+}
+
 // router delivers an upstream instance's output to the instances of one
-// downstream chain under its head operator's partition strategy.
+// downstream chain under its head operator's partition strategy. Routing
+// decisions stay per-tuple (so partitioning semantics are identical to
+// the unbatched plane); only the channel send is batched, through one
+// pending buffer per target instance.
 type router struct {
-	targets  []*opInstance
-	strategy core.PartitionStrategy
-	side     int
-	keyField int
-	rr       int
+	targets   []*opInstance
+	strategy  core.PartitionStrategy
+	side      int
+	keyField  int
+	rr        int
+	batchSize int
+	bufs      []*[]*tuple.Tuple // per-target pending batch, nil when empty
+	pending   int               // tuples buffered across all targets
 }
 
 // newRouter resolves the hash key field for the downstream operator: the
 // join field of the matching side for joins, the window key for keyed
 // aggregations, field 0 otherwise.
-func newRouter(down *core.Operator, targets []*opInstance, side, fromIdx int) *router {
+func newRouter(down *core.Operator, targets []*opInstance, side, fromIdx, batchSize int) *router {
 	key := 0
 	switch down.Kind {
 	case core.OpJoin:
@@ -50,41 +85,85 @@ func newRouter(down *core.Operator, targets []*opInstance, side, fromIdx int) *r
 			key = down.Agg.KeyField
 		}
 	}
+	if batchSize <= 0 {
+		batchSize = 1
+	}
 	return &router{
-		targets:  targets,
-		strategy: down.Partition,
-		side:     side,
-		keyField: key,
-		rr:       fromIdx, // stagger round-robin start across producers
+		targets:   targets,
+		strategy:  down.Partition,
+		side:      side,
+		keyField:  key,
+		rr:        fromIdx, // stagger round-robin start across producers
+		batchSize: batchSize,
+		bufs:      make([]*[]*tuple.Tuple, len(targets)),
 	}
 }
 
-// send routes one tuple; it returns false if the context ended.
+// send routes one tuple into its target's pending batch, flushing the
+// batch when full; it returns false if the context ended.
 func (rt *router) send(ctx context.Context, fromIdx int, t *tuple.Tuple) bool {
-	var dst *opInstance
+	var di int
 	switch rt.strategy {
 	case core.PartitionForward:
-		dst = rt.targets[fromIdx%len(rt.targets)]
+		di = fromIdx % len(rt.targets)
 	case core.PartitionHash:
 		f := rt.keyField
 		if f >= t.Width() {
 			f = 0
 		}
-		dst = rt.targets[t.At(f).Hash()%uint64(len(rt.targets))]
+		di = int(t.At(f).Hash() % uint64(len(rt.targets)))
 	default: // rebalance
-		dst = rt.targets[rt.rr%len(rt.targets)]
+		di = rt.rr % len(rt.targets)
 		rt.rr++
 	}
+	b := rt.bufs[di]
+	if b == nil {
+		b = getBatch()
+		rt.bufs[di] = b
+	}
+	*b = append(*b, t)
+	rt.pending++
+	if len(*b) >= rt.batchSize {
+		return rt.flushTo(ctx, di)
+	}
+	return true
+}
+
+// flushTo ships target di's pending batch downstream.
+func (rt *router) flushTo(ctx context.Context, di int) bool {
+	b := rt.bufs[di]
+	if b == nil {
+		return true
+	}
+	rt.bufs[di] = nil
+	rt.pending -= len(*b)
 	select {
-	case dst.in <- message{kind: msgData, t: t, side: rt.side}:
+	case rt.targets[di].in <- message{kind: msgData, b: b, side: rt.side}:
 		return true
 	case <-ctx.Done():
 		return false
 	}
 }
 
-// eos notifies every downstream instance that this producer finished.
+// flushAll ships every pending partial batch.
+func (rt *router) flushAll(ctx context.Context) bool {
+	if rt.pending == 0 {
+		return true
+	}
+	for di := range rt.bufs {
+		if !rt.flushTo(ctx, di) {
+			return false
+		}
+	}
+	return true
+}
+
+// eos flushes pending batches, then notifies every downstream instance
+// that this producer finished.
 func (rt *router) eos(ctx context.Context) bool {
+	if !rt.flushAll(ctx) {
+		return false
+	}
 	for _, dst := range rt.targets {
 		select {
 		case dst.in <- message{kind: msgEOS, side: rt.side}:
@@ -101,12 +180,22 @@ type opInstance struct {
 	rt    *Runtime
 	chain []*chainedOp
 	idx   int
+	ctx   context.Context // the run's context, set once at goroutine start
 
 	in        chan message
 	routes    []*router
 	expectEOS [2]int
 	gotEOS    [2]int
 	seq       uint64
+
+	// Sink instances batch their metric updates: deliveries stamp one
+	// wall-clock read per input batch (nowUnix) and accumulate counts
+	// and latencies locally, taking the report mutex once per ~1k
+	// deliveries instead of once per tuple.
+	hasSink  bool
+	nowUnix  int64
+	sinkOut  uint64
+	sinkLats []float64
 }
 
 // head is the chain's first operator — the one whose partition strategy
@@ -121,49 +210,160 @@ func newOpInstance(r *Runtime, ops []*core.Operator, idx int) *opInstance {
 	}
 	for _, op := range ops {
 		oi.chain = append(oi.chain, &chainedOp{op: op})
+		if op.Kind == core.OpSink {
+			oi.hasSink = true
+		}
 	}
 	return oi
 }
 
-// emit forwards a chain-tail output along all outgoing routes.
-func (oi *opInstance) emit(ctx context.Context, t *tuple.Tuple) {
+// deliver records one sink delivery against the instance-local batch of
+// metrics and hands the tuple to the tap (or back to the pool).
+func (oi *opInstance) deliver(op string, t *tuple.Tuple) {
+	oi.sinkOut++
+	if t.Ingest > 0 {
+		oi.sinkLats = append(oi.sinkLats, float64(oi.nowUnix-t.Ingest)/1e9)
+	}
+	if tap := oi.rt.opts.SinkTap; tap != nil {
+		tap(op, t)
+	} else {
+		t.Release()
+	}
+	if oi.sinkOut >= 1024 {
+		oi.flushSinkStats()
+	}
+}
+
+// flushSinkStats merges the local delivery batch into the shared report.
+func (oi *opInstance) flushSinkStats() {
+	if oi.sinkOut == 0 {
+		return
+	}
+	rs := &oi.rt.report
+	rs.mu.Lock()
+	rs.tuplesOut += oi.sinkOut
+	for _, l := range oi.sinkLats {
+		rs.latencies.Add(l)
+	}
+	rs.mu.Unlock()
+	oi.sinkOut = 0
+	oi.sinkLats = oi.sinkLats[:0]
+}
+
+// emit forwards a chain-tail output along all outgoing routes. Fan-out
+// clones from the second route on so routes never share mutable tuples;
+// clones are pooled so they recycle like source tuples. A tail with no
+// routes (a plan that dead-ends off a non-sink) drops and releases.
+func (oi *opInstance) emit(t *tuple.Tuple) {
+	if len(oi.routes) == 0 {
+		t.Release()
+		return
+	}
 	for i, rt := range oi.routes {
 		out := t
 		if i > 0 {
-			out = t.Clone() // fan-out must not share mutable tuples
+			out = t.ClonePooled()
 		}
-		if !rt.send(ctx, oi.idx, out) {
+		if !rt.send(oi.ctx, oi.idx, out) {
 			return
 		}
 	}
 }
 
-// run is the instance goroutine body.
+// pendingOut reports how many output tuples wait in partial batches.
+func (oi *opInstance) pendingOut() int {
+	n := 0
+	for _, rt := range oi.routes {
+		n += rt.pending
+	}
+	return n
+}
+
+// flushRoutes ships every partial output batch downstream.
+func (oi *opInstance) flushRoutes(ctx context.Context) bool {
+	for _, rt := range oi.routes {
+		if !rt.flushAll(ctx) {
+			return false
+		}
+	}
+	return true
+}
+
+// run is the instance goroutine body. Partial output batches are flushed
+// whenever the input runs momentarily dry (so idle pipelines drain with
+// no added latency) and, during busy stretches, at the BatchLinger
+// boundary so a slow-filling batch cannot hold tuples back indefinitely.
 func (oi *opInstance) run(ctx context.Context) {
+	oi.ctx = ctx
 	if oi.head().Kind == core.OpSource {
 		oi.runSource(ctx)
 		return
 	}
-	for _, c := range oi.chain {
+	for i, c := range oi.chain {
 		c.initState(oi)
+		c.bindEmit(oi, i)
 	}
+	defer oi.flushSinkStats()
+	lingerDur := oi.rt.opts.BatchLinger
+	var linger *time.Timer
+	var lingerC <-chan time.Time
 	for {
+		var msg message
 		select {
-		case <-ctx.Done():
-			return
-		case msg := <-oi.in:
-			if msg.kind == msgEOS {
-				oi.gotEOS[msg.side]++
-				if oi.allEOS() {
-					oi.flushChain(ctx)
-					for _, rt := range oi.routes {
-						rt.eos(ctx)
-					}
-					return
-				}
-				continue
+		case msg = <-oi.in:
+		default:
+			// Input momentarily idle: flush partial batches downstream
+			// rather than hold them to the linger boundary.
+			if !oi.flushRoutes(ctx) {
+				return
 			}
-			oi.applyAt(ctx, 0, msg.t, msg.side)
+			lingerC = nil
+			select {
+			case msg = <-oi.in:
+			case <-ctx.Done():
+				return
+			}
+		}
+		// One wall-clock read covers the whole batch's sink latencies.
+		if oi.hasSink {
+			oi.nowUnix = time.Now().UnixNano()
+		}
+		if msg.kind == msgEOS {
+			oi.gotEOS[msg.side]++
+			if oi.allEOS() {
+				oi.flushChain()
+				for _, rt := range oi.routes {
+					rt.eos(ctx)
+				}
+				return
+			}
+			continue
+		}
+		for _, t := range *msg.b {
+			oi.applyAt(0, t, msg.side)
+		}
+		putBatch(msg.b)
+		// Busy stretch: bound how long partial output batches linger.
+		if oi.pendingOut() > 0 {
+			if lingerC == nil {
+				if linger == nil {
+					linger = time.NewTimer(lingerDur)
+				} else {
+					linger.Reset(lingerDur)
+				}
+				lingerC = linger.C
+			} else {
+				select {
+				case <-lingerC:
+					if !oi.flushRoutes(ctx) {
+						return
+					}
+					lingerC = nil
+				default:
+				}
+			}
+		} else {
+			lingerC = nil
 		}
 	}
 }
@@ -184,7 +384,9 @@ func (oi *opInstance) runSource(ctx context.Context) {
 	src := oi.head()
 	gen := oi.rt.opts.Sources[src.ID](oi.idx)
 	rate := src.Source.EventRate / float64(src.Parallelism)
-	var emitted uint64
+	var emitted, unrecorded uint64
+	var now int64
+	var pacer *time.Timer // single reusable throttle timer
 	throttleStart := time.Now()
 	for {
 		select {
@@ -196,28 +398,51 @@ func (oi *opInstance) runSource(ctx context.Context) {
 		if !ok {
 			break
 		}
-		now := time.Now().UnixNano()
+		// One wall-clock read stamps 16 tuples: within a burst the spread
+		// is microseconds, and throttle sleeps land on multiples of 64 so
+		// the first post-sleep tuple always re-reads the clock.
+		if emitted&15 == 0 {
+			now = time.Now().UnixNano()
+		}
 		t.Ingest = now
 		if t.EventTime == 0 {
 			t.EventTime = now
 		}
 		t.Seq = oi.seq
 		oi.seq++
-		oi.rt.recordIngest(1)
+		unrecorded++
+		if unrecorded >= 1024 {
+			oi.rt.recordIngest(unrecorded)
+			unrecorded = 0
+		}
 		oi.chain[0].nOut++
-		oi.emit(ctx, t)
+		oi.emit(t)
 		emitted++
 		if oi.rt.opts.Throttle && rate > 0 && emitted%64 == 0 {
 			// Pace to the configured event rate in wall-clock time.
 			want := time.Duration(float64(emitted) / rate * float64(time.Second))
 			if ahead := want - time.Since(throttleStart); ahead > 0 {
+				// Don't hold partial batches back across the sleep.
+				if !oi.flushRoutes(ctx) {
+					return
+				}
+				if pacer == nil {
+					pacer = time.NewTimer(ahead)
+				} else {
+					// The previous firing was always drained below, so
+					// Reset is race-free under pre-1.23 timer semantics.
+					pacer.Reset(ahead)
+				}
 				select {
-				case <-time.After(ahead):
+				case <-pacer.C:
 				case <-ctx.Done():
 					return
 				}
 			}
 		}
+	}
+	if unrecorded > 0 {
+		oi.rt.recordIngest(unrecorded)
 	}
 	for _, rt := range oi.routes {
 		rt.eos(ctx)

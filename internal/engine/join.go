@@ -93,21 +93,23 @@ func (j *joiner) add(t *tuple.Tuple, side int, emit func(*tuple.Tuple)) {
 }
 
 // joined concatenates values left-then-right regardless of arrival side.
+// Outputs come from the tuple pool so downstream drop points recycle
+// them like source tuples.
 func (j *joiner) joined(arrived, buffered *tuple.Tuple, arrivedSide int) *tuple.Tuple {
 	l, r := arrived, buffered
 	if arrivedSide == 1 {
 		l, r = buffered, arrived
 	}
-	vals := make([]tuple.Value, 0, l.Width()+r.Width())
-	vals = append(vals, l.Values...)
-	vals = append(vals, r.Values...)
-	out := &tuple.Tuple{Values: vals}
+	out := tuple.Get(l.Width() + r.Width())
+	copy(out.Values, l.Values)
+	copy(out.Values[l.Width():], r.Values)
 	out.EventTime = maxI64(l.EventTime, r.EventTime)
 	out.Ingest = maxI64(l.Ingest, r.Ingest)
 	return out
 }
 
-// evictTime drops entries older than the window from one side.
+// evictTime drops entries older than the window from one side. The
+// joiner owns buffered tuples, so evicted ones go back to the pool.
 func (j *joiner) evictTime(side int) {
 	horizon := j.wm - j.lenNs
 	for h, entries := range j.buf[side] {
@@ -115,6 +117,8 @@ func (j *joiner) evictTime(side int) {
 		for _, e := range entries {
 			if e.et >= horizon {
 				keep = append(keep, e)
+			} else {
+				e.t.Release()
 			}
 		}
 		if len(keep) == 0 {
@@ -141,6 +145,21 @@ func (j *joiner) evictCount(side int) {
 		if len(j.buf[side][h]) == 0 {
 			delete(j.buf[side], h)
 		}
+		old.t.Release()
+	}
+}
+
+// release returns every still-buffered tuple to the pool at
+// end-of-stream (windowed joins emit eagerly, so nothing fires here).
+func (j *joiner) release() {
+	for side := 0; side < 2; side++ {
+		for _, entries := range j.buf[side] {
+			for _, e := range entries {
+				e.t.Release()
+			}
+		}
+		j.buf[side] = nil
+		j.fifo[side] = nil
 	}
 }
 

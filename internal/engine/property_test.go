@@ -100,7 +100,7 @@ func TestHashRouterStableForKey(t *testing.T) {
 	for i := range targets {
 		targets[i] = &opInstance{in: make(chan message, 1024)}
 	}
-	rt := newRouter(down, targets, 0, 0)
+	rt := newRouter(down, targets, 0, 0, 64)
 	f := func(key int64) bool {
 		t1 := &tuple.Tuple{Values: []tuple.Value{tuple.Int(key), tuple.Double(1)}}
 		t2 := &tuple.Tuple{Values: []tuple.Value{tuple.Int(key), tuple.Double(2)}}

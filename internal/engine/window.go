@@ -60,14 +60,20 @@ func (a *aggState) value(fn core.AggFn) float64 {
 }
 
 // result materializes the output tuple: (key, value) for keyed windows,
-// (value) for global ones.
+// (value) for global ones. Results come from the tuple pool so they
+// recycle at downstream drop points.
 func (a *aggState) result(fn core.AggFn) *tuple.Tuple {
 	v := tuple.Double(a.value(fn))
-	t := &tuple.Tuple{EventTime: a.maxEvent, Ingest: a.maxIngest}
+	width := 1
 	if a.keyed {
-		t.Values = []tuple.Value{a.key, v}
+		width = 2
+	}
+	t := tuple.Get(width)
+	t.EventTime, t.Ingest = a.maxEvent, a.maxIngest
+	if a.keyed {
+		t.Values[0], t.Values[1] = a.key, v
 	} else {
-		t.Values = []tuple.Value{v}
+		t.Values[0] = v
 	}
 	return t
 }

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// hotAllocCalls maps package path → function names whose every call
+// allocates, with the zero-allocation replacement the data plane uses.
+var hotAllocCalls = map[string]map[string]string{
+	"hash/fnv": {
+		"New32":  "inline the FNV loop (see tuple.Value.Hash)",
+		"New32a": "inline the FNV loop (see tuple.Value.Hash)",
+		"New64":  "inline the FNV loop (see tuple.Value.Hash)",
+		"New64a": "inline the FNV loop (see tuple.Value.Hash)",
+	},
+	"time": {
+		"After": "reuse a single time.Timer (Reset between waits)",
+	},
+	"fmt": {
+		"Sprintf": "format off the hot path, or build with strconv/strings",
+	},
+}
+
+// HotPathAlloc flags known-allocating constructs inside the data-plane
+// packages. These packages move millions of tuples or events per second,
+// so a per-call allocation — a hash.Hash64 per partition decision, a
+// timer channel per throttle tick, a formatted string per record —
+// turns into GC pressure that dominates what the benchmarks measure.
+// The rule bans the constructs this repo has already paid to remove,
+// so they cannot creep back in.
+func HotPathAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath-alloc",
+		Doc: "Data-plane code (internal/engine, internal/des, internal/simengine) must not call " +
+			"per-invocation allocators on hot paths: hash/fnv constructors (inline the FNV-1a " +
+			"loop), time.After (reuse one time.Timer), or fmt.Sprintf (format off the hot path). " +
+			"Suppress deliberately-cold call sites with //lint:ignore hotpath-alloc <reason>.",
+		DefaultDirs: []string{"internal/engine", "internal/des", "internal/simengine"},
+		Run:         runHotPathAlloc,
+	}
+}
+
+func runHotPathAlloc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncCall(p, call)
+			if !ok {
+				return true
+			}
+			hint, banned := hotAllocCalls[pkgPath][name]
+			if !banned {
+				return true
+			}
+			short := pkgPath[strings.LastIndex(pkgPath, "/")+1:]
+			p.Reportf(call.Pos(), "%s.%s allocates on every call in data-plane code; %s", short, name, hint)
+			return true
+		})
+	}
+}

@@ -108,6 +108,7 @@ func Analyzers() []*Analyzer {
 		ErrorDiscipline(),
 		MetricLabels(),
 		APIBoundary(),
+		HotPathAlloc(),
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

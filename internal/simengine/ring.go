@@ -1,0 +1,49 @@
+package simengine
+
+// ring is a growable head-indexed circular FIFO. The simulator's server
+// queues previously advanced with `queue = queue[1:]`, which keeps every
+// served element reachable through the slice's backing array for the
+// run's lifetime (and forces a fresh allocation each time append
+// exhausts the shifted capacity). The ring reuses its buffer in place:
+// pops advance the head index and pushes wrap around, so a queue that
+// oscillates between deep and empty touches one allocation per doubling
+// instead of one per refill.
+//
+// Served slots are not zeroed — the element types queued here (batch,
+// int) are pointer-free, so stale values retain nothing.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (q *ring[T]) len() int { return q.n }
+
+func (q *ring[T]) push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
+
+func (q *ring[T]) pop() T {
+	v := q.buf[q.head]
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
+}
+
+// grow doubles capacity (power of two, so wraparound is a mask) and
+// compacts the live window to the front.
+func (q *ring[T]) grow() {
+	c := len(q.buf) * 2
+	if c == 0 {
+		c = 8
+	}
+	nb := make([]T, c)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf, q.head = nb, 0
+}

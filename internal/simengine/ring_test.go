@@ -1,0 +1,64 @@
+package simengine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRingFIFOAgainstReference drives the ring with a random
+// push/pop schedule and checks it against a reference slice queue,
+// crossing the wraparound and growth boundaries many times.
+func TestRingFIFOAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q ring[int]
+	var ref []int
+	next := 0
+	for step := 0; step < 10_000; step++ {
+		if q.len() != len(ref) {
+			t.Fatalf("step %d: len = %d, reference %d", step, q.len(), len(ref))
+		}
+		if len(ref) == 0 || rng.Intn(3) != 0 {
+			q.push(next)
+			ref = append(ref, next)
+			next++
+			continue
+		}
+		got := q.pop()
+		want := ref[0]
+		ref = ref[1:]
+		if got != want {
+			t.Fatalf("step %d: pop = %d, want %d", step, got, want)
+		}
+	}
+	for len(ref) > 0 {
+		if got := q.pop(); got != ref[0] {
+			t.Fatalf("drain: pop = %d, want %d", got, ref[0])
+		}
+		ref = ref[1:]
+	}
+	if q.len() != 0 {
+		t.Fatalf("drained ring reports len %d", q.len())
+	}
+}
+
+// TestRingReusesBufferInPlace: a queue that oscillates between deep and
+// empty must not grow past the deepest watermark — the property that
+// fixes the old queue[1:] retention/realloc pattern.
+func TestRingReusesBufferInPlace(t *testing.T) {
+	var q ring[int]
+	for i := 0; i < 16; i++ {
+		q.push(i)
+	}
+	capAfterFill := len(q.buf)
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 16; i++ {
+			q.pop()
+		}
+		for i := 0; i < 16; i++ {
+			q.push(i)
+		}
+	}
+	if len(q.buf) != capAfterFill {
+		t.Errorf("buffer grew from %d to %d under steady oscillation", capAfterFill, len(q.buf))
+	}
+}

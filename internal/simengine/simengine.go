@@ -193,9 +193,16 @@ type instance struct {
 	idx     int
 	node    cluster.Node
 	speed   float64 // effective per-core speed after contention
-	queue   []batch
+	queue   ring[batch]
 	busy    bool
 	busyAcc float64 // accumulated busy seconds
+
+	// serving is the batch in service; done fires at its completion.
+	// Reusing one timer per instance keeps the serve→complete→serve
+	// cycle free of per-batch closure allocations.
+	serving     batch
+	servingSide int
+	done        *des.Timer
 
 	// Window state (aggregate/join). Joins keep two panes, one per input
 	// side; sideQueue parallels queue to preserve the side through service.
@@ -210,7 +217,7 @@ type instance struct {
 	paneNet   [2]float64
 	paneWin   [2]float64
 	paneArr   [2]float64
-	sideQueue []int
+	sideQueue ring[int]
 	rrNext    int // round-robin pointer for rebalance routing
 }
 
@@ -276,12 +283,14 @@ func (s *sim) build() error {
 		insts := make([]*instance, op.Parallelism)
 		for i := 0; i < op.Parallelism; i++ {
 			node := s.placement.Cluster.Nodes[nodes[i]]
-			insts[i] = &instance{
+			inst := &instance{
 				op:    op,
 				idx:   i,
 				node:  node,
 				speed: node.Type.Speed() / contention[nodes[i]],
 			}
+			inst.done = s.des.NewTimer(func() { s.serveDone(inst) })
+			insts[i] = inst
 		}
 		s.insts[op.ID] = insts
 	}
@@ -422,11 +431,14 @@ func (s *sim) start() {
 	}
 }
 
-// scheduleEmit produces the next source batch after an exponential gap
-// (Poisson arrivals, the paper's traffic model).
+// scheduleEmit produces source batches after exponential gaps (Poisson
+// arrivals, the paper's traffic model). One reusable timer and closure
+// serve every batch the instance emits; the RNG draw order matches the
+// previous recursive scheduling exactly, so seeded runs are unchanged.
 func (s *sim) scheduleEmit(inst *instance, rate, batchSize float64) {
-	gap := stats.Exponential(s.rng, rate/batchSize)
-	s.des.After(gap, func() {
+	var tm *des.Timer
+	var gap float64
+	tm = s.des.NewTimer(func() {
 		now := s.des.Now()
 		if now > s.cfg.Duration {
 			return
@@ -436,47 +448,67 @@ func (s *sim) scheduleEmit(inst *instance, rate, batchSize float64) {
 		// Source work (generation/deserialization) occupies the source
 		// instance before the batch is routed.
 		s.enqueue(inst, b)
-		s.scheduleEmit(inst, rate, batchSize)
+		gap = stats.Exponential(s.rng, rate/batchSize)
+		tm.Reset(gap)
 	})
+	gap = stats.Exponential(s.rng, rate/batchSize)
+	tm.Reset(gap)
 }
 
-// scheduleFiring sets up the periodic slide timer of a time-policy window.
+// scheduleFiring sets up the periodic slide timer of a time-policy
+// window, reusing one timer per instance across all firings.
 func (s *sim) scheduleFiring(inst *instance, slideSec float64) {
-	s.des.After(slideSec, func() {
+	var tm *des.Timer
+	tm = s.des.NewTimer(func() {
 		if s.des.Now() > s.cfg.Duration {
 			return
 		}
 		s.fireWindow(inst)
-		s.scheduleFiring(inst, slideSec)
+		tm.Reset(slideSec)
 	})
+	tm.Reset(slideSec)
 }
 
 // enqueue delivers a batch to an instance's server queue.
 func (s *sim) enqueue(inst *instance, b batch) {
 	b.enqueuedAt = s.des.Now()
-	inst.queue = append(inst.queue, b)
+	inst.queue.push(b)
 	if !inst.busy {
 		s.serveNext(inst)
 	}
 }
 
-// serveNext begins service of the head-of-queue batch.
+// serveNext begins service of the head-of-queue batch; completion is the
+// instance's reusable done timer, which calls serveDone.
 func (s *sim) serveNext(inst *instance) {
-	if len(inst.queue) == 0 {
+	if inst.queue.len() == 0 {
 		inst.busy = false
 		return
 	}
 	inst.busy = true
-	b := inst.queue[0]
-	inst.queue = inst.queue[1:]
+	b := inst.queue.pop()
 	b.wait += s.des.Now() - b.enqueuedAt
 	st := s.serviceTime(inst, b)
 	b.svc += st
 	inst.busyAcc += st
-	s.des.After(st, func() {
-		s.process(inst, b)
-		s.serveNext(inst)
-	})
+	inst.serving = b
+	inst.done.Reset(st)
+}
+
+// serveDone completes the in-service batch and starts the next one.
+func (s *sim) serveDone(inst *instance) {
+	if inst.op.Kind == core.OpJoin {
+		s.paneAdd(inst, inst.servingSide, inst.serving)
+		w := inst.op.Join.Window
+		if w.Policy == core.PolicyCount &&
+			inst.paneCount[0] >= w.Slide() && inst.paneCount[1] >= w.Slide() {
+			s.fireWindow(inst)
+		}
+		s.serveNextJoin(inst)
+		return
+	}
+	s.process(inst, inst.serving)
+	s.serveNext(inst)
 }
 
 // serviceTime is the CPU occupancy of one batch on this instance.
@@ -705,38 +737,30 @@ func (s *sim) send(from, to *instance, b batch, side int) {
 // enqueueJoin is enqueue with the join side preserved through service.
 func (s *sim) enqueueJoin(inst *instance, b batch, side int) {
 	b.enqueuedAt = s.des.Now()
-	inst.queue = append(inst.queue, b)
-	// Sides are tracked by a parallel queue to keep batch lean.
-	inst.sideQueue = append(inst.sideQueue, side)
+	inst.queue.push(b)
+	// Sides are tracked by a parallel ring to keep batch lean.
+	inst.sideQueue.push(side)
 	if !inst.busy {
 		s.serveNextJoin(inst)
 	}
 }
 
-// serveNextJoin mirrors serveNext for join instances.
+// serveNextJoin mirrors serveNext for join instances; serveDone applies
+// the pane semantics at completion.
 func (s *sim) serveNextJoin(inst *instance) {
-	if len(inst.queue) == 0 {
+	if inst.queue.len() == 0 {
 		inst.busy = false
 		return
 	}
 	inst.busy = true
-	b := inst.queue[0]
-	side := inst.sideQueue[0]
-	inst.queue = inst.queue[1:]
-	inst.sideQueue = inst.sideQueue[1:]
+	b := inst.queue.pop()
+	inst.servingSide = inst.sideQueue.pop()
 	b.wait += s.des.Now() - b.enqueuedAt
 	st := s.serviceTime(inst, b)
 	b.svc += st
 	inst.busyAcc += st
-	s.des.After(st, func() {
-		s.paneAdd(inst, side, b)
-		w := inst.op.Join.Window
-		if w.Policy == core.PolicyCount &&
-			inst.paneCount[0] >= w.Slide() && inst.paneCount[1] >= w.Slide() {
-			s.fireWindow(inst)
-		}
-		s.serveNextJoin(inst)
-	})
+	inst.serving = b
+	inst.done.Reset(st)
 }
 
 // deliver records a sink arrival.

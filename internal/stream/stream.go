@@ -85,11 +85,15 @@ func (s *Synthetic) Next() (*tuple.Tuple, bool) {
 	s.n++
 	// Poisson process: exponential inter-arrival gaps at the event rate.
 	s.now += stats.Exponential(s.rng, s.rate) * 1e9
-	vals := make([]tuple.Value, s.schema.Width())
+	// Pooled allocation: the engine returns dropped tuples via Release,
+	// so a steady-state run recycles its working set instead of churning
+	// one tuple allocation per event.
+	t := tuple.Get(s.schema.Width())
 	for i, f := range s.schema.Fields {
-		vals[i] = s.randomValue(f.Type, i == 0)
+		t.Values[i] = s.randomValue(f.Type, i == 0)
 	}
-	return &tuple.Tuple{Values: vals, EventTime: int64(s.now)}, true
+	t.EventTime = int64(s.now)
+	return t, true
 }
 
 func (s *Synthetic) randomValue(t tuple.Type, isKey bool) tuple.Value {

@@ -1,0 +1,7 @@
+package testutil
+
+// RaceEnabled reports whether the race detector instruments this build
+// (set by the race-tagged init). Allocation-count regression tests skip
+// under it: instrumentation perturbs allocation behaviour, and the race
+// run's job is finding data races, not enforcing alloc budgets.
+var RaceEnabled = false

@@ -1,0 +1,104 @@
+package tuple
+
+import (
+	"testing"
+
+	"pdspbench/internal/testutil"
+)
+
+// TestHashZeroAlloc locks in the inlined FNV-1a: hashing any value kind
+// must not allocate, because the engine hashes once per tuple on the
+// hash-partitioning and join paths.
+func TestHashZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	vals := []Value{Int(123456789), Double(3.14159), String("w042-benchmark-key")}
+	var sink uint64
+	for _, v := range vals {
+		v := v
+		if avg := testing.AllocsPerRun(1000, func() { sink += v.Hash() }); avg != 0 {
+			t.Errorf("Hash(%v) allocates %.1f times per call, want 0", v, avg)
+		}
+	}
+	_ = sink
+}
+
+// TestHashMatchesFNV1a pins the hash to the reference FNV-1a stream the
+// pre-inline implementation produced (kind byte, then payload bytes), so
+// recorded key→instance routing stays stable across releases.
+func TestHashMatchesFNV1a(t *testing.T) {
+	ref := func(bytes []byte) uint64 {
+		h := uint64(14695981039346656037)
+		for _, b := range bytes {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		return h
+	}
+	le := func(u uint64) []byte {
+		b := make([]byte, 8)
+		for i := range b {
+			b[i] = byte(u >> (8 * i))
+		}
+		return b
+	}
+	cases := []struct {
+		v      Value
+		stream []byte
+	}{
+		{Int(-5), append([]byte{0}, le(uint64(0xfffffffffffffffb))...)},
+		{Double(2.5), append([]byte{1}, le(0x4004000000000000)...)},
+		{String("abc"), []byte{2, 'a', 'b', 'c'}},
+	}
+	for _, c := range cases {
+		if got, want := c.v.Hash(), ref(c.stream); got != want {
+			t.Errorf("Hash(%v) = %#x, want FNV-1a %#x", c.v, got, want)
+		}
+	}
+}
+
+// TestPoolRoundTrip: Get/Release recycle; Release on a caller-owned
+// tuple is a no-op so fixtures replayed by tests are never recycled
+// underneath their owners.
+func TestPoolRoundTrip(t *testing.T) {
+	p := Get(3)
+	if len(p.Values) != 3 {
+		t.Fatalf("Get(3) width = %d", len(p.Values))
+	}
+	p.Values[0] = Int(7)
+	p.EventTime = 99
+	p.Release()
+	p.Release() // double release must be a no-op (pooled flag cleared)
+
+	own := New(5, Int(1))
+	own.Release() // caller-owned: must not enter the pool
+	if !own.Values[0].Equal(Int(1)) || own.EventTime != 5 {
+		t.Errorf("Release mutated a caller-owned tuple: %v", own)
+	}
+
+	got := Get(2)
+	if got.EventTime != 0 || got.Ingest != 0 || got.Seq != 0 {
+		t.Errorf("recycled tuple has stale metadata: %+v", got)
+	}
+	if len(got.Values) != 2 {
+		t.Errorf("recycled tuple width = %d, want 2", len(got.Values))
+	}
+	got.Release()
+}
+
+// TestClonePooledIsDeep mirrors TestTupleCloneIsDeep for the pooled
+// fan-out clone path.
+func TestClonePooledIsDeep(t *testing.T) {
+	orig := New(100, Int(1), String("x"))
+	orig.Ingest = 42
+	orig.Seq = 7
+	cl := orig.ClonePooled()
+	cl.Values[0] = Int(999)
+	if orig.Values[0].I != 1 {
+		t.Error("mutating pooled clone changed original")
+	}
+	if cl.EventTime != 100 || cl.Ingest != 42 || cl.Seq != 7 {
+		t.Errorf("pooled clone lost metadata: %+v", cl)
+	}
+	cl.Release()
+}

@@ -7,10 +7,10 @@ package tuple
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Type enumerates the data types supported by PDSP-Bench streams. The
@@ -146,32 +146,40 @@ func (v Value) Compare(o Value) int {
 	return 0
 }
 
+// FNV-1a constants (hash/fnv), inlined so hashing stays allocation-free
+// on the engine's per-tuple hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Hash returns a stable 64-bit hash of the value, used by the hash
 // partitioning strategy and by windowed joins for key lookup.
+//
+// The function is an inlined FNV-1a over the same byte stream the
+// previous hash.Hash64-based implementation consumed — one kind byte,
+// then the little-endian payload (bit pattern for doubles, raw bytes
+// for strings) — so hash values are unchanged while the per-call
+// hash-state allocation is gone.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
-	buf[0] = byte(v.Kind)
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(byte(v.Kind))) * fnvPrime64
 	switch v.Kind {
-	case TypeInt:
-		putUint64(buf[1:], uint64(v.I))
-		h.Write(buf[:])
-	case TypeDouble:
-		// Hash the bit pattern; equal doubles hash equal.
-		putUint64(buf[1:], math.Float64bits(v.D))
-		h.Write(buf[:])
+	case TypeInt, TypeDouble:
+		u := uint64(v.I)
+		if v.Kind == TypeDouble {
+			// Hash the bit pattern; equal doubles hash equal.
+			u = math.Float64bits(v.D)
+		}
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ (u >> i & 0xff)) * fnvPrime64
+		}
 	case TypeString:
-		h.Write(buf[:1])
-		h.Write([]byte(v.S))
+		for i := 0; i < len(v.S); i++ {
+			h = (h ^ uint64(v.S[i])) * fnvPrime64
+		}
 	}
-	return h.Sum64()
-}
-
-func putUint64(b []byte, u uint64) {
-	_ = b[7]
-	for i := 0; i < 8; i++ {
-		b[i] = byte(u >> (8 * i))
-	}
+	return h
 }
 
 // Field is one named, typed column of a schema.
@@ -260,6 +268,10 @@ type Tuple struct {
 	// tuples (aggregates, joins) carry the max of their constituents'.
 	Ingest int64
 	Seq    uint64
+	// pooled marks tuples obtained from Get; only those return to the
+	// free list on Release, so caller-owned tuples (test fixtures,
+	// replayed traces) are never recycled underneath their owners.
+	pooled bool
 }
 
 // New builds a tuple from values with the given event time.
@@ -281,6 +293,49 @@ func (t *Tuple) Clone() *Tuple {
 	vs := make([]Value, len(t.Values))
 	copy(vs, t.Values)
 	return &Tuple{Values: vs, EventTime: t.EventTime, Ingest: t.Ingest, Seq: t.Seq}
+}
+
+// pool is the free list behind Get/Release. High-rate sources allocate
+// (and the engine discards) millions of tuples per second; recycling
+// them keeps steady-state allocation — and therefore GC pressure — off
+// the data plane's hot path.
+var pool = sync.Pool{New: func() any { return new(Tuple) }}
+
+// Get returns a recycled (or fresh) tuple with len(Values) == width and
+// zeroed metadata. The caller owns the tuple and must assign every
+// value slot — recycled slots may hold stale values from a previous
+// life. Ownership transfers downstream with the tuple; whoever drops it
+// calls Release.
+func Get(width int) *Tuple {
+	t := pool.Get().(*Tuple)
+	t.pooled = true
+	t.EventTime, t.Ingest, t.Seq = 0, 0, 0
+	if cap(t.Values) < width {
+		t.Values = make([]Value, width)
+	} else {
+		t.Values = t.Values[:width]
+	}
+	return t
+}
+
+// Release returns a Get-allocated tuple to the free list; calling it on
+// an ordinary tuple is a no-op, so drop points can release
+// unconditionally. The caller must not touch the tuple afterwards.
+func (t *Tuple) Release() {
+	if t == nil || !t.pooled {
+		return
+	}
+	t.pooled = false
+	pool.Put(t)
+}
+
+// ClonePooled deep-copies t into a pooled tuple. The engine's fan-out
+// path uses it so clones recycle like source tuples do.
+func (t *Tuple) ClonePooled() *Tuple {
+	c := Get(len(t.Values))
+	copy(c.Values, t.Values)
+	c.EventTime, c.Ingest, c.Seq = t.EventTime, t.Ingest, t.Seq
+	return c
 }
 
 // String renders the tuple for logs and tests.

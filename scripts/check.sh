@@ -33,4 +33,14 @@ go test -race -short ./...
 echo "== go test ./..."
 go test ./...
 
+#   5. (opt-in) substrate micro-benchmarks — set BENCH=1 to run
+#      scripts/bench.sh after the gates and record a BENCH_<n>.json
+#      entry in the performance trajectory. Not part of the default
+#      gate: benchmark numbers are machine-dependent and noisy on
+#      shared CI hosts, so recording them is a deliberate act.
+if [ "${BENCH:-0}" = "1" ]; then
+  echo "== scripts/bench.sh (BENCH=1)"
+  scripts/bench.sh
+fi
+
 echo "check.sh: all gates passed"
