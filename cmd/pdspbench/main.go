@@ -11,10 +11,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pdspbench/internal/apps"
+	"pdspbench/internal/backend"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/controller"
 	"pdspbench/internal/core"
@@ -22,7 +25,6 @@ import (
 	"pdspbench/internal/ml"
 	"pdspbench/internal/mlmanager"
 	"pdspbench/internal/server"
-	"pdspbench/internal/simengine"
 	"pdspbench/internal/storage"
 	"pdspbench/internal/workload"
 )
@@ -32,6 +34,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancel the context, so an in-flight run, campaign
+	// or server drains cleanly instead of dying mid-measurement; a second
+	// signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
@@ -41,27 +48,29 @@ func main() {
 	case "clusters":
 		err = cmdClusters()
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(ctx, os.Args[2:])
 	case "exec":
-		err = cmdExec(os.Args[2:])
+		err = cmdExec(ctx, os.Args[2:])
+	case "parity":
+		err = cmdParity(ctx, os.Args[2:])
 	case "exp1":
-		err = cmdExp(1, os.Args[2:])
+		err = cmdExp(ctx, 1, os.Args[2:])
 	case "exp2":
-		err = cmdExp(2, os.Args[2:])
+		err = cmdExp(ctx, 2, os.Args[2:])
 	case "exp3":
-		err = cmdExp3(os.Args[2:])
+		err = cmdExp3(ctx, os.Args[2:])
 	case "corpus":
-		err = cmdCorpus(os.Args[2:])
+		err = cmdCorpus(ctx, os.Args[2:])
 	case "ablation":
-		err = cmdAblation(os.Args[2:])
+		err = cmdAblation(ctx, os.Args[2:])
 	case "bench":
-		err = cmdBench(os.Args[2:])
+		err = cmdBench(ctx, os.Args[2:])
 	case "sut":
-		err = cmdSUT(os.Args[2:])
+		err = cmdSUT(ctx, os.Args[2:])
 	case "dot":
 		err = cmdDot(os.Args[2:])
 	case "serve":
-		err = cmdServe(os.Args[2:])
+		err = cmdServe(ctx, os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -82,8 +91,9 @@ commands:
   list                       application suite (paper Table 2)
   params                     workload parameter domain (paper Table 3)
   clusters                   hardware catalogue (paper Table 4)
-  run      [flags]           simulate one workload on a modelled cluster
-  exec     [flags]           execute one application on the real engine
+  run      [flags]           run one workload on a backend (--backend=sim|real)
+  exec     [flags]           execute one application (--backend=real|sim)
+  parity   [flags]           cross-backend parity harness (sim vs real)
   exp1     --set S           regenerate Figure 3 (S = synthetic | realworld)
   exp2     --set S           regenerate Figure 4 (S = synthetic | realworld)
   exp3     --part P          regenerate Figure 5 (P = models) or 6 (P = strategies)
@@ -155,13 +165,29 @@ func clusterByName(c *controller.Controller, name string) (*cluster.Cluster, err
 	}
 }
 
-func cmdRun(args []string) error {
+// backendByName wires the named backend into the controller; the sim
+// backend inherits the controller's fidelity and cost configuration.
+func backendByName(c *controller.Controller, name string) error {
+	if name == "" || name == "sim" {
+		return nil // controller default
+	}
+	b, err := backend.ByName(name)
+	if err != nil {
+		return err
+	}
+	c.Backend = b
+	return nil
+}
+
+func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	app := fs.String("app", "", "application code (e.g. SG); mutually exclusive with --structure")
 	structure := fs.String("structure", "", "synthetic structure (e.g. 3-way-join)")
 	rate := fs.Float64("rate", 500_000, "source event rate (events/s)")
 	par := fs.Int("parallelism", 8, "uniform parallelism degree")
 	clusterName := fs.String("cluster", "m510", "cluster: m510, c6525_25g, c6320, mixed")
+	backendName := fs.String("backend", "sim", "execution backend: sim | real")
+	tuples := fs.Int("tuples", backend.DefaultTuplesPerSource, "tuples per source instance (real backend)")
 	fast := fs.Bool("fast", false, "reduced simulation fidelity")
 	fs.Parse(args)
 
@@ -170,11 +196,15 @@ func cmdRun(args []string) error {
 		c = controller.Fast()
 	}
 	c.EventRate = *rate
+	if err := backendByName(c, *backendName); err != nil {
+		return err
+	}
 	cl, err := clusterByName(c, *clusterName)
 	if err != nil {
 		return err
 	}
 	var plan *core.PQP
+	spec := backend.RunSpec{TuplesPerSource: *tuples}
 	switch {
 	case *app != "":
 		a, err := apps.ByCode(*app)
@@ -183,6 +213,7 @@ func cmdRun(args []string) error {
 		}
 		plan = a.Build(*rate)
 		plan.SetUniformParallelism(*par)
+		spec.App = a
 	case *structure != "":
 		s, err := workload.ParseStructure(*structure)
 		if err != nil {
@@ -196,50 +227,103 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("one of --app or --structure is required")
 	}
 	fmt.Println(plan)
-	rec, err := c.Measure(plan, cl)
+	rec, err := c.MeasureSpec(ctx, plan, cl, spec)
 	if err != nil {
 		return err
 	}
 	fmt.Print(metrics.Table([]metrics.RunRecord{*rec}))
-	// Decompose the mean latency so the user sees where time is spent.
-	pl, err := cluster.Place(plan, cl, c.Placement)
-	if err != nil {
-		return err
+	if c.BackendName() == "sim" {
+		// Decompose the mean latency so the user sees where time is spent
+		// (attribution only the simulator can make).
+		b, err := c.ExplainSim(ctx, plan, cl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mean latency breakdown: queue=%.1fms service=%.1fms network=%.1fms window=%.1fms other=%.1fms\n",
+			b.QueueWait*1000, b.Service*1000, b.Network*1000, b.Window*1000, b.Other*1000)
 	}
-	res, err := simengine.Simulate(plan, pl, c.Cfg)
-	if err != nil {
-		return err
-	}
-	b := res.Breakdown
-	fmt.Printf("mean latency breakdown: queue=%.1fms service=%.1fms network=%.1fms window=%.1fms other=%.1fms\n",
-		b.QueueWait*1000, b.Service*1000, b.Network*1000, b.Window*1000, b.Other*1000)
 	return nil
 }
 
-func cmdExec(args []string) error {
+func cmdExec(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("exec", flag.ExitOnError)
 	app := fs.String("app", "WC", "application code")
-	tuples := fs.Int("tuples", 10_000, "tuples per source")
+	tuples := fs.Int("tuples", backend.DefaultTuplesPerSource, "tuples per source instance")
 	par := fs.Int("parallelism", 2, "uniform parallelism degree")
 	seed := fs.Int64("seed", 42, "generator seed")
+	rate := fs.Float64("rate", backend.DefaultEventRate, "source event rate the plan is built at (events/s)")
+	runs := fs.Int("runs", 1, "repetitions (reported record averages over them)")
+	backendName := fs.String("backend", "real", "execution backend: real | sim")
+	out := fs.String("out", "pdspbench-data", "store directory for the run record (empty to skip)")
 	fs.Parse(args)
 
 	a, err := apps.ByCode(*app)
 	if err != nil {
 		return err
 	}
-	rep, err := controller.ExecuteReal(a, *tuples, *par, *seed)
+	b, err := backend.ByName(*backendName)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on the real engine: in=%d out=%d elapsed=%s\n",
-		a.Code, rep.TuplesIn, rep.TuplesOut, rep.Elapsed.Round(time.Millisecond))
-	fmt.Printf("  latency p50=%.3fms p95=%.3fms  throughput=%.0f tuples/s  late=%d\n",
-		rep.LatencyP50*1000, rep.LatencyP95*1000, rep.Throughput, rep.LateDrops)
+	c := controller.Fast()
+	if *out != "" {
+		st, err := storage.Open(*out)
+		if err != nil {
+			return err
+		}
+		c.Store = st
+	}
+	rec, err := c.Execute(ctx, b, a, *par, backend.RunSpec{
+		Runs:            *runs,
+		Seed:            *seed,
+		EventRate:       *rate,
+		TuplesPerSource: *tuples,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on the %s backend: in=%d out=%d elapsed=%.3fs\n",
+		a.Code, rec.Backend, rec.TuplesIn, rec.TuplesOut, rec.ElapsedSec)
+	fmt.Printf("  latency p50=%.3fms p95=%.3fms p99=%.3fms  throughput=%.0f tuples/s\n",
+		rec.LatencyP50*1000, rec.LatencyP95*1000, rec.LatencyP99*1000, rec.Throughput)
+	if *out != "" {
+		fmt.Printf("  record %s stored in %s\n", rec.ID, *out)
+	}
 	return nil
 }
 
-func cmdExp(n int, args []string) error {
+func cmdParity(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("parity", flag.ExitOnError)
+	nodes := fs.Int("nodes", 4, "modelled cluster size")
+	fs.Parse(args)
+
+	cases, err := backend.DefaultParityCases()
+	if err != nil {
+		return err
+	}
+	var backends []backend.Backend
+	for _, name := range backend.Names() {
+		b, err := backend.ByName(name)
+		if err != nil {
+			return err
+		}
+		backends = append(backends, b)
+	}
+	cl := cluster.NewHomogeneous("m510", cluster.M510, *nodes)
+	results, err := backend.Parity(ctx, backends, cl, cases)
+	if err != nil {
+		return err
+	}
+	fmt.Print(backend.FormatParity(results))
+	for _, r := range results {
+		if !r.OK() {
+			return fmt.Errorf("parity violated in case %s", r.Case)
+		}
+	}
+	return nil
+}
+
+func cmdExp(ctx context.Context, n int, args []string) error {
 	fs := flag.NewFlagSet(fmt.Sprintf("exp%d", n), flag.ExitOnError)
 	set := fs.String("set", "synthetic", "workload set: synthetic | realworld")
 	fast := fs.Bool("fast", true, "reduced simulation fidelity")
@@ -253,13 +337,13 @@ func cmdExp(n int, args []string) error {
 	var err error
 	switch {
 	case n == 1 && *set == "synthetic":
-		fig, err = c.Exp1Synthetic(nil, nil)
+		fig, err = c.Exp1Synthetic(ctx, nil, nil)
 	case n == 1 && *set == "realworld":
-		fig, err = c.Exp1RealWorld(nil, nil)
+		fig, err = c.Exp1RealWorld(ctx, nil, nil)
 	case n == 2 && *set == "synthetic":
-		fig, err = c.Exp2Synthetic(nil, nil)
+		fig, err = c.Exp2Synthetic(ctx, nil, nil)
 	case n == 2 && *set == "realworld":
-		fig, err = c.Exp2RealWorld(nil)
+		fig, err = c.Exp2RealWorld(ctx, nil)
 	default:
 		return fmt.Errorf("unknown set %q", *set)
 	}
@@ -270,7 +354,7 @@ func cmdExp(n int, args []string) error {
 	return nil
 }
 
-func cmdExp3(args []string) error {
+func cmdExp3(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("exp3", flag.ExitOnError)
 	part := fs.String("part", "models", "models (Figure 5) | strategies (Figure 6)")
 	queries := fs.Int("queries", 500, "corpus size for --part models")
@@ -280,7 +364,7 @@ func cmdExp3(args []string) error {
 	opts := ml.TrainOptions{MaxEpochs: 200, Patience: 15, LearningRate: 3e-3}
 	switch *part {
 	case "models":
-		corpus, err := c.BuildCorpus("random", workload.Structures, *queries, c.Homogeneous(), c.Seed)
+		corpus, err := c.BuildCorpus(ctx, "random", workload.Structures, *queries, c.Homogeneous(), c.Seed)
 		if err != nil {
 			return err
 		}
@@ -293,7 +377,7 @@ func cmdExp3(args []string) error {
 		fmt.Println()
 		fmt.Print(fig.Render())
 	case "strategies":
-		curves, err := c.Exp3Strategies(nil, 0, opts)
+		curves, err := c.Exp3Strategies(ctx, nil, 0, opts)
 		if err != nil {
 			return err
 		}
@@ -306,7 +390,7 @@ func cmdExp3(args []string) error {
 	return nil
 }
 
-func cmdCorpus(args []string) error {
+func cmdCorpus(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
 	strategy := fs.String("strategy", "rule-based", "parallelism enumeration strategy")
 	n := fs.Int("n", 100, "number of labeled queries")
@@ -315,7 +399,7 @@ func cmdCorpus(args []string) error {
 	fs.Parse(args)
 
 	c := controller.Fast()
-	corpus, err := c.BuildCorpus(*strategy, nil, *n, c.Homogeneous(), *seed)
+	corpus, err := c.BuildCorpus(ctx, *strategy, nil, *n, c.Homogeneous(), *seed)
 	if err != nil {
 		return err
 	}
@@ -333,7 +417,7 @@ func cmdCorpus(args []string) error {
 	return nil
 }
 
-func cmdAblation(args []string) error {
+func cmdAblation(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
 	part := fs.String("part", "partitioning", "partitioning | autoscaler")
 	fs.Parse(args)
@@ -341,13 +425,13 @@ func cmdAblation(args []string) error {
 	c := controller.Fast()
 	switch *part {
 	case "partitioning":
-		fig, err := c.ExpPartitioning(8)
+		fig, err := c.ExpPartitioning(ctx, 8)
 		if err != nil {
 			return err
 		}
 		fmt.Print(fig.Render())
 	case "autoscaler":
-		fig, err := c.ExpAutoscaler(workload.StructTwoWayJoin)
+		fig, err := c.ExpAutoscaler(ctx, workload.StructTwoWayJoin)
 		if err != nil {
 			return err
 		}
@@ -358,7 +442,7 @@ func cmdAblation(args []string) error {
 	return nil
 }
 
-func cmdBench(args []string) error {
+func cmdBench(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	specPath := fs.String("spec", "", "path to a JSON campaign spec")
 	out := fs.String("out", "", "optional store directory for run records")
@@ -386,7 +470,7 @@ func cmdBench(args []string) error {
 		}
 		c.Store = st
 	}
-	records, err := c.RunSpec(spec)
+	records, err := c.RunSpec(ctx, spec)
 	if err != nil {
 		return err
 	}
@@ -395,12 +479,12 @@ func cmdBench(args []string) error {
 	return nil
 }
 
-func cmdSUT(args []string) error {
+func cmdSUT(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sut", flag.ExitOnError)
 	par := fs.Int("parallelism", 64, "uniform parallelism degree")
 	fs.Parse(args)
 	c := controller.Fast()
-	fig, err := c.ExpSUTComparison(nil, *par)
+	fig, err := c.ExpSUTComparison(ctx, nil, *par)
 	if err != nil {
 		return err
 	}
@@ -441,7 +525,7 @@ func cmdDot(args []string) error {
 	return nil
 }
 
-func cmdServe(args []string) error {
+func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	data := fs.String("data", "pdspbench-data", "store directory")
@@ -453,5 +537,5 @@ func cmdServe(args []string) error {
 	}
 	srv := server.New(st)
 	fmt.Printf("serving PDSP-Bench API on http://%s (store: %s)\n", *addr, *data)
-	return srv.ListenAndServe(context.Background(), *addr)
+	return srv.ListenAndServe(ctx, *addr)
 }

@@ -1,9 +1,9 @@
 // Ad analytics end to end: runs the paper's Figure 2 (right) application
 // — impression and click streams filtered, joined per ad over a sliding
 // window, and aggregated to campaign CTRs by a stateful UDO — on the
-// real engine, printing live CTR results, and then demonstrates the
-// application's parallelism paradox (observation O2/O3) on the cluster
-// simulator.
+// real backend, printing live CTR results, and then demonstrates the
+// application's parallelism paradox (observation O2/O3) on the sim
+// backend. Both executions share the Backend run protocol.
 package main
 
 import (
@@ -13,10 +13,9 @@ import (
 	"sync"
 
 	"pdspbench/internal/apps"
+	"pdspbench/internal/backend"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
-	"pdspbench/internal/engine"
-	"pdspbench/internal/simengine"
 	"pdspbench/internal/tuple"
 )
 
@@ -28,13 +27,17 @@ func main() {
 	fmt.Printf("%s — %s\n%s\n\n", app.Code, app.Name, app.Description)
 
 	// Real execution with a tap printing a few campaign CTRs.
+	ctx := context.Background()
 	plan := app.Build(100_000)
 	plan.SetUniformParallelism(2)
+	cl := cluster.NewHomogeneous("m510", cluster.M510, 5)
 	var mu sync.Mutex
 	printed := 0
-	rt, err := engine.New(plan, engine.Options{
-		Sources: app.Sources(7, 20_000),
-		UDOs:    app.UDOs(),
+	real := &backend.Real{}
+	rec, err := real.Run(ctx, plan, cl, backend.RunSpec{
+		Seed:            7,
+		TuplesPerSource: 20_000,
+		App:             app,
 		SinkTap: func(op string, t *tuple.Tuple) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -47,28 +50,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := rt.Run(context.Background())
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("\nreal engine: %d impressions+clicks in, %d CTR updates out, p50=%.2fms\n",
-		rep.TuplesIn, rep.TuplesOut, rep.LatencyP50*1000)
+		rec.TuplesIn, rec.TuplesOut, rec.LatencyP50*1000)
 
 	// The parallelism paradox: AD's CTR UDO must coordinate state across
 	// every instance, so beyond a threshold more parallelism hurts.
 	fmt.Println("\nparallelism sweep on simulated 5×m510 at 500k events/s:")
-	cl := cluster.NewHomogeneous("m510", cluster.M510, 5)
-	cfg := simengine.Defaults()
+	cfg := backend.SimDefaults()
 	cfg.Duration = 12
 	cfg.SourceBatches = 96
+	sim := &backend.Sim{Cfg: cfg}
 	for _, cat := range core.AllCategories {
 		variant := app.Build(500_000)
 		variant.SetUniformParallelism(cat.Degree())
-		pl, err := cluster.Place(variant, cl, cluster.PlaceRoundRobin)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := simengine.Simulate(variant, pl, cfg)
+		res, err := sim.Run(ctx, variant, cl, backend.RunSpec{Runs: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	//    synthetic structures, degrees assigned by the random strategy,
 	//    each executed on a simulated 5×m510 cluster.
 	fmt.Println("building labeled corpus (240 queries)...")
-	corpus, err := c.BuildCorpus("random", workload.Structures, 240, c.Homogeneous(), 1)
+	corpus, err := c.BuildCorpus(context.Background(), "random", workload.Structures, 240, c.Homogeneous(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 	pred := model.Predict(ml.Example{Graph: feature.EncodeGraph(plan, cl)})
-	rec, err := c.Measure(plan, cl)
+	rec, err := c.Measure(context.Background(), plan, cl)
 	if err != nil {
 		log.Fatal(err)
 	}

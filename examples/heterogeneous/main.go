@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -40,7 +41,7 @@ func main() {
 				pb.Uniform = 8 // the user's rapid-testing input
 			}
 			variant := strat.Enumerate(plan, cl, 1)[0]
-			rec, err := c.Measure(variant, cl)
+			rec, err := c.Measure(context.Background(), variant, cl)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,7 +1,8 @@
 // Quickstart: build a parallel query plan, execute it for real on the
 // in-process engine, then deploy the same plan on a modelled CloudLab
 // cluster with the simulator and compare parallelism degrees — the
-// minimal end-to-end tour of PDSP-Bench.
+// minimal end-to-end tour of PDSP-Bench. Both executions go through the
+// same Backend interface: swap the backend, keep the protocol.
 package main
 
 import (
@@ -9,11 +10,9 @@ import (
 	"fmt"
 	"log"
 
+	"pdspbench/internal/backend"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
-	"pdspbench/internal/engine"
-	"pdspbench/internal/simengine"
-	"pdspbench/internal/stream"
 	"pdspbench/internal/tuple"
 	"pdspbench/internal/workload"
 )
@@ -41,44 +40,34 @@ func main() {
 	plan.SetUniformParallelism(4)
 	fmt.Println("plan:", plan)
 
+	ctx := context.Background()
+	cl := cluster.NewHomogeneous("m510", cluster.M510, 5)
+
 	// 2. Execute it for real: goroutine operator instances, channel
-	//    links, hash-partitioned join — 20k tuples per source.
-	schema := plan.Sources()[0].Source.Schema
-	rt, err := engine.New(plan, engine.Options{
-		Sources: map[string]engine.SourceFactory{
-			"src1": func(idx int) engine.SourceGenerator {
-				return stream.NewSynthetic(schema, 1, 20_000, params.EventRate, "poisson")
-			},
-			"src2": func(idx int) engine.SourceGenerator {
-				return stream.NewSynthetic(schema, 2, 20_000, params.EventRate, "poisson")
-			},
-		},
-	})
+	//    links, hash-partitioned join — 20k tuples per source, with the
+	//    generators synthesized from the plan's schemas.
+	real, err := backend.ByName("real")
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := rt.Run(context.Background())
+	rec, err := real.Run(ctx, plan, cl, backend.RunSpec{TuplesPerSource: 20_000})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("real engine: in=%d out=%d p50=%.2fms throughput=%.0f tuples/s\n",
-		rep.TuplesIn, rep.TuplesOut, rep.LatencyP50*1000, rep.Throughput)
+		rec.TuplesIn, rec.TuplesOut, rec.LatencyP50*1000, rec.Throughput)
 
-	// 3. Deploy the same plan on a modelled 5-node m510 CloudLab cluster
-	//    and sweep parallelism categories with the simulator.
-	cl := cluster.NewHomogeneous("m510", cluster.M510, 5)
-	cfg := simengine.Defaults()
+	// 3. Deploy the same plan on the modelled 5-node m510 CloudLab
+	//    cluster and sweep parallelism categories with the sim backend.
+	cfg := backend.SimDefaults()
 	cfg.Duration = 12
 	cfg.SourceBatches = 96
+	sim := &backend.Sim{Cfg: cfg}
 	fmt.Println("\nsimulated deployment on", cl)
 	for _, cat := range []core.ParallelismCategory{core.CatXS, core.CatS, core.CatM, core.CatL} {
 		variant := plan.Clone()
 		variant.SetUniformParallelism(cat.Degree())
-		placement, err := cluster.Place(variant, cl, cluster.PlaceRoundRobin)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := simengine.Simulate(variant, placement, cfg)
+		res, err := sim.Run(ctx, variant, cl, backend.RunSpec{Runs: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

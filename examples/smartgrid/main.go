@@ -1,9 +1,9 @@
 // Smart grid monitoring (DEBS 2014 Grand Challenge): per-plug load
 // smoothing, sliding per-house averages, and global-median outlier
-// detection — executed on the real engine with outlier households
+// detection — executed on the real backend with outlier households
 // printed live, then compared across homogeneous and heterogeneous
-// CloudLab clusters on the simulator (the paper's Exp-2 for one
-// application).
+// CloudLab clusters on the sim backend (the paper's Exp-2 for one
+// application). Both executions share the Backend run protocol.
 package main
 
 import (
@@ -13,9 +13,8 @@ import (
 	"sync"
 
 	"pdspbench/internal/apps"
+	"pdspbench/internal/backend"
 	"pdspbench/internal/cluster"
-	"pdspbench/internal/engine"
-	"pdspbench/internal/simengine"
 	"pdspbench/internal/tuple"
 )
 
@@ -26,13 +25,17 @@ func main() {
 	}
 	fmt.Printf("%s — %s\n%s\n\n", app.Code, app.Name, app.Description)
 
+	ctx := context.Background()
 	plan := app.Build(100_000)
 	plan.SetUniformParallelism(2)
 	var mu sync.Mutex
 	flagged := map[int64]bool{}
-	rt, err := engine.New(plan, engine.Options{
-		Sources: app.Sources(11, 30_000),
-		UDOs:    app.UDOs(),
+	real := &backend.Real{}
+	m510 := cluster.NewHomogeneous("m510", cluster.M510, 5)
+	rec, err := real.Run(ctx, plan, m510, backend.RunSpec{
+		Seed:            11,
+		TuplesPerSource: 30_000,
+		App:             app,
 		SinkTap: func(op string, t *tuple.Tuple) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -46,21 +49,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := rt.Run(context.Background())
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("\nreal engine: %d plug readings, %d outlier alerts, p50=%.2fms\n",
-		rep.TuplesIn, rep.TuplesOut, rep.LatencyP50*1000)
+		rec.TuplesIn, rec.TuplesOut, rec.LatencyP50*1000)
 
 	// Hardware comparison: SG is data-intensive, so per-core speed and
 	// core counts matter once the load approaches saturation.
 	fmt.Println("\nhardware sweep at 500k events/s (degree = node cores, as in Fig. 4):")
-	cfg := simengine.Defaults()
+	cfg := backend.SimDefaults()
 	cfg.Duration = 12
 	cfg.SourceBatches = 96
+	sim := &backend.Sim{Cfg: cfg}
 	clusters := []*cluster.Cluster{
-		cluster.NewHomogeneous("m510", cluster.M510, 5),
+		m510,
 		cluster.NewHomogeneous("c6525_25g", cluster.C6525_25G, 5),
 		cluster.NewHomogeneous("c6320", cluster.C6320, 5),
 		cluster.NewHeterogeneous("mixed", []cluster.NodeType{cluster.C6525_25G, cluster.C6320}, 5),
@@ -74,11 +74,7 @@ func main() {
 		}
 		variant := app.Build(500_000)
 		variant.SetUniformParallelism(degree)
-		pl, err := cluster.Place(variant, cl, cluster.PlaceRoundRobin)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := simengine.Simulate(variant, pl, cfg)
+		res, err := sim.Run(ctx, variant, cl, backend.RunSpec{Runs: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

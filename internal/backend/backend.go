@@ -1,0 +1,148 @@
+// Package backend is the execution layer of PDSP-Bench: one protocol —
+// Run(plan, cluster, spec) → RunRecord — implemented by every System
+// Under Test. The paper claims the SUT "can be exchanged by any SPS";
+// this package is where that exchange happens. Two backends ship:
+//
+//   - Sim: the discrete-event cluster simulator (internal/simengine),
+//     which models CloudLab-scale deployments that cannot run in real
+//     time on one machine;
+//   - Real: the in-process dataflow engine (internal/engine), which
+//     executes plans for real with bounded sources.
+//
+// Both return the same metrics.RunRecord, so real-engine runs land in
+// the run store, the figures and the ML corpus exactly like simulated
+// ones. This is the only package allowed to import both
+// internal/engine and internal/simengine (enforced by pdsplint's
+// api-boundary rule); the controller, CLI and server all go through
+// the Backend interface. The interface call is per *run*, not per
+// tuple, so the data-plane hot paths are untouched.
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"pdspbench/internal/apps"
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/simengine"
+	"pdspbench/internal/tuple"
+)
+
+// SimConfig aliases the simulator configuration so layers above the
+// backend (controller, CLI, server) can tune fidelity and cost
+// calibration without importing internal/simengine directly.
+type SimConfig = simengine.Config
+
+// Breakdown aliases the simulator's mean-latency decomposition for the
+// same reason.
+type Breakdown = simengine.Breakdown
+
+// SUTProfile aliases a calibrated simulator cost profile (flink, storm,
+// microbatch).
+type SUTProfile = simengine.Profile
+
+// SimDefaults returns the calibrated default simulator configuration.
+func SimDefaults() SimConfig { return simengine.Defaults() }
+
+// Profiles lists the built-in SUT calibrations for the sim backend.
+func Profiles() []SUTProfile { return simengine.Profiles() }
+
+// ProfileByName resolves a SUT profile; ok is false for unknown names.
+func ProfileByName(name string) (SUTProfile, bool) { return simengine.ProfileByName(name) }
+
+// Default bounds for real-engine executions. DefaultEventRate is the
+// source rate a plan is built at when the caller does not choose one
+// (the simulator regime default of 500k events/s would swamp a bounded
+// in-process run); DefaultTuplesPerSource bounds each source instance
+// so an execution terminates.
+const (
+	DefaultEventRate       = 100_000
+	DefaultTuplesPerSource = 10_000
+)
+
+// RunSpec carries the per-run parameters of the benchmark protocol —
+// everything a backend needs beyond the plan and the cluster.
+type RunSpec struct {
+	// Runs is the repetition count; the reported record is the paper's
+	// statistic (mean over runs of each run's median latency, companion
+	// metrics averaged). Default 1.
+	Runs int
+	// Seed drives the backend's randomness; run i uses Seed + i*7919.
+	// 0 means the backend's configured default.
+	Seed int64
+	// EventRate is the source rate (events/s) a plan should be built at
+	// when the caller derives the plan from this spec; backends use it
+	// only for bookkeeping since the plan's sources carry their rates.
+	// 0 means DefaultEventRate.
+	EventRate float64
+	// TuplesPerSource bounds each source instance on the real backend so
+	// executions terminate (≤0 means DefaultTuplesPerSource). The sim
+	// backend models unbounded streams and ignores it.
+	TuplesPerSource int
+	// Placement selects the instance-placement strategy on the modelled
+	// cluster (sim backend).
+	Placement cluster.Strategy
+	// App supplies executable payloads (source generators and UDO
+	// implementations) for the real backend. When nil the real backend
+	// synthesizes random sources from the plan's schemas, which works
+	// for plans made of standard operators only.
+	App *apps.App
+	// SinkTap, when set, receives every tuple delivered to a sink on the
+	// real backend (the sim backend has no per-tuple stream to tap).
+	SinkTap func(op string, t *tuple.Tuple)
+}
+
+// Backend executes parallel query plans on one System Under Test.
+type Backend interface {
+	// Name identifies the backend in records, flags and listings.
+	Name() string
+	// Run executes the plan on the cluster under the spec and returns
+	// the unified run record. Cancelling ctx aborts the run.
+	Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec RunSpec) (*metrics.RunRecord, error)
+}
+
+// registry maps backend names to constructors. Factories return fresh
+// values so callers can tune one instance without aliasing others.
+var registry = map[string]func() Backend{}
+
+// Register adds a backend constructor under its name. Later
+// registrations replace earlier ones, letting tests install fakes.
+func Register(name string, factory func() Backend) {
+	registry[name] = factory
+}
+
+// ByName constructs the named backend ("sim", "real").
+func ByName(name string) (Backend, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered backends sorted by name.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recordID is the stable run-record identifier shared by all backends.
+func recordID(backendName string, plan *core.PQP, cl *cluster.Cluster) string {
+	return fmt.Sprintf("%s/%s/%s/p%d", backendName, plan.Name, cl.Name, plan.MaxParallelism())
+}
+
+// planEventRate sums the plan's nominal source rates for the record.
+func planEventRate(plan *core.PQP) float64 {
+	var rate float64
+	for _, s := range plan.Sources() {
+		rate += s.Source.EventRate
+	}
+	return rate
+}

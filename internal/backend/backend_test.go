@@ -1,0 +1,163 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/testutil"
+)
+
+func TestMain(m *testing.M) { os.Exit(testutil.RunMain(m)) }
+
+func testCluster() *cluster.Cluster {
+	return cluster.NewHomogeneous("parity-m510", cluster.M510, 4)
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"sim": false, "real": false}
+	for _, n := range names {
+		if _, seen := want[n]; seen {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("registry missing built-in backend %q (have %v)", n, names)
+		}
+	}
+	for _, n := range names {
+		b, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if b.Name() != n {
+			t.Errorf("ByName(%q).Name() = %q", n, b.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) succeeded, want error")
+	}
+}
+
+func TestRegistryReturnsFreshInstances(t *testing.T) {
+	a, err := ByName("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("ByName returned the same instance twice; tuning one would alias the other")
+	}
+}
+
+// TestBackendParity is the cross-backend harness: the standard trio of
+// tiny plans (linear, chained-filter, 2-way join) runs on both the sim
+// and the real backend, and every RunRecord must be coherent — ordered
+// latency percentiles, positive throughput, backend name set — with the
+// real engine's tuple counts matching the bounded-source spec exactly.
+func TestBackendParity(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	cases, err := DefaultParityCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 3 {
+		t.Fatalf("DefaultParityCases returned %d cases, want >= 3", len(cases))
+	}
+	sim, err := ByName("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := ByName("real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Parity(context.Background(), []Backend{sim, real}, testCluster(), cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cases) {
+		t.Fatalf("got %d results for %d cases", len(results), len(cases))
+	}
+	for _, r := range results {
+		if len(r.Records) != 2 {
+			t.Errorf("case %s: %d records, want 2", r.Case, len(r.Records))
+		}
+		for _, iss := range r.Issues {
+			t.Errorf("case %s: %s", r.Case, iss)
+		}
+	}
+	t.Log("\n" + FormatParity(results))
+}
+
+func TestSimRunMultipleRuns(t *testing.T) {
+	cases, err := DefaultParityCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cases[0].Spec
+	spec.Runs = 3
+	b, err := ByName("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := b.Run(context.Background(), cases[0].Plan, testCluster(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", rec.Runs)
+	}
+	if rec.Backend != "sim" {
+		t.Errorf("Backend = %q, want sim", rec.Backend)
+	}
+	if rec.LatencyP50 <= 0 || rec.Throughput <= 0 {
+		t.Errorf("degenerate record: p50=%g tput=%g", rec.LatencyP50, rec.Throughput)
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	cases, err := DefaultParityCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"sim", "real"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Run(ctx, cases[0].Plan, testCluster(), cases[0].Spec); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	cases, err := DefaultParityCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := ByName("sim")
+	b2, _ := ByName("sim")
+	r1, err := b1.Run(context.Background(), cases[0].Plan, testCluster(), cases[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b2.Run(context.Background(), cases[0].Plan, testCluster(), cases[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LatencyP50 != r2.LatencyP50 || r1.Throughput != r2.Throughput {
+		t.Errorf("sim backend not deterministic for equal seeds: %+v vs %+v", r1, r2)
+	}
+}

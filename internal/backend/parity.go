@@ -1,0 +1,207 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/tuple"
+	"pdspbench/internal/workload"
+)
+
+// This file is the cross-backend parity harness: it runs the same small
+// plans on every requested backend and checks that the simulator's
+// shape claims hold against the real engine. The paper calibrates its
+// simulator once and then trusts it; this closes the loop continuously
+// by asserting the invariants both SUTs must share — coherent latency
+// percentiles, positive throughput, identical plan bookkeeping — and,
+// for the real backend, exact bounded-source tuple accounting.
+
+// ParityCase is one plan executed on every backend under comparison.
+type ParityCase struct {
+	// Name labels the case in results ("linear", "2-way-join", …).
+	Name string
+	// Plan is the parallel query plan both backends execute.
+	Plan *core.PQP
+	// Spec is the shared run protocol (runs, seed, bounded sources).
+	Spec RunSpec
+}
+
+// ParityResult is one case's verdict across backends.
+type ParityResult struct {
+	// Case names the parity case.
+	Case string
+	// Records holds the unified run record per backend name.
+	Records map[string]*metrics.RunRecord
+	// Issues lists every violated invariant; empty means parity holds.
+	Issues []string
+}
+
+// OK reports whether the case passed every check.
+func (r *ParityResult) OK() bool { return len(r.Issues) == 0 }
+
+// DefaultParityCases builds the standard trio of tiny plans — linear,
+// chained-filter, 2-way join — covering the stateless, windowed and
+// two-input operator paths. Sources are bounded and slow enough that
+// the real engine finishes in well under a second per run.
+func DefaultParityCases() ([]ParityCase, error) {
+	params := workload.Params{
+		EventRate:  20_000,
+		TupleWidth: 3,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeInt, tuple.TypeDouble},
+		Window: core.WindowSpec{
+			Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: 250,
+		},
+		AggFn:        core.AggSum,
+		FilterFn:     core.FilterLess,
+		Selectivity:  0.5,
+		Partition:    core.PartitionRebalance,
+		Distribution: "poisson",
+	}
+	structures := []workload.Structure{
+		workload.StructLinear,
+		workload.StructTwoFilter,
+		workload.StructTwoWayJoin,
+	}
+	cases := make([]ParityCase, 0, len(structures))
+	for _, s := range structures {
+		plan, err := workload.Build(s, params)
+		if err != nil {
+			return nil, fmt.Errorf("backend: parity case %s: %w", s, err)
+		}
+		plan.SetUniformParallelism(2)
+		cases = append(cases, ParityCase{
+			Name: string(s),
+			Plan: plan,
+			Spec: RunSpec{
+				Runs:            1,
+				Seed:            7,
+				EventRate:       params.EventRate,
+				TuplesPerSource: 2_000,
+				Placement:       cluster.PlaceRoundRobin,
+			},
+		})
+	}
+	return cases, nil
+}
+
+// Parity runs every case on every backend and checks the shared
+// invariants. It returns one result per case; an error means a backend
+// failed to execute at all (which is itself a parity violation of the
+// strongest kind, so the harness stops there).
+func Parity(ctx context.Context, backends []Backend, cl *cluster.Cluster, cases []ParityCase) ([]ParityResult, error) {
+	results := make([]ParityResult, 0, len(cases))
+	for _, pc := range cases {
+		res := ParityResult{Case: pc.Name, Records: make(map[string]*metrics.RunRecord, len(backends))}
+		for _, b := range backends {
+			rec, err := b.Run(ctx, pc.Plan, cl, pc.Spec)
+			if err != nil {
+				return nil, fmt.Errorf("backend: parity case %s on %s: %w", pc.Name, b.Name(), err)
+			}
+			res.Records[b.Name()] = rec
+			res.Issues = append(res.Issues, checkCoherent(b.Name(), rec)...)
+			if b.Name() == "real" {
+				res.Issues = append(res.Issues, checkTupleAccounting(pc, rec)...)
+			}
+		}
+		res.Issues = append(res.Issues, checkAgreement(pc, res.Records)...)
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// checkCoherent asserts the invariants any correct SUT's record obeys.
+func checkCoherent(name string, rec *metrics.RunRecord) []string {
+	var issues []string
+	fail := func(format string, args ...any) {
+		issues = append(issues, name+": "+fmt.Sprintf(format, args...))
+	}
+	if rec.Backend != name {
+		fail("backend field %q, want %q", rec.Backend, name)
+	}
+	if rec.LatencyP50 <= 0 {
+		fail("p50 %.6fs not positive", rec.LatencyP50)
+	}
+	if rec.LatencyP50 > rec.LatencyP95 || rec.LatencyP95 > rec.LatencyP99 {
+		fail("percentiles not ordered: p50=%.6f p95=%.6f p99=%.6f",
+			rec.LatencyP50, rec.LatencyP95, rec.LatencyP99)
+	}
+	if rec.Throughput <= 0 {
+		fail("throughput %.2f not positive", rec.Throughput)
+	}
+	if rec.TuplesIn == 0 || rec.TuplesOut == 0 {
+		fail("tuple accounting empty: in=%d out=%d", rec.TuplesIn, rec.TuplesOut)
+	}
+	return issues
+}
+
+// checkTupleAccounting asserts the real backend consumed exactly what
+// the bounded sources were specified to produce.
+func checkTupleAccounting(pc ParityCase, rec *metrics.RunRecord) []string {
+	tuples := pc.Spec.TuplesPerSource
+	if tuples <= 0 {
+		tuples = DefaultTuplesPerSource
+	}
+	var want uint64
+	for _, src := range pc.Plan.Sources() {
+		want += uint64(src.Parallelism * tuples)
+	}
+	if rec.TuplesIn != want {
+		return []string{fmt.Sprintf("real: consumed %d tuples, bounded sources specify %d", rec.TuplesIn, want)}
+	}
+	return nil
+}
+
+// checkAgreement asserts the backends describe the same experiment:
+// identical plan bookkeeping in every record. Metric values legitimately
+// differ — that gap is the calibration signal, not a failure.
+func checkAgreement(pc ParityCase, records map[string]*metrics.RunRecord) []string {
+	var issues []string
+	var ref *metrics.RunRecord
+	var refName string
+	for _, name := range Names() {
+		rec, ok := records[name]
+		if !ok {
+			continue
+		}
+		if ref == nil {
+			ref, refName = rec, name
+			continue
+		}
+		if rec.Workload != ref.Workload || rec.Cluster != ref.Cluster ||
+			rec.Category != ref.Category || rec.MaxDegree != ref.MaxDegree {
+			issues = append(issues, fmt.Sprintf(
+				"%s vs %s: bookkeeping diverges (%s/%s/%s/p%d vs %s/%s/%s/p%d)",
+				name, refName,
+				rec.Workload, rec.Cluster, rec.Category, rec.MaxDegree,
+				ref.Workload, ref.Cluster, ref.Category, ref.MaxDegree))
+		}
+	}
+	return issues
+}
+
+// FormatParity renders parity results as a compact report for the CLI.
+func FormatParity(results []ParityResult) string {
+	out := ""
+	for _, r := range results {
+		status := "ok"
+		if !r.OK() {
+			status = fmt.Sprintf("FAIL (%d issues)", len(r.Issues))
+		}
+		out += fmt.Sprintf("%-18s %s\n", r.Case, status)
+		for _, name := range Names() {
+			rec, ok := r.Records[name]
+			if !ok {
+				continue
+			}
+			out += fmt.Sprintf("  %-8s p50=%8.3fms p95=%8.3fms tput=%12.0f ev/s in=%d out=%d\n",
+				name, rec.LatencyP50*1000, rec.LatencyP95*1000, rec.Throughput, rec.TuplesIn, rec.TuplesOut)
+		}
+		for _, iss := range r.Issues {
+			out += "  ! " + iss + "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package backend
+
+import (
+	"context"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/engine"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/stream"
+)
+
+func init() {
+	Register("real", func() Backend { return &Real{} })
+}
+
+// Real executes plans on the in-process dataflow engine — goroutine
+// operator instances, bounded channels, real wall-clock latencies. It
+// is the functional-regime SUT: sources are bounded
+// (spec.TuplesPerSource per instance) so a run terminates, and the
+// modelled cluster is recorded but not enforced, since every instance
+// shares this machine.
+type Real struct {
+	// Opts carries engine tuning (batching, chaining, channel capacity).
+	// Sources, UDOs and SinkTap are populated per run from the RunSpec.
+	Opts engine.Options
+}
+
+// Name implements Backend.
+func (r *Real) Name() string { return "real" }
+
+// Run executes the plan spec.Runs times on the real engine and reports
+// the same statistic as the sim backend (mean of the runs' median
+// latencies, companion metrics averaged, tuple counts from the last
+// run's accounting summed over repetitions divided out). Payloads come
+// from spec.App when set; otherwise sources are synthesized from the
+// plan's schemas, which covers plans of standard operators (UDO plans
+// need their application's implementations).
+func (r *Real) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec RunSpec) (*metrics.RunRecord, error) {
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	tuples := spec.TuplesPerSource
+	if tuples <= 0 {
+		tuples = DefaultTuplesPerSource
+	}
+	rec := &metrics.RunRecord{
+		ID:        recordID(r.Name(), plan, cl),
+		Backend:   r.Name(),
+		Workload:  plan.Structure,
+		Cluster:   cl.Name,
+		Category:  core.CategoryForDegree(plan.MaxParallelism()).String(),
+		MaxDegree: plan.MaxParallelism(),
+		EventRate: planEventRate(plan),
+		Runs:      runs,
+	}
+	var in, out uint64
+	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		opts := r.Opts
+		runSeed := seed + int64(i)*7919
+		if spec.App != nil {
+			opts.Sources = spec.App.Sources(runSeed, tuples)
+			opts.UDOs = spec.App.UDOs()
+		} else {
+			opts.Sources = syntheticSources(plan, runSeed, tuples)
+		}
+		opts.SinkTap = spec.SinkTap
+		rt, err := engine.New(plan, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := rt.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(runs)
+		rec.LatencyP50 += rep.LatencyP50 / n
+		rec.LatencyP95 += rep.LatencyP95 / n
+		rec.LatencyP99 += rep.LatencyP99 / n
+		rec.LatencyMean += rep.LatencyMean / n
+		rec.Throughput += rep.Throughput / n
+		rec.ElapsedSec += rep.Elapsed.Seconds() / n
+		in += rep.TuplesIn
+		out += rep.TuplesOut
+	}
+	rec.TuplesIn = in / uint64(runs)
+	rec.TuplesOut = out / uint64(runs)
+	return rec, nil
+}
+
+// syntheticSources builds bounded random generators for every source
+// operator from its declared schema, rate and distribution. Seeds are
+// decorrelated per source and per instance so parallel sources do not
+// duplicate data.
+func syntheticSources(plan *core.PQP, seed int64, tuplesPerInstance int) map[string]engine.SourceFactory {
+	out := make(map[string]engine.SourceFactory)
+	for si, src := range plan.Sources() {
+		spec := src.Source
+		srcSeed := seed + int64(si)*104729
+		out[src.ID] = func(idx int) engine.SourceGenerator {
+			return stream.NewSynthetic(spec.Schema, srcSeed+int64(idx)*7919, tuplesPerInstance, spec.EventRate, spec.Distribution)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package backend
+
+import (
+	"context"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/simengine"
+)
+
+func init() {
+	Register("sim", func() Backend { return &Sim{Cfg: simengine.Defaults()} })
+}
+
+// Sim executes plans on the discrete-event cluster simulator — the
+// backend behind the paper's scale regime (event rates to 4M events/s,
+// parallelism to 256) that cannot run in real time on one machine.
+type Sim struct {
+	// Cfg tunes fidelity and the calibrated cost constants; a SUT
+	// profile (flink, storm, microbatch) is just a Cfg.
+	Cfg SimConfig
+}
+
+// Name implements Backend.
+func (s *Sim) Name() string { return "sim" }
+
+// Run places the plan on the modelled cluster and simulates it
+// spec.Runs times with distinct seeds, reporting the paper's statistic
+// (mean of the runs' median latencies, companion metrics averaged).
+// Cancellation is checked between runs: one simulated run is short, so
+// this is where a deadline can usefully interrupt a campaign.
+func (s *Sim) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec RunSpec) (*metrics.RunRecord, error) {
+	pl, err := cluster.Place(plan, cl, spec.Placement)
+	if err != nil {
+		return nil, err
+	}
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	cfg := s.Cfg
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	dur := cfg.Duration
+	if dur <= 0 {
+		dur = simengine.Defaults().Duration
+	}
+	rec := &metrics.RunRecord{
+		ID:        recordID(s.Name(), plan, cl),
+		Backend:   s.Name(),
+		Workload:  plan.Structure,
+		Cluster:   cl.Name,
+		Category:  core.CategoryForDegree(plan.MaxParallelism()).String(),
+		MaxDegree: plan.MaxParallelism(),
+		EventRate: planEventRate(plan),
+		Runs:      runs,
+	}
+	var in, out float64
+	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		res, err := simengine.Simulate(plan, pl, c)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(runs)
+		rec.LatencyP50 += res.LatencyP50 / n
+		rec.LatencyP95 += res.LatencyP95 / n
+		rec.LatencyP99 += res.LatencyP99 / n
+		rec.LatencyMean += res.LatencyMean / n
+		rec.Throughput += res.Throughput / n
+		rec.ElapsedSec += dur / n
+		rec.Saturated = rec.Saturated || res.Saturated
+		in += res.TuplesIn
+		out += res.TuplesOut
+	}
+	rec.TuplesIn = uint64(in / float64(runs))
+	rec.TuplesOut = uint64(out / float64(runs))
+	return rec, nil
+}
+
+// Explain runs one simulation and returns the mean-latency breakdown
+// (queue wait, service, network, window residence) — diagnostic detail
+// only the simulator can attribute.
+func (s *Sim) Explain(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec RunSpec) (Breakdown, error) {
+	if err := ctx.Err(); err != nil {
+		return Breakdown{}, err
+	}
+	pl, err := cluster.Place(plan, cl, spec.Placement)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	cfg := s.Cfg
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	res, err := simengine.Simulate(plan, pl, cfg)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return res.Breakdown, nil
+}

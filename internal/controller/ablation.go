@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 
 	"pdspbench/internal/core"
@@ -16,7 +17,7 @@ import (
 // such as ... data partitioning strategies"). Hash partitioning under
 // skew concentrates load on the hot partition's instance; rebalance
 // spreads it evenly but cannot feed keyed state.
-func (c *Controller) ExpPartitioning(degree int) (*metrics.Figure, error) {
+func (c *Controller) ExpPartitioning(ctx context.Context, degree int) (*metrics.Figure, error) {
 	if degree <= 0 {
 		degree = 8
 	}
@@ -38,7 +39,7 @@ func (c *Controller) ExpPartitioning(degree int) (*metrics.Figure, error) {
 				return nil, err
 			}
 			plan.SetUniformParallelism(degree)
-			rec, err := c.Measure(plan, cl)
+			rec, err := c.Measure(ctx, plan, cl)
 			if err != nil {
 				return nil, err
 			}
@@ -55,7 +56,7 @@ func (c *Controller) ExpPartitioning(degree int) (*metrics.Figure, error) {
 // degrees — an ablation of the design choice behind the rule-based
 // strategy. It returns one series with the measured latency of each and
 // the total instances deployed.
-func (c *Controller) ExpAutoscaler(s workload.Structure) (*metrics.Figure, error) {
+func (c *Controller) ExpAutoscaler(ctx context.Context, s workload.Structure) (*metrics.Figure, error) {
 	cl := c.Homogeneous()
 	base, err := workload.Build(s, c.baseParams())
 	if err != nil {
@@ -71,7 +72,7 @@ func (c *Controller) ExpAutoscaler(s workload.Structure) (*metrics.Figure, error
 	instances := metrics.Series{Label: "instances deployed"}
 
 	measure := func(label string, plan *core.PQP) error {
-		rec, err := c.Measure(plan, cl)
+		rec, err := c.Measure(ctx, plan, cl)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"testing"
 
 	"pdspbench/internal/workload"
@@ -8,7 +9,7 @@ import (
 
 func TestExpPartitioningSkewHurtsHash(t *testing.T) {
 	c := tiny()
-	fig, err := c.ExpPartitioning(8)
+	fig, err := c.ExpPartitioning(context.Background(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestExpPartitioningSkewHurtsHash(t *testing.T) {
 
 func TestExpAutoscalerComparesMethods(t *testing.T) {
 	c := tiny()
-	fig, err := c.ExpAutoscaler(workload.StructTwoWayJoin)
+	fig, err := c.ExpAutoscaler(context.Background(), workload.StructTwoWayJoin)
 	if err != nil {
 		t.Fatal(err)
 	}

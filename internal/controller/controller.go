@@ -1,17 +1,20 @@
 // Package controller orchestrates PDSP-Bench experiments: it provisions
-// (modelled) clusters, deploys generated workloads through the cluster
-// simulator, collects run records into the store, and produces the data
+// (modelled) clusters, deploys generated workloads through an execution
+// backend, collects run records into the store, and produces the data
 // behind every figure of the paper's evaluation (Section 4). It is the
-// Go counterpart of the paper's Django controller.
+// Go counterpart of the paper's Django controller. The controller never
+// talks to an engine directly — every run goes through the Backend
+// interface (internal/backend), so the SUT is exchangeable exactly as
+// the paper claims.
 package controller
 
 import (
-	"fmt"
+	"context"
 
+	"pdspbench/internal/backend"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
 	"pdspbench/internal/metrics"
-	"pdspbench/internal/simengine"
 	"pdspbench/internal/storage"
 	"pdspbench/internal/tuple"
 	"pdspbench/internal/workload"
@@ -19,8 +22,12 @@ import (
 
 // Controller runs experiments.
 type Controller struct {
-	// Cfg is the simulator configuration (fidelity and cost constants).
-	Cfg simengine.Config
+	// Cfg is the simulator configuration (fidelity and cost constants),
+	// applied when the sim backend executes a run.
+	Cfg backend.SimConfig
+	// Backend executes the runs. Nil means the sim backend configured
+	// with Cfg — the scale regime every figure experiment uses.
+	Backend backend.Backend
 	// Runs is the repetition count per measurement; the paper uses 3.
 	Runs int
 	// Nodes is the cluster size; the paper deploys clusters of 5 nodes.
@@ -41,7 +48,7 @@ type Controller struct {
 // New returns a controller with the paper's experiment defaults.
 func New() *Controller {
 	return &Controller{
-		Cfg:       simengine.Defaults(),
+		Cfg:       backend.SimDefaults(),
 		Runs:      3,
 		Nodes:     5,
 		EventRate: 500_000,
@@ -59,6 +66,20 @@ func Fast() *Controller {
 	c.Cfg.SourceBatches = 96
 	return c
 }
+
+// backend returns the execution backend for the next run. The sim
+// default is constructed per call so Cfg edits between runs (SUT
+// profiles, fidelity changes) always take effect.
+func (c *Controller) backend() backend.Backend {
+	if c.Backend != nil {
+		return c.Backend
+	}
+	return &backend.Sim{Cfg: c.Cfg}
+}
+
+// BackendName names the backend the controller would run on — surfaced
+// in listings and records.
+func (c *Controller) BackendName() string { return c.backend().Name() }
 
 // Homogeneous provisions the paper's homogeneous cluster (m510).
 func (c *Controller) Homogeneous() *cluster.Cluster {
@@ -82,37 +103,25 @@ func (c *Controller) Mixed() *cluster.Cluster {
 	return cluster.NewHeterogeneous("mixed", []cluster.NodeType{cluster.C6525_25G, cluster.C6320}, c.Nodes)
 }
 
-// Measure places and simulates one plan, returning the paper's statistic
-// (mean over Runs of each run's median latency) as a RunRecord.
-func (c *Controller) Measure(plan *core.PQP, cl *cluster.Cluster) (*metrics.RunRecord, error) {
-	pl, err := cluster.Place(plan, cl, c.Placement)
+// Measure executes one plan on the controller's backend, returning the
+// paper's statistic (mean over Runs of each run's median latency) as a
+// RunRecord and appending it to the store when one is configured.
+func (c *Controller) Measure(ctx context.Context, plan *core.PQP, cl *cluster.Cluster) (*metrics.RunRecord, error) {
+	return c.MeasureSpec(ctx, plan, cl, backend.RunSpec{})
+}
+
+// MeasureSpec is Measure with explicit per-run overrides; zero spec
+// fields fall back to the controller's defaults.
+func (c *Controller) MeasureSpec(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec backend.RunSpec) (*metrics.RunRecord, error) {
+	if spec.Runs <= 0 {
+		spec.Runs = c.Runs
+	}
+	if spec.Placement == cluster.PlaceRoundRobin {
+		spec.Placement = c.Placement
+	}
+	rec, err := c.backend().Run(ctx, plan, cl, spec)
 	if err != nil {
 		return nil, err
-	}
-	med, results, err := simengine.MedianOfRuns(plan, pl, c.Cfg, c.Runs)
-	if err != nil {
-		return nil, err
-	}
-	var rate float64
-	for _, s := range plan.Sources() {
-		rate += s.Source.EventRate
-	}
-	rec := &metrics.RunRecord{
-		ID:         fmt.Sprintf("%s/%s/p%d", plan.Name, cl.Name, plan.MaxParallelism()),
-		Workload:   plan.Structure,
-		Cluster:    cl.Name,
-		Category:   core.CategoryForDegree(plan.MaxParallelism()).String(),
-		MaxDegree:  plan.MaxParallelism(),
-		EventRate:  rate,
-		LatencyP50: med,
-		Runs:       c.Runs,
-	}
-	// Aggregate the companion metrics over runs.
-	for _, r := range results {
-		rec.LatencyP95 += r.LatencyP95 / float64(len(results))
-		rec.LatencyMean += r.LatencyMean / float64(len(results))
-		rec.Throughput += r.Throughput / float64(len(results))
-		rec.Saturated = rec.Saturated || r.Saturated
 	}
 	if c.Store != nil {
 		if err := c.Store.Append("runs", rec); err != nil {
@@ -122,14 +131,12 @@ func (c *Controller) Measure(plan *core.PQP, cl *cluster.Cluster) (*metrics.RunR
 	return rec, nil
 }
 
-// simulateOnce runs a single simulation, returning its median latency —
-// corpus labeling uses one run per query to bound collection cost.
-func simulateOnce(plan *core.PQP, pl *cluster.Placement, cfg simengine.Config) (float64, *simengine.Result, error) {
-	res, err := simengine.Simulate(plan, pl, cfg)
-	if err != nil {
-		return 0, nil, err
-	}
-	return res.LatencyP50, res, nil
+// ExplainSim runs one simulation and returns the simulator's
+// mean-latency breakdown (queue wait, service, network, window
+// residence) — diagnostic attribution only the sim backend can supply.
+func (c *Controller) ExplainSim(ctx context.Context, plan *core.PQP, cl *cluster.Cluster) (backend.Breakdown, error) {
+	sim := &backend.Sim{Cfg: c.Cfg}
+	return sim.Explain(ctx, plan, cl, backend.RunSpec{Placement: c.Placement})
 }
 
 // baseParams is the fixed synthetic-query configuration used by the

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"testing"
 
 	"pdspbench/internal/cluster"
@@ -26,7 +27,7 @@ func TestMeasureProducesRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Measure(plan, c.Homogeneous())
+	rec, err := c.Measure(context.Background(), plan, c.Homogeneous())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestMeasureStoresRuns(t *testing.T) {
 	}
 	c.Store = st
 	plan, _ := c.SyntheticPlan(workload.StructLinear, 2)
-	if _, err := c.Measure(plan, c.Homogeneous()); err != nil {
+	if _, err := c.Measure(context.Background(), plan, c.Homogeneous()); err != nil {
 		t.Fatal(err)
 	}
 	n, err := st.Count("runs")
@@ -81,7 +82,7 @@ func TestExp1SyntheticFigureShape(t *testing.T) {
 	c := tiny()
 	cats := []core.ParallelismCategory{core.CatXS, core.CatM}
 	structs := []workload.Structure{workload.StructLinear, workload.StructTwoWayJoin}
-	fig, err := c.Exp1Synthetic(cats, structs)
+	fig, err := c.Exp1Synthetic(context.Background(), cats, structs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestExp1SyntheticFigureShape(t *testing.T) {
 
 func TestExp1RealWorldFigure(t *testing.T) {
 	c := tiny()
-	fig, err := c.Exp1RealWorld([]core.ParallelismCategory{core.CatM}, []string{"WC", "SD"})
+	fig, err := c.Exp1RealWorld(context.Background(), []core.ParallelismCategory{core.CatM}, []string{"WC", "SD"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestExp1RealWorldFigure(t *testing.T) {
 
 func TestExp2Figures(t *testing.T) {
 	c := tiny()
-	fig, err := c.Exp2RealWorld([]string{"SD"})
+	fig, err := c.Exp2RealWorld(context.Background(), []string{"SD"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestExp2Figures(t *testing.T) {
 	if len(fig.Series) != 4 {
 		t.Fatalf("fig4-top series = %d, want 4", len(fig.Series))
 	}
-	fig2, err := c.Exp2Synthetic([]core.ParallelismCategory{core.CatM}, []workload.Structure{workload.StructLinear})
+	fig2, err := c.Exp2Synthetic(context.Background(), []core.ParallelismCategory{core.CatM}, []workload.Structure{workload.StructLinear})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestExp2Figures(t *testing.T) {
 
 func TestBuildCorpusLabelsExamples(t *testing.T) {
 	c := tiny()
-	corpus, err := c.BuildCorpus("rule-based", SeenStructures, 9, c.Homogeneous(), 7)
+	corpus, err := c.BuildCorpus(context.Background(), "rule-based", SeenStructures, 9, c.Homogeneous(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestBuildCorpusLabelsExamples(t *testing.T) {
 
 func TestBuildCorpusUnknownStrategy(t *testing.T) {
 	c := tiny()
-	if _, err := c.BuildCorpus("nope", nil, 2, c.Homogeneous(), 1); err == nil {
+	if _, err := c.BuildCorpus(context.Background(), "nope", nil, 2, c.Homogeneous(), 1); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }
@@ -200,7 +201,7 @@ func TestUnseenStructuresDisjointFromSeen(t *testing.T) {
 
 func TestExp3ModelsProducesFig5(t *testing.T) {
 	c := tiny()
-	corpus, err := c.BuildCorpus("random", workload.Structures, 60, c.Homogeneous(), 3)
+	corpus, err := c.BuildCorpus(context.Background(), "random", workload.Structures, 60, c.Homogeneous(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestExp3StrategiesSmoke(t *testing.T) {
 		t.Skip("exp3 strategies is slow")
 	}
 	c := tiny()
-	curves, err := c.Exp3Strategies([]int{10, 30}, 9, ml.TrainOptions{MaxEpochs: 12, Patience: 4})
+	curves, err := c.Exp3Strategies(context.Background(), []int{10, 30}, 9, ml.TrainOptions{MaxEpochs: 12, Patience: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestQueriesToReach(t *testing.T) {
 func TestRuleBasedNeverExceedsCoreBudget(t *testing.T) {
 	c := tiny()
 	cl := c.Homogeneous()
-	corpus, err := c.BuildCorpus("rule-based", SeenStructures, 6, cl, 11)
+	corpus, err := c.BuildCorpus(context.Background(), "rule-based", SeenStructures, 6, cl, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestPlacementStrategyConfigurable(t *testing.T) {
 	c := tiny()
 	c.Placement = cluster.PlaceLeastLoaded
 	plan, _ := c.SyntheticPlan(workload.StructLinear, 4)
-	if _, err := c.Measure(plan, c.Homogeneous()); err != nil {
+	if _, err := c.Measure(context.Background(), plan, c.Homogeneous()); err != nil {
 		t.Fatalf("least-loaded placement failed: %v", err)
 	}
 }

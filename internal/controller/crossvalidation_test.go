@@ -8,28 +8,33 @@ package controller
 // or the simulator's cost calibration is fiction.
 
 import (
+	"context"
 	"testing"
 
 	"pdspbench/internal/apps"
+	"pdspbench/internal/backend"
 )
 
-// perTupleCost runs an app on the real engine unthrottled and returns
+// perTupleCost runs an app on the real backend unthrottled and returns
 // wall-clock seconds per input tuple — a direct measure of per-tuple
 // CPU work.
-func perTupleCost(t *testing.T, code string, tuples int) float64 {
+func perTupleCost(t *testing.T, c *Controller, code string, tuples int) float64 {
 	t.Helper()
 	app, err := apps.ByCode(code)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ExecuteReal(app, tuples, 1, 3)
+	rec, err := c.ExecuteReal(context.Background(), app, 1, backend.RunSpec{
+		Seed:            3,
+		TuplesPerSource: tuples,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.TuplesIn == 0 {
+	if rec.TuplesIn == 0 {
 		t.Fatalf("%s consumed nothing", code)
 	}
-	return rep.Elapsed.Seconds() / float64(rep.TuplesIn)
+	return rec.ElapsedSec / float64(rec.TuplesIn)
 }
 
 func TestRealEngineAndSimulatorAgreeOnAppOrdering(t *testing.T) {
@@ -38,15 +43,15 @@ func TestRealEngineAndSimulatorAgreeOnAppOrdering(t *testing.T) {
 	}
 	// Real engine: per-tuple work of the data-intensive SA vs the light
 	// TPCH pipeline.
-	saReal := perTupleCost(t, "SA", 20_000)
-	tpchReal := perTupleCost(t, "TPCH", 20_000)
+	c := tiny()
+	saReal := perTupleCost(t, c, "SA", 20_000)
+	tpchReal := perTupleCost(t, c, "TPCH", 20_000)
 	if saReal <= tpchReal {
 		t.Skipf("real-engine costs inverted on this machine (SA %.2g vs TPCH %.2g); machine noise", saReal, tpchReal)
 	}
 
 	// Simulator: under identical load and parallelism, the app with more
 	// per-tuple work must show the higher latency.
-	c := tiny()
 	sa := measureApp(t, c, "SA", 2)
 	tpch := measureApp(t, c, "TPCH", 2)
 	if sa <= tpch {
@@ -65,15 +70,17 @@ func TestRealEngineParallelismSpeedsUpHeavyApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep1, err := ExecuteReal(app, 30_000, 1, 5)
+	c := tiny()
+	spec := backend.RunSpec{Seed: 5, TuplesPerSource: 30_000}
+	rec1, err := c.ExecuteReal(context.Background(), app, 1, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep4, err := ExecuteReal(app, 30_000, 4, 5)
+	rec4, err := c.ExecuteReal(context.Background(), app, 4, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep4.Elapsed >= rep1.Elapsed {
-		t.Errorf("parallelism 4 (%v) not faster than 1 (%v) for a CPU-heavy app", rep4.Elapsed, rep1.Elapsed)
+	if rec4.ElapsedSec >= rec1.ElapsedSec {
+		t.Errorf("parallelism 4 (%.3fs) not faster than 1 (%.3fs) for a CPU-heavy app", rec4.ElapsedSec, rec1.ElapsedSec)
 	}
 }

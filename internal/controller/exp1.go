@@ -1,6 +1,8 @@
 package controller
 
 import (
+	"context"
+
 	"pdspbench/internal/apps"
 	"pdspbench/internal/core"
 	"pdspbench/internal/metrics"
@@ -11,7 +13,7 @@ import (
 // the nine synthetic query structures across parallelism categories
 // XS…XXL on the homogeneous m510 cluster. One series per category, one
 // column per structure (the paper's grouping).
-func (c *Controller) Exp1Synthetic(categories []core.ParallelismCategory, structures []workload.Structure) (*metrics.Figure, error) {
+func (c *Controller) Exp1Synthetic(ctx context.Context, categories []core.ParallelismCategory, structures []workload.Structure) (*metrics.Figure, error) {
 	if len(categories) == 0 {
 		categories = core.AllCategories
 	}
@@ -32,7 +34,7 @@ func (c *Controller) Exp1Synthetic(categories []core.ParallelismCategory, struct
 			if err != nil {
 				return nil, err
 			}
-			rec, err := c.Measure(plan, cl)
+			rec, err := c.Measure(ctx, plan, cl)
 			if err != nil {
 				return nil, err
 			}
@@ -45,7 +47,7 @@ func (c *Controller) Exp1Synthetic(categories []core.ParallelismCategory, struct
 
 // Exp1RealWorld regenerates Figure 3 (bottom): the same sweep over the
 // real-world application suite.
-func (c *Controller) Exp1RealWorld(categories []core.ParallelismCategory, codes []string) (*metrics.Figure, error) {
+func (c *Controller) Exp1RealWorld(ctx context.Context, categories []core.ParallelismCategory, codes []string) (*metrics.Figure, error) {
 	if len(categories) == 0 {
 		categories = core.AllCategories
 	}
@@ -68,7 +70,7 @@ func (c *Controller) Exp1RealWorld(categories []core.ParallelismCategory, codes 
 			}
 			plan := app.Build(c.EventRate)
 			plan.SetUniformParallelism(cat.Degree())
-			rec, err := c.Measure(plan, cl)
+			rec, err := c.Measure(ctx, plan, cl)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package controller
 
 import (
+	"context"
+
 	"pdspbench/internal/apps"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
@@ -19,7 +21,7 @@ func (c *Controller) exp2Clusters() []*cluster.Cluster {
 // degree matched to the cluster's per-node core count (the paper: "PQP
 // with parallelism degree category as per # cores on hardware of each
 // cluster" — m510→8, c6525_25g→16, c6320→28).
-func (c *Controller) Exp2RealWorld(codes []string) (*metrics.Figure, error) {
+func (c *Controller) Exp2RealWorld(ctx context.Context, codes []string) (*metrics.Figure, error) {
 	if len(codes) == 0 {
 		codes = apps.Codes()
 	}
@@ -44,7 +46,7 @@ func (c *Controller) Exp2RealWorld(codes []string) (*metrics.Figure, error) {
 			}
 			plan := app.Build(c.EventRate)
 			plan.SetUniformParallelism(degree)
-			rec, err := c.Measure(plan, cl)
+			rec, err := c.Measure(ctx, plan, cl)
 			if err != nil {
 				return nil, err
 			}
@@ -58,7 +60,7 @@ func (c *Controller) Exp2RealWorld(codes []string) (*metrics.Figure, error) {
 // Exp2Synthetic regenerates Figure 4 (bottom): mean latency over the
 // synthetic structure suite per parallelism category, one series per
 // cluster type.
-func (c *Controller) Exp2Synthetic(categories []core.ParallelismCategory, structures []workload.Structure) (*metrics.Figure, error) {
+func (c *Controller) Exp2Synthetic(ctx context.Context, categories []core.ParallelismCategory, structures []workload.Structure) (*metrics.Figure, error) {
 	if len(categories) == 0 {
 		categories = core.AllCategories
 	}
@@ -80,7 +82,7 @@ func (c *Controller) Exp2Synthetic(categories []core.ParallelismCategory, struct
 				if err != nil {
 					return nil, err
 				}
-				rec, err := c.Measure(plan, cl)
+				rec, err := c.Measure(ctx, plan, cl)
 				if err != nil {
 					return nil, err
 				}

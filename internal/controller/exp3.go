@@ -1,9 +1,11 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"pdspbench/internal/backend"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/metrics"
 	"pdspbench/internal/ml"
@@ -61,7 +63,7 @@ func (c *Corpus) TimeFor(n int) time.Duration {
 // assign degrees, executes the plan on the cluster simulator and labels
 // the example with the measured median latency. Event rates are capped
 // at 500k events/s to bound labeling cost.
-func (c *Controller) BuildCorpus(strategyName string, structures []workload.Structure, n int, cl *cluster.Cluster, seed int64) (*Corpus, error) {
+func (c *Controller) BuildCorpus(ctx context.Context, strategyName string, structures []workload.Structure, n int, cl *cluster.Cluster, seed int64) (*Corpus, error) {
 	if len(structures) == 0 {
 		structures = workload.Structures
 	}
@@ -71,6 +73,8 @@ func (c *Controller) BuildCorpus(strategyName string, structures []workload.Stru
 	if err != nil {
 		return nil, err
 	}
+	// Labeling is one simulated run per query to bound collection cost.
+	sim := &backend.Sim{Cfg: c.Cfg}
 	start := time.Now()
 	ds := &ml.Dataset{}
 	for i := 0; i < n; i++ {
@@ -84,20 +88,16 @@ func (c *Controller) BuildCorpus(strategyName string, structures []workload.Stru
 			return nil, fmt.Errorf("controller: strategy %q produced no variant", strategyName)
 		}
 		plan := variants[0]
-		pl, err := cluster.Place(plan, cl, c.Placement)
-		if err != nil {
-			return nil, err
-		}
-		cfg := c.Cfg
-		cfg.Seed = seed + int64(i)
-		med, _, err := simulateOnce(plan, pl, cfg)
+		rec, err := sim.Run(ctx, plan, cl, backend.RunSpec{
+			Runs: 1, Seed: seed + int64(i), Placement: c.Placement,
+		})
 		if err != nil {
 			return nil, err
 		}
 		ds.Examples = append(ds.Examples, ml.Example{
 			Flat:      feature.EncodeFlat(plan, cl),
 			Graph:     feature.EncodeGraph(plan, cl),
-			Latency:   med,
+			Latency:   rec.LatencyP50,
 			Structure: plan.Structure,
 		})
 	}
@@ -151,7 +151,7 @@ type StrategyCurves struct {
 // rule-based curve reaches a given accuracy with roughly a third of the
 // queries — and hence roughly a third of the collection+training time —
 // reproducing O9.
-func (c *Controller) Exp3Strategies(sizes []int, testN int, opts ml.TrainOptions) (*StrategyCurves, error) {
+func (c *Controller) Exp3Strategies(ctx context.Context, sizes []int, testN int, opts ml.TrainOptions) (*StrategyCurves, error) {
 	if len(sizes) == 0 {
 		sizes = []int{25, 50, 100, 200, 400}
 	}
@@ -163,11 +163,11 @@ func (c *Controller) Exp3Strategies(sizes []int, testN int, opts ml.TrainOptions
 	// Corpus sized for the largest training cut plus the validation split.
 	corpusN := maxSize*100/85 + 1
 
-	seenTest, err := c.BuildCorpus("rule-based", SeenStructures, testN, cl, c.Seed+1000)
+	seenTest, err := c.BuildCorpus(ctx, "rule-based", SeenStructures, testN, cl, c.Seed+1000)
 	if err != nil {
 		return nil, err
 	}
-	unseenTest, err := c.BuildCorpus("rule-based", UnseenStructures(), testN, cl, c.Seed+2000)
+	unseenTest, err := c.BuildCorpus(ctx, "rule-based", UnseenStructures(), testN, cl, c.Seed+2000)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +192,7 @@ func (c *Controller) Exp3Strategies(sizes []int, testN int, opts ml.TrainOptions
 		},
 	}
 	for _, strat := range []string{"rule-based", "random"} {
-		corpus, err := c.BuildCorpus(strat, SeenStructures, corpusN, cl, c.Seed+3000)
+		corpus, err := c.BuildCorpus(ctx, strat, SeenStructures, corpusN, cl, c.Seed+3000)
 		if err != nil {
 			return nil, err
 		}

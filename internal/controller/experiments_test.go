@@ -7,6 +7,7 @@ package controller
 // numbers.
 
 import (
+	"context"
 	"testing"
 
 	"pdspbench/internal/apps"
@@ -24,7 +25,7 @@ func measureSynthetic(t *testing.T, c *Controller, s workload.Structure, degree 
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := c.Measure(plan, c.Homogeneous())
+	rec, err := c.Measure(context.Background(), plan, c.Homogeneous())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func measureAppOn(t *testing.T, c *Controller, code string, degree int, clusterN
 	case "mixed":
 		cl = c.Mixed()
 	}
-	rec, err := c.Measure(plan, cl)
+	rec, err := c.Measure(context.Background(), plan, cl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestO6NoConsistentBalancingPoint(t *testing.T) {
 	c := Fast()
 	structures := []workload.Structure{workload.StructLinear, workload.StructTwoWayJoin}
 	cats := []core.ParallelismCategory{core.CatXS, core.CatS, core.CatM, core.CatL, core.CatXL}
-	fig, err := c.Exp2Synthetic(cats, structures)
+	fig, err := c.Exp2Synthetic(context.Background(), cats, structures)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,12 +228,12 @@ func TestO7SyntheticGainsFromHeterogeneityAreModest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ho, err := c.Measure(plan, c.Homogeneous())
+	ho, err := c.Measure(context.Background(), plan, c.Homogeneous())
 	if err != nil {
 		t.Fatal(err)
 	}
 	plan16, _ := c.SyntheticPlan(workload.StructTwoWayJoin, 16)
-	he, err := c.Measure(plan16, c.HeteroEpyc())
+	he, err := c.Measure(context.Background(), plan16, c.HeteroEpyc())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestO8GNNOutperformsOtherCostModels(t *testing.T) {
 		t.Skip("full cost-model comparison is slow")
 	}
 	c := Fast()
-	corpus, err := c.BuildCorpus("random", workload.Structures, 500, c.Homogeneous(), 3)
+	corpus, err := c.BuildCorpus(context.Background(), "random", workload.Structures, 500, c.Homogeneous(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestO9RuleBasedEnumerationIsDataAndTimeEfficient(t *testing.T) {
 	c.Cfg.Duration = 6
 	c.Cfg.SourceBatches = 48
 	sizes := []int{25, 75, 200}
-	curves, err := c.Exp3Strategies(sizes, 30, ml.TrainOptions{MaxEpochs: 80, Patience: 10, LearningRate: 3e-3})
+	curves, err := c.Exp3Strategies(context.Background(), sizes, 30, ml.TrainOptions{MaxEpochs: 80, Patience: 10, LearningRate: 3e-3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"testing"
 
 	"pdspbench/internal/ml"
@@ -10,7 +11,7 @@ import (
 
 func trainTestPredictor(t *testing.T, c *Controller) *Predictor {
 	t.Helper()
-	corpus, err := c.BuildCorpus("random", workload.Structures, 150, c.Homogeneous(), 21)
+	corpus, err := c.BuildCorpus(context.Background(), "random", workload.Structures, 150, c.Homogeneous(), 21)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestPredictorAccuracyOnFreshPlans(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rec, err := c.Measure(plan, c.Homogeneous())
+			rec, err := c.Measure(context.Background(), plan, c.Homogeneous())
 			if err != nil {
 				t.Fatal(err)
 			}

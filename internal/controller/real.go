@@ -4,24 +4,36 @@ import (
 	"context"
 
 	"pdspbench/internal/apps"
-	"pdspbench/internal/engine"
+	"pdspbench/internal/backend"
+	"pdspbench/internal/metrics"
 )
 
-// ExecuteReal runs an application end to end on the real in-process
-// engine (the SUT role) with bounded sources — the functional
-// counterpart of the simulator-based Measure, used by the CLI's exec
-// command and the examples.
-func ExecuteReal(a *apps.App, tuplesPerSource, parallelism int, seed int64) (*engine.Report, error) {
-	plan := a.Build(100_000)
+// Execute runs an application end to end on an arbitrary backend — the
+// CLI's exec command with --backend selection. The plan is built at
+// spec.EventRate (backend.DefaultEventRate when unset — no more magic
+// literals buried in call sites), parallelism is applied uniformly, and
+// the application is attached to the spec so the real backend gets its
+// generators and UDO implementations. The record lands in the store
+// like any other measurement. A nil b uses the controller's backend.
+func (c *Controller) Execute(ctx context.Context, b backend.Backend, a *apps.App, parallelism int, spec backend.RunSpec) (*metrics.RunRecord, error) {
+	if spec.EventRate <= 0 {
+		spec.EventRate = backend.DefaultEventRate
+	}
+	plan := a.Build(spec.EventRate)
 	if parallelism > 1 {
 		plan.SetUniformParallelism(parallelism)
 	}
-	rt, err := engine.New(plan, engine.Options{
-		Sources: a.Sources(seed, tuplesPerSource),
-		UDOs:    a.UDOs(),
-	})
-	if err != nil {
-		return nil, err
+	spec.App = a
+	run := *c
+	if b != nil {
+		run.Backend = b
 	}
-	return rt.Run(context.Background())
+	return run.MeasureSpec(ctx, plan, run.Homogeneous(), spec)
+}
+
+// ExecuteReal runs an application on the real in-process engine (the
+// SUT role) with bounded sources — the functional counterpart of the
+// simulator-based Measure.
+func (c *Controller) ExecuteReal(ctx context.Context, a *apps.App, parallelism int, spec backend.RunSpec) (*metrics.RunRecord, error) {
+	return c.Execute(ctx, &backend.Real{}, a, parallelism, spec)
 }

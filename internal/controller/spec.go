@@ -1,14 +1,15 @@
 package controller
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
 	"pdspbench/internal/apps"
+	"pdspbench/internal/backend"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
 	"pdspbench/internal/metrics"
-	"pdspbench/internal/simengine"
 	"pdspbench/internal/tuple"
 	"pdspbench/internal/workload"
 )
@@ -22,6 +23,9 @@ type Spec struct {
 	// SUT selects a simulator cost profile: flink (default), storm,
 	// microbatch.
 	SUT string `json:"sut,omitempty"`
+	// Backend selects the execution backend (sim by default, or real for
+	// bounded in-process execution).
+	Backend string `json:"backend,omitempty"`
 	// Cluster is m510 (default), c6525_25g, c6320 or mixed; Nodes
 	// defaults to 5.
 	Cluster string `json:"cluster,omitempty"`
@@ -64,8 +68,13 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("controller: spec %q has no workloads", s.Name)
 	}
 	if s.SUT != "" {
-		if _, ok := simengine.ProfileByName(s.SUT); !ok {
+		if _, ok := backend.ProfileByName(s.SUT); !ok {
 			return fmt.Errorf("controller: spec %q: unknown SUT %q", s.Name, s.SUT)
+		}
+	}
+	if s.Backend != "" {
+		if _, err := backend.ByName(s.Backend); err != nil {
+			return fmt.Errorf("controller: spec %q: %w", s.Name, err)
 		}
 	}
 	switch s.Cluster {
@@ -152,19 +161,29 @@ func (s *Spec) buildBase(w WorkloadSpec, rate float64) (*core.PQP, error) {
 }
 
 // RunSpec executes the campaign and returns one record per measurement.
-func (c *Controller) RunSpec(spec *Spec) ([]metrics.RunRecord, error) {
+func (c *Controller) RunSpec(ctx context.Context, spec *Spec) ([]metrics.RunRecord, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	run := *c
 	if spec.SUT != "" {
-		prof, _ := simengine.ProfileByName(spec.SUT)
+		prof, _ := backend.ProfileByName(spec.SUT)
 		cfg := prof.Config
 		cfg.Duration = c.Cfg.Duration
 		cfg.SourceBatches = c.Cfg.SourceBatches
 		cfg.WarmupFraction = c.Cfg.WarmupFraction
 		cfg.Seed = c.Cfg.Seed
 		run.Cfg = cfg
+	}
+	if spec.Backend != "" {
+		b, err := backend.ByName(spec.Backend)
+		if err != nil {
+			return nil, err
+		}
+		if sim, ok := b.(*backend.Sim); ok {
+			sim.Cfg = run.Cfg // keep the campaign's SUT profile and fidelity
+		}
+		run.Backend = b
 	}
 	if spec.Nodes > 0 {
 		run.Nodes = spec.Nodes
@@ -187,7 +206,7 @@ func (c *Controller) RunSpec(spec *Spec) ([]metrics.RunRecord, error) {
 			return nil, err
 		}
 		for _, plan := range variants {
-			rec, err := run.Measure(plan, cl)
+			rec, err := run.Measure(ctx, plan, cl)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -61,7 +62,7 @@ func TestRunSpecProducesOneRecordPerMeasurement(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := tiny()
-	records, err := c.RunSpec(spec)
+	records, err := c.RunSpec(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestRunSpecAppliesSUTProfile(t *testing.T) {
 			t.Fatal(err)
 		}
 		c := tiny()
-		recs, err := c.RunSpec(spec)
+		recs, err := c.RunSpec(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestRunSpecWithExtensionApp(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := tiny()
-	recs, err := c.RunSpec(spec)
+	recs, err := c.RunSpec(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

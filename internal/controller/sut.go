@@ -1,10 +1,11 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 
+	"pdspbench/internal/backend"
 	"pdspbench/internal/metrics"
-	"pdspbench/internal/simengine"
 	"pdspbench/internal/workload"
 )
 
@@ -12,7 +13,7 @@ import (
 // profile — the paper's claim that the System Under Test "can be
 // exchanged by any SPS" exercised end to end. One series per SUT, one
 // column per synthetic structure, at the given uniform parallelism.
-func (c *Controller) ExpSUTComparison(structures []workload.Structure, degree int) (*metrics.Figure, error) {
+func (c *Controller) ExpSUTComparison(ctx context.Context, structures []workload.Structure, degree int) (*metrics.Figure, error) {
 	if len(structures) == 0 {
 		structures = []workload.Structure{
 			workload.StructLinear, workload.StructTwoWayJoin, workload.StructThreeJoin,
@@ -28,7 +29,7 @@ func (c *Controller) ExpSUTComparison(structures []workload.Structure, degree in
 		XLabel: "structure",
 		YLabel: "median latency (ms)",
 	}
-	for _, prof := range simengine.Profiles() {
+	for _, prof := range backend.Profiles() {
 		series := metrics.Series{Label: prof.Name}
 		for _, s := range structures {
 			plan, err := c.SyntheticPlan(s, degree)
@@ -36,6 +37,7 @@ func (c *Controller) ExpSUTComparison(structures []workload.Structure, degree in
 				return nil, err
 			}
 			sut := *c
+			sut.Backend = nil // profile sweeps are sim-backend by construction
 			cfg := prof.Config
 			// Keep the controller's fidelity settings; take the profile's
 			// cost calibration.
@@ -45,7 +47,7 @@ func (c *Controller) ExpSUTComparison(structures []workload.Structure, degree in
 			cfg.Seed = c.Cfg.Seed
 			sut.Cfg = cfg
 			sut.Store = nil // comparison sweeps should not pollute the run store
-			rec, err := sut.Measure(plan, cl)
+			rec, err := sut.Measure(ctx, plan, cl)
 			if err != nil {
 				return nil, err
 			}

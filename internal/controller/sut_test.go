@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"testing"
 
 	"pdspbench/internal/simengine"
@@ -28,7 +29,7 @@ func TestProfilesRegistered(t *testing.T) {
 
 func TestExpSUTComparisonShapes(t *testing.T) {
 	c := tiny()
-	fig, err := c.ExpSUTComparison(nil, 64)
+	fig, err := c.ExpSUTComparison(context.Background(), nil, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestExpSUTComparisonDoesNotPolluteStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Store = st
-	if _, err := c.ExpSUTComparison([]workload.Structure{workload.StructLinear}, 4); err != nil {
+	if _, err := c.ExpSUTComparison(context.Background(), []workload.Structure{workload.StructLinear}, 4); err != nil {
 		t.Fatal(err)
 	}
 	n, err := st.Count("runs")

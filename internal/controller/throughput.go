@@ -1,13 +1,14 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 
 	"pdspbench/internal/apps"
+	"pdspbench/internal/backend"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
 	"pdspbench/internal/metrics"
-	"pdspbench/internal/simengine"
 	"pdspbench/internal/workload"
 )
 
@@ -22,24 +23,21 @@ import (
 // [loRate, hiRate] and reports the largest rate whose run stays
 // unsaturated and whose delivered throughput keeps up with the offered
 // load.
-func (c *Controller) MaxSustainableRate(build func(rate float64) (*core.PQP, error), cl *cluster.Cluster, loRate, hiRate float64) (float64, error) {
+func (c *Controller) MaxSustainableRate(ctx context.Context, build func(rate float64) (*core.PQP, error), cl *cluster.Cluster, loRate, hiRate float64) (float64, error) {
 	if loRate <= 0 || hiRate <= loRate {
 		return 0, fmt.Errorf("controller: invalid rate range [%g, %g]", loRate, hiRate)
 	}
+	sim := &backend.Sim{Cfg: c.Cfg}
 	sustains := func(rate float64) (bool, error) {
 		plan, err := build(rate)
 		if err != nil {
 			return false, err
 		}
-		pl, err := cluster.Place(plan, cl, c.Placement)
+		rec, err := sim.Run(ctx, plan, cl, backend.RunSpec{Runs: 1, Placement: c.Placement})
 		if err != nil {
 			return false, err
 		}
-		sim, err := simengine.Simulate(plan, pl, c.Cfg)
-		if err != nil {
-			return false, err
-		}
-		return !sim.Saturated, nil
+		return !rec.Saturated, nil
 	}
 	okLo, err := sustains(loRate)
 	if err != nil {
@@ -72,7 +70,7 @@ func (c *Controller) MaxSustainableRate(build func(rate float64) (*core.PQP, err
 
 // ExpThroughput regenerates a sustainable-throughput series: the maximum
 // unsaturated event rate per parallelism category for one workload.
-func (c *Controller) ExpThroughput(appCode string, s workload.Structure, categories []core.ParallelismCategory) (*metrics.Figure, error) {
+func (c *Controller) ExpThroughput(ctx context.Context, appCode string, s workload.Structure, categories []core.ParallelismCategory) (*metrics.Figure, error) {
 	if len(categories) == 0 {
 		categories = []core.ParallelismCategory{core.CatXS, core.CatS, core.CatM, core.CatL}
 	}
@@ -104,7 +102,7 @@ func (c *Controller) ExpThroughput(appCode string, s workload.Structure, categor
 			plan.SetUniformParallelism(cat.Degree())
 			return plan, nil
 		}
-		rate, err := c.MaxSustainableRate(build, cl, 1_000, 4_000_000)
+		rate, err := c.MaxSustainableRate(ctx, build, cl, 1_000, 4_000_000)
 		if err != nil {
 			return nil, err
 		}

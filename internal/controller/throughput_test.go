@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"testing"
 
 	"pdspbench/internal/core"
@@ -22,11 +23,11 @@ func TestMaxSustainableRateIncreasesWithParallelism(t *testing.T) {
 			return plan, nil
 		}
 	}
-	r1, err := c.MaxSustainableRate(build(1), cl, 1_000, 4_000_000)
+	r1, err := c.MaxSustainableRate(context.Background(), build(1), cl, 1_000, 4_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, err := c.MaxSustainableRate(build(8), cl, 1_000, 4_000_000)
+	r8, err := c.MaxSustainableRate(context.Background(), build(8), cl, 1_000, 4_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,10 +52,10 @@ func TestMaxSustainableRateErrors(t *testing.T) {
 		plan.SetUniformParallelism(1)
 		return plan, nil
 	}
-	if _, err := c.MaxSustainableRate(build, cl, 0, 100); err == nil {
+	if _, err := c.MaxSustainableRate(context.Background(), build, cl, 0, 100); err == nil {
 		t.Error("invalid range accepted")
 	}
-	if _, err := c.MaxSustainableRate(build, cl, 100, 50); err == nil {
+	if _, err := c.MaxSustainableRate(context.Background(), build, cl, 100, 50); err == nil {
 		t.Error("inverted range accepted")
 	}
 }
@@ -62,7 +63,7 @@ func TestMaxSustainableRateErrors(t *testing.T) {
 func TestExpThroughputSeries(t *testing.T) {
 	c := tiny()
 	cats := []core.ParallelismCategory{core.CatXS, core.CatM}
-	fig, err := c.ExpThroughput("", workload.StructLinear, cats)
+	fig, err := c.ExpThroughput(context.Background(), "", workload.StructLinear, cats)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -82,7 +82,7 @@ type Options struct {
 // Report is what a run measures — the same metrics the paper collects.
 type Report struct {
 	// Latency percentiles in seconds over sink deliveries.
-	LatencyP50, LatencyP95, LatencyMean float64
+	LatencyP50, LatencyP95, LatencyP99, LatencyMean float64
 	// Throughput in tuples/s at the sinks over the wall-clock run.
 	Throughput float64
 	TuplesIn   uint64
@@ -241,6 +241,7 @@ func (r *Runtime) Run(ctx context.Context) (*Report, error) {
 		PerOperator: make(map[string]OperatorStats, len(r.insts)),
 		LatencyP50:  r.report.latencies.Quantile(0.5),
 		LatencyP95:  r.report.latencies.Quantile(0.95),
+		LatencyP99:  r.report.latencies.Quantile(0.99),
 		LatencyMean: r.report.latencies.Mean(),
 		TuplesIn:    r.report.tuplesIn,
 		TuplesOut:   r.report.tuplesOut,

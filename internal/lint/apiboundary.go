@@ -1,27 +1,45 @@
 package lint
 
 import (
+	"go/ast"
 	"strconv"
 )
 
-// defaultBoundaries are the shipped architectural constraints: the HTTP
-// layer talks to the engines only through the controller, mirroring the
-// paper's WUI → Django controller → SUT layering.
+// defaultBoundaries are the shipped architectural constraints, mirroring
+// the paper's WUI → controller → SUT layering: the HTTP layer and the
+// benchmark controller never touch an execution engine directly — all
+// runs flow through the internal/backend protocol, and the server talks
+// to backends only via the controller.
 var defaultBoundaries = []Boundary{
 	{From: "internal/server", Forbid: "internal/engine", Via: "internal/controller"},
 	{From: "internal/server", Forbid: "internal/simengine", Via: "internal/controller"},
+	{From: "internal/controller", Forbid: "internal/engine", Via: "internal/backend"},
+	{From: "internal/controller", Forbid: "internal/simengine", Via: "internal/backend"},
+	{From: "cmd/pdspbench", Forbid: "internal/engine", Via: "internal/backend"},
+	{From: "cmd/pdspbench", Forbid: "internal/simengine", Via: "internal/backend"},
+}
+
+// defaultDualImports pin the one-bridge invariant of the execution
+// layer: the real engine and the simulator are two backends behind one
+// run protocol, so internal/backend is the only package allowed to see
+// both. Everything else picks a side or stays above the protocol.
+var defaultDualImports = []DualImport{
+	{A: "internal/engine", B: "internal/simengine", Allow: []string{"internal/backend"}},
 }
 
 // APIBoundary enforces layered imports: packages under a constrained
 // directory may not import a forbidden package directly and must go
-// through the sanctioned mediator. Boundaries come from the policy
-// config, defaulting to server → engine via controller.
+// through the sanctioned mediator; and no package outside the allowed
+// bridge may import both sides of a dual-import constraint. Boundaries
+// come from the policy config, defaulting to the server/controller/CLI
+// → backend → engine layering.
 func APIBoundary() *Analyzer {
 	return &Analyzer{
 		Name: "api-boundary",
-		Doc: "internal/server must not import internal/engine or internal/simengine directly; " +
-			"all execution goes through internal/controller. Additional boundaries can be " +
-			"declared in the policy config.",
+		Doc: "internal/server, internal/controller, and cmd/pdspbench must not import " +
+			"internal/engine or internal/simengine directly; execution goes through " +
+			"internal/backend, and only internal/backend may import both engines. " +
+			"Additional boundaries and dual-import constraints can be declared in the policy config.",
 		Run: runAPIBoundary,
 	}
 }
@@ -38,11 +56,7 @@ func runAPIBoundary(p *Pass) {
 		}
 		for _, f := range p.Pkg.Files {
 			for _, imp := range f.Imports {
-				path, err := strconv.Unquote(imp.Path.Value)
-				if err != nil {
-					continue
-				}
-				rel, ok := moduleRelative(path, module)
+				rel, ok := relImport(imp, module)
 				if !ok || !dirHasPrefix(rel, b.Forbid) {
 					continue
 				}
@@ -50,6 +64,54 @@ func runAPIBoundary(p *Pass) {
 			}
 		}
 	}
+
+	dual := defaultDualImports
+	if p.Config != nil && len(p.Config.DualImports) > 0 {
+		dual = p.Config.DualImports
+	}
+	for _, di := range dual {
+		allowed := false
+		for _, a := range di.Allow {
+			if dirHasPrefix(p.Pkg.Dir, a) {
+				allowed = true
+				break
+			}
+		}
+		if allowed {
+			continue
+		}
+		// The diagnostic lands on the B-side import: with A established
+		// elsewhere in the package, that import is the one that closes
+		// the forbidden pair.
+		var fromA, fromB *ast.ImportSpec
+		for _, f := range p.Pkg.Files {
+			for _, imp := range f.Imports {
+				rel, ok := relImport(imp, module)
+				if !ok {
+					continue
+				}
+				if fromA == nil && dirHasPrefix(rel, di.A) {
+					fromA = imp
+				}
+				if fromB == nil && dirHasPrefix(rel, di.B) {
+					fromB = imp
+				}
+			}
+		}
+		if fromA != nil && fromB != nil {
+			p.Reportf(fromB.Pos(), "%s imports both %s and %s; only %v may bridge them",
+				p.Pkg.Dir, di.A, di.B, di.Allow)
+		}
+	}
+}
+
+// relImport resolves an import spec to its module-relative directory.
+func relImport(imp *ast.ImportSpec, module string) (string, bool) {
+	path, err := strconv.Unquote(imp.Path.Value)
+	if err != nil {
+		return "", false
+	}
+	return moduleRelative(path, module)
 }
 
 // moduleRelative strips the module prefix from an import path.

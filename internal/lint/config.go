@@ -32,6 +32,20 @@ type Boundary struct {
 	Via string `json:"via"`
 }
 
+// DualImport is an exclusivity constraint enforced by the api-boundary
+// rule: no package may import both A and B unless its directory sits
+// under one of the Allow prefixes. It pins down which single package is
+// permitted to bridge two subsystems that must otherwise stay apart.
+type DualImport struct {
+	// A and B are the two module-relative package directories that must
+	// not meet in one import block.
+	A string `json:"a"`
+	B string `json:"b"`
+	// Allow lists the module-relative directory prefixes exempt from
+	// the constraint — the sanctioned bridge packages.
+	Allow []string `json:"allow,omitempty"`
+}
+
 // Config is pdsplint's policy: which rules run where. The zero value
 // plus defaults from the analyzers is the shipped policy; a pdsplint.json
 // at the module root (or -config) overrides per directory.
@@ -40,6 +54,9 @@ type Config struct {
 	// Boundaries feed the api-boundary rule; when nil the rule's
 	// defaults apply.
 	Boundaries []Boundary `json:"boundaries,omitempty"`
+	// DualImports feed the api-boundary rule's exclusivity check; when
+	// nil the rule's defaults apply.
+	DualImports []DualImport `json:"dual_imports,omitempty"`
 }
 
 // LoadConfig reads a JSON policy file. Unknown rule names are rejected

@@ -1,0 +1,14 @@
+// Package rogue wires itself to both engines at once, bypassing the
+// backend bridge — the dual-import check must flag the pair.
+package rogue
+
+import (
+	"fixture/engine"
+	"fixture/simengine" // want `imports both engine and simengine; only \[backend\] may bridge them`
+)
+
+// Shortcut runs both engines directly.
+func Shortcut() {
+	engine.Run()
+	simengine.Simulate()
+}

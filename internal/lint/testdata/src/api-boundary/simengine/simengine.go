@@ -1,0 +1,6 @@
+// Package simengine stands in for internal/simengine — the other side
+// of the dual-import constraint.
+package simengine
+
+// Simulate is the simulator's entry point.
+func Simulate() {}

@@ -91,15 +91,20 @@ func (f *Figure) Render() string {
 // run database (the paper's MongoDB) and consumed as an ML training row.
 type RunRecord struct {
 	ID          string  `json:"id"`
-	Workload    string  `json:"workload"` // structure name or app code
+	Backend     string  `json:"backend,omitempty"` // executing backend ("sim", "real")
+	Workload    string  `json:"workload"`          // structure name or app code
 	Cluster     string  `json:"cluster"`
 	Category    string  `json:"category"` // parallelism category
 	MaxDegree   int     `json:"max_degree"`
 	EventRate   float64 `json:"event_rate"`
 	LatencyP50  float64 `json:"latency_p50"`
 	LatencyP95  float64 `json:"latency_p95"`
+	LatencyP99  float64 `json:"latency_p99,omitempty"`
 	LatencyMean float64 `json:"latency_mean"`
 	Throughput  float64 `json:"throughput"`
+	TuplesIn    uint64  `json:"tuples_in,omitempty"`
+	TuplesOut   uint64  `json:"tuples_out,omitempty"`
+	ElapsedSec  float64 `json:"elapsed_sec,omitempty"`
 	Saturated   bool    `json:"saturated"`
 	Runs        int     `json:"runs"`
 }
@@ -115,15 +120,19 @@ func Table(records []RunRecord) string {
 		return sorted[i].MaxDegree < sorted[j].MaxDegree
 	})
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %-12s %-5s %10s %12s %12s %12s %5s\n",
-		"workload", "cluster", "cat", "rate", "p50(ms)", "p95(ms)", "tput(ev/s)", "sat")
+	fmt.Fprintf(&b, "%-20s %-8s %-12s %-5s %10s %12s %12s %12s %5s\n",
+		"workload", "backend", "cluster", "cat", "rate", "p50(ms)", "p95(ms)", "tput(ev/s)", "sat")
 	for _, r := range sorted {
 		sat := ""
 		if r.Saturated {
 			sat = "SAT"
 		}
-		fmt.Fprintf(&b, "%-20s %-12s %-5s %10.0f %12.2f %12.2f %12.0f %5s\n",
-			r.Workload, r.Cluster, r.Category, r.EventRate,
+		backend := r.Backend
+		if backend == "" {
+			backend = "-"
+		}
+		fmt.Fprintf(&b, "%-20s %-8s %-12s %-5s %10.0f %12.2f %12.2f %12.0f %5s\n",
+			r.Workload, backend, r.Cluster, r.Category, r.EventRate,
 			r.LatencyP50*1000, r.LatencyP95*1000, r.Throughput, sat)
 	}
 	return b.String()

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pdspbench/internal/apps"
+	"pdspbench/internal/backend"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/controller"
 	"pdspbench/internal/metrics"
@@ -39,6 +40,7 @@ func New(store *storage.Store) *Server {
 	s.mux.HandleFunc("GET /api/structures", s.handleStructures)
 	s.mux.HandleFunc("GET /api/clusters", s.handleClusters)
 	s.mux.HandleFunc("GET /api/strategies", s.handleStrategies)
+	s.mux.HandleFunc("GET /api/backends", s.handleBackends)
 	s.mux.HandleFunc("GET /api/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /api/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /api/run", s.handleRun)
@@ -94,9 +96,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/api/structures">/api/structures</a> — synthetic query structures</li>
 <li><a href="/api/clusters">/api/clusters</a> — hardware catalogue (Table 4)</li>
 <li><a href="/api/strategies">/api/strategies</a> — parallelism enumeration strategies</li>
+<li><a href="/api/backends">/api/backends</a> — execution backends (sim, real)</li>
 <li><a href="/api/runs">/api/runs</a> — stored benchmark runs</li>
 <li>/api/plan?structure=3-way-join&amp;parallelism=8 — plan DOT</li>
-<li>POST /api/run — execute a workload on the cluster simulator</li>
+<li>POST /api/run — execute a workload on an execution backend</li>
 </ul>`)
 }
 
@@ -127,6 +130,10 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, workload.StrategyNames)
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, backend.Names())
 }
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +193,9 @@ type RunRequest struct {
 	Parallelism int     `json:"parallelism"`
 	Cluster     string  `json:"cluster,omitempty"`
 	EventRate   float64 `json:"event_rate,omitempty"`
+	// Backend selects the execution backend ("sim" default, "real" for
+	// bounded in-process execution); listings carry it per record.
+	Backend string `json:"backend,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -216,6 +226,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctrl := *s.ctrl
 	ctrl.EventRate = rate
+	if req.Backend != "" {
+		b, err := backend.ByName(req.Backend)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if sim, ok := b.(*backend.Sim); ok {
+			sim.Cfg = ctrl.Cfg // keep the server's fidelity settings
+		}
+		ctrl.Backend = b
+	}
+	// The request's context cancels the run when the client disconnects.
+	ctx := r.Context()
 	switch {
 	case req.App != "":
 		a, err := apps.ByCode(req.App)
@@ -225,7 +248,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		plan := a.Build(rate)
 		plan.SetUniformParallelism(req.Parallelism)
-		rec, err := ctrl.Measure(plan, cl)
+		rec, err := ctrl.MeasureSpec(ctx, plan, cl, backend.RunSpec{App: a})
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -242,7 +265,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		rec, err := ctrl.Measure(plan, cl)
+		rec, err := ctrl.Measure(ctx, plan, cl)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return

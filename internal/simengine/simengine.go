@@ -140,6 +140,7 @@ type Result struct {
 	// (the paper reports the median of three runs' medians).
 	LatencyP50  float64 `json:"latency_p50"`
 	LatencyP95  float64 `json:"latency_p95"`
+	LatencyP99  float64 `json:"latency_p99"`
 	LatencyMean float64 `json:"latency_mean"`
 	// Throughput is tuples delivered to sinks per simulated second.
 	Throughput float64 `json:"throughput"`
@@ -790,6 +791,7 @@ func (s *sim) results() *Result {
 	r := &Result{
 		LatencyP50:       s.latencies.Quantile(0.5),
 		LatencyP95:       s.latencies.Quantile(0.95),
+		LatencyP99:       s.latencies.Quantile(0.99),
 		LatencyMean:      s.latencies.Mean(),
 		Throughput:       s.tuplesOut / s.cfg.Duration,
 		TuplesIn:         s.tuplesIn,
