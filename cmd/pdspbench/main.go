@@ -18,6 +18,7 @@ import (
 
 	"pdspbench/internal/apps"
 	"pdspbench/internal/backend"
+	"pdspbench/internal/chaos"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/controller"
 	"pdspbench/internal/core"
@@ -189,6 +190,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	backendName := fs.String("backend", "sim", "execution backend: sim | real")
 	tuples := fs.Int("tuples", backend.DefaultTuplesPerSource, "tuples per source instance (real backend)")
 	fast := fs.Bool("fast", false, "reduced simulation fidelity")
+	faults := fs.String("faults", "", "fault plan: 'kind:key=val,...;...' spec or @file.json (see internal/chaos)")
 	fs.Parse(args)
 
 	c := controller.New()
@@ -205,6 +207,13 @@ func cmdRun(ctx context.Context, args []string) error {
 	}
 	var plan *core.PQP
 	spec := backend.RunSpec{TuplesPerSource: *tuples}
+	if *faults != "" {
+		fp, err := chaos.FromArg(*faults)
+		if err != nil {
+			return err
+		}
+		spec.Faults = fp
+	}
 	switch {
 	case *app != "":
 		a, err := apps.ByCode(*app)
@@ -255,11 +264,18 @@ func cmdExec(ctx context.Context, args []string) error {
 	runs := fs.Int("runs", 1, "repetitions (reported record averages over them)")
 	backendName := fs.String("backend", "real", "execution backend: real | sim")
 	out := fs.String("out", "pdspbench-data", "store directory for the run record (empty to skip)")
+	faults := fs.String("faults", "", "fault plan: 'kind:key=val,...;...' spec or @file.json (see internal/chaos)")
 	fs.Parse(args)
 
 	a, err := apps.ByCode(*app)
 	if err != nil {
 		return err
+	}
+	var faultPlan *chaos.Plan
+	if *faults != "" {
+		if faultPlan, err = chaos.FromArg(*faults); err != nil {
+			return err
+		}
 	}
 	b, err := backend.ByName(*backendName)
 	if err != nil {
@@ -278,6 +294,7 @@ func cmdExec(ctx context.Context, args []string) error {
 		Seed:            *seed,
 		EventRate:       *rate,
 		TuplesPerSource: *tuples,
+		Faults:          faultPlan,
 	})
 	if err != nil {
 		return err
@@ -295,11 +312,19 @@ func cmdExec(ctx context.Context, args []string) error {
 func cmdParity(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("parity", flag.ExitOnError)
 	nodes := fs.Int("nodes", 4, "modelled cluster size")
+	faults := fs.Bool("faults", false, "also run the fault-injection parity cases")
 	fs.Parse(args)
 
 	cases, err := backend.DefaultParityCases()
 	if err != nil {
 		return err
+	}
+	if *faults {
+		fc, err := backend.FaultParityCases()
+		if err != nil {
+			return err
+		}
+		cases = append(cases, fc...)
 	}
 	var backends []backend.Backend
 	for _, name := range backend.Names() {

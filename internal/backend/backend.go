@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"pdspbench/internal/apps"
+	"pdspbench/internal/chaos"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
 	"pdspbench/internal/metrics"
@@ -93,6 +94,13 @@ type RunSpec struct {
 	// SinkTap, when set, receives every tuple delivered to a sink on the
 	// real backend (the sim backend has no per-tuple stream to tap).
 	SinkTap func(op string, t *tuple.Tuple)
+	// Faults is the deterministic fault plan to inject during the run
+	// (see internal/chaos). Both backends expand it with the same
+	// Schedule call — the plan, the cluster and the placement strategy
+	// fully determine the event schedule, so one plan perturbs the sim
+	// and the real engine identically (record FaultSchedule carries the
+	// fingerprint). Nil or empty runs fault-free.
+	Faults *chaos.Plan
 }
 
 // Backend executes parallel query plans on one System Under Test.

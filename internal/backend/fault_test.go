@@ -1,0 +1,100 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pdspbench/internal/chaos"
+	"pdspbench/internal/testutil"
+)
+
+// TestBackendFaultParity runs the fault-injection parity pair on both
+// backends: the budgeted crash must complete with recovery metrics
+// populated and identical fault-schedule fingerprints, and the
+// kill-every-instance case must abort with the same typed FaultError.
+func TestBackendFaultParity(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	cases, err := FaultParityCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ByName("sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := ByName("real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results, err := Parity(ctx, []Backend{sim, real}, testCluster(), cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		for _, iss := range r.Issues {
+			t.Errorf("case %s: %s", r.Case, iss)
+		}
+	}
+	// The completing case must carry the same schedule fingerprint on
+	// both backends — one chaos.Plan, one expansion.
+	for _, r := range results {
+		if r.Case != "crash-restart" {
+			continue
+		}
+		simRec, realRec := r.Records["sim"], r.Records["real"]
+		if simRec == nil || realRec == nil {
+			t.Fatalf("crash-restart: missing records (sim=%v real=%v)", simRec != nil, realRec != nil)
+		}
+		if simRec.FaultSchedule == "" || simRec.FaultSchedule != realRec.FaultSchedule {
+			t.Errorf("fault schedules differ: sim=%q real=%q", simRec.FaultSchedule, realRec.FaultSchedule)
+		}
+	}
+	t.Log("\n" + FormatParity(results))
+}
+
+// TestKillLastInstanceFailsFast asserts the strongest fault guarantee
+// directly: killing every instance of an operator with no restart
+// budget returns the typed error on both backends well inside a
+// deadline — neither SUT may hang waiting on a dead operator.
+func TestKillLastInstanceFailsFast(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	cases, err := FaultParityCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kill *ParityCase
+	for i := range cases {
+		if cases[i].WantFaultOp != "" {
+			kill = &cases[i]
+		}
+	}
+	if kill == nil {
+		t.Fatal("FaultParityCases has no kill-last-instance case")
+	}
+	for _, name := range []string{"sim", "real"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_, err = b.Run(ctx, kill.Plan, testCluster(), kill.Spec)
+		cancel()
+		if err == nil {
+			t.Fatalf("%s: run completed despite losing every instance of %q", name, kill.WantFaultOp)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: run hung until the deadline instead of failing fast", name)
+		}
+		var fe *chaos.FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: err = %v (%T), want *chaos.FaultError", name, err, err)
+		}
+		if fe.Op != kill.WantFaultOp {
+			t.Errorf("%s: FaultError.Op = %q, want %q", name, fe.Op, kill.WantFaultOp)
+		}
+	}
+}

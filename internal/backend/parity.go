@@ -2,8 +2,10 @@ package backend
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"pdspbench/internal/chaos"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
 	"pdspbench/internal/metrics"
@@ -27,6 +29,12 @@ type ParityCase struct {
 	Plan *core.PQP
 	// Spec is the shared run protocol (runs, seed, bounded sources).
 	Spec RunSpec
+	// WantFaultOp, when non-empty, turns the case into a failure-parity
+	// assertion: every backend must ABORT the run with a
+	// *chaos.FaultError naming this operator (the fault plan kills its
+	// last instance with no restart budget). Completing the run is the
+	// parity violation.
+	WantFaultOp string
 }
 
 // ParityResult is one case's verdict across backends.
@@ -87,6 +95,58 @@ func DefaultParityCases() ([]ParityCase, error) {
 	return cases, nil
 }
 
+// FaultParityCases builds the fault-injection parity pair: a budgeted
+// crash both backends must recover from, and a kill-every-instance plan
+// both must abort with the same typed *chaos.FaultError. The fault
+// schedule is expanded from one chaos.Plan by each backend, so the
+// recorded FaultSchedule fingerprints must also agree.
+func FaultParityCases() ([]ParityCase, error) {
+	params := workload.Params{
+		EventRate:  20_000,
+		TupleWidth: 3,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeInt, tuple.TypeDouble},
+		Window: core.WindowSpec{
+			Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: 250,
+		},
+		AggFn:        core.AggSum,
+		FilterFn:     core.FilterLess,
+		Selectivity:  0.5,
+		Partition:    core.PartitionRebalance,
+		Distribution: "poisson",
+	}
+	plan, err := workload.Build(workload.StructTwoFilter, params)
+	if err != nil {
+		return nil, fmt.Errorf("backend: fault parity plan: %w", err)
+	}
+	plan.SetUniformParallelism(2)
+	spec := RunSpec{
+		Runs:            1,
+		Seed:            7,
+		EventRate:       params.EventRate,
+		TuplesPerSource: 2_000,
+		Placement:       cluster.PlaceRoundRobin,
+	}
+	crash := spec
+	crash.Faults = &chaos.Plan{
+		Seed: 11,
+		Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, Op: "filter1", Instance: 0, At: 0.03},
+		},
+	}
+	kill := spec
+	kill.Faults = &chaos.Plan{
+		Seed:        11,
+		MaxRestarts: -1, // no budget: losing the last instance is fatal
+		Faults: []chaos.Fault{
+			{Kind: chaos.KindCrash, Op: "filter1", Instance: -1, At: 0.03},
+		},
+	}
+	return []ParityCase{
+		{Name: "crash-restart", Plan: plan, Spec: crash},
+		{Name: "kill-last-instance", Plan: plan, Spec: kill, WantFaultOp: "filter1"},
+	}, nil
+}
+
 // Parity runs every case on every backend and checks the shared
 // invariants. It returns one result per case; an error means a backend
 // failed to execute at all (which is itself a parity violation of the
@@ -97,12 +157,19 @@ func Parity(ctx context.Context, backends []Backend, cl *cluster.Cluster, cases 
 		res := ParityResult{Case: pc.Name, Records: make(map[string]*metrics.RunRecord, len(backends))}
 		for _, b := range backends {
 			rec, err := b.Run(ctx, pc.Plan, cl, pc.Spec)
+			if pc.WantFaultOp != "" {
+				res.Issues = append(res.Issues, checkFaultOutcome(b.Name(), pc.WantFaultOp, err)...)
+				continue
+			}
 			if err != nil {
 				return nil, fmt.Errorf("backend: parity case %s on %s: %w", pc.Name, b.Name(), err)
 			}
 			res.Records[b.Name()] = rec
 			res.Issues = append(res.Issues, checkCoherent(b.Name(), rec)...)
-			if b.Name() == "real" {
+			if !pc.Spec.Faults.Empty() {
+				res.Issues = append(res.Issues, checkRecovery(b.Name(), rec)...)
+			}
+			if b.Name() == "real" && pc.Spec.Faults.Empty() {
 				res.Issues = append(res.Issues, checkTupleAccounting(pc, rec)...)
 			}
 		}
@@ -178,6 +245,44 @@ func checkAgreement(pc ParityCase, records map[string]*metrics.RunRecord) []stri
 				rec.Workload, rec.Cluster, rec.Category, rec.MaxDegree,
 				ref.Workload, ref.Cluster, ref.Category, ref.MaxDegree))
 		}
+		if rec.FaultSchedule != ref.FaultSchedule {
+			issues = append(issues, fmt.Sprintf(
+				"%s vs %s: fault schedules diverge (%s vs %s) — the chaos expansion must be backend-independent",
+				name, refName, rec.FaultSchedule, ref.FaultSchedule))
+		}
+	}
+	return issues
+}
+
+// checkFaultOutcome asserts a kill-the-last-instance case aborted with
+// the typed fault error naming the right operator — on every backend.
+func checkFaultOutcome(name, wantOp string, err error) []string {
+	if err == nil {
+		return []string{fmt.Sprintf("%s: run completed; want *chaos.FaultError for operator %q", name, wantOp)}
+	}
+	var fe *chaos.FaultError
+	if !errors.As(err, &fe) {
+		return []string{fmt.Sprintf("%s: run failed with %v (%T); want *chaos.FaultError", name, err, err)}
+	}
+	if fe.Op != wantOp {
+		return []string{fmt.Sprintf("%s: FaultError names operator %q, want %q", name, fe.Op, wantOp)}
+	}
+	return nil
+}
+
+// checkRecovery asserts a fault plan that completes actually exercised
+// the fault machinery: events were injected, the schedule fingerprint is
+// recorded, and the recovery path ran.
+func checkRecovery(name string, rec *metrics.RunRecord) []string {
+	var issues []string
+	if rec.FaultsInjected == 0 {
+		issues = append(issues, name+": fault plan set but no faults injected")
+	}
+	if rec.FaultSchedule == "" {
+		issues = append(issues, name+": fault plan set but no schedule fingerprint recorded")
+	}
+	if rec.Restarts == 0 {
+		issues = append(issues, name+": injected crash produced no restart")
 	}
 	return issues
 }

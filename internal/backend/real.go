@@ -2,7 +2,9 @@ package backend
 
 import (
 	"context"
+	"time"
 
+	"pdspbench/internal/chaos"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
 	"pdspbench/internal/engine"
@@ -59,6 +61,15 @@ func (r *Real) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spe
 		EventRate: planEventRate(plan),
 		Runs:      runs,
 	}
+	var faultEvents []chaos.Event
+	if !spec.Faults.Empty() {
+		events, err := spec.Faults.Schedule(plan, cl, spec.Placement)
+		if err != nil {
+			return nil, err
+		}
+		faultEvents = events
+		rec.FaultSchedule = chaos.Hash(events)
+	}
 	var in, out uint64
 	for i := 0; i < runs; i++ {
 		if err := ctx.Err(); err != nil {
@@ -73,6 +84,14 @@ func (r *Real) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spe
 			opts.Sources = syntheticSources(plan, runSeed, tuples)
 		}
 		opts.SinkTap = spec.SinkTap
+		if faultEvents != nil {
+			opts.Faults = faultEvents
+			opts.MaxRestarts = spec.Faults.Restarts()
+			opts.RestartDelay = time.Duration(spec.Faults.Delay() * float64(time.Second))
+			// Fault event times are seconds from run start; throttling
+			// paces the run in real time so the schedule lands inside it.
+			opts.Throttle = true
+		}
 		rt, err := engine.New(plan, opts)
 		if err != nil {
 			return nil, err
@@ -90,6 +109,10 @@ func (r *Real) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spe
 		rec.ElapsedSec += rep.Elapsed.Seconds() / n
 		in += rep.TuplesIn
 		out += rep.TuplesOut
+		rec.FaultsInjected += rep.FaultsInjected
+		rec.Restarts += rep.Restarts
+		rec.DowntimeMS += float64(rep.Downtime.Milliseconds())
+		rec.RecoveredTuples += rep.RecoveredTuples
 	}
 	rec.TuplesIn = in / uint64(runs)
 	rec.TuplesOut = out / uint64(runs)

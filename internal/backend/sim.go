@@ -3,6 +3,7 @@ package backend
 import (
 	"context"
 
+	"pdspbench/internal/chaos"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
 	"pdspbench/internal/metrics"
@@ -57,6 +58,16 @@ func (s *Sim) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec
 		EventRate: planEventRate(plan),
 		Runs:      runs,
 	}
+	if !spec.Faults.Empty() {
+		events, err := spec.Faults.Schedule(plan, cl, spec.Placement)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = events
+		cfg.MaxRestarts = spec.Faults.Restarts()
+		cfg.RestartDelay = spec.Faults.Delay()
+		rec.FaultSchedule = chaos.Hash(events)
+	}
 	var in, out float64
 	for i := 0; i < runs; i++ {
 		if err := ctx.Err(); err != nil {
@@ -78,6 +89,10 @@ func (s *Sim) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec
 		rec.Saturated = rec.Saturated || res.Saturated
 		in += res.TuplesIn
 		out += res.TuplesOut
+		rec.FaultsInjected += uint64(res.FaultsInjected)
+		rec.Restarts += uint64(res.Restarts)
+		rec.DowntimeMS += res.DowntimeSec * 1000
+		rec.RecoveredTuples += uint64(res.RecoveredTuples)
 	}
 	rec.TuplesIn = uint64(in / float64(runs))
 	rec.TuplesOut = uint64(out / float64(runs))

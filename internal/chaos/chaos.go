@@ -1,0 +1,557 @@
+// Package chaos is the deterministic fault-injection layer of
+// PDSP-Bench. The paper benchmarks Apache Flink — a system whose
+// defining operational property is surviving worker loss — so a
+// reproduction that only ever measures the happy path measures the
+// wrong system. This package describes degradations (operator-instance
+// crashes, node failure and recovery, slow nodes, source stalls, link
+// delay/drop) as a seeded Plan and expands it into one instance-scoped
+// Event schedule that both execution backends replay identically:
+// the same Plan, plan and placement always produce the same events in
+// the same order, on the simulator's virtual clock and on the real
+// engine's wall clock alike.
+//
+// The determinism contract: Schedule draws every random choice (target
+// operator, node, fault time) from rand.New(rand.NewSource(Seed)) in
+// fault-declaration order, and event times are seconds from run start
+// — simulated seconds on the sim backend, wall-clock seconds on the
+// real one — so a schedule is a pure function of (Plan, PQP, cluster,
+// placement strategy) and Hash gives it a stable fingerprint the
+// parity harness compares across backends.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+)
+
+// Kind names a fault in a plan. The first six are user-facing fault
+// kinds; Schedule expands them into the primitive event kinds below.
+type Kind string
+
+const (
+	// KindCrash kills operator instances; the engine's supervisor (or
+	// the simulator's recovery event) restarts them while the plan's
+	// restart budget lasts.
+	KindCrash Kind = "crash"
+	// KindNodeDown takes every instance placed on one node down for
+	// Duration seconds, then recovers them — recovery is scheduled, so
+	// it never consumes the restart budget.
+	KindNodeDown Kind = "node-down"
+	// KindSlowNode multiplies the service cost of every instance on one
+	// node by Factor for Duration seconds.
+	KindSlowNode Kind = "slow-node"
+	// KindSourceStall pauses a source operator's emission for Duration
+	// seconds.
+	KindSourceStall Kind = "source-stall"
+	// KindLinkDelay adds Factor seconds to every delivery into the
+	// target operator for Duration seconds.
+	KindLinkDelay Kind = "link-delay"
+	// KindLinkDrop discards the Factor fraction of tuples delivered
+	// into the target operator for Duration seconds.
+	KindLinkDrop Kind = "link-drop"
+)
+
+// Primitive event kinds emitted by Schedule. Crash and the link kinds
+// reuse the fault-kind names; node faults expand to per-instance
+// down/slow events via the placement.
+const (
+	// EvDown takes one instance down for Duration, with recovery
+	// scheduled (not budgeted) — the expansion of KindNodeDown.
+	EvDown Kind = "down"
+	// EvSlow is the per-instance expansion of KindSlowNode.
+	EvSlow Kind = "slow"
+	// EvStall is the per-instance expansion of KindSourceStall.
+	EvStall Kind = "stall"
+)
+
+// Fault is one declared degradation in a fault plan.
+type Fault struct {
+	Kind Kind `json:"kind"`
+	// Op targets a logical operator by ID. Empty means a seeded random
+	// pick among eligible operators (non-source non-sink for crashes,
+	// sources for stalls, non-source for link faults).
+	Op string `json:"op,omitempty"`
+	// Instance targets one parallel instance of Op (default 0); any
+	// negative value targets every instance. Ignored by node and link
+	// faults.
+	Instance int `json:"instance,omitempty"`
+	// Node is the cluster node index for node faults; a negative value
+	// means a seeded random pick.
+	Node int `json:"node,omitempty"`
+	// At is the injection time in seconds from run start (default 0);
+	// a negative value means a seeded uniform draw over [0, Horizon).
+	At float64 `json:"at,omitempty"`
+	// Duration in seconds of the degradation window (node-down outage,
+	// slow/stall/link window). 0 means the kind's default.
+	Duration float64 `json:"duration,omitempty"`
+	// Factor parameterizes the kind: slow-node service multiplier
+	// (default 4), link-delay extra seconds per delivery (default
+	// 0.005), link-drop fraction dropped in [0,1] (default 1).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Plan is a seeded, reproducible fault schedule specification — the
+// FaultPlan a RunSpec carries into both backends.
+type Plan struct {
+	// Seed drives every random choice in Schedule (default 1). It is
+	// independent of the run seed so repeated runs of one spec share
+	// one fault schedule.
+	Seed int64 `json:"seed,omitempty"`
+	// Horizon is the window in seconds over which randomized fault
+	// times (At < 0) are drawn (default 1).
+	Horizon float64 `json:"horizon,omitempty"`
+	// MaxRestarts is the per-instance crash-restart budget: 0 means
+	// the default of 1; any negative value disables restarts, so the
+	// first crash of an instance is final.
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// RestartDelay is the downtime in seconds a budgeted restart costs
+	// (default 0.02); the real engine doubles it per consecutive
+	// restart of one instance (bounded exponential backoff).
+	RestartDelay float64 `json:"restart_delay,omitempty"`
+	// Faults are the declared degradations, expanded in order.
+	Faults []Fault `json:"faults"`
+}
+
+// Empty reports whether the plan injects nothing — the contract for
+// the zero-cost happy path in both backends.
+func (p *Plan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// Restarts resolves the restart budget (see MaxRestarts).
+func (p *Plan) Restarts() int {
+	switch {
+	case p == nil || p.MaxRestarts < 0:
+		return 0
+	case p.MaxRestarts == 0:
+		return 1
+	default:
+		return p.MaxRestarts
+	}
+}
+
+// Delay resolves the per-restart downtime in seconds.
+func (p *Plan) Delay() float64 {
+	if p == nil || p.RestartDelay <= 0 {
+		return 0.02
+	}
+	return p.RestartDelay
+}
+
+func (p *Plan) horizon() float64 {
+	if p.Horizon <= 0 {
+		return 1
+	}
+	return p.Horizon
+}
+
+// Event is one primitive, instance-scoped fault occurrence — the unit
+// both backends consume. Instance is -1 for op-scoped link events.
+type Event struct {
+	At       float64 `json:"at"`
+	Kind     Kind    `json:"kind"`
+	Op       string  `json:"op"`
+	Instance int     `json:"instance"`
+	Duration float64 `json:"duration,omitempty"`
+	Factor   float64 `json:"factor,omitempty"`
+}
+
+// FaultError is the typed failure both backends return when a fault
+// leaves an operator with no live instance and no restart budget — the
+// engine reports it instead of hanging, the simulator instead of
+// running a plan that can no longer produce output.
+type FaultError struct {
+	// Op is the operator that lost its last instance.
+	Op string
+	// Kind is the fault kind that killed it.
+	Kind Kind
+}
+
+func (e *FaultError) Error() string {
+	return "chaos: operator " + strconv.Quote(e.Op) + " lost its last instance to " +
+		string(e.Kind) + " with no restart budget"
+}
+
+// defaultDuration is the degradation window used when a fault omits one.
+func defaultDuration(k Kind) float64 {
+	switch k {
+	case KindNodeDown:
+		return 0.05
+	case KindSlowNode:
+		return 0.1
+	default:
+		return 0.05
+	}
+}
+
+// Schedule expands the plan into the deterministic primitive-event
+// schedule for the given query plan on the given cluster. Node faults
+// resolve to per-instance events through cluster.Place with the same
+// strategy the run uses, so both backends see identical targets. The
+// returned events are sorted by time with a stable (op, instance,
+// kind) tie-break.
+func (p *Plan) Schedule(q *core.PQP, cl *cluster.Cluster, strat cluster.Strategy) ([]Event, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pl, err := cluster.Place(q, cl, strat)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	var events []Event
+	for fi, f := range p.Faults {
+		at := f.At
+		if at < 0 {
+			at = rng.Float64() * p.horizon()
+		}
+		dur := f.Duration
+		if dur <= 0 {
+			dur = defaultDuration(f.Kind)
+		}
+		switch f.Kind {
+		case KindCrash:
+			op, err := p.resolveOp(q, rng, f.Op, eligibleMid)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: fault %d: %w", fi, err)
+			}
+			for _, idx := range instanceTargets(q.Op(op).Parallelism, f.Instance) {
+				events = append(events, Event{At: at, Kind: KindCrash, Op: op, Instance: idx})
+			}
+		case KindNodeDown, KindSlowNode:
+			node := f.Node
+			if node < 0 {
+				node = rng.Intn(len(cl.Nodes))
+			}
+			if node >= len(cl.Nodes) {
+				return nil, fmt.Errorf("chaos: fault %d: node %d out of range (cluster has %d)", fi, node, len(cl.Nodes))
+			}
+			kind, factor := EvDown, 0.0
+			if f.Kind == KindSlowNode {
+				kind = EvSlow
+				factor = f.Factor
+				if factor <= 1 {
+					factor = 4
+				}
+			}
+			for _, op := range q.Operators {
+				for idx, n := range pl.NodeOf[op.ID] {
+					if n == node {
+						events = append(events, Event{At: at, Kind: kind, Op: op.ID, Instance: idx, Duration: dur, Factor: factor})
+					}
+				}
+			}
+		case KindSourceStall:
+			op, err := p.resolveOp(q, rng, f.Op, eligibleSource)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: fault %d: %w", fi, err)
+			}
+			for _, idx := range instanceTargets(q.Op(op).Parallelism, f.Instance) {
+				events = append(events, Event{At: at, Kind: EvStall, Op: op, Instance: idx, Duration: dur})
+			}
+		case KindLinkDelay, KindLinkDrop:
+			op, err := p.resolveOp(q, rng, f.Op, eligibleNonSource)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: fault %d: %w", fi, err)
+			}
+			factor := f.Factor
+			if factor <= 0 {
+				if f.Kind == KindLinkDelay {
+					factor = 0.005
+				} else {
+					factor = 1
+				}
+			}
+			if f.Kind == KindLinkDrop && factor > 1 {
+				factor = 1
+			}
+			events = append(events, Event{At: at, Kind: f.Kind, Op: op, Instance: -1, Duration: dur, Factor: factor})
+		default:
+			return nil, fmt.Errorf("chaos: fault %d: unknown kind %q", fi, f.Kind)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Instance != b.Instance {
+			return a.Instance < b.Instance
+		}
+		return a.Kind < b.Kind
+	})
+	return events, nil
+}
+
+// eligibility filters for random operator picks.
+func eligibleMid(op *core.Operator) bool {
+	return op.Kind != core.OpSource && op.Kind != core.OpSink
+}
+func eligibleSource(op *core.Operator) bool    { return op.Kind == core.OpSource }
+func eligibleNonSource(op *core.Operator) bool { return op.Kind != core.OpSource }
+
+// resolveOp validates an explicit target or draws one among eligible
+// operators in plan order (deterministic for a fixed seed).
+func (p *Plan) resolveOp(q *core.PQP, rng *rand.Rand, explicit string, ok func(*core.Operator) bool) (string, error) {
+	if explicit != "" {
+		if q.Op(explicit) == nil {
+			return "", fmt.Errorf("no operator %q in plan %s", explicit, q.Name)
+		}
+		return explicit, nil
+	}
+	var pool []string
+	for _, op := range q.Operators {
+		if ok(op) {
+			pool = append(pool, op.ID)
+		}
+	}
+	if len(pool) == 0 {
+		return "", fmt.Errorf("no eligible target operator in plan %s", q.Name)
+	}
+	return pool[rng.Intn(len(pool))], nil
+}
+
+// instanceTargets expands an instance selector against a parallelism.
+func instanceTargets(parallelism, sel int) []int {
+	if sel >= 0 {
+		if sel >= parallelism {
+			sel = parallelism - 1
+		}
+		return []int{sel}
+	}
+	out := make([]int, parallelism)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Hash fingerprints a schedule (FNV-1a over a canonical rendering) so
+// the parity harness can assert both backends ran the same events.
+func Hash(events []Event) string {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	write := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	for _, ev := range events {
+		write(strconv.FormatFloat(ev.At, 'g', -1, 64))
+		write("|")
+		write(string(ev.Kind))
+		write("|")
+		write(ev.Op)
+		write("|")
+		write(strconv.Itoa(ev.Instance))
+		write("|")
+		write(strconv.FormatFloat(ev.Duration, 'g', -1, 64))
+		write("|")
+		write(strconv.FormatFloat(ev.Factor, 'g', -1, 64))
+		write(";")
+	}
+	return strconv.FormatUint(h, 16)
+}
+
+// ParseSpec parses the compact CLI fault syntax: semicolon-separated
+// entries of `kind:key=value,...`. Keys are op, inst (index or "all"),
+// node (index or "any"), at (seconds, a Go duration, or "rand"), dur,
+// factor; the pseudo-entry `plan:seed=...,horizon=...,restarts=...,
+// delay=...` sets plan-level knobs. Examples:
+//
+//	crash:op=f1,at=30ms
+//	node-down:node=1,at=rand,dur=50ms;slow-node:node=0,factor=8
+//	plan:seed=7,restarts=2;crash:op=f1,inst=all
+func ParseSpec(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(entry, ":")
+		kind = strings.TrimSpace(kind)
+		kv, err := parsePairs(rest)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: entry %q: %w", entry, err)
+		}
+		if kind == "plan" {
+			if err := p.applyPlanPairs(kv); err != nil {
+				return nil, fmt.Errorf("chaos: entry %q: %w", entry, err)
+			}
+			continue
+		}
+		f, err := parseFault(Kind(kind), kv)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: entry %q: %w", entry, err)
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	if len(p.Faults) == 0 {
+		return nil, fmt.Errorf("chaos: spec %q declares no faults", spec)
+	}
+	return p, nil
+}
+
+func parsePairs(s string) (map[string]string, error) {
+	kv := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, v, found := strings.Cut(pair, "=")
+		if !found {
+			return nil, fmt.Errorf("malformed pair %q (want key=value)", pair)
+		}
+		kv[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return kv, nil
+}
+
+func (p *Plan) applyPlanPairs(kv map[string]string) error {
+	for k, v := range kv {
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("seed: %w", err)
+			}
+			p.Seed = n
+		case "horizon":
+			sec, err := parseSeconds(v)
+			if err != nil {
+				return fmt.Errorf("horizon: %w", err)
+			}
+			p.Horizon = sec
+		case "restarts":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("restarts: %w", err)
+			}
+			p.MaxRestarts = n
+		case "delay":
+			sec, err := parseSeconds(v)
+			if err != nil {
+				return fmt.Errorf("delay: %w", err)
+			}
+			p.RestartDelay = sec
+		default:
+			return fmt.Errorf("unknown plan key %q", k)
+		}
+	}
+	return nil
+}
+
+func parseFault(kind Kind, kv map[string]string) (Fault, error) {
+	switch kind {
+	case KindCrash, KindNodeDown, KindSlowNode, KindSourceStall, KindLinkDelay, KindLinkDrop:
+	default:
+		return Fault{}, fmt.Errorf("unknown fault kind %q", kind)
+	}
+	f := Fault{Kind: kind}
+	for k, v := range kv {
+		switch k {
+		case "op":
+			f.Op = v
+		case "inst":
+			if v == "all" {
+				f.Instance = -1
+				break
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Fault{}, fmt.Errorf("inst: %w", err)
+			}
+			f.Instance = n
+		case "node":
+			if v == "any" {
+				f.Node = -1
+				break
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Fault{}, fmt.Errorf("node: %w", err)
+			}
+			f.Node = n
+		case "at":
+			if v == "rand" {
+				f.At = -1
+				break
+			}
+			sec, err := parseSeconds(v)
+			if err != nil {
+				return Fault{}, fmt.Errorf("at: %w", err)
+			}
+			f.At = sec
+		case "dur":
+			sec, err := parseSeconds(v)
+			if err != nil {
+				return Fault{}, fmt.Errorf("dur: %w", err)
+			}
+			f.Duration = sec
+		case "factor":
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Fault{}, fmt.Errorf("factor: %w", err)
+			}
+			f.Factor = x
+		default:
+			return Fault{}, fmt.Errorf("unknown key %q", k)
+		}
+	}
+	return f, nil
+}
+
+// parseSeconds accepts plain seconds ("0.05") or Go durations ("50ms").
+func parseSeconds(v string) (float64, error) {
+	if x, err := strconv.ParseFloat(v, 64); err == nil {
+		return x, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("%q is neither seconds nor a duration", v)
+	}
+	return d.Seconds(), nil
+}
+
+// FromArg resolves a CLI --faults argument: "@path" or an existing
+// .json path loads a JSON Plan; anything else parses as a compact spec.
+func FromArg(arg string) (*Plan, error) {
+	path := ""
+	if strings.HasPrefix(arg, "@") {
+		path = arg[1:]
+	} else if strings.HasSuffix(arg, ".json") {
+		path = arg
+	}
+	if path == "" {
+		return ParseSpec(arg)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	p := &Plan{}
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, fmt.Errorf("chaos: parse %s: %w", path, err)
+	}
+	if p.Empty() {
+		return nil, fmt.Errorf("chaos: %s declares no faults", path)
+	}
+	return p, nil
+}

@@ -1,0 +1,226 @@
+package chaos
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+	"pdspbench/internal/workload"
+)
+
+func testPlan(t *testing.T) *core.PQP {
+	t.Helper()
+	plan, err := workload.Build(workload.StructTwoFilter, workload.Params{
+		EventRate:  10_000,
+		TupleWidth: 3,
+		FieldTypes: []tuple.Type{tuple.TypeInt, tuple.TypeInt, tuple.TypeDouble},
+		Window: core.WindowSpec{
+			Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: 250,
+		},
+		AggFn:        core.AggSum,
+		FilterFn:     core.FilterLess,
+		Selectivity:  0.5,
+		Partition:    core.PartitionRebalance,
+		Distribution: "poisson",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.SetUniformParallelism(2)
+	return plan
+}
+
+func testCluster() *cluster.Cluster {
+	return cluster.NewHomogeneous("test", cluster.M510, 4)
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	plan, cl := testPlan(t), testCluster()
+	p := &Plan{
+		Seed: 42,
+		Faults: []Fault{
+			{Kind: KindCrash, At: -1},                 // random op, random time
+			{Kind: KindNodeDown, Node: -1, At: -1},    // random node
+			{Kind: KindSourceStall, At: 0.1},          // random source (only one eligible set)
+			{Kind: KindLinkDelay, Op: "sink", At: 0.2},
+		},
+	}
+	a, err := p.Schedule(plan, cl, cluster.PlaceRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Schedule(plan, cl, cluster.PlaceRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	if Hash(a) != Hash(b) {
+		t.Fatalf("same schedule, different hashes: %s vs %s", Hash(a), Hash(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule is empty")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("schedule not sorted by time: %v", a)
+		}
+	}
+}
+
+func TestScheduleSeedsDiffer(t *testing.T) {
+	plan, cl := testPlan(t), testCluster()
+	mk := func(seed int64) []Event {
+		p := &Plan{Seed: seed, Faults: []Fault{
+			{Kind: KindCrash, At: -1},
+			{Kind: KindNodeDown, Node: -1, At: -1},
+		}}
+		ev, err := p.Schedule(plan, cl, cluster.PlaceRoundRobin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	if Hash(mk(1)) == Hash(mk(2)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleExpansion(t *testing.T) {
+	plan, cl := testPlan(t), testCluster()
+	p := &Plan{Faults: []Fault{
+		{Kind: KindCrash, Op: "filter1", Instance: -1, At: 0.01},
+		{Kind: KindNodeDown, Node: 0, At: 0.02, Duration: 0.03},
+	}}
+	events, err := p.Schedule(plan, cl, cluster.PlaceRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := 0
+	downs := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindCrash:
+			crashes++
+			if ev.Op != "filter1" {
+				t.Fatalf("crash targets %q, want filter1", ev.Op)
+			}
+		case EvDown:
+			downs++
+			if ev.Duration != 0.03 {
+				t.Fatalf("down duration %v, want 0.03", ev.Duration)
+			}
+		}
+	}
+	if crashes != 2 {
+		t.Fatalf("crash on inst=all of a parallelism-2 operator expanded to %d events, want 2", crashes)
+	}
+	if downs == 0 {
+		t.Fatal("node-down expanded to no per-instance events")
+	}
+}
+
+func TestScheduleRejectsUnknownOp(t *testing.T) {
+	plan, cl := testPlan(t), testCluster()
+	p := &Plan{Faults: []Fault{{Kind: KindCrash, Op: "nope"}}}
+	if _, err := p.Schedule(plan, cl, cluster.PlaceRoundRobin); err == nil {
+		t.Fatal("unknown target operator accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("plan:seed=7,restarts=2,delay=10ms;crash:op=f1,inst=all,at=30ms;node-down:node=any,at=rand,dur=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.MaxRestarts != 2 || p.RestartDelay != 0.01 {
+		t.Fatalf("plan knobs not applied: %+v", p)
+	}
+	if len(p.Faults) != 2 {
+		t.Fatalf("got %d faults, want 2", len(p.Faults))
+	}
+	f := p.Faults[0]
+	if f.Kind != KindCrash || f.Op != "f1" || f.Instance != -1 || f.At != 0.03 {
+		t.Fatalf("crash fault parsed wrong: %+v", f)
+	}
+	if p.Faults[1].Node != -1 || p.Faults[1].At != -1 || p.Faults[1].Duration != 0.05 {
+		t.Fatalf("node-down fault parsed wrong: %+v", p.Faults[1])
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"explode:op=f1",
+		"crash:op",
+		"crash:wat=1",
+		"plan:seed=x",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestFromArgJSON(t *testing.T) {
+	p := &Plan{Seed: 3, Faults: []Fault{{Kind: KindCrash, Op: "f1"}}}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, arg := range []string{path, "@" + path} {
+		got, err := FromArg(arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("FromArg(%q) = %+v, want %+v", arg, got, p)
+		}
+	}
+	if _, err := FromArg("crash:op=f1"); err != nil {
+		t.Fatalf("spec fallthrough failed: %v", err)
+	}
+}
+
+func TestPlanDefaults(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan not Empty")
+	}
+	if nilPlan.Restarts() != 0 {
+		t.Fatal("nil plan has restart budget")
+	}
+	p := &Plan{}
+	if p.Restarts() != 1 {
+		t.Fatalf("default restart budget %d, want 1", p.Restarts())
+	}
+	p.MaxRestarts = -1
+	if p.Restarts() != 0 {
+		t.Fatal("MaxRestarts<0 should disable restarts")
+	}
+	if (&Plan{}).Delay() != 0.02 {
+		t.Fatal("default restart delay wrong")
+	}
+}
+
+func TestFaultErrorAs(t *testing.T) {
+	var fe *FaultError
+	wrapped := errors.Join(errors.New("outer"), &FaultError{Op: "f1", Kind: KindCrash})
+	if !errors.As(wrapped, &fe) || fe.Op != "f1" {
+		t.Fatal("FaultError does not survive wrapping")
+	}
+	if fe.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

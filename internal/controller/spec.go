@@ -7,6 +7,7 @@ import (
 
 	"pdspbench/internal/apps"
 	"pdspbench/internal/backend"
+	"pdspbench/internal/chaos"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
 	"pdspbench/internal/metrics"
@@ -33,7 +34,11 @@ type Spec struct {
 	// EventRate defaults to the controller's (500k events/s).
 	EventRate float64 `json:"event_rate,omitempty"`
 	// Runs is the repetition count per measurement (default 1).
-	Runs      int            `json:"runs,omitempty"`
+	Runs int `json:"runs,omitempty"`
+	// Faults is an optional deterministic fault plan applied to every
+	// measurement in the campaign (see internal/chaos). The same plan
+	// expands to the same event schedule on either backend.
+	Faults    *chaos.Plan    `json:"faults,omitempty"`
 	Workloads []WorkloadSpec `json:"workloads"`
 }
 
@@ -206,7 +211,7 @@ func (c *Controller) RunSpec(ctx context.Context, spec *Spec) ([]metrics.RunReco
 			return nil, err
 		}
 		for _, plan := range variants {
-			rec, err := run.Measure(ctx, plan, cl)
+			rec, err := run.MeasureSpec(ctx, plan, cl, backend.RunSpec{Faults: spec.Faults})
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pdspbench/internal/tuple"
+)
+
+// FuzzPlanRoundTrip drives arbitrary bytes through the plan store
+// codec: anything FromJSON accepts must re-encode, decode again, and
+// re-encode to the same bytes — a fixed point after one normalisation.
+// The workload store replays stored plans across sessions, so a codec
+// that drifts on its own output would silently corrupt corpora.
+func FuzzPlanRoundTrip(f *testing.F) {
+	plan := NewPQP("seed", "linear")
+	plan.Add(&Operator{
+		ID: "src", Kind: OpSource, Name: "source", Parallelism: 1,
+		Source: &SourceSpec{
+			Schema:    tuple.NewSchema(tuple.Field{Name: "v", Type: tuple.TypeInt}),
+			EventRate: 1000,
+		},
+		OutWidth: 1,
+	})
+	plan.Add(&Operator{ID: "sink", Kind: OpSink, Name: "sink", Parallelism: 1, Partition: PartitionRebalance})
+	plan.Connect("src", "sink")
+	if seed, err := plan.ToJSON(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","operators":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p1, err := FromJSON(data)
+		if err != nil {
+			return // invalid input is fine; the codec just must not drift
+		}
+		b1, err := p1.ToJSON()
+		if err != nil {
+			t.Fatalf("decoded plan failed to encode: %v", err)
+		}
+		p2, err := FromJSON(b1)
+		if err != nil {
+			t.Fatalf("round-tripped plan failed to decode: %v\n%s", err, b1)
+		}
+		b2, err := p2.ToJSON()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("encoding is not a fixed point:\nfirst:  %s\nsecond: %s", b1, b2)
+		}
+	})
+}

@@ -34,11 +34,12 @@ func (e *event) before(o *event) bool {
 
 // Simulator owns the clock and the event queue.
 type Simulator struct {
-	now   Time
-	heap  []event // 4-ary min-heap, element 0 is the root
-	seq   uint64
-	steps uint64
-	dead  int // cancelled events still in the heap
+	now     Time
+	heap    []event // 4-ary min-heap, element 0 is the root
+	seq     uint64
+	steps   uint64
+	dead    int // cancelled events still in the heap
+	stopped bool
 }
 
 // New returns a simulator at time zero.
@@ -146,6 +147,16 @@ func (s *Simulator) pop() event {
 	return top
 }
 
+// Stop aborts the run: RunUntil and Run return after the event that
+// called it, leaving the clock where it stopped. A simulation model
+// uses this to bail out of a run that can no longer make progress
+// (e.g. a fault killed the last instance of an operator) instead of
+// grinding through a schedule whose results will be discarded.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop aborted the run.
+func (s *Simulator) Stopped() bool { return s.stopped }
+
 // Step executes the next event; it reports false when the queue is empty.
 func (s *Simulator) Step() bool {
 	for len(s.heap) > 0 {
@@ -165,7 +176,7 @@ func (s *Simulator) Step() bool {
 // RunUntil executes events until the clock passes the horizon or the
 // queue drains; events scheduled exactly at the horizon still run.
 func (s *Simulator) RunUntil(horizon Time) {
-	for len(s.heap) > 0 {
+	for len(s.heap) > 0 && !s.stopped {
 		// Peek.
 		if s.heap[0].dead {
 			s.pop()
@@ -177,7 +188,7 @@ func (s *Simulator) RunUntil(horizon Time) {
 		}
 		s.Step()
 	}
-	if s.now < horizon {
+	if s.now < horizon && !s.stopped {
 		s.now = horizon
 	}
 }
@@ -186,7 +197,7 @@ func (s *Simulator) RunUntil(horizon Time) {
 // generating new work, otherwise it will not return). The clock is left
 // at the time of the last executed event.
 func (s *Simulator) Run() {
-	for s.Step() {
+	for !s.stopped && s.Step() {
 	}
 }
 

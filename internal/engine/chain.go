@@ -163,7 +163,7 @@ func (oi *opInstance) applyAt(i int, t *tuple.Tuple, side int) {
 func (oi *opInstance) safeProcess(c *chainedOp, t *tuple.Tuple, emit func(*tuple.Tuple)) {
 	defer func() {
 		if r := recover(); r != nil {
-			oi.rt.recordUDOPanic(c.op.ID, r)
+			oi.rt.recordUDOPanic(&CrashError{Op: c.op.ID, Instance: oi.idx, Cause: r})
 		}
 	}()
 	c.udo.Process(t, emit)

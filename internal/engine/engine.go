@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"pdspbench/internal/chaos"
 	"pdspbench/internal/core"
 	"pdspbench/internal/stats"
 	"pdspbench/internal/tuple"
@@ -77,6 +78,17 @@ type Options struct {
 	// SinkTap, when set, receives every tuple delivered to a sink (after
 	// metrics are recorded). Used by examples to print results.
 	SinkTap func(op string, t *tuple.Tuple)
+	// Faults is the resolved chaos schedule to replay against this run
+	// (event times are seconds from Run start on the wall clock). Empty
+	// means no fault machinery is armed and the data plane is untouched.
+	Faults []chaos.Event
+	// MaxRestarts bounds budgeted revivals per instance (injected
+	// crashes and genuine panics); zero or negative disables restarts.
+	// Node-down outages revive on schedule without consuming budget.
+	MaxRestarts int
+	// RestartDelay is the base revival backoff (default 20ms); it
+	// doubles per consecutive budgeted restart of the same instance.
+	RestartDelay time.Duration
 }
 
 // Report is what a run measures — the same metrics the paper collects.
@@ -92,6 +104,13 @@ type Report struct {
 	// panicked; the engine isolates such failures per tuple.
 	UDOPanics uint64
 	Elapsed   time.Duration
+	// Fault accounting (all zero unless Options.Faults was set):
+	// primitive fault events applied, instance revivals, summed instance
+	// downtime, and tuples processed by revived instance lives.
+	FaultsInjected  uint64
+	Restarts        uint64
+	Downtime        time.Duration
+	RecoveredTuples uint64
 	// PerOperator records tuples consumed and emitted by every logical
 	// operator, summed over its instances — the per-operator counters the
 	// paper's metric collection exposes alongside end-to-end latency.
@@ -109,8 +128,15 @@ type Runtime struct {
 	plan *core.PQP
 	opts Options
 
-	insts  map[string][]*opInstance
-	report reportState
+	insts map[string][]*opInstance
+	// chainHead maps every operator ID to the head of the chain hosting
+	// it; faults target logical operators, which chaining may have fused.
+	chainHead map[string]string
+	// linkFaults holds the shared link-fault state per targeted
+	// downstream chain head (nil map unless the schedule has link events).
+	linkFaults map[string]*linkFault
+	faultWG    sync.WaitGroup
+	report     reportState
 }
 
 type reportState struct {
@@ -120,7 +146,14 @@ type reportState struct {
 	tuplesOut uint64
 	lateDrops uint64
 	udoPanics uint64
-	lastPanic string
+	lastPanic error
+
+	faultsInjected  uint64
+	restarts        uint64
+	downtime        time.Duration
+	recoveredTuples uint64
+	deadOf          map[string]int // op → instances dead for good
+	fatal           error          // *chaos.FaultError when an operator fully died
 }
 
 // New validates the plan and wires the runtime (goroutines start in Run).
@@ -161,6 +194,9 @@ func New(plan *core.PQP, opts Options) (*Runtime, error) {
 	if err := r.build(); err != nil {
 		return nil, err
 	}
+	if len(opts.Faults) > 0 {
+		r.setupFaults()
+	}
 	return r, nil
 }
 
@@ -173,11 +209,13 @@ func (r *Runtime) build() error {
 	}
 	// Create instances per chain, keyed by the chain head's operator ID.
 	tails := make(map[string]string, len(chains)) // head → tail op ID
+	r.chainHead = make(map[string]string, len(r.plan.Operators))
 	for _, chain := range chains {
 		head := r.plan.Op(chain[0])
 		ops := make([]*core.Operator, len(chain))
 		for i, id := range chain {
 			ops[i] = r.plan.Op(id)
+			r.chainHead[id] = head.ID
 		}
 		insts := make([]*opInstance, head.Parallelism)
 		for i := range insts {
@@ -222,17 +260,31 @@ func (r *Runtime) build() error {
 // cancellation) and returns the measured report.
 func (r *Runtime) Run(ctx context.Context) (*Report, error) {
 	start := time.Now()
+	var cancelFaults context.CancelFunc
+	if len(r.opts.Faults) > 0 {
+		var fctx context.Context
+		fctx, cancelFaults = context.WithCancel(ctx)
+		r.faultWG.Add(1)
+		go func() {
+			defer r.faultWG.Done()
+			r.driveFaults(fctx, start)
+		}()
+	}
 	var wg sync.WaitGroup
 	for _, insts := range r.insts {
 		for _, inst := range insts {
 			wg.Add(1)
 			go func(inst *opInstance) {
 				defer wg.Done()
-				inst.run(ctx)
+				r.supervise(ctx, inst)
 			}(inst)
 		}
 	}
 	wg.Wait()
+	if cancelFaults != nil {
+		cancelFaults()
+		r.faultWG.Wait()
+	}
 	elapsed := time.Since(start)
 
 	r.report.mu.Lock()
@@ -248,6 +300,11 @@ func (r *Runtime) Run(ctx context.Context) (*Report, error) {
 		LateDrops:   r.report.lateDrops,
 		UDOPanics:   r.report.udoPanics,
 		Elapsed:     elapsed,
+
+		FaultsInjected:  r.report.faultsInjected,
+		Restarts:        r.report.restarts,
+		Downtime:        r.report.downtime,
+		RecoveredTuples: r.report.recoveredTuples,
 	}
 	for _, insts := range r.insts {
 		for _, inst := range insts {
@@ -265,6 +322,9 @@ func (r *Runtime) Run(ctx context.Context) (*Report, error) {
 	if ctx.Err() != nil && ctx.Err() != context.Canceled {
 		return rep, ctx.Err()
 	}
+	if r.report.fatal != nil {
+		return rep, r.report.fatal
+	}
 	return rep, nil
 }
 
@@ -274,12 +334,13 @@ func (r *Runtime) recordIngest(n uint64) {
 	r.report.mu.Unlock()
 }
 
-// recordUDOPanic counts an isolated user-operator failure.
-func (r *Runtime) recordUDOPanic(op string, v any) {
+// recordUDOPanic counts an isolated user-operator failure; the caller
+// re-wraps the recovered value into a typed *CrashError so the cause
+// survives on the error plane.
+func (r *Runtime) recordUDOPanic(err *CrashError) {
 	r.report.mu.Lock()
 	r.report.udoPanics++
-	//lint:ignore hotpath-alloc panic bookkeeping runs once per isolated failure, not per tuple
-	r.report.lastPanic = fmt.Sprintf("%s: %v", op, v)
+	r.report.lastPanic = err
 	r.report.mu.Unlock()
 }
 

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pdspbench/internal/chaos"
+	"pdspbench/internal/core"
+	"pdspbench/internal/stream"
+	"pdspbench/internal/tuple"
+)
+
+// faultPlan is src(par 1) → filter f(par N, pass-all) → sink, rated so a
+// throttled run lasts ~runSecs seconds for nTuples tuples.
+func faultPlan(par int, nTuples int, runSecs float64) *core.PQP {
+	p := core.NewPQP("fault-test", "linear")
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source:   &core.SourceSpec{Schema: kvSchema, EventRate: float64(nTuples) / runSecs, Distribution: "uniform"},
+		OutWidth: 2})
+	p.Add(&core.Operator{ID: "f", Kind: core.OpFilter, Parallelism: par, Partition: core.PartitionRebalance,
+		Filter:   &core.FilterSpec{Field: 1, Fn: core.FilterGreater, Literal: tuple.Double(-1), Selectivity: 1},
+		OutWidth: 2})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+	p.Connect("src", "f")
+	p.Connect("f", "sink")
+	return p
+}
+
+func syntheticSource(plan *core.PQP, n int) map[string]SourceFactory {
+	spec := plan.Op("src").Source
+	return map[string]SourceFactory{
+		"src": func(idx int) SourceGenerator {
+			return stream.NewSynthetic(spec.Schema, 42+int64(idx), n, spec.EventRate, spec.Distribution)
+		},
+	}
+}
+
+// runFaulted runs the plan throttled under the given schedule with a
+// hard test deadline, so a hung recovery path fails instead of wedging
+// the suite.
+func runFaulted(t *testing.T, plan *core.PQP, n int, faults []chaos.Event, maxRestarts int) (*Report, error) {
+	t.Helper()
+	rt, err := New(plan, Options{
+		Sources:      syntheticSource(plan, n),
+		Throttle:     true,
+		Faults:       faults,
+		MaxRestarts:  maxRestarts,
+		RestartDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := rt.Run(ctx)
+	if ctx.Err() != nil {
+		t.Fatal("faulted run hit the test deadline: recovery path hangs")
+	}
+	return rep, err
+}
+
+func TestCrashRestartCompletes(t *testing.T) {
+	const n = 4000
+	plan := faultPlan(2, n, 0.2)
+	rep, err := runFaulted(t, plan, n,
+		[]chaos.Event{{At: 0.05, Kind: chaos.KindCrash, Op: "f", Instance: 0}}, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.FaultsInjected != 1 {
+		t.Errorf("FaultsInjected = %d, want 1", rep.FaultsInjected)
+	}
+	if rep.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", rep.Restarts)
+	}
+	if rep.Downtime <= 0 {
+		t.Error("no downtime recorded for a restarted instance")
+	}
+	// Kills land at message boundaries and pending batches survive the
+	// restart, so a budgeted crash loses nothing.
+	if rep.TuplesOut != n {
+		t.Errorf("TuplesOut = %d, want %d (crash-restart dropped tuples)", rep.TuplesOut, n)
+	}
+}
+
+func TestKillLastInstanceReturnsFaultError(t *testing.T) {
+	const n = 4000
+	plan := faultPlan(2, n, 0.2)
+	rep, err := runFaulted(t, plan, n, []chaos.Event{
+		{At: 0.05, Kind: chaos.KindCrash, Op: "f", Instance: 0},
+		{At: 0.05, Kind: chaos.KindCrash, Op: "f", Instance: 1},
+	}, 0)
+	if err == nil {
+		t.Fatal("killing every instance of an operator completed without error")
+	}
+	var fe *chaos.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v (%T) is not a *chaos.FaultError", err, err)
+	}
+	if fe.Op != "f" {
+		t.Errorf("FaultError.Op = %q, want %q", fe.Op, "f")
+	}
+	if rep == nil || rep.FaultsInjected != 2 {
+		t.Errorf("report = %+v, want 2 faults injected", rep)
+	}
+}
+
+func TestSourceCrashResumesWithoutDuplicates(t *testing.T) {
+	const n = 4000
+	plan := faultPlan(1, n, 0.2)
+	rep, err := runFaulted(t, plan, n,
+		[]chaos.Event{{At: 0.05, Kind: chaos.KindCrash, Op: "src", Instance: 0}}, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", rep.Restarts)
+	}
+	// The revived source skips the tuples earlier lives emitted, so the
+	// sink sees each of the n tuples exactly once.
+	if rep.TuplesOut != n {
+		t.Errorf("TuplesOut = %d, want exactly %d (resume duplicated or lost tuples)", rep.TuplesOut, n)
+	}
+	if rep.RecoveredTuples == 0 {
+		t.Error("revived source recorded no recovered tuples")
+	}
+}
+
+func TestSourceStallDelaysCompletion(t *testing.T) {
+	const n = 1000
+	plan := faultPlan(1, n, 0.05)
+	rep, err := runFaulted(t, plan, n,
+		[]chaos.Event{{At: 0.01, Kind: chaos.EvStall, Op: "src", Instance: 0, Duration: 0.15}}, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TuplesOut != n {
+		t.Errorf("TuplesOut = %d, want %d", rep.TuplesOut, n)
+	}
+	if rep.Elapsed < 100*time.Millisecond {
+		t.Errorf("run finished in %v despite a 150ms source stall", rep.Elapsed)
+	}
+}
+
+func TestLinkDropLosesTuples(t *testing.T) {
+	const n = 4000
+	plan := faultPlan(2, n, 0.2)
+	rep, err := runFaulted(t, plan, n,
+		[]chaos.Event{{At: 0.02, Kind: chaos.KindLinkDrop, Op: "f", Instance: -1, Duration: 0.1, Factor: 1}}, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TuplesOut >= n {
+		t.Errorf("TuplesOut = %d, want < %d (drop window removed nothing)", rep.TuplesOut, n)
+	}
+	if rep.TuplesOut == 0 {
+		t.Error("drop window swallowed the whole stream")
+	}
+}
+
+// TestNoFaultPathUnarmed pins the zero-cost contract: without a fault
+// plan no instance carries fault state and no fault metrics appear.
+func TestNoFaultPathUnarmed(t *testing.T) {
+	plan := faultPlan(2, 100, 0.001)
+	rt, err := New(plan, Options{Sources: syntheticSource(plan, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, insts := range rt.insts {
+		for _, inst := range insts {
+			if inst.flt != nil {
+				t.Fatal("instance carries fault state without a fault plan")
+			}
+			for _, route := range inst.routes {
+				if route.lf != nil {
+					t.Fatal("router carries link-fault state without a fault plan")
+				}
+			}
+		}
+	}
+	rep, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsInjected != 0 || rep.Restarts != 0 || rep.RecoveredTuples != 0 {
+		t.Errorf("fault metrics nonzero on a fault-free run: %+v", rep)
+	}
+}

@@ -64,6 +64,13 @@ type router struct {
 	batchSize int
 	bufs      []*[]*tuple.Tuple // per-target pending batch, nil when empty
 	pending   int               // tuples buffered across all targets
+	// lf is the link-fault state of this route's downstream operator;
+	// nil (the no-fault case) skips every fault check.
+	lf *linkFault
+	// sentEOS makes eos idempotent per target: a crashed instance's
+	// supervisor may re-deliver end-of-stream, and a duplicate marker
+	// would make the receiver finish while producers still run.
+	sentEOS []bool
 }
 
 // newRouter resolves the hash key field for the downstream operator: the
@@ -96,12 +103,17 @@ func newRouter(down *core.Operator, targets []*opInstance, side, fromIdx, batchS
 		rr:        fromIdx, // stagger round-robin start across producers
 		batchSize: batchSize,
 		bufs:      make([]*[]*tuple.Tuple, len(targets)),
+		sentEOS:   make([]bool, len(targets)),
 	}
 }
 
 // send routes one tuple into its target's pending batch, flushing the
 // batch when full; it returns false if the context ended.
 func (rt *router) send(ctx context.Context, fromIdx int, t *tuple.Tuple) bool {
+	if rt.lf != nil && rt.lf.shouldDrop() {
+		t.Release()
+		return true
+	}
 	var di int
 	switch rt.strategy {
 	case core.PartitionForward:
@@ -137,6 +149,9 @@ func (rt *router) flushTo(ctx context.Context, di int) bool {
 	}
 	rt.bufs[di] = nil
 	rt.pending -= len(*b)
+	if rt.lf != nil {
+		rt.lf.applyDelay()
+	}
 	select {
 	case rt.targets[di].in <- message{kind: msgData, b: b, side: rt.side}:
 		return true
@@ -164,9 +179,13 @@ func (rt *router) eos(ctx context.Context) bool {
 	if !rt.flushAll(ctx) {
 		return false
 	}
-	for _, dst := range rt.targets {
+	for di, dst := range rt.targets {
+		if rt.sentEOS[di] {
+			continue
+		}
 		select {
 		case dst.in <- message{kind: msgEOS, side: rt.side}:
+			rt.sentEOS[di] = true
 		case <-ctx.Done():
 			return false
 		}
@@ -181,6 +200,9 @@ type opInstance struct {
 	chain []*chainedOp
 	idx   int
 	ctx   context.Context // the run's context, set once at goroutine start
+	// flt is this instance's chaos state; nil (the no-fault case) makes
+	// every fault check a single pointer comparison.
+	flt *instFault
 
 	in        chan message
 	routes    []*router
@@ -305,9 +327,13 @@ func (oi *opInstance) run(ctx context.Context) {
 	}
 	defer oi.flushSinkStats()
 	lingerDur := oi.rt.opts.BatchLinger
+	killC := oi.killChan()
 	var linger *time.Timer
 	var lingerC <-chan time.Time
 	for {
+		if oi.flt != nil && oi.flt.killed.Load() {
+			panic(errInjectedCrash)
+		}
 		var msg message
 		select {
 		case msg = <-oi.in:
@@ -320,6 +346,8 @@ func (oi *opInstance) run(ctx context.Context) {
 			lingerC = nil
 			select {
 			case msg = <-oi.in:
+			case <-killC:
+				panic(errInjectedCrash)
 			case <-ctx.Done():
 				return
 			}
@@ -339,10 +367,14 @@ func (oi *opInstance) run(ctx context.Context) {
 			}
 			continue
 		}
+		n := len(*msg.b)
 		for _, t := range *msg.b {
 			oi.applyAt(0, t, msg.side)
 		}
 		putBatch(msg.b)
+		if oi.flt != nil {
+			oi.maybeSlow(n)
+		}
 		// Busy stretch: bound how long partial output batches linger.
 		if oi.pendingOut() > 0 {
 			if lingerC == nil {
@@ -384,11 +416,30 @@ func (oi *opInstance) runSource(ctx context.Context) {
 	src := oi.head()
 	gen := oi.rt.opts.Sources[src.ID](oi.idx)
 	rate := src.Source.EventRate / float64(src.Parallelism)
+	killC := oi.killChan()
+	// Checkpoint resume after a crash: generators are deterministic, so
+	// a revived life rebuilds its generator and skips the oi.seq tuples
+	// the previous lives already emitted.
+	if oi.flt != nil && oi.seq > 0 {
+		for skipped := uint64(0); skipped < oi.seq; skipped++ {
+			t, ok := gen.Next()
+			if !ok {
+				break
+			}
+			t.Release()
+		}
+	}
 	var emitted, unrecorded uint64
 	var now int64
 	var pacer *time.Timer // single reusable throttle timer
 	throttleStart := time.Now()
 	for {
+		if oi.flt != nil {
+			if oi.flt.killed.Load() {
+				panic(errInjectedCrash)
+			}
+			oi.maybeStall(ctx, killC)
+		}
 		select {
 		case <-ctx.Done():
 			return
@@ -435,6 +486,8 @@ func (oi *opInstance) runSource(ctx context.Context) {
 				}
 				select {
 				case <-pacer.C:
+				case <-killC:
+					panic(errInjectedCrash)
 				case <-ctx.Done():
 					return
 				}

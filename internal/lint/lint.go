@@ -109,6 +109,7 @@ func Analyzers() []*Analyzer {
 		MetricLabels(),
 		APIBoundary(),
 		HotPathAlloc(),
+		RecoverDiscipline(),
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

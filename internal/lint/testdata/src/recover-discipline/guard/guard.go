@@ -1,0 +1,64 @@
+// Package guard exercises the recover-discipline rule: recoveries must
+// re-panic or route the panic value into a typed error.
+package guard
+
+import "errors"
+
+// CrashError is the typed error a supervisor wraps panics into.
+type CrashError struct{ Cause any }
+
+func (e *CrashError) Error() string { return "crash" }
+
+// swallowed discards the panic value entirely.
+func swallowed() {
+	defer func() {
+		recover() // want `recover\(\) result discarded`
+	}()
+}
+
+// blanked assigns the value to the blank identifier — same silence.
+func blanked() {
+	defer func() {
+		_ = recover() // want `recover\(\) result discarded`
+	}()
+}
+
+// noRoute uses the value but never turns it into an error or re-panics.
+func noRoute(log func(any)) {
+	defer func() {
+		if r := recover(); r != nil { // want `recover\(\) without an error path`
+			log(r)
+		}
+	}()
+}
+
+// wrapped routes the panic into the typed error — the sanctioned shape.
+func wrapped() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CrashError{Cause: r}
+		}
+	}()
+	return nil
+}
+
+// rethrown filters the panic and re-raises what it cannot handle.
+func rethrown(sentinel error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e, ok := r.(error)
+			if !ok || !errors.Is(e, sentinel) {
+				panic(r)
+			}
+		}
+	}()
+}
+
+// recorded hands the value to a recorder whose name marks the route.
+func recorded(recordPanic func(any)) {
+	defer func() {
+		if r := recover(); r != nil {
+			recordPanic(r)
+		}
+	}()
+}

@@ -107,6 +107,21 @@ type RunRecord struct {
 	ElapsedSec  float64 `json:"elapsed_sec,omitempty"`
 	Saturated   bool    `json:"saturated"`
 	Runs        int     `json:"runs"`
+
+	// Recovery accounting, populated when the run carried a fault plan
+	// (see internal/chaos). FaultsInjected counts primitive fault
+	// events applied across the record's runs; Restarts counts
+	// instance revivals; DowntimeMS is the summed instance downtime;
+	// RecoveredTuples counts work the fault machinery salvaged (tuples
+	// processed by revived instances on the real engine, service
+	// re-routed to surviving siblings on the simulator). FaultSchedule
+	// is the chaos.Hash fingerprint of the expanded schedule, which
+	// the parity harness compares across backends.
+	FaultsInjected  uint64  `json:"faults_injected,omitempty"`
+	Restarts        uint64  `json:"restarts,omitempty"`
+	DowntimeMS      float64 `json:"downtime_ms,omitempty"`
+	RecoveredTuples uint64  `json:"recovered_tuples,omitempty"`
+	FaultSchedule   string  `json:"fault_schedule,omitempty"`
 }
 
 // Table renders records as an aligned table sorted by workload then

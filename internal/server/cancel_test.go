@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pdspbench/internal/backend"
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+)
+
+// blockingBackend parks in Run until its context is cancelled, so a
+// test can observe exactly when the server tears a run down.
+type blockingBackend struct {
+	started chan struct{}
+	stopped chan struct{}
+}
+
+func (b *blockingBackend) Name() string { return "blocking-test" }
+
+func (b *blockingBackend) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec backend.RunSpec) (*metrics.RunRecord, error) {
+	close(b.started)
+	<-ctx.Done()
+	close(b.stopped)
+	return nil, ctx.Err()
+}
+
+// TestRunCancelledOnClientDisconnect asserts the documented contract of
+// POST /api/run: the run executes under the request context, so a
+// client that goes away mid-run cancels the backend promptly instead of
+// leaving an orphaned measurement burning the machine.
+func TestRunCancelledOnClientDisconnect(t *testing.T) {
+	// Registration is process-wide; no other test resolves this name.
+	bb := &blockingBackend{started: make(chan struct{}), stopped: make(chan struct{})}
+	backend.Register("blocking-test", func() backend.Backend { return bb })
+
+	srv := httptest.NewServer(testServer(t).Handler())
+	defer srv.Close()
+
+	body, err := json.Marshal(RunRequest{Structure: "linear", Parallelism: 2, Backend: "blocking-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/api/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	select {
+	case <-bb.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("backend never started; request did not reach the handler")
+	}
+	cancel() // client disconnects mid-run
+
+	select {
+	case <-bb.stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("backend not cancelled within 2s of the client disconnecting")
+	}
+	if err := <-errc; err == nil {
+		t.Error("client request succeeded despite being cancelled")
+	}
+}

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pdspbench/internal/metrics"
+)
+
+// TestRunWithFaults exercises the fault plan end to end through the
+// API: POST /api/run with a "faults" body must inject the schedule and
+// report the recovery metrics in the returned record.
+func TestRunWithFaults(t *testing.T) {
+	s := testServer(t)
+	body := `{"structure":"linear","parallelism":2,
+		"faults":{"seed":3,"faults":[{"kind":"crash","op":"filter1","instance":0,"at":1}]}}`
+	req := httptest.NewRequest(http.MethodPost, "/api/run", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var rec metrics.RunRecord
+	if err := json.Unmarshal(w.Body.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.FaultsInjected != 1 {
+		t.Errorf("FaultsInjected = %d, want 1", rec.FaultsInjected)
+	}
+	if rec.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", rec.Restarts)
+	}
+	if rec.FaultSchedule == "" {
+		t.Error("record missing the fault-schedule fingerprint")
+	}
+}

@@ -1,0 +1,13 @@
+package server
+
+import (
+	"os"
+	"testing"
+
+	"pdspbench/internal/testutil"
+)
+
+// TestMain gates the package on goroutine hygiene: any goroutine still
+// alive after the tests — a leaked run, an unjoined fault driver, a
+// handler that outlived its request — fails the package.
+func TestMain(m *testing.M) { os.Exit(testutil.RunMain(m)) }

@@ -17,6 +17,7 @@ import (
 
 	"pdspbench/internal/apps"
 	"pdspbench/internal/backend"
+	"pdspbench/internal/chaos"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/controller"
 	"pdspbench/internal/metrics"
@@ -196,6 +197,10 @@ type RunRequest struct {
 	// Backend selects the execution backend ("sim" default, "real" for
 	// bounded in-process execution); listings carry it per record.
 	Backend string `json:"backend,omitempty"`
+	// Faults is an optional deterministic fault plan injected during the
+	// run (see internal/chaos); the record reports the injected faults,
+	// restarts, downtime and the schedule fingerprint.
+	Faults *chaos.Plan `json:"faults,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -248,7 +253,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		plan := a.Build(rate)
 		plan.SetUniformParallelism(req.Parallelism)
-		rec, err := ctrl.MeasureSpec(ctx, plan, cl, backend.RunSpec{App: a})
+		rec, err := ctrl.MeasureSpec(ctx, plan, cl, backend.RunSpec{App: a, Faults: req.Faults})
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -265,7 +270,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		rec, err := ctrl.Measure(ctx, plan, cl)
+		rec, err := ctrl.MeasureSpec(ctx, plan, cl, backend.RunSpec{Faults: req.Faults})
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return

@@ -1,0 +1,207 @@
+package simengine
+
+import (
+	"pdspbench/internal/chaos"
+	"pdspbench/internal/core"
+)
+
+// This file is the simulator half of the chaos layer (internal/chaos):
+// fault events become ordinary DES events on the simulated clock, so a
+// fault plan perturbs a run with zero wall-clock dependence and full
+// seed determinism. The recovery semantics mirror the real engine's
+// supervisor: crashes revive after the restart delay while the budget
+// lasts, node-down outages revive on schedule without consuming budget,
+// and when an operator's last instance dies for good the run aborts
+// with the same typed *chaos.FaultError the engine returns.
+//
+// Where the engine revives an instance and replays work (counted as
+// RecoveredTuples), the simulator re-routes service to surviving
+// siblings — the aggregate effect a rescaled real deployment shows —
+// and counts the re-routed tuples as recovered instead.
+
+// linkWindow is one active link-fault window on the edges into an
+// operator: until is the simulated end time, amount the delay seconds
+// (link-delay) or drop fraction (link-drop).
+type linkWindow struct {
+	until  float64
+	amount float64
+}
+
+// setupFaults arms the fault machinery: per-instance restart budgets
+// and one DES event per scheduled fault. Called only when Config.Faults
+// is non-empty, so fault-free simulations take no new branches beyond
+// the faultsArmed flag checks.
+func (s *sim) setupFaults() {
+	s.faultsArmed = true
+	s.restartDelay = s.cfg.RestartDelay
+	if s.restartDelay <= 0 {
+		s.restartDelay = 0.02
+	}
+	for _, insts := range s.insts {
+		for _, inst := range insts {
+			inst.restartsLeft = s.cfg.MaxRestarts
+			inst.baseSpeed = inst.speed
+		}
+	}
+	s.linkDelay = make(map[string]linkWindow)
+	s.linkDrop = make(map[string]linkWindow)
+	for _, ev := range s.cfg.Faults {
+		ev := ev
+		s.des.At(ev.At, func() { s.applyFault(ev) })
+	}
+}
+
+// targetInst resolves an instance-scoped event; the chaos scheduler
+// expands inst=all faults, so Instance is a concrete index here.
+func (s *sim) targetInst(ev chaos.Event) *instance {
+	insts := s.insts[ev.Op]
+	if len(insts) == 0 {
+		return nil
+	}
+	idx := ev.Instance
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(insts) {
+		idx = len(insts) - 1
+	}
+	return insts[idx]
+}
+
+// applyFault executes one scheduled fault at its simulated time.
+func (s *sim) applyFault(ev chaos.Event) {
+	s.fFaultsInjected++
+	now := s.des.Now()
+	switch ev.Kind {
+	case chaos.KindCrash:
+		if inst := s.targetInst(ev); inst != nil {
+			s.crashInstance(inst, true, s.restartDelay)
+		}
+	case chaos.EvDown:
+		if inst := s.targetInst(ev); inst != nil {
+			s.crashInstance(inst, false, ev.Duration)
+		}
+	case chaos.EvSlow:
+		if inst := s.targetInst(ev); inst != nil {
+			factor := ev.Factor
+			if factor < 1 {
+				factor = 1
+			}
+			inst.speed = inst.baseSpeed / factor
+			s.des.After(ev.Duration, func() { inst.speed = inst.baseSpeed })
+		}
+	case chaos.EvStall:
+		if inst := s.targetInst(ev); inst != nil {
+			inst.stallUntil = now + ev.Duration
+		}
+	case chaos.KindLinkDelay:
+		s.linkDelay[ev.Op] = linkWindow{until: now + ev.Duration, amount: ev.Factor}
+	case chaos.KindLinkDrop:
+		frac := ev.Factor
+		if frac > 1 {
+			frac = 1
+		}
+		s.linkDrop[ev.Op] = linkWindow{until: now + ev.Duration, amount: frac}
+	}
+}
+
+// crashInstance takes an instance down. The batch in service and any
+// pane state die with it (crash-consistent state loss, as a real task
+// failure loses unsnapshotted window contents); its queue is drained to
+// surviving siblings for stateless operators, while joins retain their
+// queue locally because partitioned join state pins the input to the
+// instance. budgeted crashes consume the restart budget; node-down
+// outages revive on schedule without touching it. When the budget is
+// gone and no revival is due, the instance is dead — and if it was the
+// operator's last, the run aborts with a typed *chaos.FaultError.
+func (s *sim) crashInstance(inst *instance, budgeted bool, downFor float64) {
+	if inst.dead || inst.down {
+		return
+	}
+	if inst.busy {
+		inst.done.Stop()
+		s.fLost += inst.serving.count
+		inst.busy = false
+	}
+	for side := 0; side < 2; side++ {
+		s.fLost += inst.paneCount[side]
+		inst.paneCount[side] = 0
+		inst.paneBirth[side] = 0
+		inst.paneWait[side] = 0
+		inst.paneSvc[side] = 0
+		inst.paneNet[side] = 0
+		inst.paneWin[side] = 0
+		inst.paneArr[side] = 0
+	}
+	if inst.op.Kind != core.OpJoin {
+		for inst.queue.len() > 0 {
+			b := inst.queue.pop()
+			if sib := s.aliveSiblingExcept(inst); sib != nil {
+				s.fRerouted += b.count
+				s.enqueue(sib, b)
+			} else {
+				s.fLost += b.count
+			}
+		}
+	}
+	if budgeted {
+		if inst.restartsLeft <= 0 {
+			inst.dead = true
+			inst.down = true
+			if s.allDead(inst.op.ID) && s.fatal == nil {
+				s.fatal = &chaos.FaultError{Op: inst.op.ID, Kind: chaos.KindCrash}
+				s.des.Stop()
+			}
+			return
+		}
+		inst.restartsLeft--
+	}
+	inst.down = true
+	s.fRestarts++
+	s.fDowntime += downFor
+	s.des.After(downFor, func() { s.reviveInstance(inst) })
+}
+
+// reviveInstance brings a down instance back: queued work resumes
+// service and a source re-arms its emission timer.
+func (s *sim) reviveInstance(inst *instance) {
+	if inst.dead {
+		return
+	}
+	inst.down = false
+	if inst.queue.len() > 0 && !inst.busy {
+		if inst.op.Kind == core.OpJoin {
+			s.serveNextJoin(inst)
+		} else {
+			s.serveNext(inst)
+		}
+	}
+	if inst.resumeEmit != nil {
+		inst.resumeEmit()
+	}
+}
+
+// aliveSiblingExcept returns the next live sibling instance of the same
+// operator after inst, or nil when none survives. The walk starts at
+// inst.idx+1, so rerouted load spreads deterministically.
+func (s *sim) aliveSiblingExcept(inst *instance) *instance {
+	sibs := s.insts[inst.op.ID]
+	n := len(sibs)
+	for i := 1; i < n; i++ {
+		c := sibs[(inst.idx+i)%n]
+		if !c.down && !c.dead {
+			return c
+		}
+	}
+	return nil
+}
+
+// allDead reports whether every instance of an operator is dead.
+func (s *sim) allDead(opID string) bool {
+	for _, inst := range s.insts[opID] {
+		if !inst.dead {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package simengine
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"pdspbench/internal/chaos"
+	"pdspbench/internal/cluster"
+	"pdspbench/internal/workload"
+)
+
+// faultedCfg arms the given schedule on the fast test configuration.
+func faultedCfg(events []chaos.Event, maxRestarts int) Config {
+	cfg := fastCfg()
+	cfg.Faults = events
+	cfg.MaxRestarts = maxRestarts
+	cfg.RestartDelay = 0.05
+	return cfg
+}
+
+func TestSimCrashRestartCompletes(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructLinear, params(50_000), 2, cl)
+	cfg := faultedCfg([]chaos.Event{
+		{At: 2, Kind: chaos.KindCrash, Op: "filter1", Instance: 0},
+	}, 1)
+	// A long outage guarantees arrivals land while the instance is down,
+	// exercising the re-route path.
+	cfg.RestartDelay = 1
+	res, err := Simulate(plan, pl, cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.FaultsInjected != 1 {
+		t.Errorf("FaultsInjected = %d, want 1", res.FaultsInjected)
+	}
+	if res.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", res.Restarts)
+	}
+	if res.DowntimeSec <= 0 {
+		t.Error("no downtime recorded for a restarted instance")
+	}
+	if res.RecoveredTuples <= 0 {
+		t.Error("no service re-routed to the surviving sibling during the outage")
+	}
+	if res.Throughput <= 0 {
+		t.Error("faulted run delivered nothing")
+	}
+}
+
+func TestSimKillLastInstanceReturnsFaultError(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructLinear, params(50_000), 2, cl)
+	_, err := Simulate(plan, pl, faultedCfg([]chaos.Event{
+		{At: 2, Kind: chaos.KindCrash, Op: "filter1", Instance: 0},
+		{At: 2, Kind: chaos.KindCrash, Op: "filter1", Instance: 1},
+	}, 0))
+	if err == nil {
+		t.Fatal("killing every instance of an operator completed without error")
+	}
+	var fe *chaos.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v (%T) is not a *chaos.FaultError", err, err)
+	}
+	if fe.Op != "filter1" {
+		t.Errorf("FaultError.Op = %q, want %q", fe.Op, "filter1")
+	}
+}
+
+func TestSimNodeDownRevivesWithoutBudget(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructLinear, params(50_000), 2, cl)
+	// A node-down outage revives on schedule even with a zero restart
+	// budget — only budgeted crashes consume it.
+	res, err := Simulate(plan, pl, faultedCfg([]chaos.Event{
+		{At: 2, Kind: chaos.EvDown, Op: "filter1", Instance: 0, Duration: 0.5},
+	}, 0))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1 (node recovery)", res.Restarts)
+	}
+	if res.DowntimeSec < 0.5 {
+		t.Errorf("DowntimeSec = %v, want >= 0.5", res.DowntimeSec)
+	}
+}
+
+func TestSimLinkDropThinsStream(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructLinear, params(50_000), 2, cl)
+	base, err := Simulate(plan, pl, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(plan, pl, faultedCfg([]chaos.Event{
+		{At: 2, Kind: chaos.KindLinkDrop, Op: "filter1", Instance: -1, Duration: 4, Factor: 0.5},
+	}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostTuples <= 0 {
+		t.Error("drop window recorded no lost tuples")
+	}
+	// The keyed aggregate emits per key, so the sink count does not thin;
+	// the thinned stream shows up as less work at the aggregate instead.
+	if res.Utilization["agg"] >= base.Utilization["agg"] {
+		t.Errorf("agg utilization %v not below fault-free %v despite dropped input",
+			res.Utilization["agg"], base.Utilization["agg"])
+	}
+}
+
+func TestSimSourceStallReducesInput(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructLinear, params(50_000), 2, cl)
+	base, err := Simulate(plan, pl, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(plan, pl, faultedCfg([]chaos.Event{
+		{At: 1, Kind: chaos.EvStall, Op: "src", Instance: 0, Duration: 3},
+	}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TuplesIn >= base.TuplesIn {
+		t.Errorf("stalled run ingested %v tuples, fault-free run %v", res.TuplesIn, base.TuplesIn)
+	}
+}
+
+// TestSimFaultedRunDeterministic is the seed-determinism regression
+// gate: the same configuration (fault schedule included) must produce a
+// byte-identical Result, and different seeds must not.
+func TestSimFaultedRunDeterministic(t *testing.T) {
+	cl := cluster.NewHomogeneous("ho", cluster.M510, 5)
+	plan, pl := buildAndPlace(t, workload.StructTwoFilter, params(50_000), 2, cl)
+	cfg := faultedCfg([]chaos.Event{
+		{At: 1.5, Kind: chaos.KindCrash, Op: "filter1", Instance: 0},
+		{At: 3, Kind: chaos.KindLinkDelay, Op: "agg", Instance: -1, Duration: 2, Factor: 0.005},
+	}, 2)
+	run := func(seed int64) []byte {
+		c := cfg
+		c.Seed = seed
+		res, err := Simulate(plan, pl, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(7), run(7)
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different results:\n%s\n%s", a, b)
+	}
+	if string(run(8)) == string(a) {
+		t.Error("different seeds produced byte-identical results")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"math"
 	"math/rand"
 
+	"pdspbench/internal/chaos"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/core"
 	"pdspbench/internal/des"
@@ -56,6 +57,16 @@ type Config struct {
 	// Seed makes runs reproducible; the paper averages three runs with
 	// different seeds.
 	Seed int64
+
+	// Faults is the resolved chaos schedule to replay on the simulated
+	// clock (see internal/chaos); empty leaves the model fault-free.
+	Faults []chaos.Event
+	// MaxRestarts is the per-instance budget for budgeted crash
+	// revivals; zero or negative disables restarts.
+	MaxRestarts int
+	// RestartDelay is the simulated seconds an instance stays down per
+	// budgeted revival (default 0.02).
+	RestartDelay float64
 
 	// TupleCost is seconds of CPU per tuple per unit cost-factor on a
 	// speed-1.0 core (m510 baseline).
@@ -158,6 +169,16 @@ type Result struct {
 	// Breakdown decomposes the mean end-to-end latency into where the
 	// time was spent.
 	Breakdown Breakdown `json:"breakdown"`
+
+	// Fault accounting (all zero unless Config.Faults was set): fault
+	// events applied, instance revivals, summed simulated downtime,
+	// tuples re-routed to surviving siblings, and tuples lost to
+	// crashes and drop windows.
+	FaultsInjected  int     `json:"faults_injected,omitempty"`
+	Restarts        int     `json:"restarts,omitempty"`
+	DowntimeSec     float64 `json:"downtime_sec,omitempty"`
+	RecoveredTuples float64 `json:"recovered_tuples,omitempty"`
+	LostTuples      float64 `json:"lost_tuples,omitempty"`
 }
 
 // Breakdown is the mean end-to-end latency decomposition in seconds:
@@ -205,6 +226,17 @@ type instance struct {
 	servingSide int
 	done        *des.Timer
 
+	// Chaos state (see fault.go): a down instance is temporarily out of
+	// service, a dead one never returns; restartsLeft is its remaining
+	// budget, baseSpeed its nominal speed for slow-node windows, and
+	// stallUntil/resumeEmit pause and re-arm source emission.
+	down         bool
+	dead         bool
+	restartsLeft int
+	baseSpeed    float64
+	stallUntil   float64
+	resumeEmit   func()
+
 	// Window state (aggregate/join). Joins keep two panes, one per input
 	// side; sideQueue parallels queue to preserve the side through service.
 	paneCount [2]float64
@@ -245,6 +277,19 @@ type sim struct {
 
 	// Latency-component sums over delivered post-warmup batches.
 	sumWait, sumSvc, sumNet, sumWin, sumTotal float64
+
+	// Chaos state (see fault.go). faultsArmed gates every fault check so
+	// fault-free runs pay one boolean test on the perturbed paths.
+	faultsArmed     bool
+	restartDelay    float64
+	fFaultsInjected int
+	fRestarts       int
+	fDowntime       float64
+	fRerouted       float64
+	fLost           float64
+	fatal           error                 // *chaos.FaultError when an operator fully died
+	linkDelay       map[string]linkWindow // keyed by downstream op ID
+	linkDrop        map[string]linkWindow
 }
 
 // Simulate runs the plan on the placement and returns measured metrics.
@@ -267,8 +312,14 @@ func Simulate(plan *core.PQP, placement *cluster.Placement, cfg Config) (*Result
 	if err := s.build(); err != nil {
 		return nil, err
 	}
+	if len(cfg.Faults) > 0 {
+		s.setupFaults()
+	}
 	s.start()
 	s.des.RunUntil(cfg.Duration)
+	if s.fatal != nil {
+		return nil, s.fatal
+	}
 	return s.results(), nil
 }
 
@@ -444,6 +495,18 @@ func (s *sim) scheduleEmit(inst *instance, rate, batchSize float64) {
 		if now > s.cfg.Duration {
 			return
 		}
+		if s.faultsArmed {
+			if inst.dead {
+				return
+			}
+			if inst.down {
+				return // resumeEmit re-arms on recovery
+			}
+			if inst.stallUntil > now {
+				tm.Reset(inst.stallUntil - now)
+				return
+			}
+		}
 		b := batch{count: batchSize, birth: now - gap/2}
 		s.tuplesIn += batchSize
 		// Source work (generation/deserialization) occupies the source
@@ -452,6 +515,12 @@ func (s *sim) scheduleEmit(inst *instance, rate, batchSize float64) {
 		gap = stats.Exponential(s.rng, rate/batchSize)
 		tm.Reset(gap)
 	})
+	if s.faultsArmed {
+		inst.resumeEmit = func() {
+			gap = stats.Exponential(s.rng, rate/batchSize)
+			tm.Reset(gap)
+		}
+	}
 	gap = stats.Exponential(s.rng, rate/batchSize)
 	tm.Reset(gap)
 }
@@ -464,14 +533,38 @@ func (s *sim) scheduleFiring(inst *instance, slideSec float64) {
 		if s.des.Now() > s.cfg.Duration {
 			return
 		}
-		s.fireWindow(inst)
+		if s.faultsArmed && inst.dead {
+			return
+		}
+		if !(s.faultsArmed && inst.down) {
+			s.fireWindow(inst)
+		}
 		tm.Reset(slideSec)
 	})
 	tm.Reset(slideSec)
 }
 
-// enqueue delivers a batch to an instance's server queue.
+// enqueue delivers a batch to an instance's server queue. Arrivals at a
+// down or dead instance re-route to a surviving sibling (the rescaling
+// a real deployment performs); with no sibling, a down instance queues
+// the batch for its recovery while a dead one loses it.
 func (s *sim) enqueue(inst *instance, b batch) {
+	if s.faultsArmed && (inst.down || inst.dead) {
+		if inst.op.Kind != core.OpJoin {
+			if sib := s.aliveSiblingExcept(inst); sib != nil {
+				s.fRerouted += b.count
+				s.enqueue(sib, b)
+				return
+			}
+		}
+		if inst.dead {
+			s.fLost += b.count
+			return
+		}
+		b.enqueuedAt = s.des.Now()
+		inst.queue.push(b)
+		return
+	}
 	b.enqueuedAt = s.des.Now()
 	inst.queue.push(b)
 	if !inst.busy {
@@ -720,10 +813,24 @@ func (s *sim) sourceDistribution() string {
 // at the destination, tagging join input sides.
 func (s *sim) send(from, to *instance, b batch, side int) {
 	delay := 0.0
+	if s.faultsArmed {
+		now := s.des.Now()
+		if w, ok := s.linkDrop[to.op.ID]; ok && now < w.until {
+			lost := b.count * w.amount
+			s.fLost += lost
+			b.count -= lost
+			if b.count <= 0 {
+				return
+			}
+		}
+		if w, ok := s.linkDelay[to.op.ID]; ok && now < w.until {
+			delay += w.amount
+		}
+	}
 	if from.node.ID != to.node.ID {
 		bw := math.Min(from.node.Type.NetGbps, to.node.Type.NetGbps) * 1e9 / 8 // bytes/s
 		bytes := b.count * float64(maxInt(1, from.op.OutWidth)) * s.cfg.BytesPerField
-		delay = s.cfg.NetLatency + bytes/bw
+		delay += s.cfg.NetLatency + bytes/bw
 	}
 	b.net += delay
 	s.des.After(delay, func() {
@@ -736,12 +843,18 @@ func (s *sim) send(from, to *instance, b batch, side int) {
 }
 
 // enqueueJoin is enqueue with the join side preserved through service.
+// Joins cannot re-route (partitioned state pins the input), so a dead
+// join instance loses its arrivals and a down one queues them.
 func (s *sim) enqueueJoin(inst *instance, b batch, side int) {
+	if s.faultsArmed && inst.dead {
+		s.fLost += b.count
+		return
+	}
 	b.enqueuedAt = s.des.Now()
 	inst.queue.push(b)
 	// Sides are tracked by a parallel ring to keep batch lean.
 	inst.sideQueue.push(side)
-	if !inst.busy {
+	if !inst.busy && !(s.faultsArmed && inst.down) {
 		s.serveNextJoin(inst)
 	}
 }
@@ -798,6 +911,12 @@ func (s *sim) results() *Result {
 		TuplesOut:        s.tuplesOut,
 		Utilization:      make(map[string]float64, len(s.insts)),
 		DeliveredBatches: s.latencies.Len(),
+
+		FaultsInjected:  s.fFaultsInjected,
+		Restarts:        s.fRestarts,
+		DowntimeSec:     s.fDowntime,
+		RecoveredTuples: s.fRerouted,
+		LostTuples:      s.fLost,
 	}
 	for id, insts := range s.insts {
 		var maxU float64

@@ -1,0 +1,47 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+)
+
+// FuzzValueHash cross-checks the inlined FNV-1a in Value.Hash against
+// the stdlib hash/fnv implementation consuming the same byte stream
+// (kind byte, then little-endian bit pattern for numerics or raw bytes
+// for strings). The inline version exists to keep hash state off the
+// per-tuple hot path; this fuzzer pins it to the reference forever.
+func FuzzValueHash(f *testing.F) {
+	f.Add(byte(0), int64(42), 3.14, "hello")
+	f.Add(byte(1), int64(-1), math.Inf(1), "")
+	f.Add(byte(2), int64(0), math.NaN(), "ütf-8 ✓")
+	f.Fuzz(func(t *testing.T, kind byte, i int64, d float64, s string) {
+		var v Value
+		switch Type(kind % 3) {
+		case TypeInt:
+			v = Int(i)
+		case TypeDouble:
+			v = Double(d)
+		case TypeString:
+			v = String(s)
+		}
+		ref := fnv.New64a()
+		ref.Write([]byte{byte(v.Kind)})
+		switch v.Kind {
+		case TypeInt:
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+			ref.Write(buf[:])
+		case TypeDouble:
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.D))
+			ref.Write(buf[:])
+		case TypeString:
+			ref.Write([]byte(v.S))
+		}
+		if got, want := v.Hash(), ref.Sum64(); got != want {
+			t.Errorf("Value.Hash() = %#x, reference hash/fnv = %#x (value %+v)", got, want, v)
+		}
+	})
+}

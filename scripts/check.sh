@@ -33,6 +33,14 @@ go test -race -short ./...
 echo "== go test ./..."
 go test ./...
 
+#   4b. fuzz smoke — a couple of seconds per target keeps the harnesses
+#       honest (a bit-rotted fuzz target fails here, not in a long
+#       nightly run). Real exploration happens off the gate with longer
+#       -fuzztime budgets.
+echo "== fuzz smoke (2s per target)"
+go test -run '^$' -fuzz '^FuzzValueHash$' -fuzztime 2s ./internal/tuple
+go test -run '^$' -fuzz '^FuzzPlanRoundTrip$' -fuzztime 2s ./internal/core
+
 #   5. (opt-in) substrate micro-benchmarks — set BENCH=1 to run
 #      scripts/bench.sh after the gates and record a BENCH_<n>.json
 #      entry in the performance trajectory. Not part of the default
