@@ -25,6 +25,7 @@ import (
 	"pdspbench/internal/metrics"
 	"pdspbench/internal/ml"
 	"pdspbench/internal/mlmanager"
+	"pdspbench/internal/queue"
 	"pdspbench/internal/server"
 	"pdspbench/internal/storage"
 	"pdspbench/internal/workload"
@@ -72,6 +73,10 @@ func main() {
 		err = cmdDot(os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "worker":
+		err = cmdWorker(ctx, os.Args[2:])
+	case "jobs":
+		err = cmdJobs(ctx, os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -103,9 +108,12 @@ commands:
   bench    --spec F          run a declarative benchmark campaign (JSON spec)
   sut      [flags]           compare SUT profiles on identical workloads
   dot      [flags]           print a query plan in Graphviz DOT
-  serve    [flags]           serve the HTTP API (WUI substitute)
+  serve    [flags]           serve the HTTP API and job dispatcher (WUI substitute)
+  worker   [flags]           run a campaign worker daemon against a dispatcher
+  jobs     <sub> [flags]     manage the job queue (enqueue | list | workers)
 
-run 'pdspbench <command> -h' for command flags`)
+run 'pdspbench <command> -h' for command flags; the HTTP surface is
+documented in docs/API.md`)
 }
 
 func cmdList() error {
@@ -550,6 +558,105 @@ func cmdDot(args []string) error {
 	return nil
 }
 
+// cmdWorker runs the fleet daemon half of the distributed campaign
+// fabric: register with a dispatcher, lease jobs, execute, report.
+func cmdWorker(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "dispatcher base URL")
+	name := fs.String("name", "worker", "worker name shown in listings")
+	capacity := fs.Int("capacity", 1, "advertised concurrent-lease capacity")
+	backends := fs.String("backends", "", "comma-separated backends this worker accepts (empty = any)")
+	once := fs.Bool("once", false, "exit once the queue is drained")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts")
+	fast := fs.Bool("fast", true, "reduced simulation fidelity")
+	fs.Parse(args)
+
+	w := &queue.Worker{
+		Client:   queue.NewClient(*url),
+		Name:     *name,
+		Capacity: *capacity,
+		Backends: queue.ParseBackends(*backends),
+		Poll:     *poll,
+		Once:     *once,
+		Execute:  queue.RunCampaign(*fast),
+		Logf: func(format string, a ...any) {
+			fmt.Printf(format+"\n", a...)
+		},
+	}
+	err := w.Run(ctx)
+	if err == context.Canceled {
+		return nil // Ctrl-C is a clean daemon stop, not a failure
+	}
+	return err
+}
+
+// cmdJobs is the operator view onto the dispatcher's queue.
+func cmdJobs(ctx context.Context, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("jobs needs a subcommand: enqueue | list | workers")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("jobs "+sub, flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "dispatcher base URL")
+	switch sub {
+	case "enqueue":
+		specPath := fs.String("spec", "", "path to a JSON campaign spec")
+		split := fs.Bool("split", false, "shard the campaign into one job per measurement point")
+		maxAttempts := fs.Int("max-attempts", 0, "retry budget per job (0 = dispatcher default)")
+		fs.Parse(rest)
+		if *specPath == "" {
+			return fmt.Errorf("--spec is required (see examples/campaign.json)")
+		}
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec, err := controller.ParseSpec(data)
+		if err != nil {
+			return err
+		}
+		jobs, err := queue.NewClient(*url).Enqueue(ctx, *spec, *split, *maxAttempts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("enqueued %d job(s) for campaign %q:\n", len(jobs), spec.Name)
+		for _, j := range jobs {
+			fmt.Printf("  %-12s %s\n", j.ID, j.Campaign.Name)
+		}
+		return nil
+	case "list":
+		status := fs.String("status", "", "filter: pending | leased | completed | failed")
+		fs.Parse(rest)
+		jobs, err := queue.NewClient(*url).Jobs(ctx, queue.Status(*status))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-10s %-8s %-8s %-8s %s\n", "id", "status", "attempt", "worker", "records", "campaign")
+		for _, j := range jobs {
+			fmt.Printf("%-12s %-10s %d/%-6d %-8s %-8d %s\n",
+				j.ID, j.Status, j.Attempts, j.MaxAttempts, j.Worker, j.Records, j.Campaign.Name)
+		}
+		return nil
+	case "workers":
+		fs.Parse(rest)
+		workers, err := queue.NewClient(*url).Workers(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s %-12s %-9s %-7s %s\n", "id", "name", "capacity", "leased", "backends")
+		for _, w := range workers {
+			b := strings.Join(w.Backends, ",")
+			if b == "" {
+				b = "any"
+			}
+			fmt.Printf("%-6s %-12s %-9d %-7d %s\n", w.ID, w.Name, w.Capacity, w.Leased, b)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown jobs subcommand %q (enqueue, list, workers)", sub)
+	}
+}
+
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -560,7 +667,10 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := server.New(st)
+	srv, err := server.New(st)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("serving PDSP-Bench API on http://%s (store: %s)\n", *addr, *data)
 	return srv.ListenAndServe(ctx, *addr)
 }

@@ -45,9 +45,9 @@ func TestScheduleDeterministic(t *testing.T) {
 	p := &Plan{
 		Seed: 42,
 		Faults: []Fault{
-			{Kind: KindCrash, At: -1},                 // random op, random time
-			{Kind: KindNodeDown, Node: -1, At: -1},    // random node
-			{Kind: KindSourceStall, At: 0.1},          // random source (only one eligible set)
+			{Kind: KindCrash, At: -1},              // random op, random time
+			{Kind: KindNodeDown, Node: -1, At: -1}, // random node
+			{Kind: KindSourceStall, At: 0.1},       // random source (only one eligible set)
 			{Kind: KindLinkDelay, Op: "sink", At: 0.2},
 		},
 	}

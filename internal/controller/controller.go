@@ -6,6 +6,14 @@
 // talks to an engine directly — every run goes through the Backend
 // interface (internal/backend), so the SUT is exchangeable exactly as
 // the paper claims.
+//
+// Ownership: the controller owns run-record production — repetitions,
+// averaging, storage appends — and Spec owns campaign semantics,
+// including Shard, which splits a sweep into single-measurement
+// sub-campaigns for the distributed fabric (internal/queue). A sharded
+// campaign drained by N workers produces exactly the records the
+// in-process campaign would; only the append site moves, from the
+// local Store to the dispatcher's.
 package controller
 
 import (

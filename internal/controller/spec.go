@@ -139,6 +139,52 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// Shard splits the campaign into independently runnable sub-campaigns,
+// one per swept measurement point, so the distributed fabric can fan a
+// campaign out across workers (POST /api/jobs with "split": true).
+// Degree and category sweeps shard into one campaign per point; a
+// strategy sweep stays whole, because its enumeration is one seeded
+// draw whose variants are not individually addressable. Every shard
+// inherits the campaign's globals — SUT, backend, cluster, event rate,
+// repetition count and fault plan — so N workers draining the shards
+// produce exactly the records the in-process campaign would.
+func (s *Spec) Shard() []Spec {
+	var out []Spec
+	for _, w := range s.Workloads {
+		name := w.App
+		if name == "" {
+			name = w.Structure
+		}
+		switch {
+		case len(w.Degrees) > 0:
+			for _, d := range w.Degrees {
+				sw := w
+				sw.Degrees = []int{d}
+				out = append(out, s.shard(fmt.Sprintf("%s/%s-p%d", s.Name, name, d), sw))
+			}
+		case len(w.Categories) > 0:
+			for _, cat := range w.Categories {
+				sw := w
+				sw.Categories = []string{cat}
+				out = append(out, s.shard(fmt.Sprintf("%s/%s-%s", s.Name, name, cat), sw))
+			}
+		default:
+			out = append(out, s.shard(fmt.Sprintf("%s/%s-%s", s.Name, name, w.Strategy), w))
+		}
+	}
+	return out
+}
+
+// shard clones the campaign globals around one workload entry. The
+// Faults pointer is shared intentionally: plans are read-only after
+// parse.
+func (s *Spec) shard(name string, w WorkloadSpec) Spec {
+	sub := *s
+	sub.Name = name
+	sub.Workloads = []WorkloadSpec{w}
+	return sub
+}
+
 // buildBase constructs the workload's plan at the campaign's event rate.
 func (s *Spec) buildBase(w WorkloadSpec, rate float64) (*core.PQP, error) {
 	if w.App != "" {

@@ -56,6 +56,72 @@ func TestParseSpecRejectsInvalidCampaigns(t *testing.T) {
 	}
 }
 
+func TestShardSplitsSweepsIntoSingleMeasurementCampaigns(t *testing.T) {
+	spec, err := ParseSpec([]byte(exampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := spec.Shard()
+	// linear×2 categories + SD×1 degree + join strategy (unsplittable) = 4.
+	if len(shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(shards))
+	}
+	names := map[string]bool{}
+	total := 0
+	for i := range shards {
+		sh := &shards[i]
+		if err := sh.Validate(); err != nil {
+			t.Errorf("shard %s invalid: %v", sh.Name, err)
+		}
+		if names[sh.Name] {
+			t.Errorf("duplicate shard name %s", sh.Name)
+		}
+		names[sh.Name] = true
+		if len(sh.Workloads) != 1 {
+			t.Errorf("shard %s has %d workloads", sh.Name, len(sh.Workloads))
+		}
+		if sh.SUT != spec.SUT || sh.EventRate != spec.EventRate || sh.Cluster != spec.Cluster {
+			t.Errorf("shard %s lost campaign globals: %+v", sh.Name, sh)
+		}
+		w := sh.Workloads[0]
+		switch {
+		case len(w.Degrees) > 0:
+			total += len(w.Degrees)
+		case len(w.Categories) > 0:
+			total += len(w.Categories)
+		default:
+			total += w.Variants
+		}
+	}
+	// Shards cover exactly the original campaign's 5 measurements.
+	if total != 5 {
+		t.Errorf("shards cover %d measurements, want 5", total)
+	}
+}
+
+func TestShardedCampaignMatchesWholeCampaignRecordCount(t *testing.T) {
+	spec, err := ParseSpec([]byte(exampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tiny()
+	whole, err := c.RunSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sharded int
+	for _, sh := range spec.Shard() {
+		recs, err := tiny().RunSpec(context.Background(), &sh)
+		if err != nil {
+			t.Fatalf("shard %s: %v", sh.Name, err)
+		}
+		sharded += len(recs)
+	}
+	if sharded != len(whole) {
+		t.Errorf("sharded runs produced %d records, whole campaign %d", sharded, len(whole))
+	}
+}
+
 func TestRunSpecProducesOneRecordPerMeasurement(t *testing.T) {
 	spec, err := ParseSpec([]byte(exampleSpec))
 	if err != nil {

@@ -27,6 +27,18 @@ var defaultDualImports = []DualImport{
 	{A: "internal/engine", B: "internal/simengine", Allow: []string{"internal/backend"}},
 }
 
+// defaultRestrictedImports fence off the campaign fabric: the queue's
+// lease ledger is dispatcher-private state, so only the dispatcher
+// (internal/server), the campaign layer (internal/controller) and the
+// CLI may import it. An engine or backend reaching into the queue would
+// invert the fabric's layering — workers talk to the dispatcher over
+// HTTP, never to the ledger directly.
+var defaultRestrictedImports = []RestrictedImport{
+	{Pkg: "internal/queue", Allow: []string{
+		"internal/queue", "internal/server", "internal/controller", "cmd/pdspbench",
+	}},
+}
+
 // APIBoundary enforces layered imports: packages under a constrained
 // directory may not import a forbidden package directly and must go
 // through the sanctioned mediator; and no package outside the allowed
@@ -39,7 +51,9 @@ func APIBoundary() *Analyzer {
 		Doc: "internal/server, internal/controller, and cmd/pdspbench must not import " +
 			"internal/engine or internal/simengine directly; execution goes through " +
 			"internal/backend, and only internal/backend may import both engines. " +
-			"Additional boundaries and dual-import constraints can be declared in the policy config.",
+			"internal/queue may be imported only by the dispatcher (internal/server), " +
+			"internal/controller, and cmd/pdspbench. Additional boundaries, dual-import " +
+			"constraints, and restricted imports can be declared in the policy config.",
 		Run: runAPIBoundary,
 	}
 }
@@ -101,6 +115,33 @@ func runAPIBoundary(p *Pass) {
 		if fromA != nil && fromB != nil {
 			p.Reportf(fromB.Pos(), "%s imports both %s and %s; only %v may bridge them",
 				p.Pkg.Dir, di.A, di.B, di.Allow)
+		}
+	}
+
+	restricted := defaultRestrictedImports
+	if p.Config != nil && len(p.Config.RestrictedImports) > 0 {
+		restricted = p.Config.RestrictedImports
+	}
+	for _, ri := range restricted {
+		allowed := false
+		for _, a := range ri.Allow {
+			if dirHasPrefix(p.Pkg.Dir, a) {
+				allowed = true
+				break
+			}
+		}
+		if allowed {
+			continue
+		}
+		for _, f := range p.Pkg.Files {
+			for _, imp := range f.Imports {
+				rel, ok := relImport(imp, module)
+				if !ok || !dirHasPrefix(rel, ri.Pkg) {
+					continue
+				}
+				p.Reportf(imp.Pos(), "%s may be imported only by %v; %s is outside the fence",
+					ri.Pkg, ri.Allow, p.Pkg.Dir)
+			}
 		}
 	}
 }

@@ -46,6 +46,21 @@ type DualImport struct {
 	Allow []string `json:"allow,omitempty"`
 }
 
+// RestrictedImport is an import fence enforced by the api-boundary
+// rule: only packages whose directory sits under one of the Allow
+// prefixes may import Pkg. Where Boundary forbids one edge and
+// DualImport forbids a pair, RestrictedImport whitelists every legal
+// importer of a package — the shape needed for subsystem-private state
+// like the fabric's lease ledger.
+type RestrictedImport struct {
+	// Pkg is the module-relative package directory with restricted
+	// visibility.
+	Pkg string `json:"pkg"`
+	// Allow lists the module-relative directory prefixes permitted to
+	// import Pkg. List Pkg itself to let its own subpackages through.
+	Allow []string `json:"allow"`
+}
+
 // Config is pdsplint's policy: which rules run where. The zero value
 // plus defaults from the analyzers is the shipped policy; a pdsplint.json
 // at the module root (or -config) overrides per directory.
@@ -57,6 +72,9 @@ type Config struct {
 	// DualImports feed the api-boundary rule's exclusivity check; when
 	// nil the rule's defaults apply.
 	DualImports []DualImport `json:"dual_imports,omitempty"`
+	// RestrictedImports feed the api-boundary rule's import fence; when
+	// nil the rule's defaults apply.
+	RestrictedImports []RestrictedImport `json:"restricted_imports,omitempty"`
 }
 
 // LoadConfig reads a JSON policy file. Unknown rule names are rejected

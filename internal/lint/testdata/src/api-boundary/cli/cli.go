@@ -1,0 +1,10 @@
+// Package cli sits inside the queue's import fence: a sanctioned
+// importer listed in the restricted_imports allow set.
+package cli
+
+import "fixture/queue"
+
+// Drain pulls work through the sanctioned surface.
+func Drain() {
+	queue.Lease()
+}

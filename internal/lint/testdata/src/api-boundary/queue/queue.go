@@ -1,0 +1,6 @@
+// Package queue stands in for internal/queue: subsystem-private state
+// behind a restricted-import fence.
+package queue
+
+// Lease is the fenced entry point.
+func Lease() {}

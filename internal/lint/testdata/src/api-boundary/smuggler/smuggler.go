@@ -1,0 +1,10 @@
+// Package smuggler reaches into the fenced queue from outside its allow
+// set — the restricted-import check must flag it.
+package smuggler
+
+import "fixture/queue" // want `queue may be imported only by \[queue server cli\]; smuggler is outside the fence`
+
+// Steal bypasses the dispatcher surface.
+func Steal() {
+	queue.Lease()
+}

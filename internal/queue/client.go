@@ -1,0 +1,221 @@
+package queue
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"pdspbench/internal/controller"
+	"pdspbench/internal/metrics"
+)
+
+// Wire DTOs of the fabric protocol. The dispatcher (internal/server)
+// decodes requests and encodes responses with these exact types, and
+// Client mirrors them, so the HTTP surface documented in docs/API.md has
+// a single source of truth.
+
+// EnqueueRequest is the POST /api/jobs body.
+type EnqueueRequest struct {
+	// Spec is the campaign to enqueue (same schema as `pdspbench bench
+	// --spec`).
+	Spec controller.Spec `json:"spec"`
+	// Split shards the campaign into one job per swept measurement
+	// point (see controller.Spec.Shard) so workers drain it in parallel.
+	Split bool `json:"split,omitempty"`
+	// MaxAttempts bounds lease attempts per job (≤0 = queue default).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+}
+
+// EnqueueResponse lists the created jobs in enqueue order.
+type EnqueueResponse struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// RegisterRequest is the POST /api/workers/register body.
+type RegisterRequest struct {
+	Name string `json:"name"`
+	// Capacity bounds concurrent leases (≤0 = 1).
+	Capacity int `json:"capacity,omitempty"`
+	// Backends lists runnable execution backends; empty means any.
+	Backends []string `json:"backends,omitempty"`
+}
+
+// RegisterResponse returns the worker identity and the cadence the
+// dispatcher expects: heartbeat at least every HeartbeatMS, extend
+// leases well inside LeaseTTLMS.
+type RegisterResponse struct {
+	Worker      WorkerInfo `json:"worker"`
+	LeaseTTLMS  int64      `json:"lease_ttl_ms"`
+	HeartbeatMS int64      `json:"heartbeat_ms"`
+}
+
+// HeartbeatResponse acknowledges liveness and piggybacks queue counts.
+type HeartbeatResponse struct {
+	Worker WorkerInfo `json:"worker"`
+	Stats  Stats      `json:"stats"`
+}
+
+// LeaseRequest is the POST /api/jobs/lease (or /api/jobs/{id}/lease)
+// body.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseResponse carries the leased job — nil when nothing is leasable —
+// plus queue counts so pollers can detect a drained queue.
+type LeaseResponse struct {
+	Job   *Job  `json:"job,omitempty"`
+	Stats Stats `json:"stats"`
+}
+
+// ExtendRequest is the POST /api/jobs/{id}/extend body.
+type ExtendRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// CompleteRequest is the POST /api/jobs/{id}/complete body: the lease
+// token plus every RunRecord the campaign produced. The dispatcher
+// appends the records to the shared run store only when the lease is
+// still live (exactly-once recording).
+type CompleteRequest struct {
+	LeaseID string              `json:"lease_id"`
+	Records []metrics.RunRecord `json:"records"`
+}
+
+// FailRequest is the POST /api/jobs/{id}/fail body.
+type FailRequest struct {
+	LeaseID string `json:"lease_id"`
+	Error   string `json:"error"`
+}
+
+// Client is the fabric's HTTP client — what `pdspbench worker` and the
+// `pdspbench jobs` subcommands speak to the dispatcher.
+type Client struct {
+	// BaseURL is the dispatcher root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient builds a client over the dispatcher base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do POSTs (or GETs when in is nil and method says so) JSON and decodes
+// the response into out, mapping non-2xx statuses to errors carrying
+// the server's error body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("queue: client marshal: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("queue: client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("queue: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("queue: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("queue: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("queue: %s %s: decode: %w", method, path, err)
+	}
+	return nil
+}
+
+// Enqueue submits a campaign; with split it shards first.
+func (c *Client) Enqueue(ctx context.Context, spec controller.Spec, split bool, maxAttempts int) ([]Job, error) {
+	var resp EnqueueResponse
+	err := c.do(ctx, http.MethodPost, "/api/jobs", EnqueueRequest{Spec: spec, Split: split, MaxAttempts: maxAttempts}, &resp)
+	return resp.Jobs, err
+}
+
+// Jobs lists jobs, optionally filtered by status.
+func (c *Client) Jobs(ctx context.Context, status Status) ([]Job, error) {
+	path := "/api/jobs"
+	if status != "" {
+		path += "?status=" + url.QueryEscape(string(status))
+	}
+	var jobs []Job
+	err := c.do(ctx, http.MethodGet, path, nil, &jobs)
+	return jobs, err
+}
+
+// Register announces a worker daemon to the dispatcher.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.do(ctx, http.MethodPost, "/api/workers/register", req, &resp)
+	return resp, err
+}
+
+// Heartbeat refreshes worker liveness.
+func (c *Client) Heartbeat(ctx context.Context, workerID string) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := c.do(ctx, http.MethodPost, "/api/workers/"+url.PathEscape(workerID)+"/heartbeat", struct{}{}, &resp)
+	return resp, err
+}
+
+// Lease asks for the next leasable job; resp.Job is nil when none.
+func (c *Client) Lease(ctx context.Context, workerID string) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.do(ctx, http.MethodPost, "/api/jobs/lease", LeaseRequest{WorkerID: workerID}, &resp)
+	return resp, err
+}
+
+// Extend renews a job lease.
+func (c *Client) Extend(ctx context.Context, jobID, leaseID string) error {
+	return c.do(ctx, http.MethodPost, "/api/jobs/"+url.PathEscape(jobID)+"/extend", ExtendRequest{LeaseID: leaseID}, nil)
+}
+
+// Complete reports success with the campaign's records.
+func (c *Client) Complete(ctx context.Context, jobID, leaseID string, records []metrics.RunRecord) error {
+	return c.do(ctx, http.MethodPost, "/api/jobs/"+url.PathEscape(jobID)+"/complete",
+		CompleteRequest{LeaseID: leaseID, Records: records}, nil)
+}
+
+// Fail reports an execution error; the job retries or parks failed.
+func (c *Client) Fail(ctx context.Context, jobID, leaseID, msg string) error {
+	return c.do(ctx, http.MethodPost, "/api/jobs/"+url.PathEscape(jobID)+"/fail",
+		FailRequest{LeaseID: leaseID, Error: msg}, nil)
+}
+
+// Workers lists registered workers.
+func (c *Client) Workers(ctx context.Context) ([]WorkerInfo, error) {
+	var out []WorkerInfo
+	err := c.do(ctx, http.MethodGet, "/api/workers", nil, &out)
+	return out, err
+}

@@ -1,0 +1,164 @@
+package queue_test
+
+// End-to-end exercise of the distributed campaign fabric: a real
+// dispatcher (internal/server over httptest), a sharded 12-job campaign
+// enqueued through POST /api/jobs, and three worker daemons draining it
+// over HTTP — with one worker killed mid-lease to prove the lease
+// machinery turns a crash into a retry, not a lost or doubled job.
+//
+// It lives in package queue_test because it imports internal/server,
+// which imports internal/queue.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pdspbench/internal/controller"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/queue"
+	"pdspbench/internal/server"
+	"pdspbench/internal/storage"
+)
+
+func TestFabricDrainsCampaignWithWorkerKill(t *testing.T) {
+	st, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock queue options tuned so a dead worker's lease lapses in
+	// tens of milliseconds, not the 30s production default.
+	srv, err := server.New(st, server.WithQueueOptions(queue.Options{
+		LeaseTTL:     150 * time.Millisecond,
+		HeartbeatTTL: 450 * time.Millisecond,
+		RetryBackoff: 10 * time.Millisecond,
+		MaxAttempts:  5,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	httpClient := &http.Client{}
+	defer httpClient.CloseIdleConnections()
+	client := func() *queue.Client {
+		c := queue.NewClient(ts.URL)
+		c.HTTP = httpClient
+		return c
+	}
+
+	// One degree sweep with 12 points shards into exactly 12 jobs.
+	spec := controller.Spec{
+		Name: "fabric-e2e",
+		Workloads: []controller.WorkloadSpec{
+			{Structure: "linear", Degrees: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}},
+		},
+	}
+	jobs, err := client().Enqueue(context.Background(), spec, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 12 {
+		t.Fatalf("enqueued %d jobs, want 12", len(jobs))
+	}
+
+	// The victim blocks inside its first execution until its daemon
+	// context is cancelled — a worker crash from the dispatcher's point
+	// of view: no fail report, no completion, just silence.
+	victimCtx, killVictim := context.WithCancel(context.Background())
+	defer killVictim()
+	var leasedOnce sync.Once
+	victimLeased := make(chan struct{})
+	victim := &queue.Worker{
+		Client: client(),
+		Name:   "victim",
+		Poll:   5 * time.Millisecond,
+		Execute: func(ctx context.Context, spec *controller.Spec) ([]metrics.RunRecord, error) {
+			leasedOnce.Do(func() { close(victimLeased) })
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	}
+
+	fakeRun := func(ctx context.Context, spec *controller.Spec) ([]metrics.RunRecord, error) {
+		return []metrics.RunRecord{{ID: spec.Name, Workload: "linear"}}, nil
+	}
+	drainers := []*queue.Worker{
+		{Client: client(), Name: "alpha", Once: true, Poll: 5 * time.Millisecond, Execute: fakeRun},
+		{Client: client(), Name: "beta", Once: true, Poll: 5 * time.Millisecond, Execute: fakeRun},
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// A killed daemon reports the cancellation; anything else is a bug.
+		if err := victim.Run(victimCtx); err != context.Canceled {
+			t.Errorf("victim exit: %v", err)
+		}
+	}()
+	// Let the victim grab a job before the drainers start competing, then
+	// kill it mid-lease.
+	select {
+	case <-victimLeased:
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim never leased a job")
+	}
+	killVictim()
+
+	errs := make([]error, len(drainers))
+	for i, w := range drainers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w.Run(context.Background())
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("drainer %d: %v", i, err)
+		}
+	}
+
+	// Every job completed exactly once, including the one abandoned by
+	// the victim's crash.
+	q := srv.Queue()
+	all := q.Jobs("")
+	if len(all) != 12 {
+		t.Fatalf("queue has %d jobs", len(all))
+	}
+	reclaimed := 0
+	for _, j := range all {
+		if j.Status != queue.StatusCompleted {
+			t.Errorf("job %s: status %q (attempts %d, err %q)", j.ID, j.Status, j.Attempts, j.Error)
+		}
+		if j.Completions != 1 {
+			t.Errorf("job %s completed %d times", j.ID, j.Completions)
+		}
+		if j.Records != 1 {
+			t.Errorf("job %s recorded %d records", j.ID, j.Records)
+		}
+		if j.Attempts > 1 {
+			reclaimed++
+		}
+	}
+	// The victim held a lease when it died, so at least one job must
+	// show a second attempt.
+	if reclaimed == 0 {
+		t.Error("no job was reclaimed from the killed worker")
+	}
+
+	// The dispatcher appended exactly one RunRecord per completed job to
+	// the same "runs" collection in-process campaigns use.
+	n, err := st.Count("runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Errorf("runs collection has %d records, want 12", n)
+	}
+}

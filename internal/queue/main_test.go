@@ -1,0 +1,13 @@
+package queue
+
+import (
+	"os"
+	"testing"
+
+	"pdspbench/internal/testutil"
+)
+
+// TestMain gates the package on goroutine hygiene: a worker daemon,
+// heartbeat ticker or fabric test that leaves a goroutine running after
+// its test returns fails the whole package.
+func TestMain(m *testing.M) { os.Exit(testutil.RunMain(m)) }

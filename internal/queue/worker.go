@@ -1,0 +1,238 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"pdspbench/internal/controller"
+	"pdspbench/internal/metrics"
+)
+
+// ExecuteFunc runs one leased campaign and returns its records. The
+// worker daemon calls it once per lease; tests substitute fakes (a
+// blocking ExecuteFunc is how the fabric test simulates a worker dying
+// mid-lease).
+type ExecuteFunc func(ctx context.Context, spec *controller.Spec) ([]metrics.RunRecord, error)
+
+// RunCampaign is the production ExecuteFunc: a fresh controller per job
+// (no shared state between leases), records returned to the dispatcher
+// rather than stored locally. fast selects reduced simulation fidelity,
+// mirroring `pdspbench bench --fast`.
+func RunCampaign(fast bool) ExecuteFunc {
+	return func(ctx context.Context, spec *controller.Spec) ([]metrics.RunRecord, error) {
+		c := controller.New()
+		if fast {
+			c = controller.Fast()
+		}
+		return c.RunSpec(ctx, spec)
+	}
+}
+
+// Worker is the `pdspbench worker` daemon: it registers capacity with
+// the dispatcher, polls for leases, executes campaigns on either
+// backend, keeps its leases alive while running, and streams the
+// resulting RunRecords back on completion. Cancelling the Run context
+// stops the daemon without failing its current job — exactly the crash
+// the lease machinery exists to absorb: the lease expires and another
+// worker picks the job up.
+type Worker struct {
+	// Client speaks to the dispatcher; required.
+	Client *Client
+	// Name labels the worker in listings (default "worker").
+	Name string
+	// Capacity is advertised to the dispatcher (≤0 = 1). The daemon
+	// itself executes one job at a time; run one daemon per slot to use
+	// a whole machine.
+	Capacity int
+	// Backends lists the execution backends this worker accepts; empty
+	// means any.
+	Backends []string
+	// Poll is the idle wait between lease attempts (default 500ms).
+	Poll time.Duration
+	// Once makes Run return once the queue is drained (no pending and
+	// no leased jobs) — the batch mode the smoke test and one-shot
+	// fleets use.
+	Once bool
+	// Execute runs a leased campaign (default RunCampaign(true)).
+	Execute ExecuteFunc
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) execute() ExecuteFunc {
+	if w.Execute != nil {
+		return w.Execute
+	}
+	return RunCampaign(true)
+}
+
+// Run registers and drains leases until the context is cancelled (or,
+// with Once, until the queue is empty). The returned error is nil on a
+// drained Once run or a context cancellation; anything else is a
+// protocol failure worth restarting the daemon over.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil {
+		return errors.New("queue: worker needs a Client")
+	}
+	name := w.Name
+	if name == "" {
+		name = "worker"
+	}
+	reg, err := w.Client.Register(ctx, RegisterRequest{Name: name, Capacity: w.Capacity, Backends: w.Backends})
+	if err != nil {
+		return fmt.Errorf("queue: worker register: %w", err)
+	}
+	id := reg.Worker.ID
+	beat := time.Duration(reg.HeartbeatMS) * time.Millisecond
+	if beat <= 0 {
+		beat = time.Second
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	w.logf("worker %s (%s) registered: heartbeat %v, backends %v", id, name, beat, w.Backends)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := w.Client.Lease(ctx, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("queue: worker lease: %w", err)
+		}
+		if resp.Job == nil {
+			if w.Once && resp.Stats.Pending == 0 && resp.Stats.Leased == 0 {
+				w.logf("worker %s: queue drained (%d completed, %d failed)", id, resp.Stats.Completed, resp.Stats.Failed)
+				return nil
+			}
+			if err := sleep(ctx, poll); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := w.runJob(ctx, id, resp.Job, beat); err != nil {
+			return err
+		}
+	}
+}
+
+// sleep waits d or until ctx cancels.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+type execResult struct {
+	records []metrics.RunRecord
+	err     error
+}
+
+// runJob executes one leased campaign while a heartbeat/extend loop
+// keeps the lease alive. Losing the lease mid-run (dispatcher reclaimed
+// it) cancels the execution and discards its results; the dispatcher's
+// exactly-once completion gate would reject them anyway.
+func (w *Worker) runJob(ctx context.Context, workerID string, job *Job, beat time.Duration) error {
+	w.logf("worker %s: leased %s (%s, attempt %d/%d)", workerID, job.ID, job.Campaign.Name, job.Attempts, job.MaxAttempts)
+	execCtx, cancelExec := context.WithCancel(ctx)
+	defer cancelExec()
+	done := make(chan execResult, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		records, err := w.execute()(execCtx, &job.Campaign)
+		done <- execResult{records, err}
+	}()
+	defer wg.Wait()
+
+	ticker := time.NewTicker(beat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// Daemon killed mid-lease: walk away. No fail report — the
+			// lease expires and the job is reclaimed, which is the crash
+			// semantics the fabric test injects deliberately.
+			return ctx.Err()
+		case <-ticker.C:
+			if _, err := w.Client.Heartbeat(ctx, workerID); err != nil && ctx.Err() == nil {
+				w.logf("worker %s: heartbeat: %v", workerID, err)
+			}
+			if err := w.Client.Extend(ctx, job.ID, job.LeaseID); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				// Stale lease: the dispatcher took the job back. Stop
+				// burning cycles on it and move on.
+				w.logf("worker %s: lost lease on %s: %v", workerID, job.ID, err)
+				cancelExec()
+				res := <-done
+				_ = res
+				return nil
+			}
+		case res := <-done:
+			return w.report(ctx, workerID, job, res)
+		}
+	}
+}
+
+// report sends the execution outcome to the dispatcher.
+func (w *Worker) report(ctx context.Context, workerID string, job *Job, res execResult) error {
+	if res.err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.logf("worker %s: job %s failed: %v", workerID, job.ID, res.err)
+		if err := w.Client.Fail(ctx, job.ID, job.LeaseID, res.err.Error()); err != nil {
+			w.logf("worker %s: fail report rejected: %v", workerID, err)
+		}
+		return nil
+	}
+	if err := w.Client.Complete(ctx, job.ID, job.LeaseID, res.records); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// A stale-lease rejection here means the dispatcher reclaimed
+		// the job while we were finishing: our records are discarded and
+		// the reclaimed attempt's will land instead — exactly-once
+		// recording holds.
+		w.logf("worker %s: completion of %s rejected: %v", workerID, job.ID, err)
+		return nil
+	}
+	w.logf("worker %s: completed %s (%d records)", workerID, job.ID, len(res.records))
+	return nil
+}
+
+// ParseBackends splits a comma-separated backend list flag.
+func ParseBackends(arg string) []string {
+	if arg == "" {
+		return nil
+	}
+	var out []string
+	for _, b := range strings.Split(arg, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"pdspbench/internal/controller"
+	"pdspbench/internal/queue"
+)
+
+// This file is the dispatcher half of the server: the HTTP surface of
+// the distributed campaign fabric (internal/queue). Workers register,
+// heartbeat, lease campaign jobs, and stream RunRecords back; the
+// dispatcher appends completed jobs' records to the same "runs"
+// collection the in-process campaigns use, so fleet-generated corpora
+// are indistinguishable from local ones.
+//
+// Liveness is traffic-driven: every worker-facing handler reaps expired
+// leases and dead workers inside the queue — there is no background
+// reaper goroutine to leak or to race with shutdown.
+
+// queueError maps queue sentinels onto HTTP statuses: unknown → 404,
+// lease conflicts → 409, everything else → 400.
+func queueError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, queue.ErrUnknownJob), errors.Is(err, queue.ErrUnknownWorker):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, queue.ErrStaleLease), errors.Is(err, queue.ErrNotLeasable):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// handleEnqueue implements POST /api/jobs: validate the campaign, shard
+// it when asked, and journal one job per shard.
+func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	var req queue.EnqueueRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	toEnqueue := []controller.Spec{req.Spec}
+	if req.Split {
+		toEnqueue = req.Spec.Shard()
+	}
+	campaigns := make([]queue.Job, 0, len(toEnqueue))
+	for _, spec := range toEnqueue {
+		j, err := s.q.Enqueue(spec, req.MaxAttempts)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		campaigns = append(campaigns, j)
+	}
+	writeJSON(w, http.StatusCreated, queue.EnqueueResponse{Jobs: campaigns})
+}
+
+// handleJobs implements GET /api/jobs[?status=...].
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	status := queue.Status(r.URL.Query().Get("status"))
+	if status != "" && !queue.ValidStatus(status) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown status %q (pending, leased, completed, failed)", status))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.q.Jobs(status))
+}
+
+// handleJob implements GET /api/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.q.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, queue.ErrUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleRegister implements POST /api/workers/register.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req queue.RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	info := s.q.RegisterWorker(req.Name, req.Capacity, req.Backends)
+	writeJSON(w, http.StatusCreated, queue.RegisterResponse{
+		Worker:     info,
+		LeaseTTLMS: s.q.LeaseTTL().Milliseconds(),
+		// Workers should check in at a third of the staleness bound so
+		// two missed beats still keep their leases alive.
+		HeartbeatMS: s.q.HeartbeatTTL().Milliseconds() / 3,
+	})
+}
+
+// handleHeartbeat implements POST /api/workers/{id}/heartbeat.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	info, err := s.q.Heartbeat(r.PathValue("id"))
+	if err != nil {
+		queueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queue.HeartbeatResponse{Worker: info, Stats: s.q.Snapshot()})
+}
+
+// handleWorkers implements GET /api/workers.
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.q.Workers())
+}
+
+// handleLeaseNext implements POST /api/jobs/lease: FIFO over eligible
+// pending jobs; 200 with job=null when nothing is leasable.
+func (s *Server) handleLeaseNext(w http.ResponseWriter, r *http.Request) {
+	var req queue.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	j, err := s.q.Lease(req.WorkerID)
+	if err != nil {
+		queueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queue.LeaseResponse{Job: j, Stats: s.q.Snapshot()})
+}
+
+// handleLeaseJob implements POST /api/jobs/{id}/lease: the targeted
+// claim for callers that picked a job from the listing.
+func (s *Server) handleLeaseJob(w http.ResponseWriter, r *http.Request) {
+	var req queue.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	j, err := s.q.LeaseJob(req.WorkerID, r.PathValue("id"))
+	if err != nil {
+		queueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queue.LeaseResponse{Job: j, Stats: s.q.Snapshot()})
+}
+
+// handleExtend implements POST /api/jobs/{id}/extend.
+func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
+	var req queue.ExtendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	j, err := s.q.Extend(r.PathValue("id"), req.LeaseID)
+	if err != nil {
+		queueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleComplete implements POST /api/jobs/{id}/complete. Ordering is
+// the exactly-once guarantee: queue.Complete consumes the lease token
+// first (a stale worker gets 409 and its records are dropped), and only
+// then do the records land in the shared "runs" collection — so every
+// completed job contributes its records to the corpus exactly once.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req queue.CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	j, err := s.q.Complete(r.PathValue("id"), req.LeaseID, len(req.Records))
+	if err != nil {
+		queueError(w, err)
+		return
+	}
+	for i := range req.Records {
+		if err := s.store.Append("runs", &req.Records[i]); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// handleFail implements POST /api/jobs/{id}/fail.
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req queue.FailRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	j, err := s.q.Fail(r.PathValue("id"), req.LeaseID, req.Error)
+	if err != nil {
+		queueError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}

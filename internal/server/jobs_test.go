@@ -1,0 +1,278 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/queue"
+	"pdspbench/internal/storage"
+)
+
+// fabricClock is an injected monotonic clock so lease expiry in
+// dispatcher tests is driven by Advance, not wall time.
+type fabricClock struct{ ms atomic.Int64 }
+
+func (c *fabricClock) Now() int64              { return c.ms.Load() }
+func (c *fabricClock) Advance(d time.Duration) { c.ms.Add(d.Milliseconds()) }
+
+func fabricServer(t *testing.T) (*Server, *fabricClock) {
+	t.Helper()
+	st, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fabricClock{}
+	s, err := New(st, WithQueueOptions(queue.Options{
+		LeaseTTL:     time.Second,
+		RetryBackoff: 100 * time.Millisecond,
+		MaxAttempts:  2,
+		NowMS:        clk.Now,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, clk
+}
+
+func post(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var out T
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("decode %q: %v", w.Body.String(), err)
+	}
+	return out
+}
+
+const sweepSpec = `{"spec":{"name":"sweep","workloads":[{"structure":"linear","degrees":[1,2,4,8]}]},"split":true}`
+
+func TestEnqueueSplitShardsAndListsJobs(t *testing.T) {
+	s, _ := fabricServer(t)
+	w := post(t, s, "/api/jobs", sweepSpec)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	resp := decode[queue.EnqueueResponse](t, w)
+	if len(resp.Jobs) != 4 {
+		t.Fatalf("jobs = %d, want 4 (one per degree)", len(resp.Jobs))
+	}
+	for _, j := range resp.Jobs {
+		if j.Status != queue.StatusPending {
+			t.Errorf("job %s status %q", j.ID, j.Status)
+		}
+	}
+
+	jobs := decode[[]queue.Job](t, get(t, s, "/api/jobs"))
+	if len(jobs) != 4 {
+		t.Errorf("GET /api/jobs = %d jobs", len(jobs))
+	}
+	pending := decode[[]queue.Job](t, get(t, s, "/api/jobs?status=pending"))
+	if len(pending) != 4 {
+		t.Errorf("pending filter = %d jobs", len(pending))
+	}
+	if w := get(t, s, "/api/jobs?status=bogus"); w.Code != http.StatusBadRequest {
+		t.Errorf("bogus status filter: %d", w.Code)
+	}
+
+	one := decode[queue.Job](t, get(t, s, "/api/jobs/"+resp.Jobs[0].ID))
+	if one.ID != resp.Jobs[0].ID {
+		t.Errorf("GET job = %q, want %q", one.ID, resp.Jobs[0].ID)
+	}
+	if w := get(t, s, "/api/jobs/nope"); w.Code != http.StatusNotFound {
+		t.Errorf("unknown job: %d", w.Code)
+	}
+}
+
+func TestEnqueueRejectsInvalidInput(t *testing.T) {
+	s, _ := fabricServer(t)
+	cases := []string{
+		`{not json`,
+		`{"spec":{"name":"empty","workloads":[]}}`,
+		`{"spec":{"name":"bad","workloads":[{"structure":"8-dim-hypercube","degrees":[2]}]}}`,
+	}
+	for _, body := range cases {
+		if w := post(t, s, "/api/jobs", body); w.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, w.Code)
+		}
+	}
+}
+
+func TestWorkerLeaseCompleteAppendsRuns(t *testing.T) {
+	s, _ := fabricServer(t)
+	post(t, s, "/api/jobs", sweepSpec)
+
+	w := post(t, s, "/api/workers/register", `{"name":"alpha","capacity":2}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("register status %d: %s", w.Code, w.Body.String())
+	}
+	reg := decode[queue.RegisterResponse](t, w)
+	if reg.Worker.ID == "" || reg.LeaseTTLMS != 1000 || reg.HeartbeatMS <= 0 {
+		t.Fatalf("register response %+v", reg)
+	}
+
+	hb := post(t, s, "/api/workers/"+reg.Worker.ID+"/heartbeat", "")
+	if hb.Code != http.StatusOK {
+		t.Fatalf("heartbeat status %d", hb.Code)
+	}
+	if st := decode[queue.HeartbeatResponse](t, hb).Stats; st.Pending != 4 {
+		t.Errorf("stats pending = %d, want 4", st.Pending)
+	}
+	if w := post(t, s, "/api/workers/ghost/heartbeat", ""); w.Code != http.StatusNotFound {
+		t.Errorf("unknown worker heartbeat: %d", w.Code)
+	}
+
+	lease := decode[queue.LeaseResponse](t, post(t, s, "/api/jobs/lease",
+		fmt.Sprintf(`{"worker_id":%q}`, reg.Worker.ID)))
+	if lease.Job == nil {
+		t.Fatal("no job leased")
+	}
+	job := lease.Job
+
+	if w := post(t, s, "/api/jobs/"+job.ID+"/extend",
+		fmt.Sprintf(`{"lease_id":%q}`, job.LeaseID)); w.Code != http.StatusOK {
+		t.Fatalf("extend status %d: %s", w.Code, w.Body.String())
+	}
+
+	body, err := json.Marshal(queue.CompleteRequest{
+		LeaseID: job.LeaseID,
+		Records: []metrics.RunRecord{{Workload: "linear"}, {Workload: "linear"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := post(t, s, "/api/jobs/"+job.ID+"/complete", string(body))
+	if done.Code != http.StatusOK {
+		t.Fatalf("complete status %d: %s", done.Code, done.Body.String())
+	}
+	if j := decode[queue.Job](t, done); j.Status != queue.StatusCompleted || j.Records != 2 {
+		t.Errorf("completed job %+v", j)
+	}
+
+	runs := decode[[]metrics.RunRecord](t, get(t, s, "/api/runs"))
+	if len(runs) != 2 {
+		t.Errorf("runs collection = %d records, want 2", len(runs))
+	}
+
+	// Replaying the completion must be rejected and must not double-append.
+	if w := post(t, s, "/api/jobs/"+job.ID+"/complete", string(body)); w.Code != http.StatusConflict {
+		t.Errorf("duplicate complete: status %d, want 409", w.Code)
+	}
+	if runs := decode[[]metrics.RunRecord](t, get(t, s, "/api/runs")); len(runs) != 2 {
+		t.Errorf("duplicate complete appended records: %d", len(runs))
+	}
+
+	workers := decode[[]queue.WorkerInfo](t, get(t, s, "/api/workers"))
+	if len(workers) != 1 || workers[0].ID != reg.Worker.ID {
+		t.Errorf("workers listing %+v", workers)
+	}
+}
+
+func TestTargetedLeaseAndConflicts(t *testing.T) {
+	s, _ := fabricServer(t)
+	resp := decode[queue.EnqueueResponse](t, post(t, s, "/api/jobs", sweepSpec))
+	reg := decode[queue.RegisterResponse](t, post(t, s, "/api/workers/register", `{"name":"a","capacity":4}`))
+	wid := fmt.Sprintf(`{"worker_id":%q}`, reg.Worker.ID)
+
+	target := resp.Jobs[2].ID
+	lease := decode[queue.LeaseResponse](t, post(t, s, "/api/jobs/"+target+"/lease", wid))
+	if lease.Job == nil || lease.Job.ID != target {
+		t.Fatalf("targeted lease %+v", lease.Job)
+	}
+	// Leasing an already-leased job is a conflict, not a 404.
+	if w := post(t, s, "/api/jobs/"+target+"/lease", wid); w.Code != http.StatusConflict {
+		t.Errorf("double targeted lease: %d", w.Code)
+	}
+	if w := post(t, s, "/api/jobs/missing/lease", wid); w.Code != http.StatusNotFound {
+		t.Errorf("targeted lease of unknown job: %d", w.Code)
+	}
+	if w := post(t, s, "/api/jobs/lease", `{"worker_id":"ghost"}`); w.Code != http.StatusNotFound {
+		t.Errorf("lease by unknown worker: %d", w.Code)
+	}
+	if w := post(t, s, "/api/jobs/"+target+"/extend", `{"lease_id":"stale"}`); w.Code != http.StatusConflict {
+		t.Errorf("extend with stale lease: %d", w.Code)
+	}
+}
+
+func TestFailRetriesThenExhausts(t *testing.T) {
+	s, clk := fabricServer(t)
+	one := `{"spec":{"name":"solo","workloads":[{"structure":"linear","degrees":[2]}]}}`
+	resp := decode[queue.EnqueueResponse](t, post(t, s, "/api/jobs", one))
+	if len(resp.Jobs) != 1 {
+		t.Fatalf("jobs = %d", len(resp.Jobs))
+	}
+	reg := decode[queue.RegisterResponse](t, post(t, s, "/api/workers/register", `{"name":"a"}`))
+	wid := fmt.Sprintf(`{"worker_id":%q}`, reg.Worker.ID)
+
+	lease := decode[queue.LeaseResponse](t, post(t, s, "/api/jobs/lease", wid))
+	w := post(t, s, "/api/jobs/"+lease.Job.ID+"/fail",
+		fmt.Sprintf(`{"lease_id":%q,"error":"sim crashed"}`, lease.Job.LeaseID))
+	if w.Code != http.StatusOK {
+		t.Fatalf("fail status %d: %s", w.Code, w.Body.String())
+	}
+	if j := decode[queue.Job](t, w); j.Status != queue.StatusPending || j.Error != "sim crashed" {
+		t.Fatalf("after first fail: %+v", j)
+	}
+
+	// The retry sits behind its backoff until the clock advances.
+	if l := decode[queue.LeaseResponse](t, post(t, s, "/api/jobs/lease", wid)); l.Job != nil {
+		t.Fatal("leased before backoff elapsed")
+	}
+	clk.Advance(200 * time.Millisecond)
+	lease = decode[queue.LeaseResponse](t, post(t, s, "/api/jobs/lease", wid))
+	if lease.Job == nil || lease.Job.Attempts != 2 {
+		t.Fatalf("retry lease %+v", lease.Job)
+	}
+
+	// MaxAttempts is 2: the second reported failure is terminal.
+	w = post(t, s, "/api/jobs/"+lease.Job.ID+"/fail",
+		fmt.Sprintf(`{"lease_id":%q,"error":"sim crashed again"}`, lease.Job.LeaseID))
+	if j := decode[queue.Job](t, w); j.Status != queue.StatusFailed {
+		t.Fatalf("after final fail: %+v", j)
+	}
+	if st := decode[queue.HeartbeatResponse](t, post(t, s, "/api/workers/"+reg.Worker.ID+"/heartbeat", "")).Stats; st.Failed != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLeaseExpiryReclaimsOverHTTP(t *testing.T) {
+	s, clk := fabricServer(t)
+	one := `{"spec":{"name":"solo","workloads":[{"structure":"linear","degrees":[2]}]}}`
+	post(t, s, "/api/jobs", one)
+	rega := decode[queue.RegisterResponse](t, post(t, s, "/api/workers/register", `{"name":"a"}`))
+	regb := decode[queue.RegisterResponse](t, post(t, s, "/api/workers/register", `{"name":"b"}`))
+
+	lease := decode[queue.LeaseResponse](t, post(t, s, "/api/jobs/lease",
+		fmt.Sprintf(`{"worker_id":%q}`, rega.Worker.ID)))
+	if lease.Job == nil {
+		t.Fatal("no lease")
+	}
+	stale := lease.Job.LeaseID
+
+	// Worker a goes silent past the lease TTL; b's next poll reaps and
+	// re-leases the job, and a's late completion bounces off the gate.
+	clk.Advance(1500 * time.Millisecond)
+	release := decode[queue.LeaseResponse](t, post(t, s, "/api/jobs/lease",
+		fmt.Sprintf(`{"worker_id":%q}`, regb.Worker.ID)))
+	if release.Job == nil || release.Job.Worker != regb.Worker.ID {
+		t.Fatalf("reclaimed lease %+v", release.Job)
+	}
+	late := post(t, s, "/api/jobs/"+lease.Job.ID+"/complete",
+		fmt.Sprintf(`{"lease_id":%q,"records":[]}`, stale))
+	if late.Code != http.StatusConflict {
+		t.Errorf("late completion: %d, want 409", late.Code)
+	}
+}

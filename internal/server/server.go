@@ -21,20 +21,47 @@ import (
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/controller"
 	"pdspbench/internal/metrics"
+	"pdspbench/internal/queue"
 	"pdspbench/internal/storage"
 	"pdspbench/internal/workload"
 )
 
-// Server serves the PDSP-Bench HTTP API.
+// Server serves the PDSP-Bench HTTP API: the catalogue/run surface the
+// paper's WUI reads, plus the campaign-fabric dispatcher (job queue and
+// worker protocol, see internal/queue and docs/API.md).
 type Server struct {
 	store *storage.Store
 	ctrl  *controller.Controller
+	q     *queue.Queue
 	mux   *http.ServeMux
 }
 
-// New builds a server over the given run store.
-func New(store *storage.Store) *Server {
-	s := &Server{store: store, ctrl: controller.Fast(), mux: http.NewServeMux()}
+// Option tunes server construction.
+type Option func(*config)
+
+type config struct {
+	queue queue.Options
+}
+
+// WithQueueOptions overrides the dispatcher's queue tuning (lease TTL,
+// heartbeat TTL, retry policy, clock) — tests shrink the timings.
+func WithQueueOptions(opts queue.Options) Option {
+	return func(c *config) { c.queue = opts }
+}
+
+// New builds a server over the given run store. The fabric journal is
+// replayed from the store, so a dispatcher restart resumes its queue
+// (leases from the dead process are reclaimed).
+func New(store *storage.Store, opts ...Option) (*Server, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q, err := queue.New(store, cfg.queue)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, ctrl: controller.Fast(), q: q, mux: http.NewServeMux()}
 	s.ctrl.Store = store
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/apps", s.handleApps)
@@ -45,8 +72,23 @@ func New(store *storage.Store) *Server {
 	s.mux.HandleFunc("GET /api/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /api/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /api/run", s.handleRun)
-	return s
+	// Campaign-fabric dispatcher (see dispatcher.go).
+	s.mux.HandleFunc("POST /api/jobs", s.handleEnqueue)
+	s.mux.HandleFunc("GET /api/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /api/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /api/jobs/lease", s.handleLeaseNext)
+	s.mux.HandleFunc("POST /api/jobs/{id}/lease", s.handleLeaseJob)
+	s.mux.HandleFunc("POST /api/jobs/{id}/extend", s.handleExtend)
+	s.mux.HandleFunc("POST /api/jobs/{id}/complete", s.handleComplete)
+	s.mux.HandleFunc("POST /api/jobs/{id}/fail", s.handleFail)
+	s.mux.HandleFunc("POST /api/workers/register", s.handleRegister)
+	s.mux.HandleFunc("POST /api/workers/{id}/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("GET /api/workers", s.handleWorkers)
+	return s, nil
 }
+
+// Queue exposes the dispatcher's job queue (CLI listings and tests).
+func (s *Server) Queue() *queue.Queue { return s.q }
 
 // Handler exposes the mux (tests drive it with httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -101,7 +143,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/api/runs">/api/runs</a> — stored benchmark runs</li>
 <li>/api/plan?structure=3-way-join&amp;parallelism=8 — plan DOT</li>
 <li>POST /api/run — execute a workload on an execution backend</li>
-</ul>`)
+<li><a href="/api/jobs">/api/jobs</a> — campaign job queue (POST to enqueue)</li>
+<li><a href="/api/workers">/api/workers</a> — registered worker daemons</li>
+</ul>
+<p>Full HTTP reference: docs/API.md (job/worker fabric protocol included).</p>`)
 }
 
 type appInfo struct {

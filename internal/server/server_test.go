@@ -17,7 +17,10 @@ func testServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(st)
+	s, err := New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Shrink simulation fidelity so POST /api/run is fast in tests.
 	s.ctrl.Cfg.Duration = 5
 	s.ctrl.Cfg.SourceBatches = 40

@@ -4,10 +4,20 @@
 // Collections are append-only JSON-lines files under one directory, so a
 // benchmark corpus survives process restarts and can be re-read for
 // model training without re-running workloads.
+//
+// The append-only contract: records are only ever appended, never
+// rewritten in place — Drop removes a whole collection, and that is the
+// only destructive operation. Consumers therefore treat a collection as
+// an immutable log prefix: anything Load returned stays true, and
+// replaying a journal collection (the fabric's "fabricjournal") always
+// folds the same state. A Store is owned by one process; the fabric
+// keeps that invariant by funnelling all worker writes through the
+// dispatcher rather than sharing the directory.
 package storage
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -18,6 +28,16 @@ import (
 
 // Store is a directory-backed collection set. It is safe for concurrent
 // use within one process.
+//
+// Locking contract: one mutex serializes every file operation — Append,
+// AppendAll, Load, Count and Drop all hold it for their full critical
+// section, so a reader never observes a torn record and interleaved
+// writers never interleave bytes within a record. JSON marshalling
+// happens before the lock is taken (marshal failures write nothing) and
+// files are opened per call rather than cached, so the lock never
+// outlives a single syscall sequence. The mutex does not guard against
+// other processes appending to the same directory; the fabric funnels
+// all writes through the dispatcher process for exactly that reason.
 type Store struct {
 	dir string
 	mu  sync.Mutex
@@ -66,12 +86,35 @@ func (s *Store) Append(collection string, v any) error {
 }
 
 // AppendAll appends a batch atomically with respect to other writers in
-// this process.
+// this process: the whole batch is marshalled first (a marshal failure
+// writes nothing), then written contiguously under one lock acquisition
+// and one file write, so concurrent appenders can never interleave their
+// records inside the batch.
 func (s *Store) AppendAll(collection string, vs ...any) error {
+	if err := validateCollection(collection); err != nil {
+		return err
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
 	for _, v := range vs {
-		if err := s.Append(collection, v); err != nil {
-			return err
+		data, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("storage: marshal: %w", err)
 		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(s.path(collection), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("storage: write: %w", err)
 	}
 	return nil
 }

@@ -41,6 +41,13 @@ echo "== fuzz smoke (2s per target)"
 go test -run '^$' -fuzz '^FuzzValueHash$' -fuzztime 2s ./internal/tuple
 go test -run '^$' -fuzz '^FuzzPlanRoundTrip$' -fuzztime 2s ./internal/core
 
+#   4c. fabric smoke — the distributed campaign fabric exercised through
+#       the built binary: a dispatcher process, an HTTP-enqueued sharded
+#       campaign, two worker daemons draining it. Catches CLI wiring and
+#       flag regressions the in-process tests cannot see.
+echo "== scripts/fabric_smoke.sh"
+scripts/fabric_smoke.sh
+
 #   5. (opt-in) substrate micro-benchmarks — set BENCH=1 to run
 #      scripts/bench.sh after the gates and record a BENCH_<n>.json
 #      entry in the performance trajectory. Not part of the default

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# fabric_smoke.sh — end-to-end smoke of the distributed campaign fabric
+# through real processes and real sockets: build the CLI, start a
+# dispatcher, enqueue a sharded campaign over HTTP, drain it with two
+# worker daemons, and verify every job completed and its records landed
+# in the dispatcher's run store. The in-process fabric e2e test
+# (internal/queue/fabric_test.go) covers the protocol; this script
+# covers the binary — flags, subcommands, and the serve/worker wiring.
+#
+# Deliberately dependency-free: verification uses grep/wc, not jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+BIN="$WORK/pdspbench"
+DATA="$WORK/data"
+SERVE_LOG="$WORK/serve.log"
+SERVER_PID=""
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== fabric smoke: build"
+go build -o "$BIN" ./cmd/pdspbench
+
+# A degree sweep over two structures: 6 shards, each a one-measurement
+# campaign a worker can finish in well under a second at fast fidelity.
+SPEC="$WORK/campaign.json"
+cat > "$SPEC" <<'JSON'
+{
+  "name": "fabric-smoke",
+  "workloads": [
+    {"structure": "linear", "degrees": [1, 2, 4]},
+    {"structure": "2-way-join", "degrees": [2, 4, 8]}
+  ]
+}
+JSON
+JOBS=6
+
+# Ports can collide on shared CI hosts; walk a small range until the
+# dispatcher binds.
+ADDR=""
+for port in 18431 18432 18433 18434 18435 18436 18437 18438 18439; do
+  "$BIN" serve --addr "127.0.0.1:$port" --data "$DATA" >"$SERVE_LOG" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 20); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      break # bind failed; try the next port
+    fi
+    if grep -q "serving PDSP-Bench API" "$SERVE_LOG"; then
+      ADDR="127.0.0.1:$port"
+      break
+    fi
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] && break
+  SERVER_PID=""
+done
+if [ -z "$ADDR" ]; then
+  echo "fabric_smoke: could not start dispatcher" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+fi
+URL="http://$ADDR"
+echo "== fabric smoke: dispatcher on $URL"
+
+echo "== fabric smoke: enqueue sharded campaign"
+"$BIN" jobs enqueue --url "$URL" --spec "$SPEC" --split
+ENQUEUED=$("$BIN" jobs list --url "$URL" --status pending | grep -c "fabric-smoke/" || true)
+if [ "$ENQUEUED" -ne "$JOBS" ]; then
+  echo "fabric_smoke: enqueued $ENQUEUED jobs, want $JOBS" >&2
+  exit 1
+fi
+
+echo "== fabric smoke: drain with two workers"
+"$BIN" worker --url "$URL" --name smoke-a --once --poll 100ms &
+WORKER_A=$!
+"$BIN" worker --url "$URL" --name smoke-b --once --poll 100ms
+wait "$WORKER_A"
+
+echo "== fabric smoke: verify"
+COMPLETED=$("$BIN" jobs list --url "$URL" --status completed | grep -c "fabric-smoke/" || true)
+if [ "$COMPLETED" -ne "$JOBS" ]; then
+  echo "fabric_smoke: $COMPLETED of $JOBS jobs completed" >&2
+  "$BIN" jobs list --url "$URL" >&2
+  exit 1
+fi
+# Each one-measurement shard contributes exactly one RunRecord to the
+# dispatcher's "runs" collection (one JSONL line per record).
+RUNS=$(wc -l < "$DATA/runs.jsonl")
+if [ "$RUNS" -ne "$JOBS" ]; then
+  echo "fabric_smoke: runs store has $RUNS records, want $JOBS" >&2
+  exit 1
+fi
+WORKERS=$("$BIN" jobs workers --url "$URL" | grep -c "smoke-" || true)
+if [ "$WORKERS" -ne 2 ]; then
+  echo "fabric_smoke: worker listing shows $WORKERS workers, want 2" >&2
+  exit 1
+fi
+
+echo "fabric_smoke: $JOBS jobs drained by 2 workers, $RUNS records stored"
