@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -584,7 +585,7 @@ func cmdWorker(ctx context.Context, args []string) error {
 		},
 	}
 	err := w.Run(ctx)
-	if err == context.Canceled {
+	if errors.Is(err, context.Canceled) {
 		return nil // Ctrl-C is a clean daemon stop, not a failure
 	}
 	return err

@@ -162,3 +162,66 @@ func TestFabricDrainsCampaignWithWorkerKill(t *testing.T) {
 		t.Errorf("runs collection has %d records, want 12", n)
 	}
 }
+
+// Regression: a healthy worker whose job runs for several lease TTLs
+// must keep the lease alive through timely extends. The original bug
+// paced extends on the advertised heartbeat cadence, which with default
+// options equals the lease TTL — so the first extend landed at expiry,
+// the worker's own heartbeat reaped its live lease, and any job longer
+// than one TTL burned every attempt and parked as failed.
+func TestLongJobOutlivesLeaseTTL(t *testing.T) {
+	st, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HeartbeatTTL = 3×LeaseTTL mirrors the production default ratio —
+	// exactly the geometry that used to self-reap.
+	srv, err := server.New(st, server.WithQueueOptions(queue.Options{
+		LeaseTTL:     100 * time.Millisecond,
+		HeartbeatTTL: 300 * time.Millisecond,
+		RetryBackoff: 10 * time.Millisecond,
+		MaxAttempts:  3,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := controller.Spec{
+		Name:      "long-job",
+		Workloads: []controller.WorkloadSpec{{Structure: "linear", Degrees: []int{2}}},
+	}
+	if _, err := queue.NewClient(ts.URL).Enqueue(context.Background(), spec, false, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	w := &queue.Worker{
+		Client: queue.NewClient(ts.URL),
+		Name:   "slow",
+		Once:   true,
+		Poll:   5 * time.Millisecond,
+		Execute: func(ctx context.Context, spec *controller.Spec) ([]metrics.RunRecord, error) {
+			// 4+ lease TTLs of work; abort early if the lease is lost.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(450 * time.Millisecond):
+				return []metrics.RunRecord{{ID: spec.Name, Workload: "linear"}}, nil
+			}
+		},
+	}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+
+	jobs := srv.Queue().Jobs("")
+	if len(jobs) != 1 {
+		t.Fatalf("queue has %d jobs", len(jobs))
+	}
+	j := jobs[0]
+	if j.Status != queue.StatusCompleted || j.Completions != 1 || j.Attempts != 1 {
+		t.Errorf("long job was not kept alive: status %q, completions %d, attempts %d (err %q)",
+			j.Status, j.Completions, j.Attempts, j.Error)
+	}
+}

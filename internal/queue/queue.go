@@ -11,9 +11,11 @@
 //
 //   - Durability is a journal. Every state transition appends one
 //     journalEntry to a storage collection (append-only, see
-//     internal/storage); Open replays the journal to rebuild state, so
-//     the queue survives dispatcher restarts. Nothing is ever rewritten
-//     in place.
+//     internal/storage) and is applied in memory only after the append
+//     succeeds, so a storage failure aborts the transition cleanly
+//     instead of leaving memory ahead of the journal; Open replays the
+//     journal to rebuild state, so the queue survives dispatcher
+//     restarts. Nothing is ever rewritten in place.
 //   - Job IDs are deterministic: a job's ID is derived from its
 //     campaign spec and its enqueue ordinal, so replaying the same
 //     enqueue sequence reproduces the same IDs, and records can be
@@ -322,18 +324,18 @@ func (q *Queue) apply(e *journalEntry) error {
 	return nil
 }
 
-// journal applies the entry to memory and appends it to the store. A
-// store error is returned after the in-memory apply: the dispatcher
-// surfaces it, and durability (not in-process consistency) is what was
-// lost.
+// journal appends the entry to the store and only then applies it to
+// memory. Append-first means a storage failure leaves the in-memory
+// state untouched: the transition simply did not happen, the caller
+// sees the error, and the operation can be retried. For Complete this
+// is what keeps the lease intact when the journal write fails, so the
+// worker's retry is accepted instead of bouncing off ErrStaleLease
+// against a half-applied completion.
 func (q *Queue) journal(e *journalEntry) error {
-	if err := q.apply(e); err != nil {
-		return err
-	}
 	if err := q.store.Append(q.opts.Collection, e); err != nil {
 		return fmt.Errorf("queue: journal: %w", err)
 	}
-	return nil
+	return q.apply(e)
 }
 
 // jobID derives the deterministic job identifier: a hash of the
@@ -353,26 +355,55 @@ func jobID(spec *controller.Spec, seq int) string {
 // Enqueue validates and appends one campaign job. maxAttempts ≤ 0 uses
 // the queue default.
 func (q *Queue) Enqueue(spec controller.Spec, maxAttempts int) (Job, error) {
-	if err := spec.Validate(); err != nil {
+	jobs, err := q.EnqueueAll([]controller.Spec{spec}, maxAttempts)
+	if err != nil {
 		return Job{}, err
+	}
+	return jobs[0], nil
+}
+
+// EnqueueAll validates and appends a batch of campaign jobs atomically:
+// every spec is validated up front, then all journal entries land in a
+// single AppendAll write, so either the whole batch is durably enqueued
+// or none of it is. The dispatcher shards campaigns through this so a
+// failed POST /api/jobs can be retried without duplicating the shards
+// that made it in before the error.
+func (q *Queue) EnqueueAll(specs []controller.Spec, maxAttempts int) ([]Job, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("queue: enqueue of empty batch")
+	}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if maxAttempts <= 0 {
 		maxAttempts = q.opts.MaxAttempts
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.seq++
-	j := Job{
-		ID:          jobID(&spec, q.seq),
-		Seq:         q.seq,
-		Campaign:    spec,
-		Status:      StatusPending,
-		MaxAttempts: maxAttempts,
+	jobs := make([]Job, len(specs))
+	entries := make([]any, len(specs))
+	for i := range specs {
+		seq := q.seq + i + 1
+		jobs[i] = Job{
+			ID:          jobID(&specs[i], seq),
+			Seq:         seq,
+			Campaign:    specs[i],
+			Status:      StatusPending,
+			MaxAttempts: maxAttempts,
+		}
+		entries[i] = &journalEntry{Op: "enqueue", Job: &jobs[i]}
 	}
-	if err := q.journal(&journalEntry{Op: "enqueue", Job: &j}); err != nil {
-		return Job{}, err
+	if err := q.store.AppendAll(q.opts.Collection, entries...); err != nil {
+		return nil, fmt.Errorf("queue: journal: %w", err)
 	}
-	return j, nil
+	for _, e := range entries {
+		if err := q.apply(e.(*journalEntry)); err != nil {
+			return nil, err
+		}
+	}
+	return jobs, nil
 }
 
 // RegisterWorker adds (or re-adds) a worker daemon and returns its
@@ -514,9 +545,19 @@ func (q *Queue) Extend(id, leaseID string) (Job, error) {
 
 // Complete marks the job done. It is the exactly-once gate: expired or
 // superseded leases get ErrStaleLease and the job's results must be
-// discarded by the caller; the dispatcher appends the reported
-// RunRecords to the run store only after Complete succeeds.
-func (q *Queue) Complete(id, leaseID string, records int) (Job, error) {
+// discarded by the caller.
+//
+// persist, when non-nil, is the caller's hook for landing the job's
+// RunRecords; it runs under the queue lock after the lease check passes
+// and before the completion is journaled. That ordering gives the
+// dispatcher three guarantees: a stale completion never persists
+// anything, concurrent completions cannot interleave their batches, and
+// a persist failure aborts the completion with the lease intact — the
+// worker's retry of the same Complete (same token) is accepted. The one
+// window left is crash-grade: if persist succeeds and the journal
+// append then fails, a retried Complete persists the batch again, so
+// persist should tolerate duplicates across storage-failure retries.
+func (q *Queue) Complete(id, leaseID string, records int, persist func() error) (Job, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opts.NowMS()
@@ -528,10 +569,15 @@ func (q *Queue) Complete(id, leaseID string, records int) (Job, error) {
 	if j.Status != StatusLeased || j.LeaseID != leaseID {
 		return Job{}, ErrStaleLease
 	}
-	q.releaseWorker(j.Worker)
+	if persist != nil {
+		if err := persist(); err != nil {
+			return Job{}, fmt.Errorf("queue: persist records: %w", err)
+		}
+	}
 	if err := q.journal(&journalEntry{Op: "complete", JobID: id, Records: records}); err != nil {
 		return Job{}, err
 	}
+	q.releaseWorker(j.Worker)
 	return *j, nil
 }
 
@@ -548,10 +594,10 @@ func (q *Queue) Fail(id, leaseID, msg string) (Job, error) {
 	if j.Status != StatusLeased || j.LeaseID != leaseID {
 		return Job{}, ErrStaleLease
 	}
-	q.releaseWorker(j.Worker)
 	if err := q.journal(q.retryEntry(j, now, "fail", msg, true)); err != nil {
 		return Job{}, err
 	}
+	q.releaseWorker(j.Worker)
 	return *j, nil
 }
 
@@ -593,21 +639,20 @@ func (q *Queue) reapLocked(now int64) {
 		if dead && !expired {
 			reason = fmt.Sprintf("worker %s missed heartbeats", j.Worker)
 		}
-		q.releaseWorker(j.Worker)
-		// Reclaim is journaled like any transition; a journal write
-		// error here only costs durability of the reclaim, which replay
-		// re-derives anyway, so it is deliberately not propagated.
 		q.reclaim(j, now, reason)
 	}
 }
 
-// reclaim requeues or fails a leased job in memory and journals the
-// transition on a best-effort basis (see reapLocked and replay).
+// reclaim requeues or fails a leased job, best-effort. Journaling is
+// append-first, so a failed write leaves the job leased in memory too —
+// the next worker-driven entry point (or replay, after a restart)
+// retries the reap, which is why the error is deliberately dropped
+// rather than propagated. The worker's lease slot is released only when
+// the transition actually applied.
 func (q *Queue) reclaim(j *Job, now int64, reason string) {
-	// The in-memory transition happens inside journal's apply; losing
-	// only the journal line is recoverable (replay reclaims leased jobs
-	// on Open), so the write error is deliberately dropped.
-	_ = q.journal(q.retryEntry(j, now, "requeue", reason, false))
+	if err := q.journal(q.retryEntry(j, now, "requeue", reason, false)); err == nil {
+		q.releaseWorker(j.Worker)
+	}
 }
 
 // releaseWorker decrements the worker's lease count if it is known.

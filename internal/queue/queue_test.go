@@ -109,10 +109,10 @@ func TestLeaseFIFOAndLeaseProtocol(t *testing.T) {
 	}
 	// Complete is exactly-once: the second completion is rejected and
 	// the completion gauge stays at 1.
-	if _, err := q.Complete(j1.ID, j1.LeaseID, 3); err != nil {
+	if _, err := q.Complete(j1.ID, j1.LeaseID, 3, nil); err != nil {
 		t.Fatalf("complete: %v", err)
 	}
-	if _, err := q.Complete(j1.ID, j1.LeaseID, 3); !errors.Is(err, ErrStaleLease) {
+	if _, err := q.Complete(j1.ID, j1.LeaseID, 3, nil); !errors.Is(err, ErrStaleLease) {
 		t.Errorf("duplicate complete: %v", err)
 	}
 	got, _ := q.Job(j1.ID)
@@ -204,7 +204,7 @@ func TestLeaseExpiryAndDeadWorkerReclaim(t *testing.T) {
 		t.Errorf("reclaimed lease: %+v", j2)
 	}
 	// The victim's completion is now stale and must be rejected.
-	if _, err := q.Complete(j.ID, j.LeaseID, 1); !errors.Is(err, ErrStaleLease) {
+	if _, err := q.Complete(j.ID, j.LeaseID, 1, nil); !errors.Is(err, ErrStaleLease) {
 		t.Errorf("stale complete: %v", err)
 	}
 	// Dead-worker path: the new leaseholder stops heartbeating; keep the
@@ -246,7 +246,7 @@ func TestJournalReplaySurvivesDispatcherRestart(t *testing.T) {
 	pending, _ := q.Enqueue(testSpec("pending", 4), 0)
 	w := q.RegisterWorker("wk", 2, nil)
 	j1, _ := q.Lease(w.ID)
-	if _, err := q.Complete(j1.ID, j1.LeaseID, 2); err != nil {
+	if _, err := q.Complete(j1.ID, j1.LeaseID, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 	if j2, _ := q.Lease(w.ID); j2.ID != inflight.ID {
@@ -281,6 +281,67 @@ func TestJournalReplaySurvivesDispatcherRestart(t *testing.T) {
 	}
 }
 
+// A persist failure must abort the completion with the lease intact so
+// the worker can retry with the same token — and a stale lease must be
+// rejected before persist ever runs.
+func TestCompletePersistFailureKeepsLeaseRetryable(t *testing.T) {
+	clock := &fakeClock{}
+	q, _ := testQueue(t, clock)
+	if _, err := q.Enqueue(testSpec("p", 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	w := q.RegisterWorker("wk", 1, nil)
+	j, _ := q.Lease(w.ID)
+	boom := errors.New("disk full")
+	if _, err := q.Complete(j.ID, j.LeaseID, 1, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("complete with failing persist: %v", err)
+	}
+	got, _ := q.Job(j.ID)
+	if got.Status != StatusLeased || got.LeaseID != j.LeaseID || got.Completions != 0 {
+		t.Fatalf("job after persist failure: %+v", got)
+	}
+	// Same token, working persist: the retry lands.
+	persisted := false
+	if _, err := q.Complete(j.ID, j.LeaseID, 1, func() error { persisted = true; return nil }); err != nil {
+		t.Fatalf("retried complete: %v", err)
+	}
+	if !persisted {
+		t.Error("persist not invoked on retry")
+	}
+	// A stale token must be rejected without touching persist.
+	if _, err := q.Complete(j.ID, j.LeaseID, 1, func() error {
+		t.Error("persist ran for a stale lease")
+		return nil
+	}); !errors.Is(err, ErrStaleLease) {
+		t.Errorf("stale complete: %v", err)
+	}
+}
+
+// EnqueueAll is all-or-nothing: one invalid spec in the batch means no
+// job is enqueued and nothing hits the journal.
+func TestEnqueueAllIsAtomic(t *testing.T) {
+	clock := &fakeClock{}
+	q, st := testQueue(t, clock)
+	batch := []controller.Spec{testSpec("ok1", 1), {Name: "bad"}, testSpec("ok2", 2)}
+	if _, err := q.EnqueueAll(batch, 0); err == nil {
+		t.Fatal("batch with an invalid spec was accepted")
+	}
+	if jobs := q.Jobs(""); len(jobs) != 0 {
+		t.Errorf("partial batch enqueued: %+v", jobs)
+	}
+	if n, _ := st.Count("fabricjournal"); n != 0 {
+		t.Errorf("journal has %d entries after rejected batch", n)
+	}
+	// A valid batch lands whole, with ordinal-contiguous FIFO IDs.
+	jobs, err := q.EnqueueAll([]controller.Spec{testSpec("a", 1), testSpec("b", 2)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].Seq != 1 || jobs[1].Seq != 2 {
+		t.Errorf("batch jobs: %+v", jobs)
+	}
+}
+
 func TestSnapshotCounts(t *testing.T) {
 	clock := &fakeClock{}
 	q, _ := testQueue(t, clock)
@@ -291,7 +352,7 @@ func TestSnapshotCounts(t *testing.T) {
 	}
 	w := q.RegisterWorker("wk", 1, nil)
 	j, _ := q.Lease(w.ID)
-	if _, err := q.Complete(j.ID, j.LeaseID, 1); err != nil {
+	if _, err := q.Complete(j.ID, j.LeaseID, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	j, _ = q.Lease(w.ID)

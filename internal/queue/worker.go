@@ -97,11 +97,18 @@ func (w *Worker) Run(ctx context.Context) error {
 	if beat <= 0 {
 		beat = time.Second
 	}
+	// The keep-alive tick must renew leases well inside the lease TTL,
+	// never just at the heartbeat cadence: a dispatcher whose advertised
+	// heartbeat equals the lease TTL would otherwise have the first
+	// Extend land exactly at expiry, after the lease was already reaped.
+	if ttl := time.Duration(reg.LeaseTTLMS) * time.Millisecond / 3; ttl > 0 && ttl < beat {
+		beat = ttl
+	}
 	poll := w.Poll
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
-	w.logf("worker %s (%s) registered: heartbeat %v, backends %v", id, name, beat, w.Backends)
+	w.logf("worker %s (%s) registered: keep-alive %v, backends %v", id, name, beat, w.Backends)
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -175,9 +182,9 @@ func (w *Worker) runJob(ctx context.Context, workerID string, job *Job, beat tim
 			// semantics the fabric test injects deliberately.
 			return ctx.Err()
 		case <-ticker.C:
-			if _, err := w.Client.Heartbeat(ctx, workerID); err != nil && ctx.Err() == nil {
-				w.logf("worker %s: heartbeat: %v", workerID, err)
-			}
+			// Extend before heartbeating: heartbeats reap expired leases
+			// queue-side, so renewing first guarantees a live worker never
+			// reaps its own lease at the TTL margin.
 			if err := w.Client.Extend(ctx, job.ID, job.LeaseID); err != nil {
 				if ctx.Err() != nil {
 					return ctx.Err()
@@ -189,6 +196,9 @@ func (w *Worker) runJob(ctx context.Context, workerID string, job *Job, beat tim
 				res := <-done
 				_ = res
 				return nil
+			}
+			if _, err := w.Client.Heartbeat(ctx, workerID); err != nil && ctx.Err() == nil {
+				w.logf("worker %s: heartbeat: %v", workerID, err)
 			}
 		case res := <-done:
 			return w.report(ctx, workerID, job, res)

@@ -22,7 +22,9 @@ import (
 // reaper goroutine to leak or to race with shutdown.
 
 // queueError maps queue sentinels onto HTTP statuses: unknown → 404,
-// lease conflicts → 409, everything else → 400.
+// lease conflicts → 409. Anything else is a journal or record-store
+// failure — the queue aborted the transition with state unchanged — so
+// it maps to 500, telling the worker the call is worth retrying.
 func queueError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, queue.ErrUnknownJob), errors.Is(err, queue.ErrUnknownWorker):
@@ -30,12 +32,14 @@ func queueError(w http.ResponseWriter, err error) {
 	case errors.Is(err, queue.ErrStaleLease), errors.Is(err, queue.ErrNotLeasable):
 		writeError(w, http.StatusConflict, err)
 	default:
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
 // handleEnqueue implements POST /api/jobs: validate the campaign, shard
-// it when asked, and journal one job per shard.
+// it when asked, and journal the whole batch atomically — either every
+// shard is enqueued or none are, so a failed request can be retried
+// without duplicating shards that landed before the error.
 func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 	var req queue.EnqueueRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -50,16 +54,12 @@ func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 	if req.Split {
 		toEnqueue = req.Spec.Shard()
 	}
-	campaigns := make([]queue.Job, 0, len(toEnqueue))
-	for _, spec := range toEnqueue {
-		j, err := s.q.Enqueue(spec, req.MaxAttempts)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		campaigns = append(campaigns, j)
+	jobs, err := s.q.EnqueueAll(toEnqueue, req.MaxAttempts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	}
-	writeJSON(w, http.StatusCreated, queue.EnqueueResponse{Jobs: campaigns})
+	writeJSON(w, http.StatusCreated, queue.EnqueueResponse{Jobs: jobs})
 }
 
 // handleJobs implements GET /api/jobs[?status=...].
@@ -90,12 +90,21 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := s.q.RegisterWorker(req.Name, req.Capacity, req.Backends)
+	// Advertise a cadence that satisfies both deadlines: a third of the
+	// heartbeat staleness bound (two missed beats still keep the worker
+	// alive) and a third of the lease TTL (two missed extends still keep
+	// a lease alive) — whichever is tighter. With the default
+	// HeartbeatTTL = 3×LeaseTTL, the staleness bound alone would equal
+	// the lease TTL exactly, and a worker pacing its extends on it would
+	// always renew one beat too late.
+	beat := s.q.HeartbeatTTL().Milliseconds() / 3
+	if lease := s.q.LeaseTTL().Milliseconds() / 3; lease < beat {
+		beat = lease
+	}
 	writeJSON(w, http.StatusCreated, queue.RegisterResponse{
-		Worker:     info,
-		LeaseTTLMS: s.q.LeaseTTL().Milliseconds(),
-		// Workers should check in at a third of the staleness bound so
-		// two missed beats still keep their leases alive.
-		HeartbeatMS: s.q.HeartbeatTTL().Milliseconds() / 3,
+		Worker:      info,
+		LeaseTTLMS:  s.q.LeaseTTL().Milliseconds(),
+		HeartbeatMS: beat,
 	})
 }
 
@@ -161,27 +170,29 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j)
 }
 
-// handleComplete implements POST /api/jobs/{id}/complete. Ordering is
-// the exactly-once guarantee: queue.Complete consumes the lease token
-// first (a stale worker gets 409 and its records are dropped), and only
-// then do the records land in the shared "runs" collection — so every
-// completed job contributes its records to the corpus exactly once.
+// handleComplete implements POST /api/jobs/{id}/complete. The records
+// land inside queue.Complete's lease-checked critical section: a stale
+// worker gets 409 before anything is written, the whole batch goes into
+// the shared "runs" collection in one atomic AppendAll (no partial
+// batches, no interleaving with concurrent completions), and a storage
+// failure aborts the completion with the lease intact so the worker can
+// retry — every completed job contributes its records exactly once.
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req queue.CompleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	j, err := s.q.Complete(r.PathValue("id"), req.LeaseID, len(req.Records))
+	records := make([]any, len(req.Records))
+	for i := range req.Records {
+		records[i] = &req.Records[i]
+	}
+	j, err := s.q.Complete(r.PathValue("id"), req.LeaseID, len(req.Records), func() error {
+		return s.store.AppendAll("runs", records...)
+	})
 	if err != nil {
 		queueError(w, err)
 		return
-	}
-	for i := range req.Records {
-		if err := s.store.Append("runs", &req.Records[i]); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
 	}
 	writeJSON(w, http.StatusOK, j)
 }
