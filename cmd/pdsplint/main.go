@@ -10,20 +10,45 @@
 //
 // Packages default to ./... relative to the enclosing module. The exit
 // code is 0 when clean, 1 when findings were reported, 2 on load or
-// usage errors. Findings print as file:line:col: rule: message.
+// usage errors. Findings print as file:line:col: rule: message; -json
+// switches to a machine-readable report (findings plus load and
+// per-analyzer timings) for gate artifacts, and -timings prints the
+// per-analyzer wall-time table after a human-readable run.
 // Suppress a finding with a preceding `//lint:ignore <rule> <reason>`
 // comment; the reason is mandatory and stale ignores are findings too.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"pdspbench/internal/lint"
 )
+
+// jsonReport is the -json output schema, consumed by scripts/check.sh
+// (lint_report.json) and any CI wanting structured results.
+type jsonReport struct {
+	Root      string             `json:"root"`
+	Packages  int                `json:"packages"`
+	Analyzers []string           `json:"analyzers"`
+	Findings  []jsonFinding      `json:"findings"`
+	TimingsMS map[string]float64 `json:"timings_ms"`
+	LoadMS    float64            `json:"load_ms"`
+	TotalMS   float64            `json:"total_ms"`
+}
+
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -37,6 +62,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	ruleFilter := fs.String("rule", "", "comma-separated rule names to run (default: all)")
 	rootFlag := fs.String("root", "", "tree root to lint (default: the enclosing module root)")
 	moduleFlag := fs.String("module", "", "module path of -root trees that carry no go.mod (e.g. lint fixtures)")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report (findings + timings) instead of text")
+	timings := fs.Bool("timings", false, "print per-analyzer wall time after the findings")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,8 +110,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	start := time.Now()
 	loader := &lint.Loader{Root: root, ModulePath: *moduleFlag}
 	pkgs, err := loader.Load(patterns...)
+	loadTime := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(stderr, "pdsplint:", err)
 		return 2
@@ -101,18 +130,63 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	runner := &lint.Runner{Analyzers: analyzers, Config: cfg, ReportUnusedIgnores: *ruleFilter == ""}
 	diags := runner.Run(pkgs)
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(root, rel); err == nil {
-			rel = r
+	relFile := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil {
+			return r
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		return name
+	}
+
+	if *jsonOut {
+		report := jsonReport{
+			Root:      root,
+			Packages:  len(pkgs),
+			Findings:  []jsonFinding{},
+			TimingsMS: map[string]float64{},
+			LoadMS:    roundMS(loadTime),
+		}
+		for _, a := range analyzers {
+			report.Analyzers = append(report.Analyzers, a.Name)
+		}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{
+				File: relFile(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		for _, rt := range runner.Timings() {
+			report.TimingsMS[rt.Rule] = roundMS(rt.Duration)
+		}
+		report.TotalMS = roundMS(time.Since(start))
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "pdsplint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relFile(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		}
+		if *timings {
+			fmt.Fprintf(stdout, "load: %7.1fms  (%d packages)\n", roundMS(loadTime), len(pkgs))
+			for _, rt := range runner.Timings() {
+				fmt.Fprintf(stdout, "%-26s %7.1fms\n", rt.Rule, roundMS(rt.Duration))
+			}
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "pdsplint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// roundMS renders a duration as milliseconds with 0.1ms resolution —
+// coarse enough to diff gate artifacts without timing noise in every
+// digit.
+func roundMS(d time.Duration) float64 {
+	return float64(d.Round(100*time.Microsecond)) / float64(time.Millisecond)
 }
 
 // resolveConfig loads -config, or the module root's pdsplint.json when

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pdspbench/internal/lint/flow"
+)
+
+// ChanDiscipline checks the channel ownership rules the fabric's
+// goroutine topology depends on: only the goroutine that creates and
+// sends on a channel may close it, nothing may send on a channel that
+// may already be closed, and every goroutine running an unbounded loop
+// needs a way to be told to stop.
+func ChanDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "chan-discipline",
+		Doc: "Channel ownership: close() on a channel received as a parameter is " +
+			"close-by-non-owner (a second closer panics); sending on a channel after " +
+			"close() on the same path panics unconditionally; a goroutine whose body is an " +
+			"unbounded for-loop with no return or break (e.g. no ctx.Done() case that " +
+			"exits) can never be stopped and leaks.",
+		DefaultDirs: []string{"internal/queue", "internal/server", "internal/storage", "cmd"},
+		RunWhole:    runChanDiscipline,
+	}
+}
+
+func runChanDiscipline(w *WholePass) {
+	for _, fn := range w.Program.All() {
+		checkCloseOwnership(w, fn)
+		checkGoroutineCancellation(w, fn)
+		cs := &closeScan{u: fn.Unit, w: w}
+		cs.block(fn.Decl.Body.List, map[string]bool{})
+	}
+}
+
+// checkCloseOwnership flags close() on channels the function received
+// as parameters: the closer did not create the channel, so it cannot
+// know it is the unique owner, and a double close panics.
+func checkCloseOwnership(w *WholePass, fn *flow.Func) {
+	params := map[types.Object]bool{}
+	if fn.Decl.Type.Params != nil {
+		for _, field := range fn.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := fn.Unit.ObjectOf(name); obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || len(call.Args) != 1 || !isBuiltinClose(fn.Unit, call) {
+			return true
+		}
+		id, isIdent := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		if obj := fn.Unit.ObjectOf(id); obj != nil && params[obj] {
+			w.Reportf(call.Pos(),
+				"close(%s) closes a channel received as a parameter; only the owner that created the channel (and is the sole sender) may close it", id.Name)
+		}
+		return true
+	})
+}
+
+func isBuiltinClose(u *flow.Unit, call *ast.CallExpr) bool {
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := u.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// closeScan walks statements in order tracking channels closed on the
+// current path; a send on one is a guaranteed panic. Branch bodies use
+// a copy of the closed set and terminating branches don't leak it,
+// mirroring the lease scan's path sensitivity.
+type closeScan struct {
+	u *flow.Unit
+	w *WholePass
+}
+
+func (cs *closeScan) block(list []ast.Stmt, closed map[string]bool) {
+	for _, st := range list {
+		cs.stmt(st, closed)
+	}
+}
+
+func copyClosed(c map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+func (cs *closeScan) branch(list []ast.Stmt, closed map[string]bool) {
+	inner := copyClosed(closed)
+	cs.block(list, inner)
+	if !terminates(list) {
+		for k := range inner {
+			closed[k] = true
+		}
+	}
+}
+
+func (cs *closeScan) stmt(st ast.Stmt, closed map[string]bool) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, isCall := s.X.(*ast.CallExpr); isCall && len(call.Args) == 1 && isBuiltinClose(cs.u, call) {
+			closed[types.ExprString(ast.Unparen(call.Args[0]))] = true
+			return
+		}
+	case *ast.SendStmt:
+		if closed[types.ExprString(ast.Unparen(s.Chan))] {
+			w := cs.w
+			w.Reportf(s.Pos(),
+				"send on %s after close() on the same path; sending on a closed channel panics", types.ExprString(s.Chan))
+		}
+	case *ast.BlockStmt:
+		cs.block(s.List, closed)
+	case *ast.LabeledStmt:
+		cs.stmt(s.Stmt, closed)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cs.stmt(s.Init, closed)
+		}
+		cs.branch(s.Body.List, closed)
+		if s.Else != nil {
+			cs.stmt(s.Else, closed)
+		}
+	case *ast.ForStmt:
+		cs.branch(s.Body.List, closed)
+	case *ast.RangeStmt:
+		cs.branch(s.Body.List, closed)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			body = sw.Body
+		case *ast.TypeSwitchStmt:
+			body = sw.Body
+		case *ast.SelectStmt:
+			body = sw.Body
+		}
+		for _, clause := range body.List {
+			switch c := clause.(type) {
+			case *ast.CaseClause:
+				cs.branch(c.Body, closed)
+			case *ast.CommClause:
+				cs.branch(c.Body, closed)
+			}
+		}
+	}
+}
+
+// checkGoroutineCancellation flags `go func() { for { ... } }()` where
+// the unbounded loop has no exit: no return, no break binding to the
+// loop, no panic. Such a goroutine cannot be cancelled or joined — the
+// leak gate in internal/testutil catches them at test time, this rule
+// catches them at lint time.
+func checkGoroutineCancellation(w *WholePass, fn *flow.Func) {
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		g, isGo := n.(*ast.GoStmt)
+		if !isGo {
+			return true
+		}
+		lit, isLit := g.Call.Fun.(*ast.FuncLit)
+		if !isLit {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			loop, isFor := m.(*ast.ForStmt)
+			if !isFor || loop.Cond != nil {
+				return true
+			}
+			if !loopHasExit(loop.Body.List, true) {
+				w.Reportf(g.Pos(),
+					"goroutine runs an unbounded loop with no cancellation path (no return, break, or ctx.Done() case that exits); it can never be stopped")
+				return false
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// loopHasExit reports whether the loop body can leave the loop:
+// a return anywhere, a panic, or a break that binds to this loop.
+// breakBinds tracks whether an unlabeled break at the current nesting
+// level still targets the loop (false inside nested for/switch/select,
+// where break binds to the inner construct).
+func loopHasExit(list []ast.Stmt, breakBinds bool) bool {
+	for _, st := range list {
+		if stmtHasExit(st, breakBinds) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtHasExit(st ast.Stmt, breakBinds bool) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		// A labeled break/continue/goto targets an enclosing construct —
+		// conservatively assume it leaves this loop.
+		if s.Label != nil {
+			return true
+		}
+		return s.Tok.String() == "break" && breakBinds
+	case *ast.ExprStmt:
+		if call, isCall := s.X.(*ast.CallExpr); isCall {
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return loopHasExit(s.List, breakBinds)
+	case *ast.LabeledStmt:
+		return stmtHasExit(s.Stmt, breakBinds)
+	case *ast.IfStmt:
+		if loopHasExit(s.Body.List, breakBinds) {
+			return true
+		}
+		if s.Else != nil {
+			return stmtHasExit(s.Else, breakBinds)
+		}
+	case *ast.ForStmt:
+		return loopHasExit(s.Body.List, false)
+	case *ast.RangeStmt:
+		return loopHasExit(s.Body.List, false)
+	case *ast.SwitchStmt:
+		return clausesHaveExit(s.Body)
+	case *ast.TypeSwitchStmt:
+		return clausesHaveExit(s.Body)
+	case *ast.SelectStmt:
+		return clausesHaveExit(s.Body)
+	}
+	return false
+}
+
+func clausesHaveExit(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if loopHasExit(c.Body, false) {
+				return true
+			}
+		case *ast.CommClause:
+			if loopHasExit(c.Body, false) {
+				return true
+			}
+		}
+	}
+	return false
+}

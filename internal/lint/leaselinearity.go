@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pdspbench/internal/lint/flow"
+)
+
+// LeaseLinearity treats internal/queue lease tokens as linear values.
+// A LeaseID is single-use by protocol: Complete and Fail consume it
+// (the queue clears it and rejects any echo as ErrStaleLease), so code
+// that keeps using a token after passing it to a consumer, or parks it
+// in a structure that outlives the lease, is writing requests the
+// dispatcher is guaranteed to reject — or worse, masking a lost lease.
+func LeaseLinearity() *Analyzer {
+	return &Analyzer{
+		Name: "lease-linearity",
+		Doc: "Lease tokens (LeaseID fields minted by internal/queue) are linear: once passed " +
+			"to a consuming call (Complete/Fail), the token is dead and must not be read " +
+			"again on that path, and it must not be stored into a struct field or map that " +
+			"outlives the lease. Extend renews without consuming. Consumption inside a " +
+			"terminating branch (return/panic/break) does not poison the fall-through path.",
+		DefaultDirs: []string{"internal/queue", "internal/server", "cmd"},
+		RunWhole:    runLeaseLinearity,
+	}
+}
+
+func runLeaseLinearity(w *WholePass) {
+	for _, fn := range w.Program.All() {
+		ls := &leaseScan{u: fn.Unit, w: w, vars: map[types.Object]bool{}}
+		ls.block(fn.Decl.Body.List, map[string]*leaseConsume{})
+	}
+}
+
+type leaseConsume struct {
+	by string // consuming call, for the diagnostic
+}
+
+// leaseScan walks one function in statement order, tracking which token
+// expressions have been consumed. Branch bodies run on a copy of the
+// consumed set; a branch that terminates (return, panic, break,
+// continue, goto) does not leak its consumptions into the fall-through
+// path — that is the shape of every correct Fail-then-return /
+// Complete-below handler.
+type leaseScan struct {
+	u *flow.Unit
+	w *WholePass
+	// vars are local identifiers assigned from token expressions; they
+	// carry the token's linearity.
+	vars map[types.Object]bool
+}
+
+func (ls *leaseScan) block(list []ast.Stmt, consumed map[string]*leaseConsume) {
+	for _, st := range list {
+		ls.stmt(st, consumed)
+	}
+}
+
+func copyConsumed(c map[string]*leaseConsume) map[string]*leaseConsume {
+	out := make(map[string]*leaseConsume, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeConsumed(dst, src map[string]*leaseConsume) {
+	for k, v := range src {
+		if dst[k] == nil {
+			dst[k] = v
+		}
+	}
+}
+
+// branch runs a conditional body on its own copy of the consumed set
+// and merges the result back only when the body can fall through.
+func (ls *leaseScan) branch(list []ast.Stmt, consumed map[string]*leaseConsume) {
+	inner := copyConsumed(consumed)
+	ls.block(list, inner)
+	if !terminates(list) {
+		mergeConsumed(consumed, inner)
+	}
+}
+
+func (ls *leaseScan) stmt(st ast.Stmt, consumed map[string]*leaseConsume) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		ls.expr(s.X, consumed)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			ls.expr(rhs, consumed)
+		}
+		ls.assign(s, consumed)
+	case *ast.DeferStmt:
+		ls.expr(s.Call, consumed)
+	case *ast.GoStmt:
+		ls.expr(s.Call, consumed)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ls.expr(r, consumed)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, consumed)
+		}
+		ls.expr(s.Cond, consumed)
+		ls.branch(s.Body.List, consumed)
+		if s.Else != nil {
+			ls.stmt(s.Else, consumed)
+		}
+	case *ast.BlockStmt:
+		ls.block(s.List, consumed)
+	case *ast.LabeledStmt:
+		ls.stmt(s.Stmt, consumed)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, consumed)
+		}
+		if s.Cond != nil {
+			ls.expr(s.Cond, consumed)
+		}
+		ls.branch(s.Body.List, consumed)
+	case *ast.RangeStmt:
+		ls.expr(s.X, consumed)
+		ls.branch(s.Body.List, consumed)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, consumed)
+		}
+		if s.Tag != nil {
+			ls.expr(s.Tag, consumed)
+		}
+		ls.caseClauses(s.Body, consumed)
+	case *ast.TypeSwitchStmt:
+		ls.caseClauses(s.Body, consumed)
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if c, isComm := clause.(*ast.CommClause); isComm {
+				if c.Comm != nil {
+					ls.stmt(c.Comm, copyConsumed(consumed))
+				}
+				ls.branch(c.Body, consumed)
+			}
+		}
+	case *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt:
+		ls.exprNode(st, consumed)
+	}
+}
+
+func (ls *leaseScan) caseClauses(body *ast.BlockStmt, consumed map[string]*leaseConsume) {
+	for _, clause := range body.List {
+		if c, isCase := clause.(*ast.CaseClause); isCase {
+			for _, e := range c.List {
+				ls.expr(e, consumed)
+			}
+			ls.branch(c.Body, consumed)
+		}
+	}
+}
+
+// assign tracks token flow through locals and reports tokens escaping
+// into fields or maps. Writes to a destination itself named LeaseID are
+// the queue's own bookkeeping (minting, clearing, echoing into request
+// structs) and are exempt.
+func (ls *leaseScan) assign(s *ast.AssignStmt, consumed map[string]*leaseConsume) {
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		if _, isToken := ls.tokenKey(s.Rhs[i]); !isToken {
+			continue
+		}
+		switch dst := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if obj := ls.u.ObjectOf(dst); obj != nil {
+				ls.vars[obj] = true
+			}
+		case *ast.SelectorExpr:
+			if dst.Sel.Name != "LeaseID" {
+				ls.w.Reportf(s.Pos(),
+					"lease token stored into field %s, which outlives the lease; tokens are linear — pass them to Complete/Fail and forget them", dst.Sel.Name)
+			}
+		case *ast.IndexExpr:
+			ls.w.Reportf(s.Pos(),
+				"lease token stored into a map/slice, which outlives the lease; tokens are linear — pass them to Complete/Fail and forget them")
+		}
+	}
+}
+
+// expr reports token reads on consumed paths and marks tokens passed to
+// consuming calls.
+func (ls *leaseScan) expr(e ast.Expr, consumed map[string]*leaseConsume) {
+	if e == nil {
+		return
+	}
+	ls.exprNode(e, consumed)
+}
+
+func (ls *leaseScan) exprNode(n ast.Node, consumed map[string]*leaseConsume) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			// A closure shares the frame's tokens; scan with the same set.
+			ls.block(e.Body.List, consumed)
+			return false
+		case *ast.CallExpr:
+			name, isConsumer := leaseConsumerCall(ls.u, e)
+			if !isConsumer {
+				return true
+			}
+			for _, arg := range e.Args {
+				ls.expr(arg, consumed)
+			}
+			for _, arg := range e.Args {
+				if key, isToken := ls.tokenKey(arg); isToken {
+					consumed[key] = &leaseConsume{by: name}
+				}
+			}
+			return false
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				kv, isKV := elt.(*ast.KeyValueExpr)
+				if !isKV {
+					ls.expr(elt, consumed)
+					continue
+				}
+				keyIdent, isIdent := kv.Key.(*ast.Ident)
+				ls.expr(kv.Value, consumed)
+				if _, isToken := ls.tokenKey(kv.Value); isToken {
+					if !isIdent || keyIdent.Name != "LeaseID" {
+						ls.w.Reportf(kv.Pos(),
+							"lease token stored into a composite literal field, which may outlive the lease; tokens are linear")
+					}
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			if key, isToken := ls.tokenKey(e); isToken {
+				if c := consumed[key]; c != nil {
+					ls.w.Reportf(e.Pos(),
+						"lease token %s used after being consumed by %s; leases are single-use — the queue will reject this as a stale lease", key, c.by)
+				}
+				return false
+			}
+		case *ast.Ident:
+			if key, isToken := ls.tokenKey(e); isToken {
+				if c := consumed[key]; c != nil {
+					ls.w.Reportf(e.Pos(),
+						"lease token %s used after being consumed by %s; leases are single-use — the queue will reject this as a stale lease", key, c.by)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// tokenKey identifies an expression carrying a lease token: a read of a
+// LeaseID field on a struct declared in a package named "queue", or a
+// local variable previously assigned from one. The key is the rendered
+// expression, so job.LeaseID and other.LeaseID stay distinct.
+func (ls *leaseScan) tokenKey(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "LeaseID" {
+			return "", false
+		}
+		v, isVar := ls.u.ObjectOf(x.Sel).(*types.Var)
+		if !isVar || !v.IsField() || v.Pkg() == nil || v.Pkg().Name() != "queue" {
+			return "", false
+		}
+		return types.ExprString(x), true
+	case *ast.Ident:
+		if obj := ls.u.ObjectOf(x); obj != nil && ls.vars[obj] {
+			return x.Name, true
+		}
+	}
+	return "", false
+}
+
+// leaseConsumerCall reports whether a call consumes a lease token: a
+// method named Complete or Fail on a type declared in a package named
+// "queue". Extend deliberately is not a consumer — it renews the lease.
+func leaseConsumerCall(u *flow.Unit, call *ast.CallExpr) (string, bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	obj, isFunc := u.ObjectOf(sel.Sel).(*types.Func)
+	if !isFunc {
+		return "", false
+	}
+	if obj.Name() != "Complete" && obj.Name() != "Fail" {
+		return "", false
+	}
+	recv := flow.NamedRecv(obj)
+	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Name() != "queue" {
+		return "", false
+	}
+	return typeShortName(recv) + "." + obj.Name(), true
+}
+
+func typeShortName(n *types.Named) string {
+	return n.Obj().Name()
+}
+
+// terminates reports whether a statement list cannot fall through: its
+// last statement returns, branches away, or panics. Nested if/else and
+// blocks are checked recursively.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, isCall := s.X.(*ast.CallExpr); isCall {
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		elseTerm := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = terminates(e.List)
+		case *ast.IfStmt:
+			elseTerm = stmtTerminates(e)
+		}
+		return elseTerm && terminates(s.Body.List)
+	}
+	return false
+}

@@ -17,6 +17,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"pdspbench/internal/lint/flow"
 )
 
 // Diagnostic is one finding, addressed by position so callers can print
@@ -84,6 +86,38 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return nil
 }
 
+// WholePass is the invocation context of a whole-program analyzer: one
+// call sees every loaded package plus the shared flow.Program (call
+// graph + fact store), built once per Runner.Run and shared by all
+// whole-program rules.
+type WholePass struct {
+	// Pkgs are all loaded packages, in dependency order.
+	Pkgs []*Package
+	// Program is the shared call graph over Pkgs.
+	Program *flow.Program
+	Config  *Config
+
+	analyzer  *Analyzer
+	fset      *token.FileSet
+	pkgByFile map[string]*Package
+	report    func(rule string, pos token.Pos, format string, args ...any)
+}
+
+// Fset positions the whole program (whole-program analysis requires all
+// packages to come from one Loader, hence one FileSet).
+func (w *WholePass) Fset() *token.FileSet { return w.fset }
+
+// Reportf records a diagnostic. Findings whose position falls outside
+// the rule's directory scope are dropped, so a whole-program rule may
+// analyse everything while reporting only inside its policy scope.
+func (w *WholePass) Reportf(pos token.Pos, format string, args ...any) {
+	pkg := w.pkgByFile[w.fset.Position(pos).Filename]
+	if pkg == nil || !w.Config.Applies(w.analyzer, pkg.Dir) {
+		return
+	}
+	w.report(w.analyzer.Name, pos, format, args...)
+}
+
 // Analyzer is one named rule.
 type Analyzer struct {
 	// Name is the rule identifier used in diagnostics, policy config and
@@ -93,10 +127,15 @@ type Analyzer struct {
 	Doc string
 	// DefaultDirs restricts the rule to packages whose Dir has one of
 	// these slash-separated prefixes; nil means the whole module. The
-	// policy config can override per rule.
+	// policy config can override per rule. For whole-program rules the
+	// scope filters where diagnostics may land, not what is analysed.
 	DefaultDirs []string
-	// Run inspects one package and reports diagnostics.
+	// Run inspects one package and reports diagnostics. Exactly one of
+	// Run and RunWhole is set.
 	Run func(*Pass)
+	// RunWhole inspects the whole loaded program at once; cross-package
+	// rules (call-graph reachability, lock ordering) use this form.
+	RunWhole func(*WholePass)
 }
 
 // Analyzers returns the full rule set in stable order.
@@ -110,6 +149,10 @@ func Analyzers() []*Analyzer {
 		APIBoundary(),
 		HotPathAlloc(),
 		RecoverDiscipline(),
+		CtxPropagation(),
+		LockOrder(),
+		LeaseLinearity(),
+		ChanDiscipline(),
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

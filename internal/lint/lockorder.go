@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pdspbench/internal/lint/flow"
+)
+
+// LockOrder builds a cross-package mutex acquisition-order graph and
+// reports edges that participate in a cycle: if one code path acquires
+// A before B and another acquires B before A, two goroutines can each
+// hold one lock and wait forever for the other. The rule also pins the
+// documented internal/storage contract — Store.mu is the fabric's leaf
+// lock, so nothing may be acquired while holding it.
+func LockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lock-order",
+		Doc: "Cross-package sync.Mutex/RWMutex acquisition order must be acyclic. The rule " +
+			"tracks held locks through static call chains (e.g. internal/queue holding " +
+			"Queue.mu while calling into internal/storage) and reports every acquisition " +
+			"edge that closes a cycle, plus any lock acquired while holding the leaf lock " +
+			"internal/storage Store.mu.",
+		RunWhole: runLockOrder,
+	}
+}
+
+// storageLeafLock is the documented leaf of the fabric's lock order:
+// internal/storage serializes all file operations under one mutex and
+// must never wait on another lock while holding it.
+const storageLeafLock = "pdspbench/internal/storage.Store.mu"
+
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func runLockOrder(w *WholePass) {
+	var edges []lockEdge
+	seen := make(map[[2]string]bool)
+	acq := lockAcquires(w.Program)
+	for _, fn := range w.Program.All() {
+		lw := &lockWalker{
+			fn:   fn,
+			prog: w.Program,
+			acq:  acq,
+			emit: func(from, to string, pos token.Pos) {
+				key := [2]string{from, to}
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				edges = append(edges, lockEdge{from: from, to: to, pos: pos})
+			},
+		}
+		lw.block(fn.Decl.Body.List, nil)
+	}
+
+	adjacency := make(map[string][]string)
+	for _, e := range edges {
+		adjacency[e.from] = append(adjacency[e.from], e.to)
+	}
+	for _, e := range edges {
+		if e.from == storageLeafLock {
+			w.Reportf(e.pos,
+				"acquiring %s while holding %s violates the storage locking contract: Store.mu is the fabric's leaf lock and nothing may be acquired under it",
+				e.to, e.from)
+			continue
+		}
+		if reachesClass(adjacency, e.to, e.from) {
+			w.Reportf(e.pos,
+				"acquiring %s while holding %s creates a lock-order cycle: %s is elsewhere (transitively) acquired before %s; pick one order and use it everywhere",
+				e.to, e.from, e.from, e.to)
+		}
+	}
+}
+
+// reachesClass reports whether `to` can reach `from` over acquisition
+// edges, i.e. the edge from→to closes a cycle.
+func reachesClass(adj map[string][]string, start, target string) bool {
+	seen := map[string]bool{}
+	stack := []string{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == target {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	return false
+}
+
+// lockAcquires is the per-function fact: which lock classes a function
+// (transitively) acquires. Shared via the program memo so one fixpoint
+// serves the whole run.
+func lockAcquires(prog *flow.Program) map[*flow.Func]map[string]bool {
+	return prog.Memo("lint.lock-acquires", func() any {
+		acq := make(map[*flow.Func]map[string]bool, len(prog.All()))
+		for _, fn := range prog.All() {
+			classes := map[string]bool{}
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				if call, isCall := n.(*ast.CallExpr); isCall {
+					if class, op := lockOp(fn.Unit, call); op == lockAcquire && class != "" {
+						classes[class] = true
+					}
+				}
+				return true
+			})
+			acq[fn] = classes
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range prog.All() {
+				for _, callee := range fn.Calls {
+					for class := range acq[callee] {
+						if !acq[fn][class] {
+							acq[fn][class] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		return acq
+	}).(map[*flow.Func]map[string]bool)
+}
+
+// lockWalker scans one function in statement order, maintaining the set
+// of held lock classes. Branch bodies run on a copy of the held set and
+// do not leak acquisitions past the branch — conservative in the
+// may-miss direction, never inventing a held lock.
+type lockWalker struct {
+	fn   *flow.Func
+	prog *flow.Program
+	acq  map[*flow.Func]map[string]bool
+	emit func(from, to string, pos token.Pos)
+}
+
+func (lw *lockWalker) block(list []ast.Stmt, held []string) []string {
+	for _, st := range list {
+		held = lw.stmt(st, held)
+	}
+	return held
+}
+
+func copyHeld(held []string) []string {
+	return append([]string(nil), held...)
+}
+
+func (lw *lockWalker) acquire(held []string, class string, pos token.Pos) []string {
+	for _, h := range held {
+		if h != class {
+			lw.emit(h, class, pos)
+		}
+	}
+	return append(copyHeld(held), class)
+}
+
+func (lw *lockWalker) release(held []string, class string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == class {
+			out := copyHeld(held[:i])
+			return append(out, held[i+1:]...)
+		}
+	}
+	return held
+}
+
+func (lw *lockWalker) stmt(st ast.Stmt, held []string) []string {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, isCall := s.X.(*ast.CallExpr); isCall {
+			if class, op := lockOp(lw.fn.Unit, call); op != lockNone {
+				if class == "" {
+					return held
+				}
+				if op == lockAcquire {
+					return lw.acquire(held, class, call.Pos())
+				}
+				return lw.release(held, class)
+			}
+		}
+		lw.calls(s.X, held)
+	case *ast.DeferStmt:
+		if class, op := lockOp(lw.fn.Unit, s.Call); op != lockNone {
+			if op == lockAcquire && class != "" {
+				return lw.acquire(held, class, s.Call.Pos())
+			}
+			// Deferred unlock releases at function exit: the lock stays
+			// held for every statement below, which is exactly how the
+			// ordering must be computed.
+			return held
+		}
+		lw.calls(s.Call, held)
+	case *ast.GoStmt:
+		// A spawned goroutine starts with an empty held set; its
+		// arguments are evaluated in the current one.
+		if lit, isLit := s.Call.Fun.(*ast.FuncLit); isLit {
+			lw.block(lit.Body.List, nil)
+		}
+		for _, arg := range s.Call.Args {
+			lw.calls(arg, held)
+		}
+	case *ast.BlockStmt:
+		return lw.block(s.List, held)
+	case *ast.LabeledStmt:
+		return lw.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = lw.stmt(s.Init, held)
+		}
+		lw.calls(s.Cond, held)
+		lw.block(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			lw.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = lw.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lw.calls(s.Cond, held)
+		}
+		lw.block(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		lw.calls(s.X, held)
+		lw.block(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = lw.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lw.calls(s.Tag, held)
+		}
+		lw.clauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		lw.clauses(s.Body, held)
+	case *ast.SelectStmt:
+		lw.clauses(s.Body, held)
+	default:
+		lw.calls(st, held)
+	}
+	return held
+}
+
+func (lw *lockWalker) clauses(body *ast.BlockStmt, held []string) {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			lw.block(c.Body, copyHeld(held))
+		case *ast.CommClause:
+			lw.block(c.Body, copyHeld(held))
+		}
+	}
+}
+
+// calls emits edges for every statically resolved call in n using the
+// callee's transitive acquire set, and scans function literals with the
+// current held set (a closure invoked here runs in this frame).
+func (lw *lockWalker) calls(n ast.Node, held []string) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			lw.block(e.Body.List, copyHeld(held))
+			return false
+		case *ast.CallExpr:
+			if class, op := lockOp(lw.fn.Unit, e); op != lockNone {
+				if op == lockAcquire && class != "" {
+					for _, h := range held {
+						if h != class {
+							lw.emit(h, class, e.Pos())
+						}
+					}
+				}
+				return true
+			}
+			obj := flow.CalleeOf(lw.fn.Unit, e)
+			if obj == nil {
+				return true
+			}
+			callee := lw.prog.FuncOf(obj)
+			if callee == nil {
+				return true
+			}
+			for class := range lw.acq[callee] {
+				for _, h := range held {
+					if h != class {
+						lw.emit(h, class, e.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockOp classifies a call as a mutex acquire/release and names the
+// lock class it operates on ("" when the class is untrackable, e.g. a
+// local mutex variable).
+func lockOp(u *flow.Unit, call *ast.CallExpr) (string, lockOpKind) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", lockNone
+	}
+	obj, isFunc := u.ObjectOf(sel.Sel).(*types.Func)
+	if !isFunc || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	recv := flow.NamedRecv(obj)
+	if recv == nil {
+		return "", lockNone
+	}
+	if name := recv.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return "", lockNone
+	}
+	var kind lockOpKind
+	switch obj.Name() {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", lockNone
+	}
+	return lockClass(u, sel.X), kind
+}
+
+// lockClass names the lock a receiver expression denotes. Classes are
+// identity-by-declaration: "pkgpath.Type.field" for struct-field
+// mutexes, "pkgpath.var" for package-level mutexes, and
+// "pkgpath.Type.(embedded)" for types embedding a mutex. Local mutex
+// variables have no cross-function identity and return "".
+func lockClass(u *flow.Unit, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		v, isVar := u.ObjectOf(x.Sel).(*types.Var)
+		if !isVar {
+			return ""
+		}
+		if v.IsField() {
+			if named := namedOfType(u.TypeOf(x.X)); named != nil {
+				return qualifiedTypeName(named) + "." + v.Name()
+			}
+			return ""
+		}
+		return packageVarClass(v)
+	case *ast.Ident:
+		v, isVar := u.ObjectOf(x).(*types.Var)
+		if !isVar {
+			return ""
+		}
+		if class := packageVarClass(v); class != "" {
+			return class
+		}
+		// Receiver or local of a named type embedding the mutex.
+		if named := namedOfType(v.Type()); named != nil && namedPkgPath(named) != "sync" {
+			return qualifiedTypeName(named) + ".(embedded)"
+		}
+	}
+	return ""
+}
+
+func packageVarClass(v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return ""
+}
+
+func namedOfType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func namedPkgPath(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+func qualifiedTypeName(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}

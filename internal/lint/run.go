@@ -4,9 +4,21 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"time"
+
+	"pdspbench/internal/lint/flow"
 )
 
-// Runner applies analyzers to loaded packages under a policy.
+// RuleTiming is one analyzer's wall-clock cost over a Run, summed across
+// packages for per-package rules.
+type RuleTiming struct {
+	Rule     string        `json:"rule"`
+	Duration time.Duration `json:"-"`
+}
+
+// Runner applies analyzers to loaded packages under a policy. The four
+// whole-program rules share one flow.Program (call graph + fact store)
+// built lazily from the same type-check pass the per-package rules use.
 type Runner struct {
 	// Analyzers defaults to Analyzers().
 	Analyzers []*Analyzer
@@ -16,6 +28,25 @@ type Runner struct {
 	// suppressed nothing. Enabled by the CLI (full rule set), disabled by
 	// single-rule fixture runs where most directives are out of scope.
 	ReportUnusedIgnores bool
+
+	timings map[string]time.Duration
+}
+
+// Timings returns per-analyzer wall time for the last Run, sorted by
+// descending duration then name. The CLI prints it under -timings and
+// embeds it in -json reports.
+func (r *Runner) Timings() []RuleTiming {
+	out := make([]RuleTiming, 0, len(r.timings))
+	for rule, d := range r.timings {
+		out = append(out, RuleTiming{Rule: rule, Duration: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
 }
 
 // Run analyzes the packages and returns findings sorted by position.
@@ -26,12 +57,106 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 	if analyzers == nil {
 		analyzers = Analyzers()
 	}
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, r.runPackage(pkg, analyzers)...)
+	r.timings = make(map[string]time.Duration, len(analyzers))
+	var raw []Diagnostic
+	reportFor := func(fset *token.FileSet) func(rule string, pos token.Pos, format string, args ...any) {
+		return func(rule string, pos token.Pos, format string, args ...any) {
+			raw = append(raw, Diagnostic{
+				Pos:     fset.Position(pos),
+				Rule:    rule,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
+
+	// Suppression directives, collected across the whole load so a
+	// whole-program rule's finding in any package meets that package's
+	// //lint:ignore lines.
+	ignores := make(map[string]*ignoreSet, len(pkgs)) // by filename-owning package
+	byFile := make(map[string]*Package)
+	for _, pkg := range pkgs {
+		set := collectIgnores(pkg, reportFor(pkg.Fset))
+		ignores[pkg.Path] = set
+		for _, f := range pkg.Files {
+			byFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+
+	// Per-package rules.
+	for _, pkg := range pkgs {
+		report := reportFor(pkg.Fset)
+		for _, a := range analyzers {
+			if a.Run == nil || !r.Config.Applies(a, pkg.Dir) {
+				continue
+			}
+			pass := &Pass{Pkg: pkg, Config: r.Config, report: report, rule: a.Name}
+			start := time.Now()
+			a.Run(pass)
+			r.timings[a.Name] += time.Since(start)
+		}
+	}
+
+	// Whole-program rules share one flow.Program built from the same
+	// type-checked packages.
+	var wholes []*Analyzer
+	for _, a := range analyzers {
+		if a.RunWhole == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			if r.Config.Applies(a, pkg.Dir) {
+				wholes = append(wholes, a)
+				break
+			}
+		}
+	}
+	if len(wholes) > 0 && len(pkgs) > 0 {
+		start := time.Now()
+		prog := buildProgram(pkgs)
+		r.timings["(flow-graph)"] = time.Since(start)
+		fset := pkgs[0].Fset
+		report := reportFor(fset)
+		for _, a := range wholes {
+			wp := &WholePass{
+				Pkgs:      pkgs,
+				Program:   prog,
+				Config:    r.Config,
+				analyzer:  a,
+				fset:      fset,
+				pkgByFile: byFile,
+				report:    report,
+			}
+			start := time.Now()
+			a.RunWhole(wp)
+			r.timings[a.Name] += time.Since(start)
+		}
+	}
+
+	// Apply suppressions; a diagnostic meets the directives of the
+	// package its file belongs to.
+	var kept []Diagnostic
+	for _, d := range raw {
+		if d.Rule != "lint-directive" {
+			if pkg := byFile[d.Pos.Filename]; pkg != nil && ignores[pkg.Path].suppressed(d.Rule, d.Pos) {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	if r.ReportUnusedIgnores {
+		for _, pkg := range pkgs {
+			set := ignores[pkg.Path]
+			for _, d := range set.unused() {
+				kept = append(kept, Diagnostic{
+					Pos:     pkg.Fset.Position(d.pos),
+					Rule:    "lint-directive",
+					Message: fmt.Sprintf("lint:ignore %s suppresses nothing; remove it", d.rule),
+				})
+			}
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -41,43 +166,24 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Rule < diags[j].Rule
+		return kept[i].Rule < kept[j].Rule
 	})
-	return diags
+	return kept
 }
 
-func (r *Runner) runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	var raw []Diagnostic
-	report := func(rule string, pos token.Pos, format string, args ...any) {
-		raw = append(raw, Diagnostic{
-			Pos:     pkg.Fset.Position(pos),
-			Rule:    rule,
-			Message: fmt.Sprintf(format, args...),
+// buildProgram converts the loaded packages into flow units and builds
+// the shared call graph.
+func buildProgram(pkgs []*Package) *flow.Program {
+	units := make([]*flow.Unit, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		units = append(units, &flow.Unit{
+			Path:  pkg.Path,
+			Dir:   pkg.Dir,
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
 		})
 	}
-	ignores := collectIgnores(pkg, report)
-	for _, a := range analyzers {
-		if !r.Config.Applies(a, pkg.Dir) {
-			continue
-		}
-		pass := &Pass{Pkg: pkg, Config: r.Config, report: report, rule: a.Name}
-		a.Run(pass)
-	}
-	var kept []Diagnostic
-	for _, d := range raw {
-		if d.Rule != "lint-directive" && ignores.suppressed(d.Rule, d.Pos) {
-			continue
-		}
-		kept = append(kept, d)
-	}
-	if r.ReportUnusedIgnores {
-		for _, d := range ignores.unused() {
-			kept = append(kept, Diagnostic{
-				Pos:     pkg.Fset.Position(d.pos),
-				Rule:    "lint-directive",
-				Message: fmt.Sprintf("lint:ignore %s suppresses nothing; remove it", d.rule),
-			})
-		}
-	}
-	return kept
+	return flow.Build(units)
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"context"
+
+	"fixture/pipeline"
+)
+
+// main is the entry layer: it may mint the root context.
+func main() {
+	ctx := context.Background()
+	pipeline.Fetch("x")
+	pipeline.FetchCtx(ctx, "y")
+	pipeline.Detach()
+	pipeline.Pure(1, 2)
+	pipeline.Legacy()
+	run(ctx)
+}
+
+// run is a main-package command helper — entry layer too, so its lack
+// of blocking ops or root contexts is irrelevant either way.
+func run(ctx context.Context) {
+	_ = ctx
+}

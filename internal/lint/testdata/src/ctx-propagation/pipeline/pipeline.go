@@ -1,0 +1,44 @@
+package pipeline
+
+import (
+	"context"
+	"time"
+)
+
+// Fetch blocks (time.Sleep) and is reachable from main, but offers no
+// way to cancel the wait.
+func Fetch(url string) string { // want `accepts no context.Context`
+	time.Sleep(10 * time.Millisecond)
+	return url
+}
+
+// FetchCtx is the fixed shape: it blocks, but the select can be
+// interrupted through ctx.
+func FetchCtx(ctx context.Context, url string) string {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	return url
+}
+
+// Detach mints a root context below the entry layer.
+func Detach() context.Context {
+	return context.Background() // want `severs the cancellation chain`
+}
+
+// Pure is reachable and has no ctx, but never blocks — nothing to
+// cancel, nothing to report.
+func Pure(a, b int) int { return a + b }
+
+// Unreached blocks without ctx but no entry point reaches it, so the
+// rule stays quiet (dead code is vet's problem, not cancellation's).
+func Unreached() { time.Sleep(time.Millisecond) }
+
+// Legacy blocks without ctx on a reachable path; the suppression
+// documents why it is kept.
+//
+//lint:ignore ctx-propagation legacy polling helper retained to exercise suppression
+func Legacy() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,18 @@
+package queue
+
+// Worker is the fixture daemon; its methods are fabric entry points.
+type Worker struct{}
+
+// Run is an entry: it blocks only transitively and the entry layer is
+// exempt from the ctx-parameter requirement.
+func (w *Worker) Run() {
+	w.poll()
+}
+
+// poll blocks below the entry layer with no ctx.
+func (w *Worker) poll() { // want `accepts no context.Context`
+	ch := make(chan struct{})
+	select {
+	case <-ch:
+	}
+}

@@ -1,0 +1,15 @@
+package srv
+
+import "net/http"
+
+// Handle is an entry by signature (http.ResponseWriter, *http.Request);
+// what it reaches must be cancellable via the request context.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	sleepy()
+}
+
+// sleepy blocks on a channel with no ctx, reachable from the handler.
+func sleepy() { // want `accepts no context.Context`
+	ch := make(chan int)
+	<-ch
+}

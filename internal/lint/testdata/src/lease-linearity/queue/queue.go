@@ -1,0 +1,22 @@
+// Package queue mirrors the shape the rule keys on: LeaseID fields on
+// structs declared in a package named "queue", and Complete/Fail
+// methods that consume the token (Extend renews it).
+package queue
+
+// Job is a leased unit of fixture work.
+type Job struct {
+	ID      string
+	LeaseID string
+}
+
+// Client consumes lease tokens on Complete/Fail.
+type Client struct{}
+
+// Complete consumes the lease.
+func (c *Client) Complete(id, leaseID string) error { return nil }
+
+// Fail consumes the lease.
+func (c *Client) Fail(id, leaseID, msg string) error { return nil }
+
+// Extend renews the lease without consuming it.
+func (c *Client) Extend(id, leaseID string) error { return nil }

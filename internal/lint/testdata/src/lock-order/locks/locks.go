@@ -1,0 +1,76 @@
+package locks
+
+import "sync"
+
+// A, B, C form the fixture's lock classes; the cycle A→B→A is built
+// from two functions that disagree on the order.
+var (
+	A sync.Mutex
+	B sync.Mutex
+	C sync.Mutex
+)
+
+// AThenB establishes the order A → B.
+func AThenB() {
+	A.Lock()
+	defer A.Unlock()
+	B.Lock() // want `lock-order cycle`
+	B.Unlock()
+}
+
+// BThenA closes the cycle.
+func BThenA() {
+	B.Lock()
+	defer B.Unlock()
+	A.Lock() // want `lock-order cycle`
+	A.Unlock()
+}
+
+// LockC acquires C on its own — no order edge by itself.
+func LockC() {
+	C.Lock()
+	defer C.Unlock()
+}
+
+// Nested reaches C through a call while holding A: the edge A → C comes
+// from the callee's transitive acquire set.
+func Nested() {
+	A.Lock()
+	defer A.Unlock()
+	LockC() // want `lock-order cycle`
+}
+
+// Inverse acquires A directly while holding C, closing the A→C cycle.
+func Inverse() {
+	C.Lock()
+	defer C.Unlock()
+	A.Lock() // want `lock-order cycle`
+	A.Unlock()
+}
+
+// Node demonstrates that same-class hand-over-hand locking is not an
+// order violation: parent and child are one class, and the rule never
+// emits self-edges.
+type Node struct {
+	mu   sync.Mutex
+	next *Node
+}
+
+// Walk locks parent then child — one class, no edge, no finding.
+func Walk(n *Node) {
+	n.mu.Lock()
+	if n.next != nil {
+		n.next.mu.Lock()
+		n.next.mu.Unlock()
+	}
+	n.mu.Unlock()
+}
+
+// Sequential acquires in strictly released order — held set is empty at
+// each acquisition, so no edges and no findings.
+func Sequential() {
+	B.Lock()
+	B.Unlock()
+	A.Lock()
+	A.Unlock()
+}

@@ -1,0 +1,27 @@
+package locks
+
+import "sync"
+
+// D and E carry the suppressed inversion: DThenE's edge is reported,
+// EThenD documents the deliberate inversion with a directive.
+var (
+	D sync.Mutex
+	E sync.Mutex
+)
+
+// DThenE establishes D → E; the cycle through EThenD flags it here.
+func DThenE() {
+	D.Lock()
+	defer D.Unlock()
+	E.Lock() // want `lock-order cycle`
+	E.Unlock()
+}
+
+// EThenD keeps the inversion on purpose to exercise suppression.
+func EThenD() {
+	E.Lock()
+	defer E.Unlock()
+	//lint:ignore lock-order deliberate inversion retained to exercise suppression
+	D.Lock()
+	D.Unlock()
+}

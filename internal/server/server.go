@@ -102,7 +102,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	}
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		// Shutdown starts after ctx is already cancelled, so its deadline
+		// must come from a context detached from that cancellation — but
+		// WithoutCancel keeps the caller's values, unlike a fresh root.
+		shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 		defer cancel()
 		//lint:ignore error-discipline shutdown runs after ctx cancel; there is no caller left to receive the error
 		srv.Shutdown(shutdownCtx)

@@ -1,0 +1,12 @@
+package stream
+
+import (
+	"os"
+	"testing"
+
+	"pdspbench/internal/testutil"
+)
+
+// TestMain runs the package's tests under the repo-wide goroutine-leak
+// gate: any goroutine a test leaves behind fails the whole package.
+func TestMain(m *testing.M) { os.Exit(testutil.RunMain(m)) }

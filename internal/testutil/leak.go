@@ -129,7 +129,9 @@ func signature(stack string) string {
 			top = line
 		}
 	}
-	for _, infra := range []string{"testing.", "runtime.", "testutil."} {
+	// os/signal.Notify starts a process-lifetime signal-delivery goroutine
+	// that can never be collected; the fuzzing coordinator installs one.
+	for _, infra := range []string{"testing.", "runtime.", "testutil.", "os/signal."} {
 		if strings.HasPrefix(top, infra) || strings.Contains(createdBy, " "+infra) || strings.Contains(createdBy, "by "+infra) {
 			return ""
 		}

@@ -1,0 +1,10 @@
+package testutil
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain gates testutil's own tests with RunMain too — the leak gate
+// must hold for the package that implements it.
+func TestMain(m *testing.M) { os.Exit(RunMain(m)) }
