@@ -200,6 +200,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	tuples := fs.Int("tuples", backend.DefaultTuplesPerSource, "tuples per source instance (real backend)")
 	fast := fs.Bool("fast", false, "reduced simulation fidelity")
 	faults := fs.String("faults", "", "fault plan: 'kind:key=val,...;...' spec or @file.json (see internal/chaos)")
+	columnar := fs.Bool("columnar", false, "columnar data plane on the real engine: struct-of-arrays batches + vectorized filter kernels (requires --backend=real)")
 	fs.Parse(args)
 
 	c := controller.New()
@@ -209,6 +210,13 @@ func cmdRun(ctx context.Context, args []string) error {
 	c.EventRate = *rate
 	if err := backendByName(c, *backendName); err != nil {
 		return err
+	}
+	if *columnar {
+		r, ok := c.Backend.(*backend.Real)
+		if !ok {
+			return fmt.Errorf("--columnar requires --backend=real (the simulator has no data plane to vectorize)")
+		}
+		r.Opts.Columnar = true
 	}
 	cl, err := clusterByName(c, *clusterName)
 	if err != nil {
@@ -274,6 +282,7 @@ func cmdExec(ctx context.Context, args []string) error {
 	backendName := fs.String("backend", "real", "execution backend: real | sim")
 	out := fs.String("out", "pdspbench-data", "store directory for the run record (empty to skip)")
 	faults := fs.String("faults", "", "fault plan: 'kind:key=val,...;...' spec or @file.json (see internal/chaos)")
+	columnar := fs.Bool("columnar", false, "columnar data plane on the real engine: struct-of-arrays batches + vectorized filter kernels (requires --backend=real)")
 	fs.Parse(args)
 
 	a, err := apps.ByCode(*app)
@@ -289,6 +298,13 @@ func cmdExec(ctx context.Context, args []string) error {
 	b, err := backend.ByName(*backendName)
 	if err != nil {
 		return err
+	}
+	if *columnar {
+		r, ok := b.(*backend.Real)
+		if !ok {
+			return fmt.Errorf("--columnar requires --backend=real (the simulator has no data plane to vectorize)")
+		}
+		r.Opts.Columnar = true
 	}
 	c := controller.Fast()
 	if *out != "" {

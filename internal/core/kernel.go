@@ -1,0 +1,226 @@
+// Vectorized filter kernels: the columnar data plane's compiled form of
+// FilterSpec. CompileFilter resolves the (function × column kind ×
+// literal kind) combination ONCE per operator and returns a monomorphic
+// loop over the contiguous column slab — no per-tuple Value boxing, no
+// Compare calls, no interface dispatch inside the loop. The compiled
+// kernel is semantically bit-identical to evaluating FilterFn.Eval on
+// each boxed row value, including the edge cases:
+//
+//   - NaN ordering: Value.Compare returns 0 when neither v<lit nor
+//     v>lit holds, so the row plane's LessEq is ¬(v>lit) and GreaterEq
+//     is ¬(v<lit). The kernels use exactly those forms; a plain
+//     `v <= lit` would diverge on NaN columns or literals.
+//   - Cross-kind comparisons: Compare orders by Kind and never returns
+//     0 for distinct kinds, so a mismatched literal makes the predicate
+//     constant over the whole column — the kernel degenerates to
+//     keep-all or drop-all without touching the slab.
+//   - Unknown functions: Eval returns false, so the kernel drops all.
+package core
+
+import (
+	"strings"
+
+	"pdspbench/internal/tuple"
+)
+
+// Kernel is one compiled filter: it scans the rows named by sel in
+// batch b's column `field`, keeping the passing row indexes. Kernels
+// filter sel in place (the returned slice aliases sel's backing array)
+// and never touch the batch's slabs, so the caller re-installs the
+// result with SetSel and batches stay shareable.
+type Kernel func(b *tuple.ColumnBatch, field int, sel []int32) []int32
+
+// keepAll and dropAll are the constant kernels cross-kind and
+// unsupported predicates compile to.
+func keepAll(_ *tuple.ColumnBatch, _ int, sel []int32) []int32 { return sel }
+func dropAll(_ *tuple.ColumnBatch, _ int, sel []int32) []int32 { return sel[:0] }
+
+// scalar is the domain of column slabs; Go's native <, >, == on these
+// types match Value.Compare/Equal within a kind (string comparison is
+// byte-wise lexicographic, exactly strings.Compare's order).
+type scalar interface {
+	~int64 | ~float64 | ~string
+}
+
+// slabFn fetches one field's slab; resolved once per batch, outside the
+// row loop.
+type slabFn[T scalar] func(*tuple.ColumnBatch, int) []T
+
+func kernLess[T scalar](col slabFn[T], lit T) Kernel {
+	return func(b *tuple.ColumnBatch, f int, sel []int32) []int32 {
+		xs := col(b, f)
+		keep := sel[:0]
+		for _, i := range sel {
+			if xs[i] < lit {
+				keep = append(keep, i)
+			}
+		}
+		return keep
+	}
+}
+
+// kernLessEq keeps rows where ¬(x > lit) — the row plane's
+// Compare(x,lit) <= 0, which holds for NaN on either side.
+func kernLessEq[T scalar](col slabFn[T], lit T) Kernel {
+	return func(b *tuple.ColumnBatch, f int, sel []int32) []int32 {
+		xs := col(b, f)
+		keep := sel[:0]
+		for _, i := range sel {
+			if !(xs[i] > lit) {
+				keep = append(keep, i)
+			}
+		}
+		return keep
+	}
+}
+
+func kernGreater[T scalar](col slabFn[T], lit T) Kernel {
+	return func(b *tuple.ColumnBatch, f int, sel []int32) []int32 {
+		xs := col(b, f)
+		keep := sel[:0]
+		for _, i := range sel {
+			if xs[i] > lit {
+				keep = append(keep, i)
+			}
+		}
+		return keep
+	}
+}
+
+// kernGreaterEq keeps rows where ¬(x < lit); see kernLessEq.
+func kernGreaterEq[T scalar](col slabFn[T], lit T) Kernel {
+	return func(b *tuple.ColumnBatch, f int, sel []int32) []int32 {
+		xs := col(b, f)
+		keep := sel[:0]
+		for _, i := range sel {
+			if !(xs[i] < lit) {
+				keep = append(keep, i)
+			}
+		}
+		return keep
+	}
+}
+
+func kernEq[T scalar](col slabFn[T], lit T) Kernel {
+	return func(b *tuple.ColumnBatch, f int, sel []int32) []int32 {
+		xs := col(b, f)
+		keep := sel[:0]
+		for _, i := range sel {
+			if xs[i] == lit {
+				keep = append(keep, i)
+			}
+		}
+		return keep
+	}
+}
+
+func kernNotEq[T scalar](col slabFn[T], lit T) Kernel {
+	return func(b *tuple.ColumnBatch, f int, sel []int32) []int32 {
+		xs := col(b, f)
+		keep := sel[:0]
+		for _, i := range sel {
+			if xs[i] != lit {
+				keep = append(keep, i)
+			}
+		}
+		return keep
+	}
+}
+
+func kernPrefix(lit string) Kernel {
+	return func(b *tuple.ColumnBatch, f int, sel []int32) []int32 {
+		xs := b.StrCol(f)
+		keep := sel[:0]
+		for _, i := range sel {
+			if strings.HasPrefix(xs[i], lit) {
+				keep = append(keep, i)
+			}
+		}
+		return keep
+	}
+}
+
+func kernContains(lit string) Kernel {
+	return func(b *tuple.ColumnBatch, f int, sel []int32) []int32 {
+		xs := b.StrCol(f)
+		keep := sel[:0]
+		for _, i := range sel {
+			if strings.Contains(xs[i], lit) {
+				keep = append(keep, i)
+			}
+		}
+		return keep
+	}
+}
+
+// compileOrdered builds the kind-specialized kernel for one ordered
+// comparison family; StartsWith/Contains are handled by the caller
+// (string-only) and unknown functions fall through to drop-all.
+func compileOrdered[T scalar](fn FilterFn, col slabFn[T], lit T) Kernel {
+	switch fn {
+	case FilterLess:
+		return kernLess(col, lit)
+	case FilterLessEq:
+		return kernLessEq(col, lit)
+	case FilterGreater:
+		return kernGreater(col, lit)
+	case FilterGreaterEq:
+		return kernGreaterEq(col, lit)
+	case FilterEq:
+		return kernEq(col, lit)
+	case FilterNotEq:
+		return kernNotEq(col, lit)
+	default:
+		return dropAll
+	}
+}
+
+func intSlab(b *tuple.ColumnBatch, f int) []int64     { return b.IntCol(f) }
+func floatSlab(b *tuple.ColumnBatch, f int) []float64 { return b.FloatCol(f) }
+func strSlab(b *tuple.ColumnBatch, f int) []string    { return b.StrCol(f) }
+
+// CompileFilter compiles spec into a kernel over a column of the given
+// kind. The result is total: every (function, kind, literal) input
+// yields a kernel whose selection equals row-by-row Fn.Eval — see the
+// package comment for the NaN and cross-kind equivalence argument, and
+// FuzzColumnarKernelEquivalence for the machine-checked version.
+func CompileFilter(spec *FilterSpec, kind tuple.Type) Kernel {
+	lit := spec.Literal
+	if kind != lit.Kind {
+		// Compare orders distinct kinds by Kind and never returns 0, so
+		// the predicate is constant over the column.
+		var keep bool
+		switch spec.Fn {
+		case FilterLess, FilterLessEq:
+			keep = kind < lit.Kind
+		case FilterGreater, FilterGreaterEq:
+			keep = kind > lit.Kind
+		case FilterNotEq:
+			keep = true
+		default:
+			// Eq is false across kinds; StartsWith/Contains require both
+			// sides string, impossible when kinds differ; unknown fns
+			// evaluate false.
+			keep = false
+		}
+		if keep {
+			return keepAll
+		}
+		return dropAll
+	}
+	switch kind {
+	case tuple.TypeInt:
+		return compileOrdered(spec.Fn, intSlab, lit.I)
+	case tuple.TypeDouble:
+		return compileOrdered(spec.Fn, floatSlab, lit.D)
+	default:
+		switch spec.Fn {
+		case FilterStartsWith:
+			return kernPrefix(lit.S)
+		case FilterContains:
+			return kernContains(lit.S)
+		default:
+			return compileOrdered(spec.Fn, strSlab, lit.S)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pdspbench/internal/tuple"
+)
+
+// kernelBatch builds a one-column batch of the given kind holding vals
+// (interpreted per kind: int64 bits, float64 bits, or vocabulary index
+// into strs), sealed with a full selection.
+func kernelBatch(kind tuple.Type, raw []uint64) *tuple.ColumnBatch {
+	strs := []string{"", "a", "ab", "abc", "b", "ba", "w007", "zz"}
+	b := tuple.NewColumnBatch([]tuple.Type{kind}, len(raw))
+	for i, r := range raw {
+		switch kind {
+		case tuple.TypeInt:
+			b.IntCol(0)[i] = int64(r)
+		case tuple.TypeDouble:
+			b.FloatCol(0)[i] = math.Float64frombits(r)
+		default:
+			b.StrCol(0)[i] = strs[r%uint64(len(strs))]
+		}
+	}
+	b.Seal(len(raw))
+	return b
+}
+
+// allFilterFns enumerates every defined function plus one out-of-range
+// value, which must compile to drop-all (Eval returns false).
+var allFilterFns = []FilterFn{
+	FilterLess, FilterLessEq, FilterGreater, FilterGreaterEq,
+	FilterEq, FilterNotEq, FilterStartsWith, FilterContains, FilterFn(99),
+}
+
+// checkKernelAgainstEval compiles spec for the batch's column kind and
+// verifies the kernel's selection equals row-by-row Fn.Eval over the
+// boxed values.
+func checkKernelAgainstEval(t *testing.T, b *tuple.ColumnBatch, spec *FilterSpec) {
+	t.Helper()
+	kern := CompileFilter(spec, b.Kind(0))
+	sel := append([]int32(nil), b.Sel()...)
+	got := kern(b, 0, sel)
+	var want []int32
+	for i := 0; i < b.Len(); i++ {
+		if spec.Fn.Eval(b.ValueAt(0, i), spec.Literal) {
+			want = append(want, int32(i))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fn=%d colKind=%d litKind=%d: kernel kept %d rows, Eval kept %d",
+			spec.Fn, b.Kind(0), spec.Literal.Kind, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fn=%d colKind=%d litKind=%d: selection diverges at %d: %d vs %d",
+				spec.Fn, b.Kind(0), spec.Literal.Kind, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCompileFilterMatchesEvalTable sweeps every function over
+// hand-picked adversarial columns: NaN (both payloads), ±Inf, ±0,
+// extreme ints, empty strings, and literals of every kind including
+// mismatched ones.
+func TestCompileFilterMatchesEvalTable(t *testing.T) {
+	nan := math.Float64bits(math.NaN())
+	batches := []*tuple.ColumnBatch{
+		kernelBatch(tuple.TypeInt, []uint64{0, 1, ^uint64(0) /* -1 */, 500, uint64(math.MaxInt64), uint64(1) << 63 /* MinInt64 */}),
+		kernelBatch(tuple.TypeDouble, []uint64{nan, nan | 1, math.Float64bits(0), 1 << 63 /* -0 */, math.Float64bits(0.5), math.Float64bits(math.Inf(1)), math.Float64bits(math.Inf(-1))}),
+		kernelBatch(tuple.TypeString, []uint64{0, 1, 2, 3, 4, 5, 6, 7}),
+	}
+	literals := []tuple.Value{
+		tuple.Int(0), tuple.Int(500), tuple.Int(math.MinInt64),
+		tuple.Double(0.5), tuple.Double(math.NaN()), tuple.Double(math.Inf(-1)),
+		tuple.String(""), tuple.String("ab"), tuple.String("w007"),
+	}
+	for _, b := range batches {
+		for _, fn := range allFilterFns {
+			for _, lit := range literals {
+				checkKernelAgainstEval(t, b, &FilterSpec{Field: 0, Fn: fn, Literal: lit})
+			}
+		}
+	}
+}
+
+// FuzzColumnarKernelEquivalence is the machine-checked half of the
+// kernel package comment: for arbitrary column contents (raw bits, so
+// NaN payloads and -0 appear), literal bits, and function selectors,
+// the compiled kernel's selection must equal row-by-row FilterFn.Eval.
+func FuzzColumnarKernelEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(2), uint64(500), uint64(1), uint64(999), uint64(0))
+	f.Add(uint8(1), uint8(1), uint8(4), math.Float64bits(0.5), math.Float64bits(math.NaN()), uint64(1<<63), math.Float64bits(1))
+	f.Add(uint8(2), uint8(2), uint8(7), uint64(2), uint64(0), uint64(5), uint64(7))
+	f.Add(uint8(0), uint8(1), uint8(0), uint64(1), uint64(2), uint64(3), uint64(4)) // cross-kind
+	f.Fuzz(func(t *testing.T, colK, litK, fnSel uint8, litBits, r0, r1, r2 uint64) {
+		kinds := []tuple.Type{tuple.TypeInt, tuple.TypeDouble, tuple.TypeString}
+		colKind := kinds[int(colK)%len(kinds)]
+		litKind := kinds[int(litK)%len(kinds)]
+		fn := allFilterFns[int(fnSel)%len(allFilterFns)]
+		var lit tuple.Value
+		switch litKind {
+		case tuple.TypeInt:
+			lit = tuple.Int(int64(litBits))
+		case tuple.TypeDouble:
+			lit = tuple.Double(math.Float64frombits(litBits))
+		default:
+			lit = tuple.String(kernelBatch(tuple.TypeString, []uint64{litBits}).StrCol(0)[0])
+		}
+		b := kernelBatch(colKind, []uint64{r0, r1, r2, litBits})
+		checkKernelAgainstEval(t, b, &FilterSpec{Field: 0, Fn: fn, Literal: lit})
+	})
+}

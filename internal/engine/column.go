@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/tuple"
+)
+
+// The columnar data plane (Options.Columnar): source chains fill
+// struct-of-arrays batches (tuple.ColumnBatch), stateless chains run
+// compiled kernels over contiguous slabs, and the row plane takes over
+// automatically wherever a chain needs per-row semantics.
+//
+// A chain accepts columnar input iff every fused operator is one of
+// {filter, sink, map/flatMap without a UDO}: filters compile to
+// core.Kernel selection-vector loops, sinks count/measure straight off
+// the columns, and spec-less map/flatMap are identity pass-throughs.
+// Aggregates, joins and UDOs keep the row plane — their per-row state
+// transitions gain nothing from slabs — and the ROUTER is where the
+// fallback happens: a columnar batch addressed to a row-only chain is
+// materialized row by row through the existing per-tuple send path, so
+// routing (and therefore any keyed state downstream) is bit-identical
+// to a row-plane run. Fallback batches are counted in
+// Report.ColumnarFallbackBatches so tests and operators can see it.
+//
+// Two Options force the row plane entirely: Throttle (pacing is
+// per-tuple) and Faults (the chaos machinery kills at row message
+// boundaries); New clears Columnar when either is set.
+
+// ColumnFiller is the optional generator fast path: a source generator
+// that can fill a column batch directly (writing slabs instead of
+// boxing tuples) implements it. Fill order must match Next() exactly —
+// same randomness consumption, same event times — so a columnar run
+// stays bit-identical to a row run from the same seed. NextColumns
+// returns the number of rows written (0 at end of stream) and must
+// leave event times in the EventCol (or zero to have the source stamp
+// ingest time, as the row path does).
+type ColumnFiller interface {
+	NextColumns(b *tuple.ColumnBatch) int
+}
+
+// chainAcceptsColumns reports whether a chain's fused operators can all
+// execute on column batches.
+func chainAcceptsColumns(ops []*core.Operator) bool {
+	for _, op := range ops {
+		switch op.Kind {
+		case core.OpFilter, core.OpSink:
+		case core.OpMap, core.OpFlatMap:
+			if op.UDO != nil {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// kernelFor returns the chained filter's compiled kernel, compiling on
+// first use once the batch reveals the column kind. The field guard
+// mirrors the row path's t.Width() check (out-of-range specs fall back
+// to field 0); batch width is the schema width, constant per stream.
+func (c *chainedOp) kernelFor(cb *tuple.ColumnBatch) core.Kernel {
+	if c.kern == nil {
+		f := c.op.Filter.Field
+		if f >= cb.Width() {
+			f = 0
+		}
+		c.kfield = f
+		c.kern = core.CompileFilter(c.op.Filter, cb.Kind(f))
+	}
+	return c.kern
+}
+
+// applyColumns runs the whole fused chain over one column batch. Each
+// filter shrinks the selection vector in place; counters advance by
+// live-row counts so PerOperator stats agree with the row plane.
+func (oi *opInstance) applyColumns(cb *tuple.ColumnBatch) {
+	for _, c := range oi.chain {
+		live := uint64(cb.Live())
+		c.nIn += live
+		switch c.op.Kind {
+		case core.OpFilter:
+			k := c.kernelFor(cb)
+			cb.SetSel(k(cb, c.kfield, cb.Sel()))
+			c.nOut += uint64(cb.Live())
+		case core.OpSink:
+			oi.deliverColumns(cb)
+			return
+		default: // spec-less map/flatMap: identity pass-through
+			c.nOut += live
+		}
+		if cb.Live() == 0 {
+			cb.Release()
+			return
+		}
+	}
+	oi.emitColumns(cb)
+}
+
+// deliverColumns records sink metrics for every selected row. Without a
+// tap the rows are never boxed: counting and latency read straight off
+// the ingest column. With a tap each row materializes to a pooled tuple
+// the tap owns, exactly like the row plane's deliver.
+func (oi *opInstance) deliverColumns(cb *tuple.ColumnBatch) {
+	op := oi.chain[len(oi.chain)-1].op.ID
+	sel := cb.Sel()
+	if tap := oi.rt.opts.SinkTap; tap != nil {
+		for _, i := range sel {
+			//lint:ignore hotpath-alloc the tap contract hands each row to user code as a pooled tuple
+			t := cb.MaterializeRow(int(i))
+			oi.sinkOut++
+			if t.Ingest > 0 {
+				oi.sinkLats = append(oi.sinkLats, float64(oi.nowUnix-t.Ingest)/1e9)
+			}
+			tap(op, t)
+		}
+	} else {
+		inge := cb.IngestCol()
+		oi.sinkOut += uint64(len(sel))
+		for _, i := range sel {
+			if ing := inge[i]; ing > 0 {
+				oi.sinkLats = append(oi.sinkLats, float64(oi.nowUnix-ing)/1e9)
+			}
+		}
+	}
+	cb.Release()
+	if oi.sinkOut >= 1024 {
+		oi.flushSinkStats()
+	}
+}
+
+// emitColumns forwards a chain-tail batch along all outgoing routes.
+// Fan-out clones BEFORE the original ships (the original may be
+// processed — and released — by the first consumer while later routes
+// are still being served), so clones go out first and the original
+// last.
+func (oi *opInstance) emitColumns(cb *tuple.ColumnBatch) {
+	if len(oi.routes) == 0 {
+		cb.Release()
+		return
+	}
+	for i := len(oi.routes) - 1; i >= 1; i-- {
+		if !oi.routes[i].sendColumns(oi.ctx, oi.idx, cb.CloneColumns()) {
+			cb.Release()
+			return
+		}
+	}
+	oi.routes[0].sendColumns(oi.ctx, oi.idx, cb)
+}
+
+// sendColumns routes one column batch downstream. Row-only targets get
+// the automatic fallback: every selected row is materialized and routed
+// through the per-tuple send path, which keeps partitioning decisions
+// (hash, rebalance order) bit-identical to a row-plane run. Columnar
+// targets receive whole batches for forward/rebalance and a per-row
+// hash scatter into per-target pending batches for hash partitioning
+// (HashAt matches Value.Hash bit for bit, so rows land on the same
+// instances either way).
+func (rt *router) sendColumns(ctx context.Context, fromIdx int, cb *tuple.ColumnBatch) bool {
+	rt.colBatches++
+	if !rt.colOK {
+		rt.colFallback++
+		for _, i := range cb.Sel() {
+			//lint:ignore hotpath-alloc the row-plane fallback: row-only targets need per-tuple routing
+			if !rt.send(ctx, fromIdx, cb.MaterializeRow(int(i))) {
+				cb.Release()
+				return false
+			}
+		}
+		cb.Release()
+		return true
+	}
+	n := len(rt.targets)
+	switch rt.strategy {
+	case core.PartitionForward:
+		return rt.shipColumns(ctx, fromIdx%n, cb)
+	case core.PartitionHash:
+		f := rt.keyField
+		if f >= cb.Width() {
+			f = 0
+		}
+		for _, i := range cb.Sel() {
+			di := int(cb.HashAt(f, int(i)) % uint64(n))
+			pb := rt.colBufs[di]
+			if pb == nil {
+				pb = tuple.GetColumnBatch(cb.Kinds(), cb.Cap())
+				rt.colBufs[di] = pb
+			}
+			rt.colPending++
+			if pb.AppendRowFrom(cb, int(i)) >= pb.Cap() {
+				if !rt.flushColTo(ctx, di) {
+					cb.Release()
+					return false
+				}
+			}
+		}
+		cb.Release()
+		return true
+	default: // rebalance: whole batches round-robin (stateless targets
+		// only, so the coarser granularity cannot change keyed state)
+		di := rt.rr % n
+		rt.rr++
+		return rt.shipColumns(ctx, di, cb)
+	}
+}
+
+// shipColumns seals nothing — the batch's selection already names its
+// live rows — and sends it to target di.
+func (rt *router) shipColumns(ctx context.Context, di int, cb *tuple.ColumnBatch) bool {
+	select {
+	case rt.targets[di].in <- message{kind: msgData, cb: cb, side: rt.side}:
+		return true
+	case <-ctx.Done():
+		cb.Release()
+		return false
+	}
+}
+
+// flushColTo ships target di's pending scatter batch.
+func (rt *router) flushColTo(ctx context.Context, di int) bool {
+	pb := rt.colBufs[di]
+	if pb == nil {
+		return true
+	}
+	rt.colBufs[di] = nil
+	rt.colPending -= pb.Len()
+	pb.Seal(pb.Len())
+	return rt.shipColumns(ctx, di, pb)
+}
+
+// flushColAll ships every pending scatter batch (idle flush, linger
+// boundary, end-of-stream).
+func (rt *router) flushColAll(ctx context.Context) bool {
+	if rt.colPending == 0 {
+		return true
+	}
+	for di := range rt.colBufs {
+		if !rt.flushColTo(ctx, di) {
+			return false
+		}
+	}
+	return true
+}
+
+// materializeColumns is the receiver-side fallback: a row-only chain
+// handed a column batch (defensive — routers materialize before
+// sending to row-only targets, so this path is normally dead) unboxes
+// and replays it through the row plane.
+func (oi *opInstance) materializeColumns(cb *tuple.ColumnBatch, side int) {
+	for _, i := range cb.Sel() {
+		//lint:ignore hotpath-alloc defensive receiver-side fallback replays rows through the row plane
+		oi.applyAt(0, cb.MaterializeRow(int(i)), side)
+	}
+	cb.Release()
+}
+
+// runSourceColumnar is the source loop of the columnar plane: fill a
+// pooled batch (via the generator's ColumnFiller fast path when it has
+// one, else per-row conversion), stamp it like the row source stamps
+// tuples, and emit it whole. Only used when at least one route accepts
+// columns; Columnar is already off under Throttle/Faults, so no pacing
+// or chaos checks appear here.
+func (oi *opInstance) runSourceColumnar(ctx context.Context) {
+	src := oi.head()
+	gen := oi.rt.opts.Sources[src.ID](oi.idx)
+	kinds := tuple.KindsOf(src.Source.Schema)
+	rows := oi.rt.opts.ColumnarBatch
+	filler, fast := gen.(ColumnFiller)
+	var unrecorded uint64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		cb := tuple.GetColumnBatch(kinds, rows)
+		n := 0
+		if fast {
+			n = filler.NextColumns(cb)
+		} else {
+			for n < rows {
+				t, ok := gen.Next()
+				if !ok {
+					break
+				}
+				cb.AppendRow(t)
+				t.Release()
+				n++
+			}
+		}
+		if n == 0 {
+			cb.Release()
+			break
+		}
+		// One wall-clock read stamps the whole batch — the columnar
+		// analogue of the row source's every-16-tuples clock amortization.
+		cb.SealSource(n, time.Now().UnixNano(), oi.seq)
+		oi.seq += uint64(n)
+		oi.chain[0].nOut += uint64(n)
+		unrecorded += uint64(n)
+		if unrecorded >= 1024 {
+			oi.rt.recordIngest(unrecorded)
+			unrecorded = 0
+		}
+		oi.emitColumns(cb)
+		if n < rows {
+			break // generator exhausted mid-batch
+		}
+	}
+	if unrecorded > 0 {
+		oi.rt.recordIngest(unrecorded)
+	}
+	for _, rt := range oi.routes {
+		rt.eos(ctx)
+	}
+}

@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/stream"
+	"pdspbench/internal/tuple"
+)
+
+// runColumnar executes plan with synthetic sources at the given seed and
+// returns the sink multiset fingerprint plus the run report.
+func runColumnar(t *testing.T, plan *core.PQP, seed int64, perSource int, opts Options) ([]string, *Report) {
+	t.Helper()
+	sink := &collectSink{}
+	srcs := make(map[string]SourceFactory)
+	for si, src := range plan.Sources() {
+		spec := src.Source
+		srcSeed := seed + int64(si)*104729
+		srcs[src.ID] = func(idx int) SourceGenerator {
+			return stream.NewSynthetic(spec.Schema, srcSeed+int64(idx)*7919, perSource, spec.EventRate, spec.Distribution)
+		}
+	}
+	opts.Sources = srcs
+	opts.SinkTap = sink.tap
+	rt, err := New(plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sortedRendering(sink.tuples()), rep
+}
+
+// chainedFilterPlan: src → f1 (rebalance) → f2/f3 (forward, chainable)
+// → sink, the columnar plane's home turf.
+func chainedFilterPlan() *core.PQP {
+	p := core.NewPQP("columnar-filters", "linear")
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 100_000}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "f1", Kind: core.OpFilter, Parallelism: 3, Partition: core.PartitionRebalance,
+		Filter:   &core.FilterSpec{Field: 1, Fn: core.FilterGreater, Literal: tuple.Double(0.25), Selectivity: 0.75},
+		OutWidth: 2})
+	p.Add(&core.Operator{ID: "f2", Kind: core.OpFilter, Parallelism: 3, Partition: core.PartitionForward,
+		Filter:   &core.FilterSpec{Field: 0, Fn: core.FilterLess, Literal: tuple.Int(800), Selectivity: 0.8},
+		OutWidth: 2})
+	p.Add(&core.Operator{ID: "f3", Kind: core.OpFilter, Parallelism: 2, Partition: core.PartitionHash,
+		Filter:   &core.FilterSpec{Field: 0, Fn: core.FilterNotEq, Literal: tuple.Int(7), Selectivity: 0.99},
+		OutWidth: 2})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+	p.Connect("src", "f1")
+	p.Connect("f1", "f2")
+	p.Connect("f2", "f3")
+	p.Connect("f3", "sink")
+	return p
+}
+
+// TestColumnarMatchesRow: the columnar plane is an execution
+// optimization, so a deterministic plan must deliver a bit-identical
+// sink multiset with Columnar off, on, and on with batch capacities
+// that never divide the input evenly — including capacity 1, the
+// degenerate one-row-per-batch plane.
+func TestColumnarMatchesRow(t *testing.T) {
+	plan := chainedFilterPlan()
+	const n = 3000
+	want, _ := runColumnar(t, plan, 42, n, Options{ChainOperators: true})
+	if len(want) == 0 {
+		t.Fatal("row plan produced no output")
+	}
+	for _, rows := range []int{0 /* default 1024 */, 1, 7, 4096} {
+		got, rep := runColumnar(t, plan, 42, n, Options{ChainOperators: true, Columnar: true, ColumnarBatch: rows})
+		if rep.ColumnarBatches == 0 {
+			t.Fatalf("ColumnarBatch %d: no columnar batches routed", rows)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ColumnarBatch %d: %d sink tuples, row plane produced %d", rows, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ColumnarBatch %d: sink multiset diverges at %d: %q vs %q", rows, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestColumnarMatchesRowUnchained repeats the check without operator
+// chaining, so every chain is a single operator and every link crosses
+// a router.
+func TestColumnarMatchesRowUnchained(t *testing.T) {
+	plan := chainedFilterPlan()
+	const n = 2000
+	want, _ := runColumnar(t, plan, 11, n, Options{})
+	got, rep := runColumnar(t, plan, 11, n, Options{Columnar: true})
+	if rep.ColumnarBatches == 0 {
+		t.Fatal("no columnar batches routed")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d sink tuples, row plane produced %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sink multiset diverges at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestColumnarFallbackToRowChain: a columnar stretch feeding a row-only
+// operator (a keyed windowed aggregate) must materialize at the router
+// — automatically, with identical output and a visible fallback count.
+func TestColumnarFallbackToRowChain(t *testing.T) {
+	p := core.NewPQP("columnar-fallback", "linear")
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 100_000}, OutWidth: 2})
+	// Filter parallelism stays 1 so each aggregate instance sees one
+	// ordered upstream channel: with several filter instances racing, the
+	// row plane itself is not deterministic (channel interleaving skews
+	// float-sum order and watermark progress).
+	p.Add(&core.Operator{ID: "f", Kind: core.OpFilter, Parallelism: 1, Partition: core.PartitionRebalance,
+		Filter:   &core.FilterSpec{Field: 1, Fn: core.FilterGreaterEq, Literal: tuple.Double(0.1), Selectivity: 0.9},
+		OutWidth: 2})
+	// The window spans the whole stream so every pane emits at the
+	// deterministic sorted flush.
+	p.Add(&core.Operator{ID: "agg", Kind: core.OpAggregate, Parallelism: 2, Partition: core.PartitionHash,
+		Agg: &core.AggregateSpec{
+			Window: core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: 100},
+			Fn:     core.AggSum, Field: 1, KeyField: 0,
+		}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+	p.Connect("src", "f")
+	p.Connect("f", "agg")
+	p.Connect("agg", "sink")
+
+	const n = 2000
+	want, _ := runColumnar(t, p, 5, n, Options{})
+	got, rep := runColumnar(t, p, 5, n, Options{Columnar: true})
+	if rep.ColumnarBatches == 0 {
+		t.Fatal("no columnar batches routed")
+	}
+	if rep.ColumnarFallbackBatches == 0 {
+		t.Fatal("columnar plan with a row-only aggregate reported no fallback batches")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d sink tuples, row plane produced %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sink multiset diverges at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestColumnarDisabledUnderThrottleAndFaults: pacing and chaos are
+// per-row mechanisms, so Columnar must drop to the row plane when
+// either is armed.
+func TestColumnarDisabledUnderThrottleAndFaults(t *testing.T) {
+	plan := chainedFilterPlan()
+	_, rep := runColumnar(t, plan, 3, 200, Options{Columnar: true, Throttle: true})
+	if rep.ColumnarBatches != 0 {
+		t.Fatalf("throttled run routed %d columnar batches, want 0", rep.ColumnarBatches)
+	}
+}
+
+// TestColumnarGenericFillPath: generators without the ColumnFiller fast
+// path (FromTuples) convert row by row at the source boundary; the
+// result must match the row plane exactly.
+func TestColumnarGenericFillPath(t *testing.T) {
+	p := core.NewPQP("columnar-generic", "linear")
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1000}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "f", Kind: core.OpFilter, Parallelism: 2, Partition: core.PartitionRebalance,
+		Filter:   &core.FilterSpec{Field: 0, Fn: core.FilterLess, Literal: tuple.Int(5), Selectivity: 0.5},
+		OutWidth: 2})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+	p.Connect("src", "f")
+	p.Connect("f", "sink")
+
+	var input []*tuple.Tuple
+	for i := 0; i < 100; i++ {
+		input = append(input, kv(int64(i), int64(i%10), float64(i)))
+	}
+	run := func(columnar bool) []string {
+		sink := &collectSink{}
+		rt, err := New(p, Options{
+			Sources: map[string]SourceFactory{"src": func(idx int) SourceGenerator {
+				if idx == 0 {
+					return stream.NewFromTuples(input...)
+				}
+				return stream.NewFromTuples()
+			}},
+			SinkTap:       sink.tap,
+			Columnar:      columnar,
+			ColumnarBatch: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return sortedRendering(sink.tuples())
+	}
+	want, got := run(false), run(true)
+	if len(want) != 50 || len(got) != len(want) {
+		t.Fatalf("row/columnar delivered %d/%d tuples, want 50", len(want), len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sink multiset diverges at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}

@@ -25,6 +25,9 @@ const (
 type message struct {
 	kind msgKind
 	b    *[]*tuple.Tuple
+	// cb carries a columnar batch instead of b when the columnar plane
+	// is active on this edge (exactly one of b/cb is set for msgData).
+	cb   *tuple.ColumnBatch
 	side int
 }
 
@@ -71,6 +74,18 @@ type router struct {
 	// supervisor may re-deliver end-of-stream, and a duplicate marker
 	// would make the receiver finish while producers still run.
 	sentEOS []bool
+
+	// Columnar plane (see column.go). colOK records whether the target
+	// chain accepts column batches; when false, sendColumns falls back
+	// to per-row materialization through send. colBufs holds per-target
+	// pending scatter batches for hash partitioning, colPending the rows
+	// buffered across them; colBatches/colFallback count batches routed
+	// and batches that fell back to the row plane.
+	colOK       bool
+	colBufs     []*tuple.ColumnBatch
+	colPending  int
+	colBatches  uint64
+	colFallback uint64
 }
 
 // newRouter resolves the hash key field for the downstream operator: the
@@ -104,6 +119,8 @@ func newRouter(down *core.Operator, targets []*opInstance, side, fromIdx, batchS
 		batchSize: batchSize,
 		bufs:      make([]*[]*tuple.Tuple, len(targets)),
 		sentEOS:   make([]bool, len(targets)),
+		colOK:     len(targets) > 0 && targets[0].colOK,
+		colBufs:   make([]*tuple.ColumnBatch, len(targets)),
 	}
 }
 
@@ -160,8 +177,11 @@ func (rt *router) flushTo(ctx context.Context, di int) bool {
 	}
 }
 
-// flushAll ships every pending partial batch.
+// flushAll ships every pending partial batch, row and columnar.
 func (rt *router) flushAll(ctx context.Context) bool {
+	if !rt.flushColAll(ctx) {
+		return false
+	}
 	if rt.pending == 0 {
 		return true
 	}
@@ -209,6 +229,18 @@ type opInstance struct {
 	expectEOS [2]int
 	gotEOS    [2]int
 	seq       uint64
+
+	// colOK: this chain accepts column batches (set in build; see
+	// chainAcceptsColumns). colSrc: this source instance produces them —
+	// true only when the columnar plane is on AND at least one route
+	// accepts columns, so a plan of row-only consumers never pays the
+	// fill-then-materialize round trip.
+	// colJoin: this instance is a tail join emitting its matches as
+	// column batches (set in build when the columnar plane is on and a
+	// route can consume them; see appendJoinPair).
+	colOK   bool
+	colSrc  bool
+	colJoin bool
 
 	// Sink instances batch their metric updates: deliveries stamp one
 	// wall-clock read per input batch (nowUnix) and accumulate counts
@@ -264,9 +296,7 @@ func (oi *opInstance) flushSinkStats() {
 	rs := &oi.rt.report
 	rs.mu.Lock()
 	rs.tuplesOut += oi.sinkOut
-	for _, l := range oi.sinkLats {
-		rs.latencies.Add(l)
-	}
+	rs.latencies.AddAll(oi.sinkLats...)
 	rs.mu.Unlock()
 	oi.sinkOut = 0
 	oi.sinkLats = oi.sinkLats[:0]
@@ -296,7 +326,7 @@ func (oi *opInstance) emit(t *tuple.Tuple) {
 func (oi *opInstance) pendingOut() int {
 	n := 0
 	for _, rt := range oi.routes {
-		n += rt.pending
+		n += rt.pending + rt.colPending
 	}
 	return n
 }
@@ -318,6 +348,10 @@ func (oi *opInstance) flushRoutes(ctx context.Context) bool {
 func (oi *opInstance) run(ctx context.Context) {
 	oi.ctx = ctx
 	if oi.head().Kind == core.OpSource {
+		if oi.colSrc {
+			oi.runSourceColumnar(ctx)
+			return
+		}
 		oi.runSource(ctx)
 		return
 	}
@@ -367,11 +401,21 @@ func (oi *opInstance) run(ctx context.Context) {
 			}
 			continue
 		}
-		n := len(*msg.b)
-		for _, t := range *msg.b {
-			oi.applyAt(0, t, msg.side)
+		var n int
+		if msg.cb != nil {
+			n = msg.cb.Live()
+			if oi.colOK {
+				oi.applyColumns(msg.cb)
+			} else {
+				oi.materializeColumns(msg.cb, msg.side)
+			}
+		} else {
+			n = len(*msg.b)
+			for _, t := range *msg.b {
+				oi.applyAt(0, t, msg.side)
+			}
+			putBatch(msg.b)
 		}
-		putBatch(msg.b)
 		if oi.flt != nil {
 			oi.maybeSlow(n)
 		}

@@ -69,20 +69,16 @@ func TestCountJoinBufferBounded(t *testing.T) {
 			Window:    core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyCount, LengthTups: capTuples},
 			LeftField: 0, RightField: 0,
 		})
-		emit := func(*tuple.Tuple) {}
+		j.emitPair = func(_, _ *tuple.Tuple, _ int) {}
 		for i := 0; i < 200; i++ {
 			side := rng.Intn(2)
 			tp := &tuple.Tuple{
 				Values:    []tuple.Value{tuple.Int(int64(rng.Intn(10)))},
 				EventTime: int64(i + 1),
 			}
-			j.add(tp, side, emit)
+			j.add(tp, side)
 			for s := 0; s < 2; s++ {
-				total := 0
-				for _, entries := range j.buf[s] {
-					total += len(entries)
-				}
-				if total > capTuples {
+				if total := j.buffered(s); total > capTuples {
 					t.Fatalf("side %d holds %d entries, cap %d", s, total, capTuples)
 				}
 			}
@@ -134,9 +130,11 @@ func TestSlidingRingNeverExceedsWindow(t *testing.T) {
 			}
 			agg.add(tp, emit, nil)
 		}
-		for _, r := range agg.rings {
-			if len(r.vals) > length {
-				t.Fatalf("ring holds %d values, window %d", len(r.vals), length)
+		for s := range agg.rings {
+			for _, r := range agg.rings[s] {
+				if len(r.vals) > length {
+					t.Fatalf("ring holds %d values, window %d", len(r.vals), length)
+				}
 			}
 		}
 	}

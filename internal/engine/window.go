@@ -78,11 +78,39 @@ func (a *aggState) result(fn core.AggFn) *tuple.Tuple {
 	return t
 }
 
-// pane is one time-policy window instance.
+// Keyed window state is split into 2^windowShardBits hash shards
+// selected by the low bits of the FNV-1a key hash — the same hash the
+// router partitions on. Each shard is a small single-writer map (the
+// instance goroutine is the only writer): lookups touch a fraction of
+// the key space per probe, and emission stays deterministic because
+// every emit path gathers hashes across shards and sorts them globally,
+// exactly the order the unsharded maps produced.
+const (
+	windowShardBits = 3
+	windowShards    = 1 << windowShardBits
+	windowShardMask = windowShards - 1
+)
+
+// pane is one time-policy window instance; keys shards are allocated
+// lazily so sparse panes don't pay for empty maps.
 type pane struct {
 	start  int64
-	keys   map[uint64]*aggState
+	keys   [windowShards]map[uint64]*aggState
 	global *aggState
+}
+
+func (p *pane) keyState(h uint64, key tuple.Value) *aggState {
+	m := p.keys[h&windowShardMask]
+	if m == nil {
+		m = make(map[uint64]*aggState)
+		p.keys[h&windowShardMask] = m
+	}
+	st, ok := m[h]
+	if !ok {
+		st = newAggState(key, true)
+		m[h] = st
+	}
+	return st
 }
 
 // aggregator implements windowed aggregation for one operator instance:
@@ -96,15 +124,16 @@ type aggregator struct {
 	watermark      int64
 	lenNs, slideNs int64
 
-	// Count policy.
-	counters  map[uint64]*aggState // tumbling: accumulate then reset
-	rings     map[uint64]*ring     // sliding: last N values
-	slideTup  int
-	sinceEmit map[uint64]int
+	// Count policy (sharded like pane keys).
+	counters [windowShards]map[uint64]*aggState // tumbling: accumulate then reset
+	rings    [windowShards]map[uint64]*ring     // sliding: last N values
+	hasCount bool
+	slideTup int
 }
 
 // ring buffers the most recent window of values for sliding count
-// windows, which must re-aggregate over retained values.
+// windows, which must re-aggregate over retained values. since counts
+// arrivals per slide inline (formerly a separate map lookup per tuple).
 type ring struct {
 	key     tuple.Value
 	keyed   bool
@@ -112,6 +141,7 @@ type ring struct {
 	events  []int64
 	ingests []int64
 	cap     int
+	since   int
 }
 
 func (r *ring) push(v float64, t *tuple.Tuple) {
@@ -143,9 +173,11 @@ func newAggregator(spec *core.AggregateSpec) *aggregator {
 			a.slideNs = a.lenNs
 		}
 	} else {
-		a.counters = make(map[uint64]*aggState)
-		a.rings = make(map[uint64]*ring)
-		a.sinceEmit = make(map[uint64]int)
+		for s := range a.counters {
+			a.counters[s] = make(map[uint64]*aggState)
+			a.rings[s] = make(map[uint64]*ring)
+		}
+		a.hasCount = true
 		a.slideTup = int(spec.Window.Slide())
 		if a.slideTup <= 0 {
 			a.slideTup = spec.Window.LengthTups
@@ -198,16 +230,12 @@ func (a *aggregator) addTime(t *tuple.Tuple, emit func(*tuple.Tuple), rt *Runtim
 		}
 		p, ok := a.panes[start]
 		if !ok {
-			p = &pane{start: start, keys: make(map[uint64]*aggState)}
+			p = &pane{start: start}
 			a.panes[start] = p
 		}
 		var st *aggState
 		if keyed {
-			st, ok = p.keys[h]
-			if !ok {
-				st = newAggState(key, true)
-				p.keys[h] = st
-			}
+			st = p.keyState(h, key)
 		} else {
 			if p.global == nil {
 				p.global = newAggState(tuple.Value{}, false)
@@ -248,14 +276,18 @@ func (a *aggregator) emitPane(p *pane, emit func(*tuple.Tuple)) {
 		emit(p.global.result(a.spec.Fn))
 		return
 	}
-	// Deterministic key order for reproducible outputs.
-	hs := make([]uint64, 0, len(p.keys))
-	for h := range p.keys {
-		hs = append(hs, h)
+	// Deterministic key order for reproducible outputs: gather across
+	// shards and sort globally — the same hash set, and therefore the
+	// same emission order, an unsharded map would produce.
+	var hs []uint64
+	for s := range p.keys {
+		for h := range p.keys[s] {
+			hs = append(hs, h)
+		}
 	}
 	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
 	for _, h := range hs {
-		emit(p.keys[h].result(a.spec.Fn))
+		emit(p.keys[h&windowShardMask][h].result(a.spec.Fn))
 	}
 }
 
@@ -263,30 +295,32 @@ func (a *aggregator) addCount(t *tuple.Tuple, emit func(*tuple.Tuple)) {
 	v := a.fieldValue(t)
 	h, key, keyed := a.groupOf(t)
 	if a.spec.Window.Type == core.WindowTumbling {
-		st, ok := a.counters[h]
+		m := a.counters[h&windowShardMask]
+		st, ok := m[h]
 		if !ok {
 			st = newAggState(key, keyed)
-			a.counters[h] = st
+			m[h] = st
 		}
 		st.add(v, t)
 		if st.count >= int64(a.spec.Window.LengthTups) {
 			emit(st.result(a.spec.Fn))
-			delete(a.counters, h)
+			delete(m, h)
 		}
 		return
 	}
 	// Sliding count window: ring of the last LengthTups values, emitting
 	// every slideTup arrivals once the ring first fills.
-	r, ok := a.rings[h]
+	m := a.rings[h&windowShardMask]
+	r, ok := m[h]
 	if !ok {
 		r = &ring{key: key, keyed: keyed, cap: a.spec.Window.LengthTups}
-		a.rings[h] = r
+		m[h] = r
 	}
 	r.push(v, t)
-	a.sinceEmit[h]++
-	if len(r.vals) >= r.cap && a.sinceEmit[h] >= a.slideTup {
+	r.since++
+	if len(r.vals) >= r.cap && r.since >= a.slideTup {
 		emit(r.state().result(a.spec.Fn))
-		a.sinceEmit[h] = 0
+		r.since = 0
 	}
 }
 
@@ -295,30 +329,36 @@ func (a *aggregator) flush(emit func(*tuple.Tuple)) {
 	if a.panes != nil {
 		a.firePanes(emit, math.MaxInt64)
 	}
-	if a.counters != nil {
-		hs := make([]uint64, 0, len(a.counters))
-		for h := range a.counters {
+	if !a.hasCount {
+		return
+	}
+	// Deterministic order across shards: gather every live hash, sort
+	// globally, then index back through the shard mask — identical to the
+	// order the unsharded maps emitted.
+	var hs []uint64
+	for s := range a.counters {
+		for h := range a.counters[s] {
 			hs = append(hs, h)
-		}
-		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
-		for _, h := range hs {
-			if a.counters[h].count > 0 {
-				emit(a.counters[h].result(a.spec.Fn))
-			}
 		}
 	}
-	if a.rings != nil {
-		hs := make([]uint64, 0, len(a.rings))
-		for h := range a.rings {
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	for _, h := range hs {
+		if st := a.counters[h&windowShardMask][h]; st.count > 0 {
+			emit(st.result(a.spec.Fn))
+		}
+	}
+	hs = hs[:0]
+	for s := range a.rings {
+		for h := range a.rings[s] {
 			hs = append(hs, h)
 		}
-		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
-		for _, h := range hs {
-			if r := a.rings[h]; len(r.vals) > 0 && len(r.vals) < r.cap {
-				// Full rings already emitted on their slide; emit only
-				// never-fired partial windows.
-				emit(r.state().result(a.spec.Fn))
-			}
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	for _, h := range hs {
+		if r := a.rings[h&windowShardMask][h]; len(r.vals) > 0 && len(r.vals) < r.cap {
+			// Full rings already emitted on their slide; emit only
+			// never-fired partial windows.
+			emit(r.state().result(a.spec.Fn))
 		}
 	}
 }

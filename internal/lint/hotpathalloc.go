@@ -2,6 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
+	"path"
+	"path/filepath"
 	"strings"
 )
 
@@ -22,6 +25,19 @@ var hotAllocCalls = map[string]map[string]string{
 	},
 }
 
+// columnarOnlyPkgs names the package directories (by base name) where
+// only the columnar files are in scope: internal/tuple and internal/core
+// legitimately format in cold paths (Value.String, spec rendering), so
+// the rule covers just their column/kernel files.
+var columnarOnlyPkgs = map[string]bool{"tuple": true, "core": true}
+
+// columnarFile reports whether base names a columnar data-plane file:
+// column batches (column*.go) or compiled kernels (kernel*.go). These
+// files get the stricter kernel-loop checks on top of the general table.
+func columnarFile(base string) bool {
+	return strings.HasPrefix(base, "column") || strings.HasPrefix(base, "kernel")
+}
+
 // HotPathAlloc flags known-allocating constructs inside the data-plane
 // packages. These packages move millions of tuples or events per second,
 // so a per-call allocation — a hash.Hash64 per partition decision, a
@@ -29,21 +45,43 @@ var hotAllocCalls = map[string]map[string]string{
 // turns into GC pressure that dominates what the benchmarks measure.
 // The rule bans the constructs this repo has already paid to remove,
 // so they cannot creep back in.
+//
+// Columnar files (column*.go, kernel*.go — including those in
+// internal/tuple and internal/core) additionally ban, inside any loop:
+// every fmt call, and per-row tuple boxing (tuple.Get or
+// ColumnBatch.MaterializeRow). Kernels exist to stay on the column
+// slabs; a deliberate row-fallback loop carries //lint:ignore with its
+// reason, which keeps every fallback visible to the linter.
 func HotPathAlloc() *Analyzer {
 	return &Analyzer{
 		Name: "hotpath-alloc",
 		Doc: "Data-plane code (internal/engine, internal/des, internal/simengine) must not call " +
 			"per-invocation allocators on hot paths: hash/fnv constructors (inline the FNV-1a " +
 			"loop), time.After (reuse one time.Timer), or fmt.Sprintf (format off the hot path). " +
+			"Columnar files (column*.go, kernel*.go; also in internal/tuple and internal/core) " +
+			"further ban fmt calls and per-row tuple boxing (tuple.Get, MaterializeRow) inside " +
+			"loops — kernels operate on column slabs, not boxed rows. " +
 			"Suppress deliberately-cold call sites with //lint:ignore hotpath-alloc <reason>.",
-		DefaultDirs: []string{"internal/engine", "internal/des", "internal/simengine"},
+		DefaultDirs: []string{"internal/engine", "internal/des", "internal/simengine", "internal/tuple", "internal/core"},
 		Run:         runHotPathAlloc,
 	}
 }
 
 func runHotPathAlloc(p *Pass) {
+	columnarOnly := columnarOnlyPkgs[path.Base(p.Pkg.Dir)]
 	for _, f := range p.Pkg.Files {
+		base := filepath.Base(p.Pkg.Fset.Position(f.Pos()).Filename)
+		isColumnar := columnarFile(base)
+		if columnarOnly && !isColumnar {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
+			if isColumnar {
+				switch n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					checkKernelLoop(p, n)
+				}
+			}
 			call, isCall := n.(*ast.CallExpr)
 			if !isCall {
 				return true
@@ -61,4 +99,51 @@ func runHotPathAlloc(p *Pass) {
 			return true
 		})
 	}
+}
+
+// checkKernelLoop applies the columnar-file bans to one loop body: no
+// fmt at all (kernel loops run per batch row, so even Fprintf to a
+// discarded writer is per-row work), and no per-row boxing — the whole
+// point of the columnar plane is that rows stay unmaterialized until a
+// row-only consumer forces them.
+func checkKernelLoop(p *Pass, loop ast.Node) {
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	}
+	if body == nil {
+		return
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if pkgPath, name, ok := pkgFuncCall(p, call); ok {
+			if pkgPath == "fmt" {
+				p.Reportf(call.Pos(), "fmt.%s inside a kernel loop runs per row; format outside the loop or drop it", name)
+				return true
+			}
+			if path.Base(pkgPath) == "tuple" && name == "Get" {
+				p.Reportf(call.Pos(), "tuple.Get inside a kernel loop boxes a pooled row per iteration; operate on the column slabs, or //lint:ignore a deliberate row fallback")
+				return true
+			}
+		}
+		if _, recvPkg, typeName, method, ok := methodCallOn(p, call); ok {
+			if typeName == "ColumnBatch" && method == "MaterializeRow" && path.Base(recvPkg) == "tuple" {
+				p.Reportf(call.Pos(), "MaterializeRow inside a kernel loop boxes a pooled row per iteration; operate on the column slabs, or //lint:ignore a deliberate row fallback")
+			}
+			return true
+		}
+		// Unqualified Get(...) inside package tuple itself.
+		if id, isID := call.Fun.(*ast.Ident); isID && id.Name == "Get" {
+			if fn, isFn := p.ObjectOf(id).(*types.Func); isFn && fn.Pkg() != nil && path.Base(fn.Pkg().Path()) == "tuple" {
+				p.Reportf(call.Pos(), "tuple.Get inside a kernel loop boxes a pooled row per iteration; operate on the column slabs, or //lint:ignore a deliberate row fallback")
+			}
+		}
+		return true
+	})
 }

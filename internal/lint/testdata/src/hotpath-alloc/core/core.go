@@ -1,0 +1,15 @@
+// core.go is not a columnar file, so inside the core package it sits
+// outside the rule entirely: spec rendering may format freely, even in
+// loops.
+package core
+
+import "fmt"
+
+// renderSpecs formats in a loop on the control plane — legal here.
+func renderSpecs(names []string) []string {
+	out := make([]string, 0, len(names))
+	for i, n := range names {
+		out = append(out, fmt.Sprintf("%d:%s", i, n))
+	}
+	return out
+}

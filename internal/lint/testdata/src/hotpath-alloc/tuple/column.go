@@ -1,0 +1,42 @@
+// column.go is a columnar file inside the tuple package, so kernel-loop
+// bans apply: no fmt and no per-row boxing inside loops.
+package tuple
+
+import "fmt"
+
+// sumSelected stays on the slabs — the shape kernel loops should have.
+func sumSelected(b *ColumnBatch) int64 {
+	var sum int64
+	for _, i := range b.sel {
+		sum += b.ints[i]
+	}
+	return sum
+}
+
+// debugDump formats per row inside the loop: banned in columnar files.
+func debugDump(b *ColumnBatch) {
+	for _, i := range b.sel {
+		fmt.Println(b.ints[i]) // want `fmt\.Println inside a kernel loop runs per row`
+	}
+}
+
+// boxAll boxes a pooled tuple per iteration via the unqualified
+// in-package constructor: banned.
+func boxAll(b *ColumnBatch) []*Tuple {
+	out := make([]*Tuple, 0, len(b.sel))
+	for _, i := range b.sel {
+		t := Get(1) // want `tuple\.Get inside a kernel loop boxes a pooled row`
+		t.Values[0] = b.ints[i]
+		out = append(out, t)
+	}
+	return out
+}
+
+// fallbackRows is a deliberate row fallback; the suppression keeps it
+// visible to the linter without failing the build.
+func fallbackRows(b *ColumnBatch, sink func(*Tuple)) {
+	for _, i := range b.sel {
+		//lint:ignore hotpath-alloc row-only consumer downstream; fallback materializes by design
+		sink(b.MaterializeRow(int(i)))
+	}
+}

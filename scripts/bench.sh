@@ -8,18 +8,75 @@
 #
 # Usage:
 #   scripts/bench.sh            # run and write BENCH_<n>.json
+#   scripts/bench.sh --compare  # diff the two newest BENCH_*.json files:
+#                               # exit non-zero if any shared tuples_per_s
+#                               # metric regressed by more than 10%
 #   BENCH_FILTER=Filter scripts/bench.sh   # restrict to matching names
 #   BENCH_COUNT=5 scripts/bench.sh         # repetitions (default 3)
 #
 # The default selection is the substrate scoreboard: the real engine's
-# filter and join pipelines and the DES simulator event rate — the
-# benchmarks the batched data plane is judged by.
+# filter and join pipelines (columnar plane), the columnar kernel and
+# batch-conversion micro-benchmarks, and the DES simulator event rate —
+# the benchmarks the batched data plane is judged by. All of them report
+# tuples/s, so --compare can gate on throughput uniformly.
+#
+# Caveat: BENCH_*.json files are only comparable when recorded on the
+# same machine — --compare gates regressions between two same-machine
+# recordings, not across hardware generations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${BENCH_FILTER:-BenchmarkEngineFilterThroughput|BenchmarkEngineWindowedJoin|BenchmarkSimulatorEventRate}"
+FILTER="${BENCH_FILTER:-BenchmarkEngineFilterThroughput|BenchmarkEngineWindowedJoin|BenchmarkColumnarFilterThroughput|BenchmarkColumnBatchConvert|BenchmarkSimulatorEventRate}"
 COUNT="${BENCH_COUNT:-3}"
 BENCHTIME="${BENCH_TIME:-10x}"
+
+# --compare: no benchmarks run; diff the two newest recordings. A shared
+# benchmark whose tuples_per_s dropped >10% fails the gate. Metrics
+# present in only one file (new or retired benchmarks) are skipped.
+if [ "${1:-}" = "--compare" ]; then
+  newest="" prev=""
+  n=1
+  while [ -e "BENCH_${n}.json" ]; do
+    prev="$newest"
+    newest="BENCH_${n}.json"
+    n=$((n + 1))
+  done
+  if [ -z "$prev" ]; then
+    echo "bench.sh --compare: need at least two BENCH_*.json files, skipping"
+    exit 0
+  fi
+  echo "bench.sh --compare: $newest vs $prev"
+  awk -v newf="$newest" -v oldf="$prev" '
+  function scan(file, tab,   line, name, v) {
+    while ((getline line < file) > 0) {
+      if (match(line, /"name": "[^"]+"/)) {
+        name = substr(line, RSTART + 9, RLENGTH - 10)
+        if (match(line, /"tuples_per_s": [0-9.eE+-]+/)) {
+          v = substr(line, RSTART + 16, RLENGTH - 16)
+          tab[name] = v + 0
+        }
+      }
+    }
+    close(file)
+  }
+  BEGIN {
+    scan(newf, now); scan(oldf, old)
+    bad = 0
+    for (name in now) {
+      if (!(name in old) || old[name] <= 0) continue
+      delta = (now[name] - old[name]) / old[name] * 100
+      verdict = "ok"
+      if (delta < -10) { verdict = "REGRESSION"; bad = 1 }
+      printf "  %-40s %12.4g -> %12.4g tuples/s  %+6.1f%%  %s\n", name, old[name], now[name], delta, verdict
+    }
+    if (bad) {
+      print "bench.sh --compare: throughput regressed >10%" > "/dev/stderr"
+      exit 1
+    }
+    print "bench.sh --compare: no regression beyond 10%"
+  }'
+  exit $?
+fi
 
 n=1
 while [ -e "BENCH_${n}.json" ]; do

@@ -20,7 +20,13 @@
 #   5. go test       — the full suite, race detector off, so the slow
 #                      shape tests still gate the merge
 #   6. fuzz smoke    — seconds per target to keep the harnesses honest
-#   7. fabric smoke  — the distributed fabric through the built binary
+#   7. columnar equivalence — the columnar plane re-proven bit-identical
+#                      to the row plane (engine batch tests, backend
+#                      parity off/on, kernel-vs-Eval table + fuzz smoke)
+#   8. bench compare — scripts/bench.sh --compare gates >10% throughput
+#                      regressions between the two newest same-machine
+#                      BENCH_*.json recordings
+#   9. fabric smoke  — the distributed fabric through the built binary
 #
 # Usage:
 #   scripts/check.sh           # the full gate
@@ -87,13 +93,32 @@ fuzz_smoke() {
 }
 stage "fuzz smoke (2s per target)" fuzz_smoke
 
-#   7. fabric smoke — the distributed campaign fabric exercised through
+#   7. columnar equivalence — the named suite that holds the columnar
+#      data plane to bit-identical outputs against the row plane: the
+#      engine's batch-vs-row and fallback tests, the backend parity
+#      cases run with Columnar off and on, the kernel-vs-Eval table,
+#      and a fuzz smoke over the kernel equivalence target. Runs inside
+#      `go test ./...` too; the explicit stage keeps the gate visible
+#      and fails with a focused name when the planes diverge.
+columnar_equivalence() {
+  go test -count=1 -run 'TestColumnar|TestCompileFilterMatchesEvalTable' \
+    ./internal/engine ./internal/core ./internal/backend
+  go test -run '^$' -fuzz '^FuzzColumnarKernelEquivalence$' -fuzztime 2s ./internal/core
+}
+stage "columnar equivalence (row vs column planes)" columnar_equivalence
+
+#   8. bench compare — throughput regression smoke over the recorded
+#      trajectory. Needs two BENCH_*.json files from the same machine to
+#      mean anything; with fewer than two it reports and passes.
+stage "bench.sh --compare" scripts/bench.sh --compare
+
+#   9. fabric smoke — the distributed campaign fabric exercised through
 #      the built binary: a dispatcher process, an HTTP-enqueued sharded
 #      campaign, two worker daemons draining it. Catches CLI wiring and
 #      flag regressions the in-process tests cannot see.
 stage "scripts/fabric_smoke.sh" scripts/fabric_smoke.sh
 
-#   8. (opt-in) substrate micro-benchmarks — set BENCH=1 to run
+#   10. (opt-in) substrate micro-benchmarks — set BENCH=1 to run
 #      scripts/bench.sh after the gates and record a BENCH_<n>.json
 #      entry in the performance trajectory. Not part of the default
 #      gate: benchmark numbers are machine-dependent and noisy on
