@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -189,6 +190,27 @@ func backendByName(c *controller.Controller, name string) error {
 	return nil
 }
 
+// parseDisorder parses the --disorder argument "kind:maxSkewMs"
+// (e.g. "bounded:50", "zipfburst:20"); empty means in-order sources.
+func parseDisorder(arg string) (*core.DisorderSpec, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	kind, skewStr, ok := strings.Cut(arg, ":")
+	if !ok {
+		return nil, fmt.Errorf("--disorder wants kind:maxSkewMs (e.g. bounded:50), got %q", arg)
+	}
+	skew, err := strconv.ParseInt(skewStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("--disorder skew %q: %v", skewStr, err)
+	}
+	d := &core.DisorderSpec{Kind: kind, MaxSkewMs: skew}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
 func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	app := fs.String("app", "", "application code (e.g. SG); mutually exclusive with --structure")
@@ -201,6 +223,8 @@ func cmdRun(ctx context.Context, args []string) error {
 	fast := fs.Bool("fast", false, "reduced simulation fidelity")
 	faults := fs.String("faults", "", "fault plan: 'kind:key=val,...;...' spec or @file.json (see internal/chaos)")
 	columnar := fs.Bool("columnar", false, "columnar data plane on the real engine: struct-of-arrays batches + vectorized filter kernels (requires --backend=real)")
+	disorder := fs.String("disorder", "", "event-time disorder on every source: kind:maxSkewMs (bounded:50 shuffles within the skew, zipfburst:50 adds a heavy Zipf delay tail)")
+	lateness := fs.Int64("lateness", 0, "allowed lateness in ms: windows delay firing by this much watermark progress and drop (and count) tuples later still")
 	fs.Parse(args)
 
 	c := controller.New()
@@ -223,13 +247,17 @@ func cmdRun(ctx context.Context, args []string) error {
 		return err
 	}
 	var plan *core.PQP
-	spec := backend.RunSpec{TuplesPerSource: *tuples}
+	spec := backend.RunSpec{TuplesPerSource: *tuples, AllowedLatenessMs: *lateness}
 	if *faults != "" {
 		fp, err := chaos.FromArg(*faults)
 		if err != nil {
 			return err
 		}
 		spec.Faults = fp
+	}
+	dspec, err := parseDisorder(*disorder)
+	if err != nil {
+		return err
 	}
 	switch {
 	case *app != "":
@@ -252,12 +280,21 @@ func cmdRun(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("one of --app or --structure is required")
 	}
+	if dspec != nil {
+		for _, src := range plan.Sources() {
+			d := *dspec
+			src.Source.Disorder = &d
+		}
+	}
 	fmt.Println(plan)
 	rec, err := c.MeasureSpec(ctx, plan, cl, spec)
 	if err != nil {
 		return err
 	}
 	fmt.Print(metrics.Table([]metrics.RunRecord{*rec}))
+	if dspec != nil || spec.AllowedLatenessMs > 0 {
+		fmt.Printf("event time: late drops=%d (lateness=%dms)\n", rec.LateDrops, spec.AllowedLatenessMs)
+	}
 	if c.BackendName() == "sim" {
 		// Decompose the mean latency so the user sees where time is spent
 		// (attribution only the simulator can make).
@@ -283,9 +320,15 @@ func cmdExec(ctx context.Context, args []string) error {
 	out := fs.String("out", "pdspbench-data", "store directory for the run record (empty to skip)")
 	faults := fs.String("faults", "", "fault plan: 'kind:key=val,...;...' spec or @file.json (see internal/chaos)")
 	columnar := fs.Bool("columnar", false, "columnar data plane on the real engine: struct-of-arrays batches + vectorized filter kernels (requires --backend=real)")
+	disorder := fs.String("disorder", "", "event-time disorder on every source: kind:maxSkewMs (bounded:50 shuffles within the skew, zipfburst:50 adds a heavy Zipf delay tail)")
+	lateness := fs.Int64("lateness", 0, "allowed lateness in ms: windows delay firing by this much watermark progress and drop (and count) tuples later still")
 	fs.Parse(args)
 
 	a, err := apps.ByCode(*app)
+	if err != nil {
+		return err
+	}
+	dspec, err := parseDisorder(*disorder)
 	if err != nil {
 		return err
 	}
@@ -315,11 +358,13 @@ func cmdExec(ctx context.Context, args []string) error {
 		c.Store = st
 	}
 	rec, err := c.Execute(ctx, b, a, *par, backend.RunSpec{
-		Runs:            *runs,
-		Seed:            *seed,
-		EventRate:       *rate,
-		TuplesPerSource: *tuples,
-		Faults:          faultPlan,
+		Runs:              *runs,
+		Seed:              *seed,
+		EventRate:         *rate,
+		TuplesPerSource:   *tuples,
+		Faults:            faultPlan,
+		Disorder:          dspec,
+		AllowedLatenessMs: *lateness,
 	})
 	if err != nil {
 		return err
@@ -328,6 +373,9 @@ func cmdExec(ctx context.Context, args []string) error {
 		a.Code, rec.Backend, rec.TuplesIn, rec.TuplesOut, rec.ElapsedSec)
 	fmt.Printf("  latency p50=%.3fms p95=%.3fms p99=%.3fms  throughput=%.0f tuples/s\n",
 		rec.LatencyP50*1000, rec.LatencyP95*1000, rec.LatencyP99*1000, rec.Throughput)
+	if dspec != nil || *lateness > 0 || rec.LateDrops > 0 {
+		fmt.Printf("  event time: late drops=%d (lateness=%dms)\n", rec.LateDrops, *lateness)
+	}
 	if *out != "" {
 		fmt.Printf("  record %s stored in %s\n", rec.ID, *out)
 	}

@@ -49,12 +49,17 @@ var Registry = []*App{
 	SpikeDetection, TrafficMonitoring, FraudDetection, AdAnalytics,
 }
 
-// ByCode resolves an application by its figure label ("SG").
+// ByCode resolves an application by its figure label ("SG"), falling
+// back to the extension suite ("YSB", "NXQ11") so the CLI and server
+// can run extensions without a separate lookup path.
 func ByCode(code string) (*App, error) {
 	for _, a := range Registry {
 		if a.Code == code {
 			return a, nil
 		}
+	}
+	if a, ok := ExtensionByCode(code); ok {
+		return a, nil
 	}
 	return nil, fmt.Errorf("apps: unknown application %q", code)
 }
@@ -82,7 +87,7 @@ func sourceFactory(seed int64, maxTuples int, rate float64, row rowFunc) engine.
 	}
 	return func(idx int) engine.SourceGenerator {
 		rng := rand.New(rand.NewSource(seed + int64(idx)*104729))
-		var now float64 = 1 // ns; non-zero so the engine keeps event times
+		var now float64 // ns of synthetic event time; zero is a real time now
 		i := 0
 		return genFunc(func() (*tuple.Tuple, bool) {
 			if maxTuples > 0 && i >= maxTuples {

@@ -3,9 +3,10 @@ package apps
 // Extension applications: the paper notes PDSP-Bench "can be easily
 // extended by integrating new jobs from other benchmarks like YSB [18]
 // and Nexmark [57]". This file integrates both: the Yahoo Streaming
-// Benchmark ad-event pipeline and three representative Nexmark auction
-// queries (Q1 currency conversion, Q3 seller join, Q5 hot items). They
-// are registered separately from the core Table 2 suite via Extensions.
+// Benchmark ad-event pipeline and four representative Nexmark auction
+// queries (Q1 currency conversion, Q3 seller join, Q5 hot items, Q11
+// bid sessions). They are registered separately from the core Table 2
+// suite via Extensions.
 
 import (
 	"math/rand"
@@ -16,7 +17,7 @@ import (
 )
 
 // Extensions lists the add-on applications from other benchmark suites.
-var Extensions = []*App{YSB, NexmarkQ1, NexmarkQ3, NexmarkQ5}
+var Extensions = []*App{YSB, NexmarkQ1, NexmarkQ3, NexmarkQ5, NexmarkQ11}
 
 // ExtensionByCode resolves an extension application.
 func ExtensionByCode(code string) (*App, bool) {
@@ -241,6 +242,42 @@ var NexmarkQ5 = &App{
 		return map[string]engine.UDOFactory{
 			"nexmark/hottest": func(int) engine.UDO { return &hottestTracker{} },
 		}
+	},
+}
+
+// NexmarkQ11 answers "how many bids did each user make in each of their
+// activity sessions?": bids keyed by bidder, counted over gap-based
+// session windows. The bid source carries bounded event-time disorder,
+// so the query exercises the watermark plane end to end — session spans
+// merge across out-of-order arrivals, and bounded skew with a matching
+// lateness allowance must never drop a bid.
+var NexmarkQ11 = &App{
+	Code: "NXQ11", Name: "Nexmark Q11 (bid sessions)", Area: "Auctions",
+	Description: "Counts bids per bidder over gap-based session windows under out-of-order arrivals.",
+	Build: func(rate float64) *core.PQP {
+		p := core.NewPQP("NXQ11", "nexmark-q11")
+		p.Add(&core.Operator{ID: "bids", Kind: core.OpSource, Name: "bids", Parallelism: 1,
+			Source: &core.SourceSpec{Schema: nexmarkBidSchema, EventRate: rate,
+				Disorder: &core.DisorderSpec{Kind: core.DisorderBounded, MaxSkewMs: 100}},
+			OutWidth: 3})
+		p.Add(&core.Operator{ID: "sessions", Kind: core.OpAggregate, Name: "bids-per-session", Parallelism: 1,
+			Partition: core.PartitionHash, CostScale: 0.3,
+			Agg: &core.AggregateSpec{
+				Window: core.WindowSpec{Type: core.WindowSession, Policy: core.PolicyTime, GapMs: 500},
+				Fn:     core.AggCount, Field: 2, KeyField: 1,
+			}, OutWidth: 2})
+		p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1, Partition: core.PartitionRebalance})
+		p.Connect("bids", "sessions")
+		p.Connect("sessions", "sink")
+		return p
+	},
+	Sources: func(seed int64, max int) map[string]engine.SourceFactory {
+		return map[string]engine.SourceFactory{
+			"bids": sourceFactory(seed, max, 1000, nexmarkBidRow),
+		}
+	},
+	UDOs: func() map[string]engine.UDOFactory {
+		return map[string]engine.UDOFactory{}
 	},
 }
 

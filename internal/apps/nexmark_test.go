@@ -5,10 +5,10 @@ import (
 )
 
 func TestExtensionsRegistered(t *testing.T) {
-	if len(Extensions) != 4 {
-		t.Fatalf("Extensions = %d, want 4 (YSB + 3 Nexmark queries)", len(Extensions))
+	if len(Extensions) != 5 {
+		t.Fatalf("Extensions = %d, want 5 (YSB + 4 Nexmark queries)", len(Extensions))
 	}
-	for _, code := range []string{"YSB", "NXQ1", "NXQ3", "NXQ5"} {
+	for _, code := range []string{"YSB", "NXQ1", "NXQ3", "NXQ5", "NXQ11"} {
 		if _, ok := ExtensionByCode(code); !ok {
 			t.Errorf("extension %s missing", code)
 		}
@@ -92,6 +92,27 @@ func TestNexmarkQ5EmitsMonotoneLeaders(t *testing.T) {
 	}
 	if len(out) > 200 {
 		t.Errorf("Q5 emitted %d leaders; the tracker fires far too often", len(out))
+	}
+}
+
+func TestNexmarkQ11CountsBidsPerSession(t *testing.T) {
+	// Q11 counts bids per (bidder, session); session counts are positive
+	// integers and must total exactly the input — sessions partition the
+	// stream, and bounded disorder never drops a bid.
+	out := runApp(t, NexmarkQ11, 5000, 1)
+	if len(out) == 0 {
+		t.Fatal("Q11 emitted no sessions")
+	}
+	var total float64
+	for _, o := range out {
+		n := o.At(1).D
+		if n < 1 {
+			t.Fatalf("session with count %v", n)
+		}
+		total += n
+	}
+	if total != 5000 {
+		t.Errorf("session counts total %v, want 5000 (sessions partition the stream)", total)
 	}
 }
 

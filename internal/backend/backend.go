@@ -101,6 +101,18 @@ type RunSpec struct {
 	// and the real engine identically (record FaultSchedule carries the
 	// fingerprint). Nil or empty runs fault-free.
 	Faults *chaos.Plan
+	// Disorder, when set, is stamped onto every source of plans the
+	// controller derives from this spec (per-source control stays with
+	// the plan's own SourceSpec.Disorder). See core.DisorderSpec.
+	Disorder *core.DisorderSpec
+	// AllowedLatenessMs is the event-time allowance for out-of-order
+	// arrivals: time-policy windows and joins delay firing by this much
+	// watermark progress and drop (and count) tuples that arrive later
+	// still. Zero keeps the strictest semantics — any tuple behind the
+	// watermark is late. Plans whose sources carry a DisorderSpec
+	// normally pair it with a matching allowance (bounded disorder with
+	// lateness ≥ skew provably drops nothing).
+	AllowedLatenessMs int64
 }
 
 // Backend executes parallel query plans on one System Under Test.

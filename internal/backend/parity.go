@@ -35,6 +35,11 @@ type ParityCase struct {
 	// last instance with no restart budget). Completing the run is the
 	// parity violation.
 	WantFaultOp string
+	// WantZeroLateDrops pins the event-time invariant both backends must
+	// share for bounded disorder with a matching lateness allowance: the
+	// disorder delay never exceeds the watermark skew, so no tuple may be
+	// dropped as late. Any non-zero LateDrops is a parity violation.
+	WantZeroLateDrops bool
 }
 
 // ParityResult is one case's verdict across backends.
@@ -73,7 +78,7 @@ func DefaultParityCases() ([]ParityCase, error) {
 		workload.StructTwoFilter,
 		workload.StructTwoWayJoin,
 	}
-	cases := make([]ParityCase, 0, len(structures))
+	cases := make([]ParityCase, 0, len(structures)+2)
 	for _, s := range structures {
 		plan, err := workload.Build(s, params)
 		if err != nil {
@@ -90,6 +95,33 @@ func DefaultParityCases() ([]ParityCase, error) {
 				TuplesPerSource: 2_000,
 				Placement:       cluster.PlaceRoundRobin,
 			},
+		})
+	}
+	// Event-time disorder cases: bounded skew on the linear chain (the
+	// windowed-aggregate path) and on the 2-way join (the two-input
+	// path), with the lateness allowance matching the skew. Bounded
+	// disorder delays by at most the watermark skew, so both backends
+	// must agree on the strongest pin available: zero late drops.
+	disorder := params
+	disorder.Disorder = &core.DisorderSpec{Kind: core.DisorderBounded, MaxSkewMs: 50}
+	for _, s := range []workload.Structure{workload.StructLinear, workload.StructTwoWayJoin} {
+		plan, err := workload.Build(s, disorder)
+		if err != nil {
+			return nil, fmt.Errorf("backend: parity case disorder-%s: %w", s, err)
+		}
+		plan.SetUniformParallelism(2)
+		cases = append(cases, ParityCase{
+			Name: "disorder-" + string(s),
+			Plan: plan,
+			Spec: RunSpec{
+				Runs:              1,
+				Seed:              7,
+				EventRate:         params.EventRate,
+				TuplesPerSource:   2_000,
+				Placement:         cluster.PlaceRoundRobin,
+				AllowedLatenessMs: disorder.Disorder.MaxSkewMs,
+			},
+			WantZeroLateDrops: true,
 		})
 	}
 	return cases, nil
@@ -141,9 +173,23 @@ func FaultParityCases() ([]ParityCase, error) {
 			{Kind: chaos.KindCrash, Op: "filter1", Instance: -1, At: 0.03},
 		},
 	}
+	// Disordered crash-restart: the same budgeted crash with a
+	// bounded-skew source and matching lateness, so fault recovery and
+	// the event-time plane are exercised together — restarts must still
+	// happen and bounded disorder must still drop nothing.
+	dparams := params
+	dparams.Disorder = &core.DisorderSpec{Kind: core.DisorderBounded, MaxSkewMs: 50}
+	dplan, err := workload.Build(workload.StructTwoFilter, dparams)
+	if err != nil {
+		return nil, fmt.Errorf("backend: fault parity disorder plan: %w", err)
+	}
+	dplan.SetUniformParallelism(2)
+	dcrash := crash
+	dcrash.AllowedLatenessMs = dparams.Disorder.MaxSkewMs
 	return []ParityCase{
 		{Name: "crash-restart", Plan: plan, Spec: crash},
 		{Name: "kill-last-instance", Plan: plan, Spec: kill, WantFaultOp: "filter1"},
+		{Name: "crash-restart-disorder", Plan: dplan, Spec: dcrash, WantZeroLateDrops: true},
 	}, nil
 }
 
@@ -166,6 +212,11 @@ func Parity(ctx context.Context, backends []Backend, cl *cluster.Cluster, cases 
 			}
 			res.Records[b.Name()] = rec
 			res.Issues = append(res.Issues, checkCoherent(b.Name(), rec)...)
+			if pc.WantZeroLateDrops && rec.LateDrops != 0 {
+				res.Issues = append(res.Issues, fmt.Sprintf(
+					"%s: %d late drops under bounded disorder with matching lateness; bounded delay can never pass the watermark allowance",
+					b.Name(), rec.LateDrops))
+			}
 			if !pc.Spec.Faults.Empty() {
 				res.Issues = append(res.Issues, checkRecovery(b.Name(), rec)...)
 			}

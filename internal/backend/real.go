@@ -83,6 +83,8 @@ func (r *Real) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spe
 		} else {
 			opts.Sources = syntheticSources(plan, runSeed, tuples)
 		}
+		opts.Sources = disorderSources(plan, opts.Sources, runSeed)
+		opts.AllowedLateness = time.Duration(spec.AllowedLatenessMs) * time.Millisecond
 		opts.SinkTap = spec.SinkTap
 		if faultEvents != nil {
 			opts.Faults = faultEvents
@@ -113,10 +115,42 @@ func (r *Real) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spe
 		rec.Restarts += rep.Restarts
 		rec.DowntimeMS += float64(rep.Downtime.Milliseconds())
 		rec.RecoveredTuples += rep.RecoveredTuples
+		rec.LateDrops += rep.LateDrops
 	}
 	rec.TuplesIn = in / uint64(runs)
 	rec.TuplesOut = out / uint64(runs)
 	return rec, nil
+}
+
+// disorderSources wraps the factories of sources whose plan spec
+// carries a DisorderSpec in stream.NewDisordered, so event-time
+// disorder applies uniformly to synthetic and application sources.
+// Seeds are decorrelated per source and instance so parallel instances
+// shuffle independently.
+func disorderSources(plan *core.PQP, sources map[string]engine.SourceFactory, seed int64) map[string]engine.SourceFactory {
+	var wrapped map[string]engine.SourceFactory
+	for si, src := range plan.Sources() {
+		d := src.Source.Disorder
+		inner := sources[src.ID]
+		if d == nil || inner == nil {
+			continue
+		}
+		if wrapped == nil {
+			wrapped = make(map[string]engine.SourceFactory, len(sources))
+			for id, f := range sources {
+				wrapped[id] = f
+			}
+		}
+		dSeed := seed + 31 + int64(si)*104729
+		spec := d
+		wrapped[src.ID] = func(idx int) engine.SourceGenerator {
+			return stream.NewDisordered(inner(idx), spec, dSeed+int64(idx)*7919)
+		}
+	}
+	if wrapped == nil {
+		return sources
+	}
+	return wrapped
 }
 
 // syntheticSources builds bounded random generators for every source

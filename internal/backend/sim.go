@@ -44,6 +44,7 @@ func (s *Sim) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec
 	if spec.Seed != 0 {
 		cfg.Seed = spec.Seed
 	}
+	cfg.AllowedLateness = float64(spec.AllowedLatenessMs) / 1000
 	dur := cfg.Duration
 	if dur <= 0 {
 		dur = simengine.Defaults().Duration
@@ -93,6 +94,7 @@ func (s *Sim) Run(ctx context.Context, plan *core.PQP, cl *cluster.Cluster, spec
 		rec.Restarts += uint64(res.Restarts)
 		rec.DowntimeMS += res.DowntimeSec * 1000
 		rec.RecoveredTuples += uint64(res.RecoveredTuples)
+		rec.LateDrops += uint64(res.LateDrops + 0.5)
 	}
 	rec.TuplesIn = uint64(in / float64(runs))
 	rec.TuplesOut = uint64(out / float64(runs))

@@ -9,6 +9,7 @@ package controller
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"pdspbench/internal/apps"
@@ -62,6 +63,14 @@ func TestRealEngineAndSimulatorAgreeOnAppOrdering(t *testing.T) {
 func TestRealEngineParallelismSpeedsUpHeavyApp(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cross-validation is slow")
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		// A real parallel speedup needs real cores. On a single-P
+		// runtime, four instances time-slice one core, so the best
+		// par-4 can do is tie par-1 — watermark-driven windows fire per
+		// marker instead of scanning panes per arrival, which removed
+		// the per-instance work that parallelism used to split.
+		t.Skip("parallel speedup is unmeasurable with GOMAXPROCS=1")
 	}
 	// The real engine must show the same qualitative effect the
 	// simulator produces for Fig 3: a data-intensive app finishes a fixed

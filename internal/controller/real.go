@@ -23,6 +23,12 @@ func (c *Controller) Execute(ctx context.Context, b backend.Backend, a *apps.App
 	if parallelism > 1 {
 		plan.SetUniformParallelism(parallelism)
 	}
+	if spec.Disorder != nil {
+		for _, src := range plan.Sources() {
+			d := *spec.Disorder
+			src.Source.Disorder = &d
+		}
+	}
 	spec.App = a
 	run := *c
 	if b != nil {

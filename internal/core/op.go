@@ -201,20 +201,31 @@ func (a AggFn) String() string {
 // AllAggFns is the enumerator's domain for window aggregation functions.
 var AllAggFns = []AggFn{AggMin, AggMax, AggAvg, AggMean, AggSum}
 
-// WindowType distinguishes sliding from tumbling windows (Table 3).
+// WindowType distinguishes sliding from tumbling windows (Table 3),
+// plus session windows (gap-separated activity bursts, Nexmark Q11).
 type WindowType int
 
 const (
 	WindowTumbling WindowType = iota
 	WindowSliding
+	// WindowSession groups tuples into per-key activity sessions: a
+	// session extends while consecutive events arrive within GapMs of
+	// each other and closes — fires — once the watermark passes the last
+	// event plus the gap. Session windows are event-time only
+	// (PolicyTime) because the gap is a statement about event time.
+	WindowSession
 )
 
 // String names the window type.
 func (w WindowType) String() string {
-	if w == WindowTumbling {
+	switch w {
+	case WindowTumbling:
 		return "tumbling"
+	case WindowSession:
+		return "session"
+	default:
+		return "sliding"
 	}
-	return "sliding"
 }
 
 // WindowPolicy distinguishes count-based from time-based windows.
@@ -242,11 +253,19 @@ type WindowSpec struct {
 	LengthMs   int64        `json:"length_ms"`     // time policy: window duration
 	LengthTups int          `json:"length_tuples"` // count policy: window size in tuples
 	SlideRatio float64      `json:"slide_ratio"`   // sliding only: slide = ratio × length
+	// GapMs is the session-window inactivity gap (WindowSession only):
+	// two events of a key belong to the same session when their event
+	// times are within GapMs of each other.
+	GapMs int64 `json:"gap_ms,omitempty"`
 }
 
 // Slide returns the effective slide of the window in its policy's unit
-// (ms or tuples). Tumbling windows slide by their full length.
+// (ms or tuples). Tumbling windows slide by their full length; session
+// windows report their gap (the cadence at which sessions can close).
 func (w WindowSpec) Slide() float64 {
+	if w.Type == WindowSession {
+		return float64(w.GapMs)
+	}
 	length := float64(w.LengthTups)
 	if w.Policy == PolicyTime {
 		length = float64(w.LengthMs)
@@ -265,8 +284,13 @@ func (w WindowSpec) Slide() float64 {
 	return s
 }
 
-// Length returns the window length in its policy's unit.
+// Length returns the window length in its policy's unit. Session
+// windows have no fixed length; their gap is the closest analogue (the
+// expected extent of a session under bursty arrivals).
 func (w WindowSpec) Length() float64 {
+	if w.Type == WindowSession {
+		return float64(w.GapMs)
+	}
 	if w.Policy == PolicyTime {
 		return float64(w.LengthMs)
 	}
@@ -275,6 +299,15 @@ func (w WindowSpec) Length() float64 {
 
 // Validate checks the spec is internally consistent.
 func (w WindowSpec) Validate() error {
+	if w.Type == WindowSession {
+		if w.Policy != PolicyTime {
+			return fmt.Errorf("core: session windows are event-time only, got policy %s", w.Policy)
+		}
+		if w.GapMs <= 0 {
+			return fmt.Errorf("core: session window needs GapMs > 0, got %d", w.GapMs)
+		}
+		return nil
+	}
 	switch w.Policy {
 	case PolicyTime:
 		if w.LengthMs <= 0 {
@@ -295,6 +328,9 @@ func (w WindowSpec) Validate() error {
 
 // String renders the window for figure labels.
 func (w WindowSpec) String() string {
+	if w.Type == WindowSession {
+		return fmt.Sprintf("session(gap=%dms)", w.GapMs)
+	}
 	if w.Policy == PolicyTime {
 		return fmt.Sprintf("%s/%s(%dms,slide=%.1f)", w.Type, w.Policy, w.LengthMs, w.SlideRatio)
 	}

@@ -19,6 +19,44 @@ type SourceSpec struct {
 	// Distribution of inter-arrival times: "poisson" (default) or "zipf"
 	// for skewed key popularity combined with Poisson arrivals.
 	Distribution string `json:"distribution,omitempty"`
+	// Disorder, when set, delivers this source's tuples out of event-time
+	// order; the engine wraps the generator in a disorder buffer and the
+	// simulator mirrors the resulting watermark lag analytically.
+	Disorder *DisorderSpec `json:"disorder,omitempty"`
+}
+
+// Disorder kinds understood by both backends.
+const (
+	// DisorderBounded delays each tuple by an independent uniform draw in
+	// [0, MaxSkewMs]. With the source's watermark skew allowance set to the
+	// same bound (which the engine does automatically), no tuple is ever
+	// late: bounded disorder reorders but never drops.
+	DisorderBounded = "bounded"
+	// DisorderZipfBurst delays tuples by a Zipf-distributed draw scaled up
+	// to 4×MaxSkewMs: most tuples arrive nearly in order while a heavy tail
+	// straggles far past the watermark, producing genuine late drops.
+	DisorderZipfBurst = "zipfburst"
+)
+
+// DisorderSpec configures out-of-order delivery at a source. MaxSkewMs
+// bounds the typical event-time skew and doubles as the bounded-skew
+// watermark heuristic's allowance (watermark = max event time − skew).
+type DisorderSpec struct {
+	Kind     string `json:"kind"` // DisorderBounded or DisorderZipfBurst
+	MaxSkewMs int64 `json:"max_skew_ms"`
+}
+
+// Validate checks the disorder configuration.
+func (d *DisorderSpec) Validate() error {
+	switch d.Kind {
+	case DisorderBounded, DisorderZipfBurst:
+	default:
+		return fmt.Errorf("core: unknown disorder kind %q (want %q or %q)", d.Kind, DisorderBounded, DisorderZipfBurst)
+	}
+	if d.MaxSkewMs <= 0 {
+		return fmt.Errorf("core: disorder needs MaxSkewMs > 0, got %d", d.MaxSkewMs)
+	}
+	return nil
 }
 
 // FilterSpec configures a filter operator: the compared field, function,
@@ -367,6 +405,11 @@ func (p *PQP) Validate() error {
 			if op.Source.EventRate <= 0 {
 				return fmt.Errorf("core: source %q has non-positive event rate", op.ID)
 			}
+			if op.Source.Disorder != nil {
+				if err := op.Source.Disorder.Validate(); err != nil {
+					return fmt.Errorf("core: source %q: %w", op.ID, err)
+				}
+			}
 		case OpSink:
 			if len(downs) != 0 {
 				return fmt.Errorf("core: sink %q has %d outputs", op.ID, len(downs))
@@ -421,6 +464,10 @@ func (p *PQP) Clone() *PQP {
 		c := *op
 		if op.Source != nil {
 			s := *op.Source
+			if s.Disorder != nil {
+				d := *s.Disorder
+				s.Disorder = &d
+			}
 			c.Source = &s
 		}
 		if op.Filter != nil {

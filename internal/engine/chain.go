@@ -96,9 +96,10 @@ func buildChains(plan *core.PQP, enabled bool) ([][]string, error) {
 func (c *chainedOp) initState(oi *opInstance) {
 	switch c.op.Kind {
 	case core.OpAggregate:
-		c.agg = newAggregator(c.op.Agg)
+		c.agg = newAggregator(c.op.Agg, oi.rt.opts.AllowedLateness.Nanoseconds())
 	case core.OpJoin:
-		c.join = newJoiner(c.op.Join)
+		c.join = newJoiner(c.op.Join, oi.rt.opts.AllowedLateness.Nanoseconds())
+		c.join.rt = oi.rt
 	case core.OpUDO, core.OpMap, core.OpFlatMap:
 		if c.op.UDO != nil {
 			c.udo = oi.rt.opts.UDOs[c.op.UDO.Name](oi.idx)

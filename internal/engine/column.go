@@ -35,8 +35,9 @@ import (
 // same randomness consumption, same event times — so a columnar run
 // stays bit-identical to a row run from the same seed. NextColumns
 // returns the number of rows written (0 at end of stream) and must
-// leave event times in the EventCol (or zero to have the source stamp
-// ingest time, as the row path does).
+// leave event times in the EventCol (or tuple.NoEventTime to have the
+// source stamp ingest time, as the row path does; slabs are recycled
+// unzeroed, so every row must be written one way or the other).
 type ColumnFiller interface {
 	NextColumns(b *tuple.ColumnBatch) int
 }
@@ -136,12 +137,17 @@ func (oi *opInstance) deliverColumns(cb *tuple.ColumnBatch) {
 // Fan-out clones BEFORE the original ships (the original may be
 // processed — and released — by the first consumer while later routes
 // are still being served), so clones go out first and the original
-// last.
+// last. Every outgoing batch is stamped with the emitting instance's
+// own merged watermark: a forwarded batch must not carry its upstream
+// producer's (possibly further-advanced) assertion, because this
+// instance merges several producers and only the minimum is a valid
+// statement about its output channel.
 func (oi *opInstance) emitColumns(cb *tuple.ColumnBatch) {
 	if len(oi.routes) == 0 {
 		cb.Release()
 		return
 	}
+	cb.SetWatermark(oi.curWM)
 	for i := len(oi.routes) - 1; i >= 1; i-- {
 		if !oi.routes[i].sendColumns(oi.ctx, oi.idx, cb.CloneColumns()) {
 			cb.Release()
@@ -197,6 +203,17 @@ func (rt *router) sendColumns(ctx context.Context, fromIdx int, cb *tuple.Column
 				}
 			}
 		}
+		// Propagate the incoming stamp onto the pending scatter batches:
+		// their rows all came from batches at or below this watermark.
+		// (Batches flushed mid-loop may understamp, which is safe — the
+		// authoritative msgWatermark broadcast follows the data anyway.)
+		if w := cb.Watermark(); w != tuple.NoEventTime {
+			for di := range rt.colBufs {
+				if pb := rt.colBufs[di]; pb != nil && pb.Watermark() < w {
+					pb.SetWatermark(w)
+				}
+			}
+		}
 		cb.Release()
 		return true
 	default: // rebalance: whole batches round-robin (stateless targets
@@ -211,7 +228,7 @@ func (rt *router) sendColumns(ctx context.Context, fromIdx int, cb *tuple.Column
 // live rows — and sends it to target di.
 func (rt *router) shipColumns(ctx context.Context, di int, cb *tuple.ColumnBatch) bool {
 	select {
-	case rt.targets[di].in <- message{kind: msgData, cb: cb, side: rt.side}:
+	case rt.targets[di].in <- message{kind: msgData, cb: cb, side: rt.side, from: rt.wmID}:
 		return true
 	case <-ctx.Done():
 		cb.Release()
@@ -269,6 +286,11 @@ func (oi *opInstance) runSourceColumnar(ctx context.Context) {
 	kinds := tuple.KindsOf(src.Source.Schema)
 	rows := oi.rt.opts.ColumnarBatch
 	filler, fast := gen.(ColumnFiller)
+	skewNs := int64(0)
+	if d := src.Source.Disorder; d != nil {
+		skewNs = d.MaxSkewMs * 1e6
+	}
+	maxEt := tuple.NoEventTime
 	var unrecorded uint64
 	for {
 		select {
@@ -305,7 +327,41 @@ func (oi *opInstance) runSourceColumnar(ctx context.Context) {
 			oi.rt.recordIngest(unrecorded)
 			unrecorded = 0
 		}
+		// Per-batch watermark: max event time seen minus the bounded-skew
+		// allowance. A batch is ≥ the periodic interval, so stamping every
+		// batch IS the periodic cadence on this plane. The clock advances
+		// before emit so emitColumns stamps the fresh assertion onto the
+		// batch. Column-accepting routes read that stamp in-band and need
+		// no marker; an explicit msgWatermark goes only to row-only routes,
+		// whose materialized rows never carry one. Broadcasting to every
+		// target per batch would synchronize the source with all consumers
+		// on each batch and serialize the pipeline (measured ~40% off the
+		// columnar filter benchmark). Skipped wholesale when no operator
+		// consumes watermarks — arrival-driven plans never read the stamp.
+		wm := tuple.NoEventTime
+		if oi.rt.needsWM {
+			ev := cb.EventCol()
+			for i := 0; i < n; i++ {
+				if ev[i] > maxEt {
+					maxEt = ev[i]
+				}
+			}
+			if maxEt != tuple.NoEventTime && maxEt-skewNs > oi.curWM {
+				wm = maxEt - skewNs
+				oi.curWM = wm
+			}
+		}
 		oi.emitColumns(cb)
+		if wm != tuple.NoEventTime {
+			for _, rt := range oi.routes {
+				if rt.colOK {
+					continue
+				}
+				if !rt.watermark(oi.ctx, wm) {
+					return
+				}
+			}
+		}
 		if n < rows {
 			break // generator exhausted mid-batch
 		}

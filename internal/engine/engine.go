@@ -85,6 +85,17 @@ type Options struct {
 	Columnar bool
 	// ColumnarBatch is the column batch row capacity (default 1024).
 	ColumnarBatch int
+	// WatermarkInterval is how many tuples a source emits between
+	// periodic watermark assertions when its generator is not punctuated
+	// (default 256). Punctuated generators (those implementing
+	// Watermarker) emit whenever their assertion advances instead.
+	WatermarkInterval int
+	// AllowedLateness delays window firing past the watermark: a pane or
+	// session fires only once the watermark passes its end plus this
+	// allowance, so out-of-order tuples arriving within the allowance are
+	// still absorbed. Tuples arriving beyond it are dropped and counted
+	// in Report.LateDrops — never silently reordered.
+	AllowedLateness time.Duration
 	// SinkTap, when set, receives every tuple delivered to a sink (after
 	// metrics are recorded). Used by examples to print results.
 	SinkTap func(op string, t *tuple.Tuple)
@@ -154,6 +165,26 @@ type Runtime struct {
 	linkFaults map[string]*linkFault
 	faultWG    sync.WaitGroup
 	report     reportState
+	// needsWM is true when some operator consumes watermarks (time-policy
+	// window, session, or time-windowed join). Plans without one are
+	// arrival-driven end to end, and sources skip watermark emission: the
+	// markers would only add channel traffic nobody advances on.
+	needsWM bool
+}
+
+// needsWatermarks reports whether any operator in the plan fires or
+// evicts on watermark advance. Session windows are always time-policy,
+// so checking Window.Policy covers them too.
+func needsWatermarks(plan *core.PQP) bool {
+	for _, op := range plan.Operators {
+		if op.Agg != nil && op.Agg.Window.Policy == core.PolicyTime {
+			return true
+		}
+		if op.Join != nil && op.Join.Window.Policy == core.PolicyTime {
+			return true
+		}
+	}
+	return false
 }
 
 type reportState struct {
@@ -190,6 +221,9 @@ func New(plan *core.PQP, opts Options) (*Runtime, error) {
 	if opts.ColumnarBatch <= 0 {
 		opts.ColumnarBatch = 1024
 	}
+	if opts.WatermarkInterval <= 0 {
+		opts.WatermarkInterval = 256
+	}
 	if opts.Throttle || len(opts.Faults) > 0 {
 		// Pacing and fault injection act per row; the columnar plane
 		// would bypass both. Automatic fallback to the row plane.
@@ -211,9 +245,10 @@ func New(plan *core.PQP, opts Options) (*Runtime, error) {
 		}
 	}
 	r := &Runtime{
-		plan:  plan,
-		opts:  opts,
-		insts: make(map[string][]*opInstance),
+		plan:    plan,
+		opts:    opts,
+		insts:   make(map[string][]*opInstance),
+		needsWM: needsWatermarks(plan),
 	}
 	r.report.latencies = stats.NewSample(4096)
 	if err := r.build(); err != nil {
@@ -272,8 +307,15 @@ func (r *Runtime) build() error {
 					}
 				}
 			}
+			// Watermark slots: every target keeps one watermark per
+			// producing instance per side. This edge's producers claim the
+			// next tailOp.Parallelism slots — read the base before the
+			// expectEOS bump that reserves them.
+			base := int32(targets[0].expectEOS[side])
 			for _, inst := range insts {
-				inst.routes = append(inst.routes, newRouter(down, targets, side, inst.idx, r.opts.BatchSize))
+				nr := newRouter(down, targets, side, inst.idx, r.opts.BatchSize)
+				nr.wmID = base + int32(inst.idx)
+				inst.routes = append(inst.routes, nr)
 			}
 			for _, dinst := range targets {
 				dinst.expectEOS[side] += tailOp.Parallelism

@@ -34,12 +34,12 @@ func (c *collectSink) tuples() []*tuple.Tuple {
 }
 
 // kv builds a (int key, double value) tuple at the given event time (ms).
-// The +1ns offset keeps EventTime non-zero (a zero event time asks the
-// source to stamp wall-clock time) without moving any window boundary.
+// Zero is a legitimate event time: "unset" is tuple.NoEventTime, so no
+// offset trickery is needed to keep the source from re-stamping.
 func kv(etMs int64, key int64, val float64) *tuple.Tuple {
 	return &tuple.Tuple{
 		Values:    []tuple.Value{tuple.Int(key), tuple.Double(val)},
-		EventTime: etMs*1e6 + 1,
+		EventTime: etMs * 1e6,
 	}
 }
 

@@ -314,14 +314,20 @@ func (r *Runtime) declareDead(ctx context.Context, oi *opInstance, crash *CrashE
 	for !oi.allEOS() {
 		select {
 		case msg := <-oi.in:
-			if msg.kind == msgEOS {
+			switch {
+			case msg.kind == msgEOS:
 				oi.gotEOS[msg.side]++
-				continue
+			case msg.kind == msgWatermark:
+				// Watermarks carry no payload; a dead instance just
+				// swallows them.
+			case msg.cb != nil:
+				msg.cb.Release()
+			default:
+				for _, t := range *msg.b {
+					t.Release()
+				}
+				putBatch(msg.b)
 			}
-			for _, t := range *msg.b {
-				t.Release()
-			}
-			putBatch(msg.b)
 		case <-ctx.Done():
 			return
 		}

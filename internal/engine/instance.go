@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"math"
 	"sync"
 	"time"
 
@@ -14,14 +15,19 @@ type msgKind int
 const (
 	msgData msgKind = iota
 	msgEOS
+	// msgWatermark is the event-time control element: the producer
+	// asserts it will emit no further tuple with EventTime ≤ wm on this
+	// channel. Receivers merge the minimum across all producers (see
+	// noteWatermark in watermark.go) before advancing window state.
+	msgWatermark
 )
 
 // message is one channel exchange between instances: a micro-batch of
-// tuples (msgData) or an end-of-stream marker (msgEOS). Shipping batches
-// instead of single tuples amortizes the channel send/receive pair — the
-// dominant per-tuple cost of an unbatched data plane — across
-// O(BatchSize) tuples, the same reason Flink ships record batches
-// through its network buffers.
+// tuples (msgData), an end-of-stream marker (msgEOS), or a watermark
+// (msgWatermark). Shipping batches instead of single tuples amortizes
+// the channel send/receive pair — the dominant per-tuple cost of an
+// unbatched data plane — across O(BatchSize) tuples, the same reason
+// Flink ships record batches through its network buffers.
 type message struct {
 	kind msgKind
 	b    *[]*tuple.Tuple
@@ -29,6 +35,11 @@ type message struct {
 	// is active on this edge (exactly one of b/cb is set for msgData).
 	cb   *tuple.ColumnBatch
 	side int
+	// from identifies the producing router's watermark slot on the
+	// receiver's side (see router.wmID); wm is the asserted watermark
+	// for msgWatermark messages.
+	from int32
+	wm   int64
 }
 
 // batchPool recycles the tuple-pointer slices routers flush downstream.
@@ -74,6 +85,10 @@ type router struct {
 	// supervisor may re-deliver end-of-stream, and a duplicate marker
 	// would make the receiver finish while producers still run.
 	sentEOS []bool
+	// wmID is this producer's watermark slot index on the receiving
+	// side: receivers keep one watermark per producing instance and
+	// advance on the minimum across all of them (assigned in build).
+	wmID int32
 
 	// Columnar plane (see column.go). colOK records whether the target
 	// chain accepts column batches; when false, sendColumns falls back
@@ -170,7 +185,7 @@ func (rt *router) flushTo(ctx context.Context, di int) bool {
 		rt.lf.applyDelay()
 	}
 	select {
-	case rt.targets[di].in <- message{kind: msgData, b: b, side: rt.side}:
+	case rt.targets[di].in <- message{kind: msgData, b: b, side: rt.side, from: rt.wmID}:
 		return true
 	case <-ctx.Done():
 		return false
@@ -204,7 +219,7 @@ func (rt *router) eos(ctx context.Context) bool {
 			continue
 		}
 		select {
-		case dst.in <- message{kind: msgEOS, side: rt.side}:
+		case dst.in <- message{kind: msgEOS, side: rt.side, from: rt.wmID}:
 			rt.sentEOS[di] = true
 		case <-ctx.Done():
 			return false
@@ -229,6 +244,13 @@ type opInstance struct {
 	expectEOS [2]int
 	gotEOS    [2]int
 	seq       uint64
+
+	// Event-time state (watermark.go): wmIn holds the latest watermark
+	// asserted by each upstream producer, per input side; curWM is the
+	// merged minimum — the instance's own clock — which advances the
+	// chain's window state and is forwarded downstream.
+	wmIn  [2][]int64
+	curWM int64
 
 	// colOK: this chain accepts column batches (set in build; see
 	// chainAcceptsColumns). colSrc: this source instance produces them —
@@ -258,9 +280,10 @@ func (oi *opInstance) head() *core.Operator { return oi.chain[0].op }
 
 func newOpInstance(r *Runtime, ops []*core.Operator, idx int) *opInstance {
 	oi := &opInstance{
-		rt:  r,
-		idx: idx,
-		in:  make(chan message, r.opts.ChannelCapacity),
+		rt:    r,
+		idx:   idx,
+		in:    make(chan message, r.opts.ChannelCapacity),
+		curWM: tuple.NoEventTime,
 	}
 	for _, op := range ops {
 		oi.chain = append(oi.chain, &chainedOp{op: op})
@@ -359,6 +382,7 @@ func (oi *opInstance) run(ctx context.Context) {
 		c.initState(oi)
 		c.bindEmit(oi, i)
 	}
+	oi.initWatermarks()
 	defer oi.flushSinkStats()
 	lingerDur := oi.rt.opts.BatchLinger
 	killC := oi.killChan()
@@ -391,6 +415,10 @@ func (oi *opInstance) run(ctx context.Context) {
 			oi.nowUnix = time.Now().UnixNano()
 		}
 		if msg.kind == msgEOS {
+			// A finished producer will never send again: its channel
+			// watermark is +∞, which unblocks the merged minimum for the
+			// producers still running (Flink's EOS semantics).
+			oi.noteWatermark(msg.side, msg.from, math.MaxInt64)
 			oi.gotEOS[msg.side]++
 			if oi.allEOS() {
 				oi.flushChain()
@@ -401,13 +429,23 @@ func (oi *opInstance) run(ctx context.Context) {
 			}
 			continue
 		}
+		if msg.kind == msgWatermark {
+			oi.noteWatermark(msg.side, msg.from, msg.wm)
+			continue
+		}
 		var n int
 		if msg.cb != nil {
 			n = msg.cb.Live()
+			// The batch's watermark stamp rides behind its rows: read it
+			// now (the batch is released during apply), note it after.
+			cbWM := msg.cb.Watermark()
 			if oi.colOK {
 				oi.applyColumns(msg.cb)
 			} else {
 				oi.materializeColumns(msg.cb, msg.side)
+			}
+			if cbWM != tuple.NoEventTime {
+				oi.noteWatermark(msg.side, msg.from, cbWM)
 			}
 		} else {
 			n = len(*msg.b)
@@ -456,11 +494,29 @@ func (oi *opInstance) allEOS() bool {
 
 // runSource drives the instance's generator. Sources are never fused, so
 // the chain is exactly [source].
+//
+// Watermark emission is punctuated when the generator implements
+// Watermarker (emit whenever its assertion advances — per-arrival
+// granularity for in-order replay) and periodic otherwise: every
+// WatermarkInterval tuples the source asserts max-event-time-seen minus
+// the bounded-skew allowance from its DisorderSpec.
 func (oi *opInstance) runSource(ctx context.Context) {
 	src := oi.head()
 	gen := oi.rt.opts.Sources[src.ID](oi.idx)
 	rate := src.Source.EventRate / float64(src.Parallelism)
 	killC := oi.killChan()
+	punct, _ := gen.(Watermarker)
+	skewNs := int64(0)
+	if d := src.Source.Disorder; d != nil {
+		skewNs = d.MaxSkewMs * 1e6
+	}
+	wmEvery := uint64(oi.rt.opts.WatermarkInterval)
+	if !oi.rt.needsWM {
+		// No operator in this plan fires on watermarks: suppress emission
+		// entirely rather than pay a flush-and-broadcast per interval.
+		punct, wmEvery = nil, 0
+	}
+	maxEt := tuple.NoEventTime
 	// Checkpoint resume after a crash: generators are deterministic, so
 	// a revived life rebuilds its generator and skips the oi.seq tuples
 	// the previous lives already emitted.
@@ -500,7 +556,7 @@ func (oi *opInstance) runSource(ctx context.Context) {
 			now = time.Now().UnixNano()
 		}
 		t.Ingest = now
-		if t.EventTime == 0 {
+		if t.EventTime == tuple.NoEventTime {
 			t.EventTime = now
 		}
 		t.Seq = oi.seq
@@ -511,8 +567,27 @@ func (oi *opInstance) runSource(ctx context.Context) {
 			unrecorded = 0
 		}
 		oi.chain[0].nOut++
+		// Capture the event time before emit: downstream may release the
+		// tuple before the send returns on a fused route.
+		et := t.EventTime
 		oi.emit(t)
 		emitted++
+		if et > maxEt {
+			maxEt = et
+		}
+		if punct != nil {
+			if wm := punct.Watermark(); wm != tuple.NoEventTime && wm > oi.curWM {
+				if !oi.emitWatermark(wm) {
+					return
+				}
+			}
+		} else if wmEvery > 0 && emitted%wmEvery == 0 && maxEt != tuple.NoEventTime {
+			if wm := maxEt - skewNs; wm > oi.curWM {
+				if !oi.emitWatermark(wm) {
+					return
+				}
+			}
+		}
 		if oi.rt.opts.Throttle && rate > 0 && emitted%64 == 0 {
 			// Pace to the configured event rate in wall-clock time.
 			want := time.Duration(float64(emitted) / rate * float64(time.Second))

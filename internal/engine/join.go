@@ -58,7 +58,14 @@ type joiner struct {
 	mask   uint64
 	lenNs  int64
 	cap    int
-	wm     int64
+	// wm is the instance's merged watermark, moved only by advance():
+	// time-policy eviction and late-arrival drops key off it, so buffer
+	// retirement follows event-time completeness instead of arrival
+	// order. latenessNs extends retention (and the drop boundary) by the
+	// allowed lateness; rt counts the drops (nil in unit tests).
+	wm         int64
+	latenessNs int64
+	rt         *Runtime
 
 	// Exactly one emission sink is bound per run (bindEmit). The row
 	// plane sets emitPair, which materializes each match as a pooled
@@ -74,8 +81,11 @@ type joiner struct {
 	nOut     *uint64
 }
 
-func newJoiner(spec *core.JoinSpec) *joiner {
-	j := &joiner{spec: spec}
+func newJoiner(spec *core.JoinSpec, latenessNs int64) *joiner {
+	j := &joiner{spec: spec, wm: tuple.NoEventTime}
+	if latenessNs > 0 {
+		j.latenessNs = latenessNs
+	}
 	n := 1
 	if spec.Window.Policy == core.PolicyTime {
 		j.lenNs = spec.Window.LengthMs * int64(1e6)
@@ -105,18 +115,26 @@ func (j *joiner) keyOf(t *tuple.Tuple, side int) tuple.Value {
 }
 
 // add processes one arrival: probe, emit matches through the bound
-// sink, insert, evict.
+// sink, insert, evict. Time-policy arrivals older than the watermark
+// minus the allowed lateness can no longer match anything the buffers
+// are required to retain — they are dropped and counted, never
+// silently reordered.
 func (j *joiner) add(t *tuple.Tuple, side int) {
 	if side != 0 {
 		side = 1
+	}
+	if j.cap == 0 && j.wm != tuple.NoEventTime &&
+		t.EventTime != tuple.NoEventTime && t.EventTime < j.wm-j.latenessNs {
+		if j.rt != nil {
+			j.rt.recordLateDrop()
+		}
+		t.Release()
+		return
 	}
 	key := j.keyOf(t, side)
 	h := key.Hash()
 	sh := &j.shards[h&j.mask]
 	other := 1 - side
-	if t.EventTime > j.wm {
-		j.wm = t.EventTime
-	}
 	// Probe the opposite buffer; keys and event times are inline in the
 	// entries, so only actual matches dereference a buffered tuple.
 	if bucket := sh.buf[other][h]; len(bucket) > 0 {
@@ -128,15 +146,45 @@ func (j *joiner) add(t *tuple.Tuple, side int) {
 	if j.cap > 0 {
 		j.evictCount(sh, side)
 	} else {
-		// Lazy per-shard expiry: pop the arrival-ordered queue while its
-		// head is outside the window. Out-of-order event times can leave
-		// an expired entry behind a fresher head briefly, which is safe —
+		// Lazy per-shard expiry at the watermark-derived horizon: pop the
+		// arrival-ordered queue while its head can no longer match any
+		// future in-time arrival. Out-of-order event times can leave an
+		// expired entry behind a fresher head briefly, which is safe —
 		// the probe re-checks the time bound — and each entry is still
 		// retired exactly once, so the cost is O(1) amortized per add
 		// instead of a periodic sweep over every bucket.
-		horizon := j.wm - j.lenNs
+		horizon := j.evictHorizon()
 		j.evictTime(sh, side, horizon)
 		j.evictTime(sh, other, horizon)
+	}
+}
+
+// evictHorizon is the event time below which a buffered entry can no
+// longer match any arrival the watermark still admits: watermark minus
+// window length minus allowed lateness.
+func (j *joiner) evictHorizon() int64 {
+	if j.wm == tuple.NoEventTime {
+		return tuple.NoEventTime
+	}
+	return j.wm - j.lenNs - j.latenessNs
+}
+
+// advance moves the joiner's event-time clock to wm and retires every
+// buffered entry outside the new retention horizon, on both sides of
+// every shard. Count-policy joins are arrival-bounded and unaffected.
+func (j *joiner) advance(wm int64) {
+	if j.cap > 0 || wm == tuple.NoEventTime {
+		return
+	}
+	if j.wm != tuple.NoEventTime && wm <= j.wm {
+		return
+	}
+	j.wm = wm
+	horizon := j.evictHorizon()
+	for s := range j.shards {
+		sh := &j.shards[s]
+		j.evictTime(sh, 0, horizon)
+		j.evictTime(sh, 1, horizon)
 	}
 }
 

@@ -68,7 +68,7 @@ func TestCountJoinBufferBounded(t *testing.T) {
 		j := newJoiner(&core.JoinSpec{
 			Window:    core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyCount, LengthTups: capTuples},
 			LeftField: 0, RightField: 0,
-		})
+		}, 0)
 		j.emitPair = func(_, _ *tuple.Tuple, _ int) {}
 		for i := 0; i < 200; i++ {
 			side := rng.Intn(2)
@@ -121,7 +121,7 @@ func TestSlidingRingNeverExceedsWindow(t *testing.T) {
 			Window: core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyCount,
 				LengthTups: length, SlideRatio: slide},
 			Fn: core.AggSum, Field: 1, KeyField: 0,
-		})
+		}, 0)
 		emit := func(*tuple.Tuple) {}
 		for i := 0; i < 500; i++ {
 			tp := &tuple.Tuple{
@@ -148,7 +148,7 @@ func TestTimePaneCountBounded(t *testing.T) {
 		Window: core.WindowSpec{Type: core.WindowSliding, Policy: core.PolicyTime,
 			LengthMs: 100, SlideRatio: 0.5},
 		Fn: core.AggSum, Field: 0, KeyField: -1,
-	})
+	}, 0)
 	emit := func(*tuple.Tuple) {}
 	for i := 0; i < 2000; i++ {
 		tp := &tuple.Tuple{
@@ -156,6 +156,7 @@ func TestTimePaneCountBounded(t *testing.T) {
 			EventTime: int64(i+1) * 1e7, // 10ms steps, in order
 		}
 		agg.add(tp, emit, nil)
+		agg.advance(tp.EventTime, emit) // punctuated: watermark per arrival
 		// length/slide = 2 overlapping panes plus at most one pane whose
 		// end has not yet passed the watermark.
 		if len(agg.panes) > 3 {

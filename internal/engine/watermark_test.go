@@ -1,0 +1,369 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/stream"
+	"pdspbench/internal/tuple"
+)
+
+// runPlanOpts is runPlan with caller-controlled Options (lateness,
+// watermark cadence) and a generator wrapper for disordered delivery; it
+// returns the run report so tests can assert late-drop accounting.
+func runPlanOpts(t *testing.T, plan *core.PQP, sources map[string][]*tuple.Tuple,
+	wrap func(stream.Generator) stream.Generator, opts Options) ([]*tuple.Tuple, *Report) {
+	t.Helper()
+	sink := &collectSink{}
+	srcFactories := make(map[string]SourceFactory, len(sources))
+	for id, ts := range sources {
+		ts := ts
+		srcFactories[id] = func(idx int) SourceGenerator {
+			var g stream.Generator = stream.NewFromTuples()
+			if idx == 0 {
+				g = stream.NewFromTuples(ts...)
+			}
+			if wrap != nil {
+				g = wrap(g)
+			}
+			return g
+		}
+	}
+	opts.Sources = srcFactories
+	opts.SinkTap = sink.tap
+	rt, err := New(plan, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return sink.tuples(), rep
+}
+
+// timeAggPlan builds src → keyed tumbling time window (AggCount) → sink.
+// The source carries the given DisorderSpec so periodic watermarks apply
+// its bounded-skew allowance.
+func timeAggPlan(lengthMs int64, d *core.DisorderSpec) *core.PQP {
+	p := core.NewPQP("wm-test", "linear")
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1000, Disorder: d}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "agg", Kind: core.OpAggregate, Parallelism: 1, Partition: core.PartitionHash,
+		Agg: &core.AggregateSpec{
+			Window: core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: lengthMs},
+			Fn:     core.AggCount, Field: 1, KeyField: 0,
+		}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	p.Connect("src", "agg")
+	p.Connect("agg", "sink")
+	return p
+}
+
+// TestNoteWatermarkMergedMinimumIsMonotone fuzzes the per-producer merge:
+// whatever order (and with whatever duplication or regression) producer
+// assertions arrive in, the instance clock never moves backwards and
+// never overtakes the slowest producer. Broadcast happens only on a
+// strict advance of that clock, so this is exactly the per-channel
+// monotonicity guarantee: a downstream channel observes a strictly
+// increasing watermark sequence.
+func TestNoteWatermarkMergedMinimumIsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	oi := &opInstance{curWM: tuple.NoEventTime}
+	oi.expectEOS = [2]int{3, 2}
+	oi.initWatermarks()
+
+	minSlots := func() int64 {
+		min := int64(math.MaxInt64)
+		for s := 0; s < 2; s++ {
+			for _, w := range oi.wmIn[s] {
+				if w < min {
+					min = w
+				}
+			}
+		}
+		return min
+	}
+
+	for i := 0; i < 20000; i++ {
+		side := rng.Intn(2)
+		from := int32(rng.Intn(3)) // side 1 has 2 slots; noteWatermark bounds-checks
+		var wm int64
+		switch rng.Intn(10) {
+		case 0:
+			wm = tuple.NoEventTime // producer with no assertion yet
+		case 1:
+			wm = math.MaxInt64 // EOS: final watermark
+		default:
+			wm = int64(rng.Intn(2000)) - 500 // negative event times are legal
+		}
+		prev := oi.curWM
+		oi.noteWatermark(side, from, wm)
+		if oi.curWM < prev {
+			t.Fatalf("op %d: clock went backwards: %d → %d", i, prev, oi.curWM)
+		}
+		if min := minSlots(); oi.curWM != tuple.NoEventTime && min != tuple.NoEventTime && oi.curWM > min {
+			t.Fatalf("op %d: clock %d overtook slowest producer %d", i, oi.curWM, min)
+		}
+	}
+}
+
+// TestEmitWatermarkRejectsRegression pins the source-side half of the
+// channel property: only strict advances are broadcast, so stale or
+// duplicate assertions never reach the wire.
+func TestEmitWatermarkRejectsRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	oi := &opInstance{curWM: tuple.NoEventTime} // no routes: broadcast is a no-op
+	var sent []int64
+	prev := oi.curWM
+	for i := 0; i < 5000; i++ {
+		wm := int64(rng.Intn(1000))
+		oi.emitWatermark(wm)
+		if oi.curWM != prev { // advanced ⇒ broadcast happened
+			sent = append(sent, oi.curWM)
+			prev = oi.curWM
+		}
+	}
+	for i := 1; i < len(sent); i++ {
+		if sent[i] <= sent[i-1] {
+			t.Fatalf("broadcast sequence not strictly increasing at %d: %d after %d",
+				i, sent[i], sent[i-1])
+		}
+	}
+	if len(sent) == 0 {
+		t.Fatal("no watermark ever advanced")
+	}
+}
+
+// TestLateDropsCountedNeverReordered runs heavy-tailed (zipfburst)
+// disorder through small time windows with zero allowed lateness: the
+// straggler tail must be dropped and counted, never folded into an
+// already-fired pane. Count conservation pins both directions at once —
+// every input tuple is either in exactly one emitted pane or in the
+// late-drop counter.
+func TestLateDropsCountedNeverReordered(t *testing.T) {
+	const n = 2000
+	in := make([]*tuple.Tuple, n)
+	for i := 0; i < n; i++ {
+		in[i] = kv(int64(i), int64(i%7), 1) // 1ms spacing: 2s of event time
+	}
+	d := &core.DisorderSpec{Kind: core.DisorderZipfBurst, MaxSkewMs: 50}
+	out, rep := runPlanOpts(t, timeAggPlan(100, d), map[string][]*tuple.Tuple{"src": in},
+		func(g stream.Generator) stream.Generator { return stream.NewDisordered(g, d, 42) },
+		Options{WatermarkInterval: 16})
+	if rep.LateDrops == 0 {
+		t.Fatal("zipfburst disorder with zero lateness produced no late drops")
+	}
+	var counted uint64
+	for _, o := range out {
+		counted += uint64(o.At(1).D)
+	}
+	if counted+rep.LateDrops != n {
+		t.Errorf("conservation violated: %d counted + %d dropped != %d in",
+			counted, rep.LateDrops, n)
+	}
+}
+
+// TestBoundedDisorderWithMatchingLatenessDropsNothing: with delivery
+// delay ≤ skew and allowance = skew, no tuple is ever late, and the pane
+// emissions — values and order — are identical to the in-order run's.
+// Panes always fire in (start, key hash) order, so determinism survives
+// the shuffled arrival order.
+func TestBoundedDisorderWithMatchingLatenessDropsNothing(t *testing.T) {
+	const n = 1500
+	mk := func() []*tuple.Tuple {
+		in := make([]*tuple.Tuple, n)
+		for i := 0; i < n; i++ {
+			in[i] = kv(int64(i), int64(i%5), float64(i%13))
+		}
+		return in
+	}
+	d := &core.DisorderSpec{Kind: core.DisorderBounded, MaxSkewMs: 50}
+
+	ordered, repO := runPlanOpts(t, timeAggPlan(100, nil), map[string][]*tuple.Tuple{"src": mk()},
+		nil, Options{})
+	shuffled, repS := runPlanOpts(t, timeAggPlan(100, d), map[string][]*tuple.Tuple{"src": mk()},
+		func(g stream.Generator) stream.Generator { return stream.NewDisordered(g, d, 99) },
+		Options{WatermarkInterval: 16, AllowedLateness: 50 * time.Millisecond})
+
+	if repO.LateDrops != 0 || repS.LateDrops != 0 {
+		t.Fatalf("late drops: in-order %d, bounded-disorder %d; want 0 and 0",
+			repO.LateDrops, repS.LateDrops)
+	}
+	if len(ordered) != len(shuffled) {
+		t.Fatalf("pane count diverged: %d in-order vs %d disordered", len(ordered), len(shuffled))
+	}
+	for i := range ordered {
+		if !ordered[i].At(0).Equal(shuffled[i].At(0)) || ordered[i].At(1).D != shuffled[i].At(1).D {
+			t.Fatalf("pane %d diverged: in-order (%v,%v) vs disordered (%v,%v)", i,
+				ordered[i].At(0), ordered[i].At(1).D, shuffled[i].At(0), shuffled[i].At(1).D)
+		}
+	}
+}
+
+// TestInOrderZeroLatenessMatchesArrivalDrivenReference replays a long
+// random in-order sequence through a global tumbling sum window and
+// compares the emission sequence bit for bit against a hand-coded
+// arrival-driven reference — the pre-watermark semantics, where a pane
+// fired the moment an arrival's event time passed its end. Punctuated
+// watermarks at per-arrival granularity must reproduce it exactly.
+func TestInOrderZeroLatenessMatchesArrivalDrivenReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const lengthMs = 100
+	var in []*tuple.Tuple
+	etMs := int64(0)
+	for i := 0; i < 1200; i++ {
+		etMs += int64(rng.Intn(20)) // duplicates and gaps both occur
+		in = append(in, kv(etMs, 0, float64(rng.Intn(100))/4))
+	}
+
+	// Reference: fold into panes; before each arrival fire (in start
+	// order) every pane whose end its event time passed; flush the rest.
+	lenNs := int64(lengthMs * 1e6)
+	sums := make(map[int64]float64)
+	var starts []int64 // insertion-ordered = start-ordered for in-order input
+	var want []float64
+	fire := func(horizon int64) {
+		i := 0
+		for ; i < len(starts) && starts[i]+lenNs <= horizon; i++ {
+			want = append(want, sums[starts[i]])
+			delete(sums, starts[i])
+		}
+		starts = starts[i:]
+	}
+	for _, tp := range in {
+		fire(tp.EventTime)
+		start := alignDown(tp.EventTime, lenNs)
+		if _, ok := sums[start]; !ok {
+			starts = append(starts, start)
+		}
+		sums[start] += tp.At(1).D
+	}
+	fire(math.MaxInt64)
+
+	p := core.NewPQP("ref-test", "linear")
+	p.Add(&core.Operator{ID: "src", Kind: core.OpSource, Parallelism: 1,
+		Source: &core.SourceSpec{Schema: kvSchema, EventRate: 1000}, OutWidth: 2})
+	p.Add(&core.Operator{ID: "agg", Kind: core.OpAggregate, Parallelism: 1, Partition: core.PartitionHash,
+		Agg: &core.AggregateSpec{
+			Window: core.WindowSpec{Type: core.WindowTumbling, Policy: core.PolicyTime, LengthMs: lengthMs},
+			Fn:     core.AggSum, Field: 1, KeyField: -1,
+		}, OutWidth: 1})
+	p.Add(&core.Operator{ID: "sink", Kind: core.OpSink, Parallelism: 1})
+	p.Connect("src", "agg")
+	p.Connect("agg", "sink")
+
+	out, rep := runPlanOpts(t, p, map[string][]*tuple.Tuple{"src": in}, nil, Options{})
+	if rep.LateDrops != 0 {
+		t.Fatalf("in-order input dropped %d tuples", rep.LateDrops)
+	}
+	if len(out) != len(want) {
+		t.Fatalf("emitted %d panes, reference has %d", len(out), len(want))
+	}
+	for i, o := range out {
+		if o.At(0).D != want[i] {
+			t.Fatalf("pane %d: engine %v, reference %v (sequences must match bit for bit)",
+				i, o.At(0).D, want[i])
+		}
+	}
+}
+
+// --- session-window units ------------------------------------------------
+
+func sessionAgg(gapMs int64, latenessNs int64) *aggregator {
+	return newAggregator(&core.AggregateSpec{
+		Window: core.WindowSpec{Type: core.WindowSession, Policy: core.PolicyTime, GapMs: gapMs},
+		Fn:     core.AggCount, Field: 1, KeyField: 0,
+	}, latenessNs)
+}
+
+func TestSessionGapMergesConsecutiveActivity(t *testing.T) {
+	agg := sessionAgg(500, 0)
+	var out []*tuple.Tuple
+	emit := func(t *tuple.Tuple) { out = append(out, t) }
+	// Three events within the gap of each other, then one far away.
+	for _, et := range []int64{0, 400, 800, 5000} {
+		agg.add(kv(et, 1, 1), emit, nil)
+	}
+	if n := agg.openSessions(); n != 2 {
+		t.Fatalf("open sessions = %d, want 2 (one merged span + one isolate)", n)
+	}
+	agg.advance(100_000*1e6, emit)
+	if len(out) != 2 {
+		t.Fatalf("fired %d sessions, want 2", len(out))
+	}
+	if c := out[0].At(1).D; c != 3 {
+		t.Errorf("merged session counted %v events, want 3", c)
+	}
+	if c := out[1].At(1).D; c != 1 {
+		t.Errorf("isolated session counted %v events, want 1", c)
+	}
+}
+
+func TestSessionBridgingArrivalCoalesces(t *testing.T) {
+	agg := sessionAgg(500, 0)
+	var out []*tuple.Tuple
+	emit := func(t *tuple.Tuple) { out = append(out, t) }
+	agg.add(kv(0, 1, 1), emit, nil)   // [0, 500)
+	agg.add(kv(700, 1, 1), emit, nil) // [700, 1200)
+	if n := agg.openSessions(); n != 2 {
+		t.Fatalf("open sessions before bridge = %d, want 2", n)
+	}
+	agg.add(kv(300, 1, 1), emit, nil) // [300, 800) touches both
+	if n := agg.openSessions(); n != 1 {
+		t.Fatalf("open sessions after bridge = %d, want 1 (coalesced)", n)
+	}
+	agg.advance(100_000*1e6, emit)
+	if len(out) != 1 || out[0].At(1).D != 3 {
+		t.Fatalf("coalesced session fired %d times with count %v, want once with 3",
+			len(out), out[0].At(1).D)
+	}
+}
+
+func TestSessionLateArrivalDroppedAndCounted(t *testing.T) {
+	rt := &Runtime{}
+	agg := sessionAgg(100, 0)
+	var out []*tuple.Tuple
+	emit := func(t *tuple.Tuple) { out = append(out, t) }
+	agg.add(kv(1000, 1, 1), emit, nil)
+	agg.advance(5000*1e6, emit) // fires [1000, 1100)
+	if len(out) != 1 {
+		t.Fatalf("fired %d sessions, want 1", len(out))
+	}
+	agg.add(kv(50, 1, 1), emit, rt) // would open [50, 150): far behind the horizon
+	if rt.report.lateDrops != 1 {
+		t.Errorf("late drops = %d, want 1", rt.report.lateDrops)
+	}
+	if len(out) != 1 || agg.openSessions() != 0 {
+		t.Errorf("late arrival mutated state: %d emissions, %d open sessions",
+			len(out), agg.openSessions())
+	}
+}
+
+func TestOpenSessionAbsorbsOldArrival(t *testing.T) {
+	// An arrival older than the watermark still folds into a session that
+	// has not fired yet — only arrivals whose whole candidate span passed
+	// the horizon are late.
+	agg := sessionAgg(100, 0)
+	var out []*tuple.Tuple
+	emit := func(t *tuple.Tuple) { out = append(out, t) }
+	agg.add(kv(1000, 1, 1), emit, nil) // [1000, 1100)
+	agg.advance(1050*1e6, emit)        // horizon inside the open session
+	if len(out) != 0 {
+		t.Fatal("session fired before its end passed the horizon")
+	}
+	rt := &Runtime{}
+	agg.add(kv(980, 1, 1), emit, rt) // behind the watermark, but overlaps the open span
+	if rt.report.lateDrops != 0 {
+		t.Fatalf("absorbable arrival counted as late")
+	}
+	agg.advance(100_000*1e6, emit)
+	if len(out) != 1 || out[0].At(1).D != 2 {
+		t.Fatalf("session fired %d times with count %v, want once with 2",
+			len(out), out[0].At(1).D)
+	}
+}

@@ -40,6 +40,27 @@ func (a *aggState) add(v float64, t *tuple.Tuple) {
 	}
 }
 
+// merge folds another state's accumulators into a — session-window
+// coalescing, where two activity spans of one key turn out to be one.
+// Every accumulator the engine keeps (count, sum, min, max, timestamp
+// maxima) is mergeable, which is what makes gap-merging cheap.
+func (a *aggState) merge(o *aggState) {
+	a.count += o.count
+	a.sum += o.sum
+	if o.min < a.min {
+		a.min = o.min
+	}
+	if o.max > a.max {
+		a.max = o.max
+	}
+	if o.maxEvent > a.maxEvent {
+		a.maxEvent = o.maxEvent
+	}
+	if o.maxIngest > a.maxIngest {
+		a.maxIngest = o.maxIngest
+	}
+}
+
 // value evaluates the aggregate function over the folded state.
 func (a *aggState) value(fn core.AggFn) float64 {
 	switch fn {
@@ -114,15 +135,31 @@ func (p *pane) keyState(h uint64, key tuple.Value) *aggState {
 }
 
 // aggregator implements windowed aggregation for one operator instance:
-// event-time tumbling/sliding panes under the time policy, per-key
-// tumbling counters and sliding rings under the count policy.
+// event-time tumbling/sliding panes and gap-merged sessions under the
+// time policy, per-key tumbling counters and sliding rings under the
+// count policy.
+//
+// Time-policy state is watermark-driven: arrivals only fold into panes
+// (or sessions); firing and eviction happen exclusively in advance(),
+// when the instance's merged watermark moves. Count-policy windows are
+// arrival-driven by definition (their trigger is a tuple count, not a
+// clock) and ignore watermarks.
 type aggregator struct {
 	spec *core.AggregateSpec
 
-	// Time policy.
+	// Time policy. watermark is the last advance() clock (NoEventTime
+	// before the first); latenessNs delays firing so out-of-order
+	// arrivals within the allowance still fold in.
 	panes          map[int64]*pane
 	watermark      int64
 	lenNs, slideNs int64
+	latenessNs     int64
+
+	// Session windows (session.go): per-key gap-merged activity spans.
+	hasSession bool
+	gapNs      int64
+	sessKeys   [windowShards]map[uint64][]*session
+	sessGlobal []*session
 
 	// Count policy (sharded like pane keys).
 	counters [windowShards]map[uint64]*aggState // tumbling: accumulate then reset
@@ -163,9 +200,15 @@ func (r *ring) state() *aggState {
 	return st
 }
 
-func newAggregator(spec *core.AggregateSpec) *aggregator {
-	a := &aggregator{spec: spec}
-	if spec.Window.Policy == core.PolicyTime {
+func newAggregator(spec *core.AggregateSpec, latenessNs int64) *aggregator {
+	a := &aggregator{spec: spec, watermark: tuple.NoEventTime}
+	if latenessNs > 0 {
+		a.latenessNs = latenessNs
+	}
+	if spec.Window.Type == core.WindowSession {
+		a.hasSession = true
+		a.gapNs = spec.Window.GapMs * int64(1e6)
+	} else if spec.Window.Policy == core.PolicyTime {
 		a.panes = make(map[int64]*pane)
 		a.lenNs = spec.Window.LengthMs * int64(1e6)
 		a.slideNs = int64(spec.Window.Slide() * 1e6)
@@ -203,26 +246,61 @@ func (a *aggregator) fieldValue(t *tuple.Tuple) float64 {
 	return t.At(f).AsFloat()
 }
 
-// add folds one tuple into the window state, emitting any completed
-// windows. rt records late drops; it may be nil in unit tests.
+// add folds one tuple into the window state. Time-policy windows only
+// accumulate here — firing happens in advance() on watermark movement;
+// count-policy windows emit their completed windows inline. rt records
+// late drops; it may be nil in unit tests.
 func (a *aggregator) add(t *tuple.Tuple, emit func(*tuple.Tuple), rt *Runtime) {
+	if a.hasSession {
+		a.addSession(t, rt)
+		return
+	}
 	if a.spec.Window.Policy == core.PolicyTime {
-		a.addTime(t, emit, rt)
+		a.addTime(t, rt)
 		return
 	}
 	a.addCount(t, emit)
 }
 
-func (a *aggregator) addTime(t *tuple.Tuple, emit func(*tuple.Tuple), rt *Runtime) {
+// fireHorizon is the pane-end boundary at or below which windows have
+// already fired: the watermark minus the allowed lateness, or
+// NoEventTime before the first watermark (nothing has fired).
+func (a *aggregator) fireHorizon() int64 {
+	if a.watermark == tuple.NoEventTime {
+		return tuple.NoEventTime
+	}
+	return a.watermark - a.latenessNs
+}
+
+// advance moves the event-time clock to wm, firing every pane (or
+// session) whose end plus the allowed lateness the watermark passed —
+// in deterministic start order — and evicting the fired state.
+func (a *aggregator) advance(wm int64, emit func(*tuple.Tuple)) {
+	if wm == tuple.NoEventTime || wm <= a.watermark {
+		return
+	}
+	a.watermark = wm
+	if a.hasSession {
+		a.fireSessions(a.fireHorizon(), emit)
+		return
+	}
+	if a.panes != nil {
+		a.firePanes(emit, a.fireHorizon())
+	}
+}
+
+func (a *aggregator) addTime(t *tuple.Tuple, rt *Runtime) {
 	et := t.EventTime
 	v := a.fieldValue(t)
 	h, key, keyed := a.groupOf(t)
+	horizon := a.fireHorizon()
 	// Assign to every pane whose [start, start+len) covers et.
 	first := alignDown(et, a.slideNs)
 	assigned := false
 	for start := first; start > et-a.lenNs; start -= a.slideNs {
-		if start+a.lenNs <= a.watermark {
-			// Pane already fired: late data.
+		if horizon != tuple.NoEventTime && start+a.lenNs <= horizon {
+			// Pane already fired and evicted: the tuple is late beyond
+			// the allowed lateness. Count the drop, never reorder.
 			if rt != nil && !assigned {
 				rt.recordLateDrop()
 			}
@@ -248,19 +326,17 @@ func (a *aggregator) addTime(t *tuple.Tuple, emit func(*tuple.Tuple), rt *Runtim
 			break
 		}
 	}
-	// Advance the watermark and fire completed panes.
-	if et > a.watermark {
-		a.watermark = et
-		a.firePanes(emit, a.watermark)
-	}
 }
 
-// firePanes emits and evicts every pane that closed at or before wm, in
-// deterministic start order.
-func (a *aggregator) firePanes(emit func(*tuple.Tuple), wm int64) {
+// firePanes emits and evicts every pane that closed at or before the
+// horizon, in deterministic start order.
+func (a *aggregator) firePanes(emit func(*tuple.Tuple), horizon int64) {
+	if horizon == tuple.NoEventTime {
+		return
+	}
 	var due []int64
 	for start := range a.panes {
-		if start+a.lenNs <= wm {
+		if start+a.lenNs <= horizon {
 			due = append(due, start)
 		}
 	}
@@ -324,8 +400,14 @@ func (a *aggregator) addCount(t *tuple.Tuple, emit func(*tuple.Tuple)) {
 	}
 }
 
-// flush emits all retained partial windows at end-of-stream.
+// flush emits all retained partial windows at end-of-stream,
+// unconditionally: the stream is complete, so lateness retention no
+// longer applies.
 func (a *aggregator) flush(emit func(*tuple.Tuple)) {
+	if a.hasSession {
+		a.fireSessions(math.MaxInt64, emit)
+		return
+	}
 	if a.panes != nil {
 		a.firePanes(emit, math.MaxInt64)
 	}

@@ -25,17 +25,30 @@ var hotAllocCalls = map[string]map[string]string{
 	},
 }
 
-// columnarOnlyPkgs names the package directories (by base name) where
-// only the columnar files are in scope: internal/tuple and internal/core
-// legitimately format in cold paths (Value.String, spec rendering), so
-// the rule covers just their column/kernel files.
-var columnarOnlyPkgs = map[string]bool{"tuple": true, "core": true}
+// strictOnlyPkgs names the package directories (by base name) where
+// only the strict-file set is in scope: internal/tuple and internal/core
+// legitimately format in cold paths (Value.String, spec rendering), and
+// internal/stream formats in its cold generators (stream.Word), so the
+// rule covers just their columnar and event-time files.
+var strictOnlyPkgs = map[string]bool{"tuple": true, "core": true, "stream": true}
 
 // columnarFile reports whether base names a columnar data-plane file:
 // column batches (column*.go) or compiled kernels (kernel*.go). These
 // files get the stricter kernel-loop checks on top of the general table.
 func columnarFile(base string) bool {
 	return strings.HasPrefix(base, "column") || strings.HasPrefix(base, "kernel")
+}
+
+// eventTimeFile reports whether base names an event-time plane file:
+// watermark propagation, session-window state, or disordered delivery.
+// Their loops run per message or per arrival — a watermark merge scans
+// every producer slot on each marker, session coalescing walks the open
+// spans of a key on each tuple — so they carry the same strict loop
+// bans as the columnar files.
+func eventTimeFile(base string) bool {
+	return strings.HasPrefix(base, "watermark") ||
+		strings.HasPrefix(base, "session") ||
+		strings.HasPrefix(base, "disorder")
 }
 
 // HotPathAlloc flags known-allocating constructs inside the data-plane
@@ -59,24 +72,26 @@ func HotPathAlloc() *Analyzer {
 			"per-invocation allocators on hot paths: hash/fnv constructors (inline the FNV-1a " +
 			"loop), time.After (reuse one time.Timer), or fmt.Sprintf (format off the hot path). " +
 			"Columnar files (column*.go, kernel*.go; also in internal/tuple and internal/core) " +
-			"further ban fmt calls and per-row tuple boxing (tuple.Get, MaterializeRow) inside " +
-			"loops — kernels operate on column slabs, not boxed rows. " +
+			"and event-time plane files (watermark*.go, session*.go, disorder*.go; also in " +
+			"internal/stream) further ban fmt calls and per-row tuple boxing (tuple.Get, " +
+			"MaterializeRow) inside loops — kernels operate on column slabs, and watermark " +
+			"merges and session coalescing run per message. " +
 			"Suppress deliberately-cold call sites with //lint:ignore hotpath-alloc <reason>.",
-		DefaultDirs: []string{"internal/engine", "internal/des", "internal/simengine", "internal/tuple", "internal/core"},
+		DefaultDirs: []string{"internal/engine", "internal/des", "internal/simengine", "internal/tuple", "internal/core", "internal/stream"},
 		Run:         runHotPathAlloc,
 	}
 }
 
 func runHotPathAlloc(p *Pass) {
-	columnarOnly := columnarOnlyPkgs[path.Base(p.Pkg.Dir)]
+	strictOnly := strictOnlyPkgs[path.Base(p.Pkg.Dir)]
 	for _, f := range p.Pkg.Files {
 		base := filepath.Base(p.Pkg.Fset.Position(f.Pos()).Filename)
-		isColumnar := columnarFile(base)
-		if columnarOnly && !isColumnar {
+		isStrict := columnarFile(base) || eventTimeFile(base)
+		if strictOnly && !isStrict {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			if isColumnar {
+			if isStrict {
 				switch n.(type) {
 				case *ast.ForStmt, *ast.RangeStmt:
 					checkKernelLoop(p, n)

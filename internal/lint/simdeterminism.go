@@ -28,11 +28,13 @@ var globalRandAllowed = map[string]bool{
 func SimDeterminism() *Analyzer {
 	return &Analyzer{
 		Name: "sim-determinism",
-		Doc: "Simulation code (internal/des, internal/simengine, internal/workload) must be " +
-			"deterministic: no time.Now/time.Since or other wall-clock reads (use the virtual " +
+		Doc: "Simulation code (internal/des, internal/simengine, internal/workload, internal/stream) " +
+			"must be deterministic: no time.Now/time.Since or other wall-clock reads (use the virtual " +
 			"des clock), no global math/rand functions (inject a seeded *rand.Rand), and no " +
-			"range-over-map feeding a returned slice (sort before returning).",
-		DefaultDirs: []string{"internal/des", "internal/simengine", "internal/workload"},
+			"range-over-map feeding a returned slice (sort before returning). internal/stream is in " +
+			"scope because its generators — including the disordered-delivery wrapper — must replay " +
+			"identically from a seed for the parity suite and checkpoint resume to hold.",
+		DefaultDirs: []string{"internal/des", "internal/simengine", "internal/workload", "internal/stream"},
 		Run:         runSimDeterminism,
 	}
 }

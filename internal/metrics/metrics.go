@@ -108,6 +108,13 @@ type RunRecord struct {
 	Saturated   bool    `json:"saturated"`
 	Runs        int     `json:"runs"`
 
+	// LateDrops counts tuples that arrived at a time-policy window or
+	// join beyond the allowed lateness and were dropped-and-counted by
+	// the event-time plane (summed across the record's runs; zero for
+	// in-order sources). The sim backend reports its analytic expected
+	// count rounded to the nearest tuple.
+	LateDrops uint64 `json:"late_drops,omitempty"`
+
 	// Recovery accounting, populated when the run carried a fault plan
 	// (see internal/chaos). FaultsInjected counts primitive fault
 	// events applied across the record's runs; Restarts counts

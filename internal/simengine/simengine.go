@@ -58,6 +58,13 @@ type Config struct {
 	// different seeds.
 	Seed int64
 
+	// AllowedLateness (seconds) mirrors the real engine's
+	// Options.AllowedLateness on the simulated clock: time-policy window
+	// firings are delayed by the watermark lag (source disorder skew plus
+	// this allowance), and arrivals delayed beyond the allowance are
+	// dropped and counted in Result.LateDrops.
+	AllowedLateness float64
+
 	// Faults is the resolved chaos schedule to replay on the simulated
 	// clock (see internal/chaos); empty leaves the model fault-free.
 	Faults []chaos.Event
@@ -170,6 +177,12 @@ type Result struct {
 	// time was spent.
 	Breakdown Breakdown `json:"breakdown"`
 
+	// LateDrops counts tuples that arrived at a time-policy window or
+	// join beyond the allowed lateness and were dropped (zero without
+	// source disorder; provably zero for bounded disorder, whose delay
+	// never exceeds the watermark skew).
+	LateDrops float64 `json:"late_drops,omitempty"`
+
 	// Fault accounting (all zero unless Config.Faults was set): fault
 	// events applied, instance revivals, summed simulated downtime,
 	// tuples re-routed to surviving siblings, and tuples lost to
@@ -278,6 +291,16 @@ type sim struct {
 	// Latency-component sums over delivered post-warmup batches.
 	sumWait, sumSvc, sumNet, sumWin, sumTotal float64
 
+	// Event-time state (see watermarks in internal/engine): wmLag is the
+	// watermark's lag behind the stream frontier in simulated seconds
+	// (max source disorder skew + allowed lateness), applied as a firing
+	// delay on time-policy windows; lateFrac is the analytic fraction of
+	// tuples whose disorder delay exceeds skew + lateness, dropped at
+	// time-policy windowed operators and summed into lateDrops.
+	wmLag     float64
+	lateFrac  float64
+	lateDrops float64
+
 	// Chaos state (see fault.go). faultsArmed gates every fault check so
 	// fault-free runs pay one boolean test on the perturbed paths.
 	faultsArmed     bool
@@ -312,6 +335,7 @@ func Simulate(plan *core.PQP, placement *cluster.Placement, cfg Config) (*Result
 	if err := s.build(); err != nil {
 		return nil, err
 	}
+	s.setupEventTime()
 	if len(cfg.Faults) > 0 {
 		s.setupFaults()
 	}
@@ -541,7 +565,11 @@ func (s *sim) scheduleFiring(inst *instance, slideSec float64) {
 		}
 		tm.Reset(slideSec)
 	})
-	tm.Reset(slideSec)
+	// The first firing waits out the watermark lag (disorder skew +
+	// allowed lateness); the slide cadence then preserves the offset, so
+	// every firing is wmLag behind its processing-time counterpart —
+	// exactly the residence the real engine's watermark-driven panes add.
+	tm.Reset(slideSec + s.wmLag)
 }
 
 // enqueue delivers a batch to an instance's server queue. Arrivals at a
@@ -592,6 +620,7 @@ func (s *sim) serveNext(inst *instance) {
 // serveDone completes the in-service batch and starts the next one.
 func (s *sim) serveDone(inst *instance) {
 	if inst.op.Kind == core.OpJoin {
+		s.dropLate(inst, &inst.serving)
 		s.paneAdd(inst, inst.servingSide, inst.serving)
 		w := inst.op.Join.Window
 		if w.Policy == core.PolicyCount &&
@@ -618,6 +647,7 @@ func (s *sim) process(inst *instance, b batch) {
 	case core.OpSink:
 		s.deliver(b)
 	case core.OpAggregate:
+		s.dropLate(inst, &b)
 		s.paneAdd(inst, 0, b)
 		if op.Agg.Window.Policy == core.PolicyCount && inst.paneCount[0] >= op.Agg.Window.Slide() {
 			s.fireWindow(inst)
@@ -911,6 +941,7 @@ func (s *sim) results() *Result {
 		TuplesOut:        s.tuplesOut,
 		Utilization:      make(map[string]float64, len(s.insts)),
 		DeliveredBatches: s.latencies.Len(),
+		LateDrops:        s.lateDrops,
 
 		FaultsInjected:  s.fFaultsInjected,
 		Restarts:        s.fRestarts,

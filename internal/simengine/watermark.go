@@ -1,0 +1,92 @@
+package simengine
+
+import (
+	"math"
+
+	"pdspbench/internal/core"
+)
+
+// Event-time mirror of the real engine's watermark plane (see
+// internal/engine/watermark.go). The DES works on batch counts, not
+// individual tuples, so watermark semantics reduce to two effects:
+//
+//   - firing delay: a time-policy window [t, t+len) fires when the
+//     watermark passes t+len plus the allowed lateness, and the
+//     watermark lags the stream frontier by the source's disorder skew —
+//     so every firing shifts by wmLag = skew + lateness of simulated
+//     time, which shows up as window residence in the latency breakdown
+//     exactly as it does on the real engine;
+//   - late drops: the fraction of tuples whose disorder delay exceeds
+//     skew + lateness arrives behind the watermark allowance and is
+//     dropped at time-policy windowed operators, counted in
+//     Result.LateDrops. The fraction is computed analytically from the
+//     disorder distribution, so seeded DES runs stay deterministic.
+
+// setupEventTime derives wmLag and lateFrac from the plan's source
+// disorder specs and the configured lateness.
+func (s *sim) setupEventTime() {
+	maxSkew := 0.0
+	worstFrac := 0.0
+	for _, src := range s.plan.Sources() {
+		d := src.Source.Disorder
+		if d == nil {
+			continue
+		}
+		skew := float64(d.MaxSkewMs) / 1000
+		if skew > maxSkew {
+			maxSkew = skew
+		}
+		// Bounded disorder delays by at most the skew, and the watermark
+		// lags the frontier by exactly the skew, so no bounded tuple is
+		// ever late — only the zipf burst's heavy tail drops.
+		if d.Kind == core.DisorderZipfBurst {
+			if f := zipfBurstLateFrac(skew, s.cfg.AllowedLateness); f > worstFrac {
+				worstFrac = f
+			}
+		}
+	}
+	s.wmLag = maxSkew + s.cfg.AllowedLateness
+	s.lateFrac = worstFrac
+}
+
+// zipfBurstLateFrac is the probability that a zipfburst disorder delay
+// exceeds the watermark skew plus the allowed lateness — the analytic
+// counterpart of stream.Disordered's sampler (Zipf s=1.5 over 100
+// delay levels scaled to 4× the skew), so the DES backend reports the
+// same expected late-drop rate without simulating individual tuples.
+func zipfBurstLateFrac(skew, lateness float64) float64 {
+	const (
+		levels = 100
+		scale  = 4.0
+		sExp   = 1.5
+	)
+	if skew <= 0 {
+		return 0
+	}
+	var total, late float64
+	for k := 0; k < levels; k++ {
+		w := math.Pow(float64(1+k), -sExp)
+		total += w
+		if float64(k)*scale*skew/float64(levels-1) > skew+lateness {
+			late += w
+		}
+	}
+	return late / total
+}
+
+// dropLate removes the analytic late fraction from a batch arriving at
+// a time-policy windowed operator — the DES counterpart of the engine's
+// drop-and-count (never reorder) policy. Count-policy windows are
+// arrival-driven on both backends and never drop.
+func (s *sim) dropLate(inst *instance, b *batch) {
+	if s.lateFrac == 0 {
+		return
+	}
+	w := inst.op.WindowSpecOf()
+	if w == nil || w.Policy != core.PolicyTime {
+		return
+	}
+	lost := b.count * s.lateFrac
+	b.count -= lost
+	s.lateDrops += lost
+}

@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/stats"
+	"pdspbench/internal/tuple"
+)
+
+// zipfBurstScale stretches zipfburst delays past the bounded-skew
+// watermark allowance: delays reach up to zipfBurstScale × MaxSkewMs, so
+// the straggler tail genuinely arrives after the watermark and is
+// dropped-and-counted rather than absorbed.
+const zipfBurstScale = 4
+
+// zipfBurstLevels is the support size of the zipfburst delay draw.
+const zipfBurstLevels = 100
+
+// Disordered wraps a generator and delivers its tuples out of event-time
+// order. Each tuple is assigned a random delivery delay and held in a
+// buffer keyed by release time (event time + delay); a tuple is released
+// once the underlying source has advanced past its release time, so the
+// output interleaving is exactly what a real out-of-order transport
+// (racing partitions, retried sends) produces. The wrapper is seeded and
+// fully deterministic.
+//
+// Disordered deliberately does not implement the engine's punctuated
+// Watermarker interface: a disordered source is the case the periodic
+// bounded-skew watermark heuristic exists for.
+type Disordered struct {
+	src   Generator
+	rng   *rand.Rand
+	zipf  *stats.Zipf // zipfburst only
+	h     disorderHeap
+	skew  int64 // MaxSkewMs in nanoseconds
+	maxEt int64 // newest event time drawn from the source
+	seq   uint64
+	done  bool
+}
+
+// NewDisordered wraps g according to spec. A nil spec returns g
+// unchanged so call sites can wire it unconditionally.
+func NewDisordered(g Generator, spec *core.DisorderSpec, seed int64) Generator {
+	if spec == nil {
+		return g
+	}
+	d := &Disordered{
+		src:   g,
+		rng:   rand.New(rand.NewSource(seed)),
+		skew:  spec.MaxSkewMs * 1e6,
+		maxEt: math.MinInt64,
+	}
+	if spec.Kind == core.DisorderZipfBurst {
+		d.zipf = stats.NewZipf(d.rng, 1.5, zipfBurstLevels)
+	}
+	return d
+}
+
+// Next implements Generator: it pulls from the source, buffers by
+// release time, and emits the earliest-release tuple once the source
+// clock has passed it (or unconditionally once the source is exhausted,
+// which drains the buffer in release order).
+func (d *Disordered) Next() (*tuple.Tuple, bool) {
+	for {
+		if d.h.Len() > 0 {
+			top := d.h.ents[0]
+			if d.done || top.release <= d.maxEt {
+				heap.Pop(&d.h)
+				return top.t, true
+			}
+		} else if d.done {
+			return nil, false
+		}
+		t, ok := d.src.Next()
+		if !ok {
+			d.done = true
+			continue
+		}
+		if t.EventTime == tuple.NoEventTime {
+			// Untimed tuples carry no event-time order to disturb; pass
+			// them straight through.
+			return t, true
+		}
+		if t.EventTime > d.maxEt {
+			d.maxEt = t.EventTime
+		}
+		heap.Push(&d.h, disorderEnt{t: t, release: t.EventTime + d.delayNs(), seq: d.seq})
+		d.seq++
+	}
+}
+
+// delayNs draws one delivery delay. Bounded disorder is uniform over
+// [0, skew], so with the watermark allowance set to the same skew no
+// tuple is ever late. Zipfburst draws a Zipf level and scales it up to
+// zipfBurstScale × skew: most tuples are near-in-order, a heavy tail
+// straggles far past the watermark.
+func (d *Disordered) delayNs() int64 {
+	if d.zipf == nil {
+		return d.rng.Int63n(d.skew + 1)
+	}
+	level := int64(d.zipf.Next()) // [0, zipfBurstLevels)
+	return level * zipfBurstScale * d.skew / (zipfBurstLevels - 1)
+}
+
+type disorderEnt struct {
+	t       *tuple.Tuple
+	release int64
+	seq     uint64 // arrival order; ties release deterministically
+}
+
+type disorderHeap struct {
+	ents []disorderEnt
+}
+
+func (h *disorderHeap) Len() int { return len(h.ents) }
+func (h *disorderHeap) Less(i, j int) bool {
+	a, b := h.ents[i], h.ents[j]
+	if a.release != b.release {
+		return a.release < b.release
+	}
+	return a.seq < b.seq
+}
+func (h *disorderHeap) Swap(i, j int) { h.ents[i], h.ents[j] = h.ents[j], h.ents[i] }
+func (h *disorderHeap) Push(x any)    { h.ents = append(h.ents, x.(disorderEnt)) }
+func (h *disorderHeap) Pop() any {
+	old := h.ents
+	n := len(old)
+	e := old[n-1]
+	h.ents = old[:n-1]
+	return e
+}

@@ -149,10 +149,13 @@ func (s *Synthetic) randomValue(t tuple.Type, isKey bool) tuple.Value {
 type FromTuples struct {
 	ts []*tuple.Tuple
 	i  int
+	wm int64
 }
 
 // NewFromTuples wraps the given tuples.
-func NewFromTuples(ts ...*tuple.Tuple) *FromTuples { return &FromTuples{ts: ts} }
+func NewFromTuples(ts ...*tuple.Tuple) *FromTuples {
+	return &FromTuples{ts: ts, wm: tuple.NoEventTime}
+}
 
 // Next implements Generator.
 func (f *FromTuples) Next() (*tuple.Tuple, bool) {
@@ -161,8 +164,19 @@ func (f *FromTuples) Next() (*tuple.Tuple, bool) {
 	}
 	t := f.ts[f.i]
 	f.i++
+	if t.EventTime != tuple.NoEventTime && t.EventTime > f.wm {
+		f.wm = t.EventTime
+	}
 	return t, true
 }
+
+// Watermark implements the engine's punctuated-watermark interface:
+// after every tuple the stream asserts completeness up to the maximum
+// event time it has replayed. Fixtures therefore see a watermark advance
+// on each in-order arrival — the same per-arrival granularity the
+// processing-time engine had — while out-of-order fixtures only advance
+// on the new maximum.
+func (f *FromTuples) Watermark() int64 { return f.wm }
 
 // Func adapts a closure to a Generator.
 type Func func() (*tuple.Tuple, bool)

@@ -77,7 +77,7 @@ func TestPoolRoundTrip(t *testing.T) {
 	}
 
 	got := Get(2)
-	if got.EventTime != 0 || got.Ingest != 0 || got.Seq != 0 {
+	if got.EventTime != NoEventTime || got.Ingest != 0 || got.Seq != 0 {
 		t.Errorf("recycled tuple has stale metadata: %+v", got)
 	}
 	if len(got.Values) != 2 {

@@ -29,6 +29,13 @@ type ColumnBatch struct {
 	sel   []int32
 	n     int
 	cap   int
+	// wm is the watermark element riding on this batch: the producer's
+	// event-time watermark as of emission, or NoEventTime when the batch
+	// carries none. Watermarks flow through the columnar plane as batch
+	// stamps (cheaper than a control message per advance); the receiver
+	// applies the stamp after processing the rows, exactly as a trailing
+	// row-plane watermark message would.
+	wm int64
 	// pooled marks batches obtained from GetColumnBatch; only those
 	// return to the free list on Release.
 	pooled bool
@@ -93,6 +100,7 @@ func (b *ColumnBatch) shape(kinds []Type, capacity int) {
 	b.seq = b.seq[:capacity]
 	b.sel = b.sel[:0]
 	b.cap = capacity
+	b.wm = NoEventTime
 }
 
 // columnPool recycles batches across source refills and channel hops,
@@ -125,6 +133,7 @@ func (b *ColumnBatch) Release() {
 	}
 	b.n = 0
 	b.sel = b.sel[:0]
+	b.wm = NoEventTime
 	b.pooled = false
 	columnPool.Put(b)
 }
@@ -146,6 +155,15 @@ func (b *ColumnBatch) Kinds() []Type { return b.kinds }
 
 // Kind returns field f's kind.
 func (b *ColumnBatch) Kind(f int) Type { return b.kinds[f] }
+
+// Watermark returns the watermark element riding on this batch, or
+// NoEventTime when the batch carries none.
+func (b *ColumnBatch) Watermark() int64 { return b.wm }
+
+// SetWatermark stamps a watermark onto the batch: a promise by the
+// producer that every row it ships after this batch has event time
+// >= wm. Receivers apply the stamp after the batch's own rows.
+func (b *ColumnBatch) SetWatermark(wm int64) { b.wm = wm }
 
 // Sel returns the selection vector: indexes of live rows in fill
 // order. Kernels filter it in place and hand the shrunk slice back via
@@ -326,12 +344,12 @@ func (b *ColumnBatch) Seal(n int) {
 
 // SealSource is Seal plus source stamping: rows get ingest wall-clock
 // now, sequence numbers seqBase+i, and — when the generator left event
-// time zero — event time now, exactly as the row-plane source loop
-// stamps each tuple.
+// time unassigned (NoEventTime) — event time now, exactly as the
+// row-plane source loop stamps each tuple.
 func (b *ColumnBatch) SealSource(n int, now int64, seqBase uint64) {
 	b.Seal(n)
 	for i := 0; i < n; i++ {
-		if b.event[i] == 0 {
+		if b.event[i] == NoEventTime {
 			b.event[i] = now
 		}
 		b.inge[i] = now
@@ -373,6 +391,7 @@ func (b *ColumnBatch) CloneColumns() *ColumnBatch {
 	copy(c.seq, b.seq[:n])
 	c.n = n
 	c.sel = append(c.sel[:0], b.sel...)
+	c.wm = b.wm
 	return c
 }
 

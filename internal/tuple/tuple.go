@@ -254,6 +254,14 @@ func (s *Schema) String() string {
 	return b.String()
 }
 
+// NoEventTime marks a tuple (or column-batch row) whose event time has
+// not been assigned yet. Sources stamp ingest wall-clock time over it.
+// It is an explicit out-of-band marker, not a sentinel inside the valid
+// domain: 0 is a legitimate event time (streams whose epoch starts at
+// zero produce it on their very first tuple), so "unset" must live
+// outside the domain entirely.
+const NoEventTime int64 = math.MinInt64
+
 // Tuple is one timestamped event on a data stream.
 //
 // EventTime is the creation time at the source in nanoseconds (either
@@ -262,7 +270,7 @@ func (s *Schema) String() string {
 // the paper's definition (source production to sink output).
 type Tuple struct {
 	Values    []Value
-	EventTime int64 // nanoseconds since stream epoch
+	EventTime int64 // nanoseconds since stream epoch; NoEventTime when unset
 	// Ingest is the wall-clock time (UnixNano) the source emitted the
 	// tuple; the real engine measures end-to-end latency from it. Derived
 	// tuples (aggregates, joins) carry the max of their constituents'.
@@ -301,15 +309,15 @@ func (t *Tuple) Clone() *Tuple {
 // the data plane's hot path.
 var pool = sync.Pool{New: func() any { return new(Tuple) }}
 
-// Get returns a recycled (or fresh) tuple with len(Values) == width and
-// zeroed metadata. The caller owns the tuple and must assign every
-// value slot — recycled slots may hold stale values from a previous
-// life. Ownership transfers downstream with the tuple; whoever drops it
-// calls Release.
+// Get returns a recycled (or fresh) tuple with len(Values) == width,
+// EventTime set to NoEventTime (unassigned) and the other metadata
+// zeroed. The caller owns the tuple and must assign every value slot —
+// recycled slots may hold stale values from a previous life. Ownership
+// transfers downstream with the tuple; whoever drops it calls Release.
 func Get(width int) *Tuple {
 	t := pool.Get().(*Tuple)
 	t.pooled = true
-	t.EventTime, t.Ingest, t.Seq = 0, 0, 0
+	t.EventTime, t.Ingest, t.Seq = NoEventTime, 0, 0
 	if cap(t.Values) < width {
 		t.Values = make([]Value, width)
 	} else {

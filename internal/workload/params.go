@@ -58,6 +58,10 @@ type Params struct {
 	Selectivity  float64                `json:"selectivity"` // target filter selectivity in (0,1)
 	Partition    core.PartitionStrategy `json:"partition"`
 	Distribution string                 `json:"distribution"`
+	// Disorder, when set, applies event-time disorder to every source of
+	// the structure (bounded skew or bursty Zipf delay — see
+	// core.DisorderSpec). Nil keeps sources in order.
+	Disorder *core.DisorderSpec `json:"disorder,omitempty"`
 }
 
 // Validate rejects parameter combinations outside the Table 3 domain.
@@ -77,6 +81,11 @@ func (p Params) Validate() error {
 	if p.Selectivity <= 0 || p.Selectivity >= 1 {
 		return fmt.Errorf("workload: selectivity %g outside (0,1)", p.Selectivity)
 	}
+	if p.Disorder != nil {
+		if err := p.Disorder.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -90,6 +99,17 @@ func (p Params) schema() *tuple.Schema {
 		fields[i] = tuple.Field{Name: fmt.Sprintf("f%d", i), Type: p.FieldTypes[i]}
 	}
 	return tuple.NewSchema(fields...)
+}
+
+// sourceSpec materializes one source operator's spec, cloning the
+// disorder so plans never alias the Params value.
+func (p Params) sourceSpec(schema *tuple.Schema) *core.SourceSpec {
+	s := &core.SourceSpec{Schema: schema, EventRate: p.EventRate, Distribution: p.Distribution}
+	if p.Disorder != nil {
+		d := *p.Disorder
+		s.Disorder = &d
+	}
+	return s
 }
 
 // filterSpec derives the filter literal achieving the target selectivity

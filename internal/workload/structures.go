@@ -110,7 +110,7 @@ func Build(s Structure, p Params) (*core.PQP, error) {
 func buildChain(plan *core.PQP, s Structure, p Params, schema *tuple.Schema) {
 	plan.Add(&core.Operator{
 		ID: "src", Kind: core.OpSource, Name: "source", Parallelism: 1,
-		Source:   &core.SourceSpec{Schema: schema, EventRate: p.EventRate, Distribution: p.Distribution},
+		Source:   p.sourceSpec(schema),
 		OutWidth: schema.Width(),
 	})
 	prev := "src"
@@ -144,7 +144,7 @@ func buildJoin(plan *core.PQP, s Structure, p Params, schema *tuple.Schema, ways
 		fID := fmt.Sprintf("filter%d", i+1)
 		plan.Add(&core.Operator{
 			ID: srcID, Kind: core.OpSource, Name: srcID, Parallelism: 1,
-			Source:   &core.SourceSpec{Schema: schema, EventRate: p.EventRate, Distribution: p.Distribution},
+			Source:   p.sourceSpec(schema),
 			OutWidth: schema.Width(),
 		})
 		plan.Add(&core.Operator{

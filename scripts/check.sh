@@ -23,10 +23,13 @@
 #   7. columnar equivalence — the columnar plane re-proven bit-identical
 #                      to the row plane (engine batch tests, backend
 #                      parity off/on, kernel-vs-Eval table + fuzz smoke)
-#   8. bench compare — scripts/bench.sh --compare gates >10% throughput
+#   8. event-time plane — watermark monotonicity and late-drop
+#                      properties, session windows, and the disorder
+#                      parity cases pinned across both backends
+#   9. bench compare — scripts/bench.sh --compare gates >10% throughput
 #                      regressions between the two newest same-machine
 #                      BENCH_*.json recordings
-#   9. fabric smoke  — the distributed fabric through the built binary
+#  10. fabric smoke  — the distributed fabric through the built binary
 #
 # Usage:
 #   scripts/check.sh           # the full gate
@@ -107,18 +110,33 @@ columnar_equivalence() {
 }
 stage "columnar equivalence (row vs column planes)" columnar_equivalence
 
-#   8. bench compare — throughput regression smoke over the recorded
+#   8. event-time plane — the watermark semantics held to their written
+#      properties: per-channel monotonicity, late tuples dropped and
+#      counted (never reordered), in-order input reproducing the
+#      arrival-driven pane emissions bit for bit, session-window gap
+#      merging, and the disorder parity cases pinned across the sim and
+#      real backends. Runs inside `go test ./...` too; the explicit
+#      stage fails with a focused name when event time regresses.
+event_time_plane() {
+  go test -count=1 \
+    -run 'TestNoteWatermark|TestEmitWatermark|TestLateDrops|TestBoundedDisorder|TestInOrderZeroLateness|TestSession|TestOpenSession' \
+    ./internal/engine
+  go test -count=1 -run 'TestBackendParity|TestColumnarBackendParity|TestFaultParity' ./internal/backend
+}
+stage "event-time plane (watermarks, lateness, disorder parity)" event_time_plane
+
+#   9. bench compare — throughput regression smoke over the recorded
 #      trajectory. Needs two BENCH_*.json files from the same machine to
 #      mean anything; with fewer than two it reports and passes.
 stage "bench.sh --compare" scripts/bench.sh --compare
 
-#   9. fabric smoke — the distributed campaign fabric exercised through
+#  10. fabric smoke — the distributed campaign fabric exercised through
 #      the built binary: a dispatcher process, an HTTP-enqueued sharded
 #      campaign, two worker daemons draining it. Catches CLI wiring and
 #      flag regressions the in-process tests cannot see.
 stage "scripts/fabric_smoke.sh" scripts/fabric_smoke.sh
 
-#   10. (opt-in) substrate micro-benchmarks — set BENCH=1 to run
+#   11. (opt-in) substrate micro-benchmarks — set BENCH=1 to run
 #      scripts/bench.sh after the gates and record a BENCH_<n>.json
 #      entry in the performance trajectory. Not part of the default
 #      gate: benchmark numbers are machine-dependent and noisy on
