@@ -75,6 +75,8 @@ func main() {
 		err = cmdDot(os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "storm":
+		err = cmdStorm(ctx, os.Args[2:])
 	case "worker":
 		err = cmdWorker(ctx, os.Args[2:])
 	case "jobs":
@@ -111,6 +113,7 @@ commands:
   sut      [flags]           compare SUT profiles on identical workloads
   dot      [flags]           print a query plan in Graphviz DOT
   serve    [flags]           serve the HTTP API and job dispatcher (WUI substitute)
+  storm    [flags]           load-harness: storm a dispatcher with mixed-tenant traffic
   worker   [flags]           run a campaign worker daemon against a dispatcher
   jobs     <sub> [flags]     manage the job queue (enqueue | list | workers)
 

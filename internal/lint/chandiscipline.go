@@ -20,7 +20,7 @@ func ChanDiscipline() *Analyzer {
 			"close() on the same path panics unconditionally; a goroutine whose body is an " +
 			"unbounded for-loop with no return or break (e.g. no ctx.Done() case that " +
 			"exits) can never be stopped and leaks.",
-		DefaultDirs: []string{"internal/queue", "internal/server", "internal/storage", "cmd"},
+		DefaultDirs: []string{"internal/queue", "internal/server", "internal/storage", "internal/storm", "cmd"},
 		RunWhole:    runChanDiscipline,
 	}
 }

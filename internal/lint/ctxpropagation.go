@@ -20,7 +20,7 @@ func CtxPropagation() *Analyzer {
 			"methods, CLI commands) that block — channel operations, time.Sleep, net/http " +
 			"requests — must accept a context.Context, and context.Background()/TODO() may " +
 			"not be introduced below the entry layer: both sever the cancellation chain.",
-		DefaultDirs: []string{"internal/queue", "internal/server", "internal/storage", "cmd"},
+		DefaultDirs: []string{"internal/queue", "internal/server", "internal/storage", "internal/storm", "cmd"},
 		RunWhole:    runCtxPropagation,
 	}
 }

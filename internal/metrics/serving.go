@@ -1,0 +1,71 @@
+package metrics
+
+import "sort"
+
+// Serving statistics: the front door's RunRecord-adjacent counters.
+// Where a RunRecord describes one benchmark execution, a
+// ServingSnapshot describes how the HTTP serving layer treated the
+// *requests* for executions — admitted, rejected at the token bucket,
+// shed from the fair-share queue — per tenant and in aggregate. The
+// dispatcher serves it at GET /api/serving/stats and `pdspbench storm`
+// folds it into its load report.
+
+// TenantServing counts one tenant's requests by outcome.
+type TenantServing struct {
+	// Admitted counts requests that passed the token bucket and entered
+	// the fair-share queue.
+	Admitted uint64 `json:"admitted"`
+	// Rejected counts 429s: the tenant (or global) token bucket was dry.
+	Rejected uint64 `json:"rejected"`
+	// Shed counts 503s: admitted but queued past the shed deadline, or
+	// bounced off a full per-tenant queue.
+	Shed uint64 `json:"shed"`
+	// Completed / Failed count executions that finished under this
+	// tenant's flag.
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+}
+
+// ServingSnapshot is the aggregate view of the serving front door at a
+// point in time.
+type ServingSnapshot struct {
+	Admitted    uint64 `json:"admitted"`
+	Rejected429 uint64 `json:"rejected_429"`
+	Shed        uint64 `json:"shed"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	// ActiveRuns / QueuedRuns gauge the bounded worker pool: executing
+	// now, and waiting in per-tenant fair-share queues.
+	ActiveRuns int `json:"active_runs"`
+	QueuedRuns int `json:"queued_runs"`
+	// AdmissionP50MS / AdmissionP99MS are queue-wait quantiles over the
+	// most recent admitted requests (time from admission to execution
+	// slot), in milliseconds.
+	AdmissionP50MS float64 `json:"admission_p50_ms"`
+	AdmissionP99MS float64 `json:"admission_p99_ms"`
+	// Tenants breaks the counters down by X-Tenant key.
+	Tenants map[string]TenantServing `json:"tenants,omitempty"`
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by sorting a copy
+// and indexing with the nearest-rank rule; 0 for an empty slice. Shared
+// by the serving layer's admission-latency snapshot and the storm
+// harness's client-side latency report.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import "testing"
+
+// Quantile backs both the serving snapshot's admission-wait figures and
+// the storm report's client latencies; pin the nearest-rank behaviour.
+func TestQuantile(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v", got)
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-element p99 = %v", got)
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(100 - i) // reversed: Quantile must sort a copy
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	if got := Quantile(xs, 0.5); got != 51 {
+		t.Errorf("p50 = %v, want 51 (nearest rank)", got)
+	}
+	if got := Quantile(xs, 0.99); got != 100 {
+		t.Errorf("p99 = %v, want 100", got)
+	}
+	// The input must not be mutated by the sort.
+	if xs[0] != 100 {
+		t.Error("Quantile sorted its input in place")
+	}
+}

@@ -1,0 +1,159 @@
+package queue
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Backoff-edge coverage for the retry machinery: attempt exhaustion at
+// exactly MaxAttempts, extend-after-reap rejection, and the deliberate
+// divergence between reported-failure backoff (exponential) and lease
+// reclaim (immediate requeue). All driven by the fake clock — nothing
+// here sleeps.
+
+// TestFailureExhaustsAtExactlyMaxAttempts walks a job through every
+// permitted attempt and asserts the pending/failed boundary lands on
+// attempt == MaxAttempts, not one before or after.
+func TestFailureExhaustsAtExactlyMaxAttempts(t *testing.T) {
+	clock := &fakeClock{}
+	q, _ := testQueue(t, clock) // MaxAttempts: 3, RetryBackoff: 100ms
+	job, err := q.Enqueue(testSpec("doomed", 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.RegisterWorker("wk", 1, nil)
+
+	for attempt := 1; attempt <= 3; attempt++ {
+		j, err := q.Lease(w.ID)
+		if err != nil || j == nil {
+			t.Fatalf("attempt %d lease: %+v %v", attempt, j, err)
+		}
+		if j.Attempts != attempt {
+			t.Fatalf("attempt counter = %d, want %d", j.Attempts, attempt)
+		}
+		if _, err := q.Fail(j.ID, j.LeaseID, "boom"); err != nil {
+			t.Fatalf("attempt %d fail: %v", attempt, err)
+		}
+		got, _ := q.Job(job.ID)
+		if attempt < 3 {
+			// Attempts remain: pending again, behind exponential backoff.
+			if got.Status != StatusPending {
+				t.Fatalf("after failed attempt %d: status %q, want pending", attempt, got.Status)
+			}
+			wantNotBefore := clock.Now() + (100 << (attempt - 1))
+			if got.NotBeforeMS != wantNotBefore {
+				t.Errorf("after failed attempt %d: not_before %d, want %d (backoff %dms)",
+					attempt, got.NotBeforeMS, wantNotBefore, 100<<(attempt-1))
+			}
+			clock.Advance(time.Duration(100<<(attempt-1)) * time.Millisecond)
+		} else if got.Status != StatusFailed {
+			t.Fatalf("after final attempt: status %q, want failed", got.Status)
+		}
+	}
+
+	// A parked-failed job is not leasable ever again.
+	if j, err := q.Lease(w.ID); err != nil || j != nil {
+		t.Errorf("lease after exhaustion: %+v %v", j, err)
+	}
+	got, _ := q.Job(job.ID)
+	if got.Attempts != 3 {
+		t.Errorf("final attempts = %d, want 3", got.Attempts)
+	}
+}
+
+// TestExtendAfterReapIsRejected: once any entry point reaps an expired
+// lease, the old holder's extend must bounce off ErrStaleLease — it
+// cannot resurrect a lease the queue already reassigned to the pool.
+func TestExtendAfterReapIsRejected(t *testing.T) {
+	clock := &fakeClock{}
+	q, _ := testQueue(t, clock) // LeaseTTL: 1s
+	job, err := q.Enqueue(testSpec("slow", 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.RegisterWorker("wk", 1, nil)
+	j, err := q.Lease(w.ID)
+	if err != nil || j == nil {
+		t.Fatalf("lease: %+v %v", j, err)
+	}
+
+	clock.Advance(time.Second) // lease deadline passes exactly
+	q.Jobs("")                 // any listing/worker entry point reaps
+
+	if _, err := q.Extend(j.ID, j.LeaseID); !errors.Is(err, ErrStaleLease) {
+		t.Errorf("extend after reap: %v, want ErrStaleLease", err)
+	}
+	got, _ := q.Job(job.ID)
+	if got.Status != StatusPending {
+		t.Errorf("reaped job status %q, want pending", got.Status)
+	}
+	// Reclaim requeues immediately: the lapsed TTL was already the wait.
+	if got.NotBeforeMS != clock.Now() {
+		t.Errorf("reclaimed not_before %d, want %d (no extra backoff)", got.NotBeforeMS, clock.Now())
+	}
+	// Completion under the dead token is equally rejected.
+	if _, err := q.Complete(j.ID, j.LeaseID, 1, nil); !errors.Is(err, ErrStaleLease) {
+		t.Errorf("complete after reap: %v, want ErrStaleLease", err)
+	}
+}
+
+// TestReportedFailureBacksOffButReclaimDoesNot pins the asymmetry the
+// queue documents: a worker-reported failure means the workload itself
+// is suspect, so retries back off exponentially; a reaped lease only
+// means the worker died, so the job requeues with no additional delay.
+func TestReportedFailureBacksOffButReclaimDoesNot(t *testing.T) {
+	clock := &fakeClock{}
+	q, _ := testQueue(t, clock) // RetryBackoff: 100ms, LeaseTTL: 1s
+	a, _ := q.Enqueue(testSpec("a", 1), 0)
+	b, _ := q.Enqueue(testSpec("b", 2), 0)
+	w := q.RegisterWorker("wk", 2, nil)
+
+	ja, _ := q.Lease(w.ID)
+	jb, _ := q.Lease(w.ID)
+	if ja == nil || jb == nil || ja.ID != a.ID || jb.ID != b.ID {
+		t.Fatalf("seed leases: %+v %+v", ja, jb)
+	}
+
+	// Reported failure at t=0: first-attempt backoff is RetryBackoff<<0.
+	if _, err := q.Fail(ja.ID, ja.LeaseID, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	gotA, _ := q.Job(a.ID)
+	if gotA.NotBeforeMS != clock.Now()+100 {
+		t.Errorf("reported-failure not_before %d, want now+100", gotA.NotBeforeMS)
+	}
+
+	// The backoff gate is exclusive: one ms before it opens, nothing
+	// leases; at the boundary, the job is eligible again.
+	clock.Advance(99 * time.Millisecond)
+	if j, _ := q.Lease(w.ID); j != nil {
+		t.Fatalf("leased %s before its backoff elapsed", j.ID)
+	}
+	clock.Advance(1 * time.Millisecond)
+
+	// b's lease dies by TTL at t=1000; reclaim requeues it for *now*.
+	clock.Advance(900 * time.Millisecond)
+	q.Jobs("")
+	gotB, _ := q.Job(b.ID)
+	if gotB.Status != StatusPending || gotB.NotBeforeMS != clock.Now() {
+		t.Errorf("reclaimed job: status %q not_before %d, want pending at now=%d",
+			gotB.Status, gotB.NotBeforeMS, clock.Now())
+	}
+
+	// Second reported failure doubles the backoff: RetryBackoff<<1.
+	ja2, err := q.Lease(w.ID)
+	if err != nil || ja2 == nil || ja2.ID != a.ID {
+		t.Fatalf("re-lease a: %+v %v", ja2, err)
+	}
+	if ja2.Attempts != 2 {
+		t.Fatalf("second attempt counter = %d", ja2.Attempts)
+	}
+	if _, err := q.Fail(ja2.ID, ja2.LeaseID, "boom again"); err != nil {
+		t.Fatal(err)
+	}
+	gotA2, _ := q.Job(a.ID)
+	if gotA2.NotBeforeMS != clock.Now()+200 {
+		t.Errorf("second-failure not_before %d, want now+200 (doubled)", gotA2.NotBeforeMS)
+	}
+}

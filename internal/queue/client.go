@@ -100,6 +100,10 @@ type Client struct {
 	BaseURL string
 	// HTTP defaults to http.DefaultClient.
 	HTTP *http.Client
+	// Tenant, when set, is sent as the TenantHeader on every request so
+	// enqueues are attributed and the front door applies this tenant's
+	// quota instead of the default's.
+	Tenant string
 }
 
 // NewClient builds a client over the dispatcher base URL.
@@ -132,6 +136,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

@@ -68,6 +68,18 @@ const (
 	StatusFailed    Status = "failed"
 )
 
+// Multi-tenant accounting: every job carries the tenant that enqueued
+// it (the serving front door's X-Tenant header, see internal/server),
+// so queue listings and stats can be partitioned per tenant and the
+// storm harness can verify quota isolation end to end.
+const (
+	// DefaultTenant labels jobs enqueued without a tenant.
+	DefaultTenant = "default"
+	// TenantHeader is the HTTP header that names the tenant; the
+	// dispatcher reads it and Client sends it.
+	TenantHeader = "X-Tenant"
+)
+
 // ValidStatus reports whether s names a job state (for API filters).
 func ValidStatus(s Status) bool {
 	switch s {
@@ -87,7 +99,9 @@ type Job struct {
 	// Campaign is the work: a full declarative benchmark campaign,
 	// including Faults. Treat as read-only once enqueued.
 	Campaign controller.Spec `json:"campaign"`
-	Status   Status          `json:"status"`
+	// Tenant is the enqueuing tenant (DefaultTenant when none given).
+	Tenant string `json:"tenant,omitempty"`
+	Status Status `json:"status"`
 	// Attempts counts leases handed out for this job; bounded by
 	// MaxAttempts.
 	Attempts    int `json:"attempts"`
@@ -276,6 +290,9 @@ func (q *Queue) apply(e *journalEntry) error {
 			return errors.New("enqueue entry without job")
 		}
 		j := *e.Job
+		if j.Tenant == "" {
+			j.Tenant = DefaultTenant // journals from before tenancy
+		}
 		q.jobs[j.ID] = &j
 		q.order = append(q.order, j.ID)
 		if j.Seq > q.seq {
@@ -355,7 +372,7 @@ func jobID(spec *controller.Spec, seq int) string {
 // Enqueue validates and appends one campaign job. maxAttempts ≤ 0 uses
 // the queue default.
 func (q *Queue) Enqueue(spec controller.Spec, maxAttempts int) (Job, error) {
-	jobs, err := q.EnqueueAll([]controller.Spec{spec}, maxAttempts)
+	jobs, err := q.EnqueueAll([]controller.Spec{spec}, maxAttempts, "")
 	if err != nil {
 		return Job{}, err
 	}
@@ -367,10 +384,14 @@ func (q *Queue) Enqueue(spec controller.Spec, maxAttempts int) (Job, error) {
 // single AppendAll write, so either the whole batch is durably enqueued
 // or none of it is. The dispatcher shards campaigns through this so a
 // failed POST /api/jobs can be retried without duplicating the shards
-// that made it in before the error.
-func (q *Queue) EnqueueAll(specs []controller.Spec, maxAttempts int) ([]Job, error) {
+// that made it in before the error. tenant attributes the batch
+// (DefaultTenant when empty).
+func (q *Queue) EnqueueAll(specs []controller.Spec, maxAttempts int, tenant string) ([]Job, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("queue: enqueue of empty batch")
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
 	}
 	for i := range specs {
 		if err := specs[i].Validate(); err != nil {
@@ -390,6 +411,7 @@ func (q *Queue) EnqueueAll(specs []controller.Spec, maxAttempts int) ([]Job, err
 			ID:          jobID(&specs[i], seq),
 			Seq:         seq,
 			Campaign:    specs[i],
+			Tenant:      tenant,
 			Status:      StatusPending,
 			MaxAttempts: maxAttempts,
 		}
@@ -676,6 +698,12 @@ func (q *Queue) Job(id string) (Job, bool) {
 // Jobs lists snapshots in enqueue order, optionally filtered by status
 // ("" = all). It reaps first so listings reflect lease expiry.
 func (q *Queue) Jobs(status Status) []Job {
+	return q.JobsTenant(status, "")
+}
+
+// JobsTenant is Jobs with an additional tenant filter ("" = all
+// tenants).
+func (q *Queue) JobsTenant(status Status, tenant string) []Job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.reapLocked(q.opts.NowMS())
@@ -683,6 +711,9 @@ func (q *Queue) Jobs(status Status) []Job {
 	for _, id := range q.order {
 		j := q.jobs[id]
 		if status != "" && j.Status != status {
+			continue
+		}
+		if tenant != "" && j.Tenant != tenant {
 			continue
 		}
 		out = append(out, *j)
@@ -703,6 +734,14 @@ func (q *Queue) Workers() []WorkerInfo {
 	return out
 }
 
+// TenantCounts is one tenant's slice of the queue, by job status.
+type TenantCounts struct {
+	Pending   int `json:"pending"`
+	Leased    int `json:"leased"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+}
+
 // Stats summarizes the queue for listings and drain detection.
 type Stats struct {
 	Pending   int `json:"pending"`
@@ -710,25 +749,34 @@ type Stats struct {
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
 	Workers   int `json:"workers"`
+	// ByTenant partitions the job counts by enqueuing tenant.
+	ByTenant map[string]TenantCounts `json:"by_tenant,omitempty"`
 }
 
-// Snapshot reaps and counts jobs by status.
+// Snapshot reaps and counts jobs by status, totalled and per tenant.
 func (q *Queue) Snapshot() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.reapLocked(q.opts.NowMS())
-	var s Stats
+	s := Stats{ByTenant: map[string]TenantCounts{}}
 	for _, id := range q.order {
-		switch q.jobs[id].Status {
+		j := q.jobs[id]
+		tc := s.ByTenant[j.Tenant]
+		switch j.Status {
 		case StatusPending:
 			s.Pending++
+			tc.Pending++
 		case StatusLeased:
 			s.Leased++
+			tc.Leased++
 		case StatusCompleted:
 			s.Completed++
+			tc.Completed++
 		case StatusFailed:
 			s.Failed++
+			tc.Failed++
 		}
+		s.ByTenant[j.Tenant] = tc
 	}
 	s.Workers = len(q.workers)
 	return s

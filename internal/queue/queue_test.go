@@ -323,7 +323,7 @@ func TestEnqueueAllIsAtomic(t *testing.T) {
 	clock := &fakeClock{}
 	q, st := testQueue(t, clock)
 	batch := []controller.Spec{testSpec("ok1", 1), {Name: "bad"}, testSpec("ok2", 2)}
-	if _, err := q.EnqueueAll(batch, 0); err == nil {
+	if _, err := q.EnqueueAll(batch, 0, ""); err == nil {
 		t.Fatal("batch with an invalid spec was accepted")
 	}
 	if jobs := q.Jobs(""); len(jobs) != 0 {
@@ -333,7 +333,7 @@ func TestEnqueueAllIsAtomic(t *testing.T) {
 		t.Errorf("journal has %d entries after rejected batch", n)
 	}
 	// A valid batch lands whole, with ordinal-contiguous FIFO IDs.
-	jobs, err := q.EnqueueAll([]controller.Spec{testSpec("a", 1), testSpec("b", 2)}, 0)
+	jobs, err := q.EnqueueAll([]controller.Spec{testSpec("a", 1), testSpec("b", 2)}, 0, "acme")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/queue"
+)
+
+// Admission control: the first stage of the serving front door's
+// request pipeline (admission → fair-share queue → bounded execute).
+// Every POST /api/run passes a global and a per-tenant token bucket
+// before it may wait for an execution slot; a dry bucket is a typed 429
+// carrying Retry-After, so well-behaved clients back off instead of
+// piling onto the queue. Tenancy is keyed by the X-Tenant request
+// header; requests without one share the DefaultTenant buckets.
+//
+// Time is monotonic and injected (the same discipline as
+// internal/queue): buckets refill against a NowMS callback, never the
+// wall clock, so admission tests advance a fake clock instead of
+// sleeping.
+
+// DefaultTenant is the bucket key for requests without an X-Tenant
+// header; TenantHeader names that header. Both are shared with the
+// queue's per-tenant accounting so front-door buckets and fabric job
+// attribution always key the same way.
+const (
+	DefaultTenant = queue.DefaultTenant
+	TenantHeader  = queue.TenantHeader
+)
+
+// TenantQuota is one tenant's token-bucket parameters.
+type TenantQuota struct {
+	// RatePerSec is the sustained admission rate (token refill rate).
+	RatePerSec float64
+	// Burst is the bucket capacity: how far above the sustained rate a
+	// tenant may spike before 429s start.
+	Burst float64
+}
+
+// AdmissionConfig tunes the front door's token buckets. The zero value
+// gets generous defaults from newAdmitter — high enough that
+// single-client test traffic never trips them, low enough that a storm
+// does.
+type AdmissionConfig struct {
+	// Global caps the whole front door (all tenants combined); zero
+	// means 500/s with a burst of 500.
+	Global TenantQuota
+	// PerTenant is the default quota for tenants without an explicit
+	// entry in Tenants; zero means 200/s with a burst of 200.
+	PerTenant TenantQuota
+	// Tenants overrides PerTenant for named tenants.
+	Tenants map[string]TenantQuota
+}
+
+// bucket is a token bucket on the injected monotonic clock.
+type bucket struct {
+	tokens float64
+	lastMS int64
+	quota  TenantQuota
+}
+
+// take refills for elapsed time and consumes one token, or reports how
+// long until one is available.
+func (b *bucket) take(nowMS int64) (ok bool, retryAfterMS int64) {
+	elapsed := nowMS - b.lastMS
+	if elapsed > 0 {
+		b.tokens += float64(elapsed) / 1000 * b.quota.RatePerSec
+		if b.tokens > b.quota.Burst {
+			b.tokens = b.quota.Burst
+		}
+		b.lastMS = nowMS
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	ms := int64(need / b.quota.RatePerSec * 1000)
+	if ms < 1 {
+		ms = 1
+	}
+	return false, ms
+}
+
+// admitter is the token-bucket stage. One mutex guards all buckets;
+// admission is a handful of float ops, so contention is negligible next
+// to the runs being admitted.
+type admitter struct {
+	mu      sync.Mutex
+	cfg     AdmissionConfig
+	global  bucket
+	tenants map[string]*bucket
+	nowMS   func() int64
+}
+
+func newAdmitter(cfg AdmissionConfig, nowMS func() int64) *admitter {
+	if cfg.Global.RatePerSec <= 0 {
+		cfg.Global.RatePerSec = 500
+	}
+	if cfg.Global.Burst <= 0 {
+		cfg.Global.Burst = 500
+	}
+	if cfg.PerTenant.RatePerSec <= 0 {
+		cfg.PerTenant.RatePerSec = 200
+	}
+	if cfg.PerTenant.Burst <= 0 {
+		cfg.PerTenant.Burst = 200
+	}
+	return &admitter{
+		cfg:     cfg,
+		global:  bucket{tokens: cfg.Global.Burst, quota: cfg.Global},
+		tenants: map[string]*bucket{},
+		nowMS:   nowMS,
+	}
+}
+
+// quotaFor resolves the configured quota for a tenant.
+func (a *admitter) quotaFor(tenant string) TenantQuota {
+	if q, ok := a.cfg.Tenants[tenant]; ok {
+		if q.RatePerSec <= 0 {
+			q.RatePerSec = a.cfg.PerTenant.RatePerSec
+		}
+		if q.Burst <= 0 {
+			q.Burst = a.cfg.PerTenant.Burst
+		}
+		return q
+	}
+	return a.cfg.PerTenant
+}
+
+// admit charges one token from the tenant's bucket and the global
+// bucket. Both must have capacity; the retry hint is the larger of the
+// two waits so a client that honours it passes both next time. The
+// tenant bucket is charged first and refunded when the global bucket
+// rejects, so a global brown-out does not also burn tenant quota.
+func (a *admitter) admit(tenant string) (ok bool, retryAfterMS int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.nowMS()
+	b, found := a.tenants[tenant]
+	if !found {
+		q := a.quotaFor(tenant)
+		b = &bucket{tokens: q.Burst, lastMS: now, quota: q}
+		a.tenants[tenant] = b
+	}
+	ok, tenantWait := b.take(now)
+	if !ok {
+		return false, tenantWait
+	}
+	ok, globalWait := a.global.take(now)
+	if !ok {
+		b.tokens++ // refund: the tenant did nothing wrong
+		return false, globalWait
+	}
+	return true, 0
+}
+
+// tenantOf extracts the tenant key from a request.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// writeRetryError writes the typed over-capacity response: a JSON error
+// body with machine-readable retry hints plus the standard Retry-After
+// header (whole seconds, rounded up, minimum 1 — the header has no
+// sub-second form).
+func writeRetryError(w http.ResponseWriter, status int, tenant string, retryAfterMS int64, msg string) {
+	secs := (retryAfterMS + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, map[string]any{
+		"error":          msg,
+		"tenant":         tenant,
+		"retry_after_ms": retryAfterMS,
+	})
+}
+
+// handleServingStats implements GET /api/serving/stats.
+func (s *Server) handleServingStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.serving.snapshot())
+}
+
+// servingStats aggregates front-door counters; snapshot renders them as
+// the metrics.ServingSnapshot the API serves.
+type servingStats struct {
+	mu       sync.Mutex
+	totals   metrics.TenantServing
+	byTenant map[string]*metrics.TenantServing
+	// waits is a bounded ring of recent admission queue-waits (ms):
+	// time from passing the token bucket to receiving an execution slot.
+	waits   []float64
+	waitIdx int
+	sched   *scheduler // gauges (active/queued) come from the scheduler
+}
+
+const waitRingCap = 4096
+
+func newServingStats() *servingStats {
+	return &servingStats{byTenant: map[string]*metrics.TenantServing{}}
+}
+
+func (st *servingStats) tenant(name string) *metrics.TenantServing {
+	t, ok := st.byTenant[name]
+	if !ok {
+		t = &metrics.TenantServing{}
+		st.byTenant[name] = t
+	}
+	return t
+}
+
+func (st *servingStats) admitted(tenant string, waitMS float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.totals.Admitted++
+	st.tenant(tenant).Admitted++
+	if len(st.waits) < waitRingCap {
+		st.waits = append(st.waits, waitMS)
+	} else {
+		st.waits[st.waitIdx] = waitMS
+		st.waitIdx = (st.waitIdx + 1) % waitRingCap
+	}
+}
+
+func (st *servingStats) rejected(tenant string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.totals.Rejected++
+	st.tenant(tenant).Rejected++
+}
+
+func (st *servingStats) shed(tenant string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.totals.Shed++
+	st.tenant(tenant).Shed++
+}
+
+func (st *servingStats) finished(tenant string, failed bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if failed {
+		st.totals.Failed++
+		st.tenant(tenant).Failed++
+	} else {
+		st.totals.Completed++
+		st.tenant(tenant).Completed++
+	}
+}
+
+func (st *servingStats) snapshot() metrics.ServingSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap := metrics.ServingSnapshot{
+		Admitted:       st.totals.Admitted,
+		Rejected429:    st.totals.Rejected,
+		Shed:           st.totals.Shed,
+		Completed:      st.totals.Completed,
+		Failed:         st.totals.Failed,
+		AdmissionP50MS: metrics.Quantile(st.waits, 0.50),
+		AdmissionP99MS: metrics.Quantile(st.waits, 0.99),
+		Tenants:        make(map[string]metrics.TenantServing, len(st.byTenant)),
+	}
+	for name, t := range st.byTenant {
+		snap.Tenants[name] = *t
+	}
+	if st.sched != nil {
+		snap.ActiveRuns, snap.QueuedRuns = st.sched.gauges()
+	}
+	return snap
+}
+
+// String implements fmt.Stringer for log lines.
+func (st *servingStats) String() string {
+	s := st.snapshot()
+	return fmt.Sprintf("admitted=%d rejected=%d shed=%d completed=%d failed=%d",
+		s.Admitted, s.Rejected429, s.Shed, s.Completed, s.Failed)
+}

@@ -54,7 +54,7 @@ func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 	if req.Split {
 		toEnqueue = req.Spec.Shard()
 	}
-	jobs, err := s.q.EnqueueAll(toEnqueue, req.MaxAttempts)
+	jobs, err := s.q.EnqueueAll(toEnqueue, req.MaxAttempts, tenantOf(r))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -62,14 +62,14 @@ func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, queue.EnqueueResponse{Jobs: jobs})
 }
 
-// handleJobs implements GET /api/jobs[?status=...].
+// handleJobs implements GET /api/jobs[?status=...][&tenant=...].
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	status := queue.Status(r.URL.Query().Get("status"))
 	if status != "" && !queue.ValidStatus(status) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown status %q (pending, leased, completed, failed)", status))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.q.Jobs(status))
+	writeJSON(w, http.StatusOK, s.q.JobsTenant(status, r.URL.Query().Get("tenant")))
 }
 
 // handleJob implements GET /api/jobs/{id}.

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"pdspbench/internal/queue"
+	"pdspbench/internal/storage"
+)
+
+// Satellite: the queueError mapping audit. docs/API.md documents the
+// fabric's failure table — unknown job/worker → 404, stale lease or
+// unleasable job → 409, journal/record-store failure → 500 with queue
+// state unchanged. This test drives every failure mode through the HTTP
+// surface and asserts the documented status actually comes back.
+func TestQueueErrorHTTPMappingAudit(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fabricClock{}
+	s, err := New(st, WithQueueOptions(queue.Options{
+		LeaseTTL:     time.Second,
+		HeartbeatTTL: 30 * time.Second,
+		RetryBackoff: 100 * time.Millisecond,
+		MaxAttempts:  3,
+		NowMS:        clk.Now,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// Seed: four jobs, one worker, one live lease.
+	jobs := decode[queue.EnqueueResponse](t, post(t, s, "/api/jobs", sweepSpec)).Jobs
+	if len(jobs) != 4 {
+		t.Fatalf("seeded %d jobs", len(jobs))
+	}
+	reg := decode[queue.RegisterResponse](t, post(t, s, "/api/workers/register", `{"name":"w1","capacity":4}`))
+	workerID := reg.Worker.ID
+	leaseBody := fmt.Sprintf(`{"worker_id":%q}`, workerID)
+	leased := decode[queue.LeaseResponse](t, post(t, s, "/api/jobs/lease", leaseBody))
+	if leased.Job == nil {
+		t.Fatal("seed lease failed")
+	}
+
+	assertStatus := func(what string, w interface{ Result() *http.Response }, want int) {
+		t.Helper()
+		if got := w.Result().StatusCode; got != want {
+			t.Errorf("%s: status %d, want %d", what, got, want)
+		}
+	}
+
+	// Unknown job → 404 on every job-scoped verb.
+	assertStatus("GET unknown job", get(t, s, "/api/jobs/nope"), http.StatusNotFound)
+	assertStatus("extend unknown job", post(t, s, "/api/jobs/nope/extend", `{"lease_id":"x"}`), http.StatusNotFound)
+	assertStatus("complete unknown job", post(t, s, "/api/jobs/nope/complete", `{"lease_id":"x"}`), http.StatusNotFound)
+	assertStatus("fail unknown job", post(t, s, "/api/jobs/nope/fail", `{"lease_id":"x","error":"e"}`), http.StatusNotFound)
+	assertStatus("lease unknown job", post(t, s, "/api/jobs/nope/lease", leaseBody), http.StatusNotFound)
+
+	// Unknown worker → 404.
+	assertStatus("lease by unknown worker", post(t, s, "/api/jobs/lease", `{"worker_id":"w99"}`), http.StatusNotFound)
+	assertStatus("heartbeat unknown worker", post(t, s, "/api/workers/w99/heartbeat", ""), http.StatusNotFound)
+
+	// Bad lease token → 409 (stale lease).
+	jid := leased.Job.ID
+	assertStatus("extend with bad token", post(t, s, "/api/jobs/"+jid+"/extend", `{"lease_id":"bogus"}`), http.StatusConflict)
+	assertStatus("complete with bad token", post(t, s, "/api/jobs/"+jid+"/complete", `{"lease_id":"bogus"}`), http.StatusConflict)
+	assertStatus("fail with bad token", post(t, s, "/api/jobs/"+jid+"/fail", `{"lease_id":"bogus","error":"e"}`), http.StatusConflict)
+
+	// Targeted lease of an already-leased job → 409 (not leasable).
+	assertStatus("lease a leased job", post(t, s, "/api/jobs/"+jid+"/lease", leaseBody), http.StatusConflict)
+
+	// Expired lease: advance past the TTL; the next entry point reaps it,
+	// so the old token is stale → 409.
+	oldToken := leased.Job.LeaseID
+	clk.Advance(1100 * time.Millisecond)
+	assertStatus("complete after lease expiry",
+		post(t, s, "/api/jobs/"+jid+"/complete", fmt.Sprintf(`{"lease_id":%q}`, oldToken)), http.StatusConflict)
+	if j := decode[queue.Job](t, get(t, s, "/api/jobs/"+jid)); j.Status != queue.StatusPending {
+		t.Errorf("reaped job status %q, want pending", j.Status)
+	}
+
+	// Storage failure → 500, with queue state (the lease) intact. Take a
+	// fresh lease first, then break the store out from under the server.
+	leased2 := decode[queue.LeaseResponse](t, post(t, s, "/api/jobs/lease", leaseBody))
+	if leased2.Job == nil {
+		t.Fatal("second lease failed")
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	assertStatus("enqueue with broken store", post(t, s, "/api/jobs", sweepSpec), http.StatusInternalServerError)
+	assertStatus("complete with broken store",
+		post(t, s, "/api/jobs/"+leased2.Job.ID+"/complete",
+			fmt.Sprintf(`{"lease_id":%q,"records":[]}`, leased2.Job.LeaseID)), http.StatusInternalServerError)
+	// The aborted completion left the lease alive: the job still reads
+	// as leased under the same token.
+	if j := decode[queue.Job](t, get(t, s, "/api/jobs/"+leased2.Job.ID)); j.Status != queue.StatusLeased || j.LeaseID != leased2.Job.LeaseID {
+		t.Errorf("job after failed completion: status %q lease %q, want the original live lease", j.Status, j.LeaseID)
+	}
+}

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Fair-share scheduling: the second stage of the serving front door.
+// Admitted runs do not execute immediately — they join their tenant's
+// FIFO queue, and a deficit-round-robin (DRR) scan grants execution
+// slots from a bounded worker pool, so one tenant flooding the front
+// door cannot starve the others: each active tenant receives the same
+// quantum of work units per round regardless of how deep its queue is.
+//
+// There is no scheduler goroutine. Like the queue's traffic-driven
+// lease reaping, dispatch runs inside the goroutines that change
+// scheduler state: every enqueue and every slot release scans the DRR
+// ring under the lock and grants slots to the next deserving tasks.
+// Waiting requests each carry their own shed timer, so queued-too-long
+// work is shed (typed 503 + Retry-After) by the waiter itself rather
+// than by a reaper.
+
+// ServingConfig tunes the front door pipeline.
+type ServingConfig struct {
+	// Admission parameterizes the token buckets (stage one).
+	Admission AdmissionConfig
+	// Workers bounds concurrently executing runs (default 4).
+	Workers int
+	// QueueDepth bounds each tenant's waiting queue; a request arriving
+	// at a full queue is shed immediately (default 64).
+	QueueDepth int
+	// MaxQueueWait is the shed deadline: a request still waiting for an
+	// execution slot after this long is shed (default 10s).
+	MaxQueueWait time.Duration
+	// Quantum is the DRR quantum in work units per round (default 8). A
+	// run's cost is its requested parallelism (min 1), so fairness is
+	// measured in parallelism-weighted work, not just run counts.
+	Quantum int
+}
+
+func (c ServingConfig) withDefaults() ServingConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 10 * time.Second
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 8
+	}
+	return c
+}
+
+// Shed/closed sentinels; the run handler maps them onto HTTP statuses.
+var (
+	errShed      = errors.New("server: run shed: queued past the shed deadline under overload")
+	errQueueFull = errors.New("server: run shed: tenant queue is full")
+	errClosing   = errors.New("server: shutting down")
+)
+
+// task is one admitted run waiting for an execution slot.
+type task struct {
+	tenant string
+	cost   int
+	// grant is closed by the dispatch scan (under the scheduler lock)
+	// when the task receives a slot; the waiter selects on it.
+	grant   chan struct{}
+	granted bool
+}
+
+// tenantQueue is one tenant's FIFO plus its DRR deficit counter.
+type tenantQueue struct {
+	name    string
+	tasks   []*task
+	deficit int
+	// charged marks that this tenant already received its quantum for
+	// the current ring visit. A dispatch scan that stops mid-visit
+	// because the pool filled resumes at the same tenant without
+	// charging again — otherwise every slot release would re-top the
+	// deficit of whichever tenant the cursor parked on, letting it
+	// monopolize a small pool.
+	charged bool
+	ringPos int // index in scheduler.ring, -1 when inactive
+}
+
+// scheduler is the DRR fair-share stage over the bounded pool.
+type scheduler struct {
+	cfg     ServingConfig
+	closing chan struct{} // closed by Server.Close; owner: Server
+
+	mu      sync.Mutex
+	tenants map[string]*tenantQueue
+	ring    []*tenantQueue // tenants with waiting tasks, round-robin order
+	next    int            // ring cursor
+	running int            // slots in use
+	queued  int            // tasks waiting across all tenants
+}
+
+func newScheduler(cfg ServingConfig, closing chan struct{}) *scheduler {
+	return &scheduler{
+		cfg:     cfg.withDefaults(),
+		closing: closing,
+		tenants: map[string]*tenantQueue{},
+	}
+}
+
+// gauges reports (active, queued) for the serving snapshot.
+func (s *scheduler) gauges() (active, queued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running, s.queued
+}
+
+// acquire blocks until the tenant's task is granted an execution slot,
+// the context is cancelled, the shed deadline passes, or the server
+// closes. On success the returned release func must be called exactly
+// once when the run finishes; it frees the slot and re-dispatches.
+func (s *scheduler) acquire(ctx context.Context, tenant string, cost int) (release func(), err error) {
+	if cost < 1 {
+		cost = 1
+	}
+	t := &task{tenant: tenant, cost: cost, grant: make(chan struct{})}
+	s.mu.Lock()
+	select {
+	case <-s.closing:
+		s.mu.Unlock()
+		return nil, errClosing
+	default:
+	}
+	tq := s.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: tenant, ringPos: -1}
+		s.tenants[tenant] = tq
+	}
+	if len(tq.tasks) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return nil, errQueueFull
+	}
+	tq.tasks = append(tq.tasks, t)
+	s.queued++
+	if tq.ringPos < 0 {
+		tq.ringPos = len(s.ring)
+		s.ring = append(s.ring, tq)
+	}
+	s.dispatchLocked()
+	s.mu.Unlock()
+
+	shed := time.NewTimer(s.cfg.MaxQueueWait)
+	defer shed.Stop()
+	select {
+	case <-t.grant:
+		return s.releaseFunc(), nil
+	case <-ctx.Done():
+		if s.abandon(t) {
+			return nil, ctx.Err()
+		}
+		// Granted while we raced the cancellation: give the slot back.
+		s.releaseFunc()()
+		return nil, ctx.Err()
+	case <-shed.C:
+		if s.abandon(t) {
+			return nil, errShed
+		}
+		// Granted in the same instant the shed timer fired — the slot is
+		// ours, so run rather than waste it.
+		return s.releaseFunc(), nil
+	case <-s.closing:
+		if s.abandon(t) {
+			return nil, errClosing
+		}
+		s.releaseFunc()()
+		return nil, errClosing
+	}
+}
+
+// releaseFunc frees one slot and re-dispatches; idempotence is the
+// caller's job (each grant pairs with exactly one release).
+func (s *scheduler) releaseFunc() func() {
+	return func() {
+		s.mu.Lock()
+		s.running--
+		s.dispatchLocked()
+		s.mu.Unlock()
+	}
+}
+
+// abandon removes a still-waiting task (shed, cancelled, or shutdown);
+// it reports false when the task was already granted, in which case the
+// caller owns a slot and must release (or use) it.
+func (s *scheduler) abandon(t *task) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.granted {
+		return false
+	}
+	tq := s.tenants[t.tenant]
+	for i, qt := range tq.tasks {
+		if qt == t {
+			tq.tasks = append(tq.tasks[:i], tq.tasks[i+1:]...)
+			s.queued--
+			break
+		}
+	}
+	if len(tq.tasks) == 0 && tq.ringPos >= 0 {
+		s.dropFromRingLocked(tq)
+	}
+	return true
+}
+
+// dropFromRingLocked removes an emptied tenant from the DRR ring,
+// keeping the cursor pointing at the same next tenant.
+func (s *scheduler) dropFromRingLocked(tq *tenantQueue) {
+	i := tq.ringPos
+	s.ring = append(s.ring[:i], s.ring[i+1:]...)
+	for j := i; j < len(s.ring); j++ {
+		s.ring[j].ringPos = j
+	}
+	if s.next > i {
+		s.next--
+	}
+	if len(s.ring) > 0 {
+		s.next %= len(s.ring)
+	} else {
+		s.next = 0
+	}
+	tq.ringPos = -1
+	tq.deficit = 0
+	tq.charged = false
+}
+
+// dispatchLocked is the DRR scan: while free slots and waiting tasks
+// remain, visit tenants round-robin; each visit tops the tenant's
+// deficit up by one quantum and grants its queued tasks head-first
+// while the deficit covers their cost. A tenant whose queue empties
+// leaves the ring and forfeits its deficit, so fairness resets rather
+// than being banked while idle. Called with s.mu held from every
+// enqueue and every release.
+func (s *scheduler) dispatchLocked() {
+	for s.running < s.cfg.Workers && len(s.ring) > 0 {
+		tq := s.ring[s.next%len(s.ring)]
+		if !tq.charged {
+			tq.deficit += s.cfg.Quantum
+			tq.charged = true
+		}
+		for len(tq.tasks) > 0 && tq.deficit >= tq.tasks[0].cost && s.running < s.cfg.Workers {
+			t := tq.tasks[0]
+			tq.tasks = tq.tasks[1:]
+			s.queued--
+			tq.deficit -= t.cost
+			t.granted = true
+			s.running++
+			close(t.grant)
+		}
+		if len(tq.tasks) == 0 {
+			s.dropFromRingLocked(tq)
+			continue
+		}
+		if s.running >= s.cfg.Workers {
+			// Pool full mid-visit: the scan ends here and resumes at this
+			// tenant on the next release — still charged, so the leftover
+			// deficit is spent before the cursor moves on.
+			return
+		}
+		// Deficit exhausted for this visit: move to the next tenant; the
+		// next visit starts a fresh round for this one.
+		tq.charged = false
+		s.next = (s.next + 1) % len(s.ring)
+	}
+}

@@ -3,6 +3,12 @@
 // frontend reads from its Django controller — the application catalogue,
 // the hardware catalogue, stored runs, plan visualisations, and
 // on-demand workload execution on the cluster simulator.
+//
+// Execution requests pass through a multi-tenant serving front door
+// (admission.go, fairness.go, stream.go): token-bucket admission with
+// typed 429s, deficit-round-robin fair-share scheduling over a bounded
+// worker pool, load shedding under overload, and SSE progress streams
+// for async runs.
 package server
 
 import (
@@ -13,6 +19,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"pdspbench/internal/apps"
@@ -20,6 +27,7 @@ import (
 	"pdspbench/internal/chaos"
 	"pdspbench/internal/cluster"
 	"pdspbench/internal/controller"
+	"pdspbench/internal/core"
 	"pdspbench/internal/metrics"
 	"pdspbench/internal/queue"
 	"pdspbench/internal/storage"
@@ -34,19 +42,67 @@ type Server struct {
 	ctrl  *controller.Controller
 	q     *queue.Queue
 	mux   *http.ServeMux
+
+	// Serving front door (admission.go / fairness.go / stream.go).
+	admit    *admitter
+	sched    *scheduler
+	serving  *servingStats
+	registry *runRegistry
+	nowMS    func() int64
+	execute  Executor
+
+	closing   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup // tracks async run goroutines
 }
+
+// Executor runs one prepared plan and returns its record. The default
+// delegates to controller.MeasureSpec; overload tests inject stubs so
+// saturation behaviour is exercised without simulating workloads.
+type Executor func(ctx context.Context, ctrl *controller.Controller, plan *core.PQP, cl *cluster.Cluster, spec backend.RunSpec) (*metrics.RunRecord, error)
 
 // Option tunes server construction.
 type Option func(*config)
 
 type config struct {
-	queue queue.Options
+	queue   queue.Options
+	serving ServingConfig
+	nowMS   func() int64
+	execute Executor
+	tune    func(*controller.Controller)
 }
 
 // WithQueueOptions overrides the dispatcher's queue tuning (lease TTL,
 // heartbeat TTL, retry policy, clock) — tests shrink the timings.
 func WithQueueOptions(opts queue.Options) Option {
 	return func(c *config) { c.queue = opts }
+}
+
+// WithServing overrides the front door's admission quotas, worker-pool
+// width, queue depths, shed deadline and DRR quantum.
+func WithServing(sc ServingConfig) Option {
+	return func(c *config) { c.serving = sc }
+}
+
+// WithNowMS injects the front door's monotonic clock (milliseconds);
+// admission buckets and latency accounting read it. Tests advance a
+// fake instead of sleeping. The queue's clock is injected separately
+// via WithQueueOptions.
+func WithNowMS(now func() int64) Option {
+	return func(c *config) { c.nowMS = now }
+}
+
+// WithExecutor replaces run execution (overload tests substitute
+// deterministic stubs for the simulator).
+func WithExecutor(e Executor) Option {
+	return func(c *config) { c.execute = e }
+}
+
+// WithControllerTuning mutates the server's controller after
+// construction — self-hosted storms shrink sim fidelity so scripted
+// runs finish in milliseconds.
+func WithControllerTuning(f func(*controller.Controller)) Option {
+	return func(c *config) { c.tune = f }
 }
 
 // New builds a server over the given run store. The fabric journal is
@@ -61,8 +117,32 @@ func New(store *storage.Store, opts ...Option) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{store: store, ctrl: controller.Fast(), q: q, mux: http.NewServeMux()}
+	if cfg.nowMS == nil {
+		cfg.nowMS = func() int64 { return time.Now().UnixMilli() }
+	}
+	if cfg.execute == nil {
+		cfg.execute = func(ctx context.Context, ctrl *controller.Controller, plan *core.PQP, cl *cluster.Cluster, spec backend.RunSpec) (*metrics.RunRecord, error) {
+			return ctrl.MeasureSpec(ctx, plan, cl, spec)
+		}
+	}
+	s := &Server{
+		store:    store,
+		ctrl:     controller.Fast(),
+		q:        q,
+		mux:      http.NewServeMux(),
+		nowMS:    cfg.nowMS,
+		execute:  cfg.execute,
+		closing:  make(chan struct{}),
+		registry: newRunRegistry(0),
+	}
+	s.admit = newAdmitter(cfg.serving.Admission, cfg.nowMS)
+	s.sched = newScheduler(cfg.serving, s.closing)
+	s.serving = newServingStats()
+	s.serving.sched = s.sched
 	s.ctrl.Store = store
+	if cfg.tune != nil {
+		cfg.tune(s.ctrl)
+	}
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/apps", s.handleApps)
 	s.mux.HandleFunc("GET /api/structures", s.handleStructures)
@@ -72,6 +152,10 @@ func New(store *storage.Store, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /api/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /api/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /api/run", s.handleRun)
+	// Serving front door: async run progress and saturation counters.
+	s.mux.HandleFunc("GET /api/runs/{id}", s.handleRunStatus)
+	s.mux.HandleFunc("GET /api/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("GET /api/serving/stats", s.handleServingStats)
 	// Campaign-fabric dispatcher (see dispatcher.go).
 	s.mux.HandleFunc("POST /api/jobs", s.handleEnqueue)
 	s.mux.HandleFunc("GET /api/jobs", s.handleJobs)
@@ -90,12 +174,30 @@ func New(store *storage.Store, opts ...Option) (*Server, error) {
 // Queue exposes the dispatcher's job queue (CLI listings and tests).
 func (s *Server) Queue() *queue.Queue { return s.q }
 
-// Handler exposes the mux (tests drive it with httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler exposes the routing surface (tests drive it with httptest).
+// The mux is wrapped so every error the router itself generates —
+// unknown route 404s, wrong-method 405s — carries the same JSON
+// {"error": ...} body as handler-written errors.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mux.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+	})
+}
+
+// Close shuts the serving front door: waiting acquires fail with
+// errClosing, in-flight async runs are cancelled, and Close blocks
+// until their goroutines drain. Idempotent.
+//
+//lint:ignore ctx-propagation Close is the cancellation: it aborts every run context first, so the Wait below is bounded by executor teardown, not by work it would need a ctx to interrupt
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closing) })
+	s.registry.cancelAll()
+	s.wg.Wait()
+}
 
 // ListenAndServe serves until the context is cancelled.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
-	srv := &http.Server{Addr: addr, Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Addr: addr, Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -110,10 +212,55 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		//lint:ignore error-discipline shutdown runs after ctx cancel; there is no caller left to receive the error
 		srv.Shutdown(shutdownCtx)
 	}()
-	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	err = srv.Serve(ln)
+	s.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil
+}
+
+// jsonErrorWriter rewrites text-bodied 404/405 responses written by the
+// ServeMux itself into the API's JSON error shape. Handler-written
+// errors pass through untouched: writeJSON sets the JSON Content-Type
+// before committing the status, which is the discriminator.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	intercepted bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		w.Header().Get("Content-Type") != "application/json" {
+		w.intercepted = true
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(status)
+		msg := "not found"
+		if status == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		// The original text body is about to be discarded by Write; emit
+		// the JSON replacement in its place.
+		_, _ = w.ResponseWriter.Write([]byte(fmt.Sprintf("{\"error\":%q}\n", msg)))
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if w.intercepted {
+		return len(b), nil // swallow the router's text body
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so wrapping does not hide
+// http.Flusher from the SSE handler.
+func (w *jsonErrorWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -130,7 +277,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, errors.New("not found"))
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -145,7 +292,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/api/backends">/api/backends</a> — execution backends (sim, real)</li>
 <li><a href="/api/runs">/api/runs</a> — stored benchmark runs</li>
 <li>/api/plan?structure=3-way-join&amp;parallelism=8 — plan DOT</li>
-<li>POST /api/run — execute a workload on an execution backend</li>
+<li>POST /api/run — execute a workload (async + SSE progress supported)</li>
+<li><a href="/api/serving/stats">/api/serving/stats</a> — front-door admission counters</li>
 <li><a href="/api/jobs">/api/jobs</a> — campaign job queue (POST to enqueue)</li>
 <li><a href="/api/workers">/api/workers</a> — registered worker daemons</li>
 </ul>
@@ -249,14 +397,39 @@ type RunRequest struct {
 	// run (see internal/chaos); the record reports the injected faults,
 	// restarts, downtime and the schedule fingerprint.
 	Faults *chaos.Plan `json:"faults,omitempty"`
+	// Disorder stamps an out-of-order delivery spec onto every source of
+	// the plan (see core.DisorderSpec); AllowedLatenessMs sets the
+	// event-time allowance before late tuples are dropped and counted.
+	Disorder          *core.DisorderSpec `json:"disorder,omitempty"`
+	AllowedLatenessMs int64              `json:"allowed_lateness_ms,omitempty"`
+	// Async submits the run for background execution: the response is an
+	// immediate 202 with a run id, and progress streams over SSE at
+	// GET /api/runs/{id}/events.
+	Async bool `json:"async,omitempty"`
 }
 
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
-	}
+// AsyncRunResponse is the 202 body for async submissions.
+type AsyncRunResponse struct {
+	RunID  string `json:"run_id"`
+	Tenant string `json:"tenant"`
+	// Status / Events are the URLs to poll or stream.
+	Status string `json:"status"`
+	Events string `json:"events"`
+}
+
+// preparedRun is a validated RunRequest resolved to executable parts.
+type preparedRun struct {
+	ctrl *controller.Controller
+	plan *core.PQP
+	cl   *cluster.Cluster
+	spec backend.RunSpec
+	cost int // DRR cost: requested parallelism
+}
+
+// prepareRun validates and resolves a RunRequest; on error the returned
+// status is the HTTP code to write. Validation runs before admission so
+// malformed requests do not burn quota.
+func (s *Server) prepareRun(req *RunRequest) (*preparedRun, int, error) {
 	if req.Parallelism < 1 {
 		req.Parallelism = 1
 	}
@@ -274,57 +447,161 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	case "mixed":
 		cl = s.ctrl.Mixed()
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown cluster %q", req.Cluster))
-		return
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown cluster %q", req.Cluster)
+	}
+	if req.Disorder != nil {
+		if err := req.Disorder.Validate(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
 	}
 	ctrl := *s.ctrl
 	ctrl.EventRate = rate
 	if req.Backend != "" {
 		b, err := backend.ByName(req.Backend)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+			return nil, http.StatusBadRequest, err
 		}
 		if sim, ok := b.(*backend.Sim); ok {
 			sim.Cfg = ctrl.Cfg // keep the server's fidelity settings
 		}
 		ctrl.Backend = b
 	}
-	// The request's context cancels the run when the client disconnects.
-	ctx := r.Context()
+	spec := backend.RunSpec{
+		Faults:            req.Faults,
+		Disorder:          req.Disorder,
+		AllowedLatenessMs: req.AllowedLatenessMs,
+	}
+	var plan *core.PQP
 	switch {
 	case req.App != "":
 		a, err := apps.ByCode(req.App)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
+			return nil, http.StatusNotFound, err
 		}
-		plan := a.Build(rate)
+		plan = a.Build(rate)
 		plan.SetUniformParallelism(req.Parallelism)
-		rec, err := ctrl.MeasureSpec(ctx, plan, cl, backend.RunSpec{App: a, Faults: req.Faults})
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, rec)
+		spec.App = a
 	case req.Structure != "":
 		st, err := workload.ParseStructure(req.Structure)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
+			return nil, http.StatusNotFound, err
 		}
-		plan, err := ctrl.SyntheticPlan(st, req.Parallelism)
+		plan, err = ctrl.SyntheticPlan(st, req.Parallelism)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
+			return nil, http.StatusInternalServerError, err
 		}
-		rec, err := ctrl.MeasureSpec(ctx, plan, cl, backend.RunSpec{Faults: req.Faults})
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, rec)
 	default:
-		writeError(w, http.StatusBadRequest, errors.New("app or structure required"))
+		return nil, http.StatusBadRequest, errors.New("app or structure required")
 	}
+	if req.Disorder != nil {
+		// Stamp every source, the same way controller.Execute applies a
+		// spec-level disorder override.
+		for _, src := range plan.Sources() {
+			d := *req.Disorder
+			src.Source.Disorder = &d
+		}
+	}
+	return &preparedRun{ctrl: &ctrl, plan: plan, cl: cl, spec: spec, cost: req.Parallelism}, 0, nil
+}
+
+// handleRun implements POST /api/run: validate → admit (429 when a
+// token bucket is dry) → fair-share queue (503 when shed) → execute.
+// Sync requests block through execution under the request context;
+// async requests detach and return 202 + a run id for SSE streaming.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	prep, status, err := s.prepareRun(&req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if ok, retryMS := s.admit.admit(tenant); !ok {
+		s.serving.rejected(tenant)
+		writeRetryError(w, http.StatusTooManyRequests, tenant, retryMS,
+			"admission rejected: tenant or global request rate exceeded")
+		return
+	}
+	if req.Async {
+		s.startAsync(r, tenant, prep, w)
+		return
+	}
+
+	// Sync path: wait for a fair-share slot under the request context.
+	start := s.nowMS()
+	release, err := s.sched.acquire(r.Context(), tenant, prep.cost)
+	if err != nil {
+		switch {
+		case errors.Is(err, errShed), errors.Is(err, errQueueFull):
+			s.serving.shed(tenant)
+			writeRetryError(w, http.StatusServiceUnavailable, tenant,
+				s.sched.cfg.MaxQueueWait.Milliseconds(), err.Error())
+		case r.Context().Err() != nil:
+			// Client already gone; nothing useful to write.
+		default:
+			writeError(w, http.StatusServiceUnavailable, err)
+		}
+		return
+	}
+	defer release()
+	s.serving.admitted(tenant, float64(s.nowMS()-start))
+	rec, err := s.execute(r.Context(), prep.ctrl, prep.plan, prep.cl, prep.spec)
+	if err != nil {
+		s.serving.finished(tenant, true)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.serving.finished(tenant, false)
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// startAsync detaches an admitted run from the request: it executes
+// under a context derived from WithoutCancel (client disconnects do not
+// abort it; Server.Close does) and reports progress through its runLog.
+//
+//lint:ignore ctx-propagation the blocking acquire runs inside the detached goroutine under runCtx (cancelled by Server.Close); startAsync itself returns the 202 immediately
+func (s *Server) startAsync(r *http.Request, tenant string, prep *preparedRun, w http.ResponseWriter) {
+	// WithoutCancel detaches the run's lifetime from the submitting
+	// request (keeping its values); the explicit cancel belongs to the
+	// registry so Server.Close can abort in-flight runs.
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(r.Context()))
+	rl := s.registry.add(tenant, cancel)
+	rl.append("queued", s.nowMS(), "", nil)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		start := s.nowMS()
+		release, err := s.sched.acquire(runCtx, tenant, prep.cost)
+		if err != nil {
+			if errors.Is(err, errShed) || errors.Is(err, errQueueFull) {
+				s.serving.shed(tenant)
+				rl.append("shed", s.nowMS(), err.Error(), nil)
+			} else {
+				rl.append("failed", s.nowMS(), err.Error(), nil)
+			}
+			return
+		}
+		defer release()
+		s.serving.admitted(tenant, float64(s.nowMS()-start))
+		rl.append("admitted", s.nowMS(), "", nil)
+		rec, err := s.execute(runCtx, prep.ctrl, prep.plan, prep.cl, prep.spec)
+		if err != nil {
+			s.serving.finished(tenant, true)
+			rl.append("failed", s.nowMS(), err.Error(), nil)
+			return
+		}
+		s.serving.finished(tenant, false)
+		rl.append("completed", s.nowMS(), "", rec)
+	}()
+	writeJSON(w, http.StatusAccepted, AsyncRunResponse{
+		RunID:  rl.id,
+		Tenant: tenant,
+		Status: "/api/runs/" + rl.id,
+		Events: "/api/runs/" + rl.id + "/events",
+	})
 }

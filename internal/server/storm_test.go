@@ -1,0 +1,93 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pdspbench/internal/core"
+	"pdspbench/internal/metrics"
+	"pdspbench/internal/storm"
+)
+
+// Satellite: concurrent --disorder campaigns through the storm harness.
+// Every scripted run carries the same zipfburst disorder spec, and the
+// sim's late-drop count is analytic over the seeded DES — so N runs of
+// the same workload, no matter how concurrently they execute, must all
+// report the *same nonzero* late_drops. A race in the event-time
+// accounting (shared window state, unsynchronized counters) would show
+// up as divergent or zero counts.
+func TestStormConcurrentDisorderRunsAccountLateDropsConsistently(t *testing.T) {
+	s := testServer(t)
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	body, err := json.Marshal(RunRequest{
+		Structure:   "linear",
+		Parallelism: 2,
+		// Name the backend explicitly so every request gets its own Sim
+		// instance (prepareRun clones per-request); the point is that
+		// isolation, not sharing, is what keeps concurrent runs exact.
+		Backend:           "sim",
+		Disorder:          &core.DisorderSpec{Kind: core.DisorderZipfBurst, MaxSkewMs: 200},
+		AllowedLatenessMs: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two tenants, two generators each, arrival rate far above service
+	// rate — the requests overlap in the worker pool. Sync submissions:
+	// storm.Run returning means every run has fully executed.
+	rep, err := storm.Run(context.Background(), storm.Config{
+		BaseURL:     ts.URL,
+		Seed:        7,
+		Duration:    5 * time.Second,
+		MaxRequests: 8,
+		Scripts: []storm.ClientScript{
+			{Tenant: "alpha", Clients: 2, RatePerSec: 100, Body: body},
+			{Tenant: "beta", Clients: 2, RatePerSec: 100, Body: body},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 8 || rep.OK != 8 {
+		t.Fatalf("storm outcome: %d requests, %d ok, %d shed, %d rejected — want 8 clean runs",
+			rep.Requests, rep.OK, rep.Shed503, rep.Rejected429)
+	}
+
+	var records []metrics.RunRecord
+	if err := json.Unmarshal(get(t, s, "/api/runs").Body.Bytes(), &records); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 8 {
+		t.Fatalf("stored %d records, want 8", len(records))
+	}
+	first := records[0].LateDrops
+	if first == 0 {
+		t.Fatalf("zipfburst run reported zero late drops: %+v", records[0])
+	}
+	for i, rec := range records {
+		if rec.LateDrops != first {
+			t.Errorf("record %d late_drops = %d, want %d (identical across concurrent campaigns)",
+				i, rec.LateDrops, first)
+		}
+	}
+
+	// The serving layer agrees with the client-side view.
+	if rep.Serving == nil {
+		t.Fatal("storm report missing the serving snapshot")
+	}
+	if rep.Serving.Completed != 8 || rep.Serving.Failed != 0 {
+		t.Errorf("serving snapshot: %+v", rep.Serving)
+	}
+	for _, tenant := range []string{"alpha", "beta"} {
+		if tr := rep.Tenants[tenant]; tr.Requests == 0 || tr.OK != tr.Requests {
+			t.Errorf("tenant %s report: %+v", tenant, tr)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pdspbench/internal/metrics"
+)
+
+// Streaming progress: the front door's answer to long campaign POSTs.
+// A run submitted with "async": true returns 202 immediately with a run
+// id; the client follows GET /api/runs/{id}/events — a Server-Sent
+// Events stream — through queued → admitted → completed/failed/shed.
+// Disconnecting the SSE client cancels only the watch: the run keeps
+// its execution slot and finishes into the store (re-attach any time;
+// the stream replays the full event history first). Server shutdown,
+// not client disconnect, is what cancels in-flight async runs.
+
+// RunEvent is one progress event of a tracked run; the SSE stream
+// carries them as `event: <type>` + `data: <json>` frames.
+type RunEvent struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // queued | admitted | completed | failed | shed
+	TMS  int64  `json:"t_ms"` // server monotonic milliseconds
+	// Error is set on failed/shed events.
+	Error string `json:"error,omitempty"`
+	// Record is set on the completed event.
+	Record *metrics.RunRecord `json:"record,omitempty"`
+}
+
+// terminal reports whether the event ends the stream.
+func (e *RunEvent) terminal() bool {
+	switch e.Type {
+	case "completed", "failed", "shed":
+		return true
+	}
+	return false
+}
+
+// RunStatus is the GET /api/runs/{id} snapshot.
+type RunStatus struct {
+	ID     string     `json:"id"`
+	Tenant string     `json:"tenant"`
+	Status string     `json:"status"` // type of the latest event
+	Events []RunEvent `json:"events"`
+}
+
+// runLog tracks one async run: its event history and the condition
+// variable SSE watchers wait on. cancel aborts the execution (used only
+// by Server.Close — client disconnects never touch it).
+type runLog struct {
+	id     string
+	tenant string
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []RunEvent
+}
+
+func newRunLog(id, tenant string) *runLog {
+	rl := &runLog{id: id, tenant: tenant}
+	rl.cond = sync.NewCond(&rl.mu)
+	return rl
+}
+
+// append records an event and wakes every watcher.
+func (rl *runLog) append(typ string, tms int64, errMsg string, rec *metrics.RunRecord) {
+	rl.mu.Lock()
+	rl.events = append(rl.events, RunEvent{
+		Seq: len(rl.events) + 1, Type: typ, TMS: tms, Error: errMsg, Record: rec,
+	})
+	rl.cond.Broadcast()
+	rl.mu.Unlock()
+}
+
+// status snapshots the log.
+func (rl *runLog) status() RunStatus {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	st := RunStatus{ID: rl.id, Tenant: rl.tenant, Events: append([]RunEvent(nil), rl.events...)}
+	if n := len(st.Events); n > 0 {
+		st.Status = st.Events[n-1].Type
+	}
+	return st
+}
+
+// runRegistry indexes live and recently finished runLogs. Completed
+// logs are evicted FIFO past a bound so a long-lived server does not
+// accumulate every run it ever streamed.
+type runRegistry struct {
+	mu    sync.Mutex
+	runs  map[string]*runLog
+	order []string // insertion order, for eviction
+	seq   int
+	keep  int
+}
+
+func newRunRegistry(keep int) *runRegistry {
+	if keep <= 0 {
+		keep = 1024
+	}
+	return &runRegistry{runs: map[string]*runLog{}, keep: keep}
+}
+
+// add creates and registers a new runLog with a fresh ordinal id.
+func (rr *runRegistry) add(tenant string, cancel context.CancelFunc) *runLog {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	rr.seq++
+	rl := newRunLog(fmt.Sprintf("run-%d", rr.seq), tenant)
+	rl.cancel = cancel
+	rr.runs[rl.id] = rl
+	rr.order = append(rr.order, rl.id)
+	if len(rr.order) > rr.keep {
+		evict := rr.order[0]
+		rr.order = rr.order[1:]
+		delete(rr.runs, evict)
+	}
+	return rl
+}
+
+func (rr *runRegistry) get(id string) (*runLog, bool) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	rl, ok := rr.runs[id]
+	return rl, ok
+}
+
+// cancelAll aborts every tracked run's execution context (shutdown).
+func (rr *runRegistry) cancelAll() {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	for _, rl := range rr.runs {
+		if rl.cancel != nil {
+			rl.cancel()
+		}
+	}
+}
+
+// handleRunStatus implements GET /api/runs/{id}.
+func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
+	rl, ok := s.registry.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown run id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rl.status())
+}
+
+// handleRunEvents implements GET /api/runs/{id}/events: an SSE stream
+// of the run's progress. The full history is replayed first, then live
+// events until a terminal event or the client disconnects — the
+// disconnect tears down only this watch, never the run.
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	rl, ok := s.registry.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown run id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("server: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	// A disconnected client cannot signal the cond directly; AfterFunc
+	// turns the context cancellation into a broadcast so the wait below
+	// wakes up and notices.
+	stop := context.AfterFunc(r.Context(), func() {
+		rl.mu.Lock()
+		rl.cond.Broadcast()
+		rl.mu.Unlock()
+	})
+	defer stop()
+
+	cursor := 0
+	for {
+		rl.mu.Lock()
+		for cursor >= len(rl.events) && r.Context().Err() == nil {
+			rl.cond.Wait()
+		}
+		pending := append([]RunEvent(nil), rl.events[cursor:]...)
+		cursor = len(rl.events)
+		rl.mu.Unlock()
+		if r.Context().Err() != nil {
+			return // watcher gone; the run is unaffected
+		}
+		for i := range pending {
+			if err := writeSSE(w, &pending[i]); err != nil {
+				return
+			}
+			flusher.Flush()
+			if pending[i].terminal() {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE frames one event.
+func writeSSE(w http.ResponseWriter, e *RunEvent) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+	return err
+}

@@ -1,0 +1,12 @@
+package storm
+
+import (
+	"os"
+	"testing"
+
+	"pdspbench/internal/testutil"
+)
+
+// TestMain gates the package with the goroutine-leak check: a storm
+// that leaves request goroutines behind fails the whole package.
+func TestMain(m *testing.M) { os.Exit(testutil.RunMain(m)) }

@@ -1,0 +1,339 @@
+// Package storm is the load harness for the serving front door: it
+// replays N concurrent scripted clients — mixed tenants, open-loop
+// arrival schedules, seeded for determinism — against a live or
+// httptest dispatcher and reports sustained request rate, client-side
+// latency quantiles and the 429/503 outcome counts.
+//
+// The harness speaks plain HTTP only. It deliberately does not import
+// internal/queue (fenced by pdsplint's api-boundary rule) or
+// internal/server: what it measures is exactly what an external client
+// can observe, which is the point of a saturation harness.
+//
+// Open-loop means arrivals follow the schedule regardless of how many
+// requests are still in flight — the property that lets the harness
+// push a system past its capacity instead of being throttled by it
+// (the sustainable-throughput methodology of Karimov et al.). The
+// schedule is derived purely from the seed, so two storms with the same
+// config fire the same arrival sequence; only service times differ.
+package storm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pdspbench/internal/metrics"
+)
+
+// TenantHeader mirrors the dispatcher's tenant header without importing
+// the server package (the harness is client-side by design).
+const TenantHeader = "X-Tenant"
+
+// ClientScript is one tenant's scripted load: Clients independent
+// open-loop generators, each firing Body at RatePerSec with
+// exponentially distributed inter-arrival gaps.
+type ClientScript struct {
+	// Tenant is sent as the X-Tenant header ("" = default tenant).
+	Tenant string `json:"tenant"`
+	// Clients is the number of concurrent generators (≥1).
+	Clients int `json:"clients"`
+	// RatePerSec is each generator's arrival rate; the tenant's offered
+	// load is Clients × RatePerSec.
+	RatePerSec float64 `json:"rate_per_s"`
+	// Body is the POST /api/run payload this script replays.
+	Body json.RawMessage `json:"body"`
+}
+
+// Config parameterizes one storm.
+type Config struct {
+	// BaseURL is the dispatcher root, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// HTTP defaults to http.DefaultClient.
+	HTTP *http.Client
+	// Seed drives every arrival schedule; same seed, same schedule.
+	Seed int64
+	// Duration is how long arrivals are generated for.
+	Duration time.Duration
+	// Scripts is the mixed-tenant load.
+	Scripts []ClientScript
+	// MaxRequests caps total arrivals (0 = schedule-bounded only); smoke
+	// runs use it to stay shorter than their Duration would allow.
+	MaxRequests int
+}
+
+// TenantReport is one tenant's client-side view of the storm.
+type TenantReport struct {
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"` // 2xx
+	Rejected429 int     `json:"rejected_429"`
+	Shed503     int     `json:"shed_503"`
+	Other4xx    int     `json:"other_4xx"`
+	Other5xx    int     `json:"other_5xx"`
+	Transport   int     `json:"transport_errors"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// Report is the storm's result: aggregate plus per-tenant breakdown,
+// and the server's own serving snapshot fetched after the last response
+// (admission-latency quantiles live there — the server measures the
+// queue wait the client cannot see).
+type Report struct {
+	Seed             int64                   `json:"seed"`
+	DurationS        float64                 `json:"duration_s"`
+	Requests         int                     `json:"requests"`
+	SustainedReqPerS float64                 `json:"sustained_req_per_s"`
+	OK               int                     `json:"ok"`
+	Rejected429      int                     `json:"rejected_429"`
+	Shed503          int                     `json:"shed_503"`
+	Other4xx         int                     `json:"other_4xx"`
+	Other5xx         int                     `json:"other_5xx"`
+	Transport        int                     `json:"transport_errors"`
+	P50LatencyMS     float64                 `json:"p50_latency_ms"`
+	P99LatencyMS     float64                 `json:"p99_latency_ms"`
+	Tenants          map[string]TenantReport `json:"tenants"`
+	// Serving is GET /api/serving/stats after the storm (nil when the
+	// endpoint is unreachable).
+	Serving *metrics.ServingSnapshot `json:"serving,omitempty"`
+}
+
+// arrival is one scheduled request.
+type arrival struct {
+	at     time.Duration
+	tenant string
+	body   []byte
+}
+
+// schedule expands the scripts into a time-sorted arrival sequence.
+// Each generator gets its own deterministic rng stream (derived from
+// the seed, the script index and the client index), so adding a script
+// never perturbs the schedules of the others.
+func schedule(cfg *Config) []arrival {
+	var out []arrival
+	for si, sc := range cfg.Scripts {
+		clients := sc.Clients
+		if clients < 1 {
+			clients = 1
+		}
+		rate := sc.RatePerSec
+		if rate <= 0 {
+			rate = 1
+		}
+		for ci := 0; ci < clients; ci++ {
+			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(si)*7919 + int64(ci)))
+			at := time.Duration(0)
+			for {
+				// Exponential inter-arrival: mean 1/rate seconds.
+				gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+				at += gap
+				if at >= cfg.Duration {
+					break
+				}
+				out = append(out, arrival{at: at, tenant: sc.Tenant, body: sc.Body})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].at < out[j].at })
+	if cfg.MaxRequests > 0 && len(out) > cfg.MaxRequests {
+		out = out[:cfg.MaxRequests]
+	}
+	return out
+}
+
+// outcome is one finished request.
+type outcome struct {
+	tenant    string
+	status    int // 0 = transport error
+	latencyMS float64
+}
+
+// Run fires the storm and blocks until every request has a response.
+// Cancelling ctx stops launching new arrivals; in-flight requests still
+// drain (they carry ctx, so cancellation aborts them quickly).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Scripts) == 0 {
+		return nil, fmt.Errorf("storm: no client scripts")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	httpc := cfg.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	arrivals := schedule(&cfg)
+
+	var (
+		mu       sync.Mutex
+		outcomes = make([]outcome, 0, len(arrivals))
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+launch:
+	for _, a := range arrivals {
+		delay := a.at - time.Since(start)
+		if delay > 0 {
+			timer.Reset(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break launch
+			}
+		} else if ctx.Err() != nil {
+			break launch
+		}
+		wg.Add(1)
+		go func(a arrival) {
+			defer wg.Done()
+			o := fire(ctx, httpc, base, a)
+			mu.Lock()
+			outcomes = append(outcomes, o)
+			mu.Unlock()
+		}(a)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := aggregate(outcomes, cfg.Seed, elapsed)
+	rep.Serving = fetchServing(ctx, httpc, base)
+	return rep, nil
+}
+
+// fire issues one scripted POST /api/run and classifies the response.
+func fire(ctx context.Context, httpc *http.Client, base string, a arrival) outcome {
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/api/run", bytes.NewReader(a.body))
+	if err != nil {
+		return outcome{tenant: a.tenant, status: 0}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if a.tenant != "" {
+		req.Header.Set(TenantHeader, a.tenant)
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return outcome{tenant: a.tenant, status: 0, latencyMS: float64(time.Since(t0).Microseconds()) / 1000}
+	}
+	// Drain so the connection is reusable under load; a close error on an
+	// already-drained body changes nothing about the recorded outcome.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+	return outcome{tenant: a.tenant, status: resp.StatusCode, latencyMS: float64(time.Since(t0).Microseconds()) / 1000}
+}
+
+// aggregate folds outcomes into the report.
+func aggregate(outcomes []outcome, seed int64, elapsed time.Duration) *Report {
+	rep := &Report{
+		Seed:      seed,
+		DurationS: elapsed.Seconds(),
+		Requests:  len(outcomes),
+		Tenants:   map[string]TenantReport{},
+	}
+	all := make([]float64, 0, len(outcomes))
+	perTenant := map[string][]float64{}
+	for _, o := range outcomes {
+		name := o.tenant
+		if name == "" {
+			name = "default"
+		}
+		tr := rep.Tenants[name]
+		tr.Requests++
+		switch {
+		case o.status == 0:
+			rep.Transport++
+			tr.Transport++
+		case o.status/100 == 2:
+			rep.OK++
+			tr.OK++
+		case o.status == http.StatusTooManyRequests:
+			rep.Rejected429++
+			tr.Rejected429++
+		case o.status == http.StatusServiceUnavailable:
+			rep.Shed503++
+			tr.Shed503++
+		case o.status/100 == 4:
+			rep.Other4xx++
+			tr.Other4xx++
+		default:
+			rep.Other5xx++
+			tr.Other5xx++
+		}
+		if o.status != 0 {
+			all = append(all, o.latencyMS)
+			perTenant[name] = append(perTenant[name], o.latencyMS)
+		}
+		rep.Tenants[name] = tr
+	}
+	if elapsed > 0 {
+		rep.SustainedReqPerS = float64(len(outcomes)) / elapsed.Seconds()
+	}
+	rep.P50LatencyMS = metrics.Quantile(all, 0.50)
+	rep.P99LatencyMS = metrics.Quantile(all, 0.99)
+	for name, tr := range rep.Tenants {
+		tr.P50MS = metrics.Quantile(perTenant[name], 0.50)
+		tr.P99MS = metrics.Quantile(perTenant[name], 0.99)
+		rep.Tenants[name] = tr
+	}
+	return rep
+}
+
+// fetchServing reads the dispatcher's own counters after the storm.
+func fetchServing(ctx context.Context, httpc *http.Client, base string) *metrics.ServingSnapshot {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/serving/stats", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var snap metrics.ServingSnapshot
+	if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		return nil
+	}
+	return &snap
+}
+
+// Spread measures fairness: the maximum relative deviation from the
+// mean across the values (0 = perfectly even). The overload suite and
+// the storm_smoke CI stage assert it stays within tolerance across
+// equal-quota tenants.
+func Spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var worst float64
+	for _, x := range xs {
+		d := (x - mean) / mean
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

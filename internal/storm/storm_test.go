@@ -1,0 +1,199 @@
+package storm
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testScripts() []ClientScript {
+	body := json.RawMessage(`{"structure":"linear","parallelism":1}`)
+	return []ClientScript{
+		{Tenant: "alpha", Clients: 2, RatePerSec: 100, Body: body},
+		{Tenant: "beta", Clients: 1, RatePerSec: 50, Body: body},
+	}
+}
+
+// TestScheduleIsDeterministicPerSeed: the same config yields the exact
+// same arrival sequence; a different seed yields a different one.
+func TestScheduleIsDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 42, Duration: time.Second, Scripts: testScripts()}
+	a := schedule(&cfg)
+	b := schedule(&cfg)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].at != b[i].at || a[i].tenant != b[i].tenant {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	other := Config{Seed: 43, Duration: time.Second, Scripts: testScripts()}
+	c := schedule(&other)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].at != c[i].at {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestScheduleIsSortedAndCapped: arrivals come out time-ordered, within
+// the duration, and MaxRequests truncates from the tail.
+func TestScheduleIsSortedAndCapped(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: time.Second, Scripts: testScripts()}
+	full := schedule(&cfg)
+	for i := 1; i < len(full); i++ {
+		if full[i].at < full[i-1].at {
+			t.Fatalf("arrivals out of order at %d: %v < %v", i, full[i].at, full[i-1].at)
+		}
+	}
+	for _, a := range full {
+		if a.at >= cfg.Duration {
+			t.Fatalf("arrival %v beyond duration %v", a.at, cfg.Duration)
+		}
+	}
+
+	cfg.MaxRequests = 5
+	capped := schedule(&cfg)
+	if len(capped) != 5 {
+		t.Fatalf("capped schedule has %d arrivals, want 5", len(capped))
+	}
+	for i := range capped {
+		if capped[i].at != full[i].at {
+			t.Errorf("cap changed arrival %d: %v vs %v", i, capped[i].at, full[i].at)
+		}
+	}
+}
+
+// TestRunClassifiesOutcomesByStatus drives a stub dispatcher that
+// answers each tenant with a fixed status and checks every response
+// lands in the right report bucket, including the serving snapshot.
+func TestRunClassifiesOutcomesByStatus(t *testing.T) {
+	var served atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/run", func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		switch r.Header.Get(TenantHeader) {
+		case "alpha":
+			w.WriteHeader(http.StatusOK)
+		case "beta":
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "gamma":
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("GET /api/serving/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"admitted":12,"completed":12}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	body := json.RawMessage(`{}`)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Seed:        3,
+		Duration:    500 * time.Millisecond,
+		MaxRequests: 30,
+		Scripts: []ClientScript{
+			{Tenant: "alpha", Clients: 1, RatePerSec: 200, Body: body},
+			{Tenant: "beta", Clients: 1, RatePerSec: 200, Body: body},
+			{Tenant: "gamma", Clients: 1, RatePerSec: 200, Body: body},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Requests > 30 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	if int64(rep.Requests) != served.Load() {
+		t.Errorf("report says %d requests, server saw %d", rep.Requests, served.Load())
+	}
+	if rep.OK != rep.Tenants["alpha"].Requests {
+		t.Errorf("OK=%d, alpha requests=%d", rep.OK, rep.Tenants["alpha"].Requests)
+	}
+	if rep.Rejected429 != rep.Tenants["beta"].Requests {
+		t.Errorf("429=%d, beta requests=%d", rep.Rejected429, rep.Tenants["beta"].Requests)
+	}
+	if rep.Shed503 != rep.Tenants["gamma"].Requests {
+		t.Errorf("503=%d, gamma requests=%d", rep.Shed503, rep.Tenants["gamma"].Requests)
+	}
+	if rep.Other4xx != 0 || rep.Other5xx != 0 || rep.Transport != 0 {
+		t.Errorf("unexpected buckets: %+v", rep)
+	}
+	if rep.Serving == nil || rep.Serving.Admitted != 12 {
+		t.Errorf("serving snapshot: %+v", rep.Serving)
+	}
+	if rep.SustainedReqPerS <= 0 {
+		t.Errorf("sustained rate %v", rep.SustainedReqPerS)
+	}
+}
+
+// TestRunStopsLaunchingOnCancel: cancelling the context mid-storm stops
+// new arrivals; Run still returns a report of what fired.
+func TestRunStopsLaunchingOnCancel(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		BaseURL:  ts.URL,
+		Seed:     1,
+		Duration: time.Hour, // would run forever without the cancel
+		Scripts:  []ClientScript{{Tenant: "alpha", Clients: 1, RatePerSec: 50, Body: json.RawMessage(`{}`)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests > 20 {
+		t.Errorf("cancel did not stop the launch loop: %d requests", rep.Requests)
+	}
+}
+
+// TestRunRejectsEmptyScripts: a storm with nothing to fire is an error,
+// not a silent no-op report.
+func TestRunRejectsEmptyScripts(t *testing.T) {
+	if _, err := Run(context.Background(), Config{BaseURL: "http://127.0.0.1:0"}); err == nil {
+		t.Error("Run accepted a config with no scripts")
+	}
+}
+
+// TestSpread pins the fairness metric: zero for even splits, exact
+// relative deviation otherwise.
+func TestSpread(t *testing.T) {
+	if got := Spread(nil); got != 0 {
+		t.Errorf("Spread(nil) = %v", got)
+	}
+	if got := Spread([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("Spread(even) = %v", got)
+	}
+	// Mean 3; worst deviation |2-3|/3 = 1/3.
+	if got := Spread([]float64{2, 4}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Spread(2,4) = %v, want 1/3", got)
+	}
+	if got := Spread([]float64{0, 0}); got != 0 {
+		t.Errorf("Spread(zeros) = %v", got)
+	}
+}

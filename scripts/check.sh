@@ -30,6 +30,9 @@
 #                      regressions between the two newest same-machine
 #                      BENCH_*.json recordings
 #  10. fabric smoke  — the distributed fabric through the built binary
+#  11. storm smoke   — a short seeded storm against a self-hosted
+#                      dispatcher: zero unexplained 5xx, per-tenant
+#                      fairness within tolerance
 #
 # Usage:
 #   scripts/check.sh           # the full gate
@@ -136,7 +139,20 @@ stage "bench.sh --compare" scripts/bench.sh --compare
 #      flag regressions the in-process tests cannot see.
 stage "scripts/fabric_smoke.sh" scripts/fabric_smoke.sh
 
-#   11. (opt-in) substrate micro-benchmarks — set BENCH=1 to run
+#  11. storm smoke — the serving front door under a short, seeded
+#      mixed-tenant saturation storm (self-hosted dispatcher, sim
+#      fidelity shrunk). --smoke fails the stage on any 5xx that is not
+#      a deliberate shed, on transport errors, and on per-tenant OK
+#      spread beyond --fair-tol: 429/503 are the front door working,
+#      anything else under load is a defect. --out - keeps the gate
+#      from minting BENCH_<n>.json entries.
+storm_smoke() {
+  go run ./cmd/pdspbench storm \
+    --seed 7 --duration 2s --max 400 --smoke --fair-tol 0.25 --out -
+}
+stage "storm smoke (seeded saturation, fairness gate)" storm_smoke
+
+#   12. (opt-in) substrate micro-benchmarks — set BENCH=1 to run
 #      scripts/bench.sh after the gates and record a BENCH_<n>.json
 #      entry in the performance trajectory. Not part of the default
 #      gate: benchmark numbers are machine-dependent and noisy on
